@@ -1,0 +1,171 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  A. Fragmentation vs bit-level chaining alone: run BLC (atomic ops,
+//     bit-level overlap) and the fragmented flow at the same latency —
+//     isolates how much of the win needs operation splitting.
+//  B. Cycle-budget estimation: sweep n_bits overrides around the §3.2
+//     estimate; the estimate should sit at the knee of the cycle/area curve.
+//  C. Baseline strength: conventional baseline with integer multicycle
+//     enabled (stronger than the paper's BC runs) — how much of the reported
+//     saving survives against the stronger baseline.
+//  D. Adder style: ripple vs carry-lookahead delay model (the conclusion's
+//     claim that faster adders also profit).
+
+#include <iostream>
+
+#include "flow/flow.hpp"
+#include "alloc/bitlevel.hpp"
+#include "sched/forcedir.hpp"
+#include "kernel/narrow.hpp"
+#include "alloc/oplevel.hpp"
+#include "sched/conventional.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "suites/suites.hpp"
+
+using namespace hls;
+
+int main() {
+  bool ok = true;
+
+  // --- A: fragmentation vs BLC at equal latency ---------------------------
+  std::cout << "=== Ablation A: fragmentation vs bit-level chaining ===\n";
+  TextTable ta({"Circuit", "lat", "BLC cycle (ns)", "Frag cycle (ns)",
+                "BLC FU gates", "Frag FU gates"});
+  for (const SuiteEntry& s : {classical_suites()[0], classical_suites()[3]}) {
+    const Dfg d = s.build();
+    for (unsigned lat : s.latencies) {
+      const ImplementationReport blc = run_blc_flow(d, lat);
+      const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+      ta.add_row({s.name, std::to_string(lat), fixed(blc.cycle_ns, 2),
+                  fixed(opt.report.cycle_ns, 2),
+                  std::to_string(blc.area.fu_gates),
+                  std::to_string(opt.report.area.fu_gates)});
+      // Fragmentation must never be slower than atomic BLC and must use
+      // less (or equal) FU area.
+      if (opt.report.cycle_ns > blc.cycle_ns + 1e-9) ok = false;
+    }
+  }
+  std::cout << ta << '\n';
+
+  // --- B: cycle-budget sweep ------------------------------------------------
+  std::cout << "=== Ablation B: n_bits budget sweep around the estimate ===\n";
+  const Dfg mot = motivational();
+  TextTable tb({"n_bits", "cycle (ns)", "exec (ns)", "total gates", "note"});
+  const OptimizedFlowResult at_estimate = run_optimized_flow(mot, 3);
+  for (unsigned nb = 5; nb <= 18; ++nb) {
+    std::string note = nb == at_estimate.report.cycle_deltas ? "<- estimate" : "";
+    try {
+      const OptimizedFlowResult o = run_optimized_flow(mot, 3, {}, nb);
+      tb.add_row({std::to_string(nb), fixed(o.report.cycle_ns, 2),
+                  fixed(o.report.execution_ns, 2),
+                  std::to_string(o.report.area.total()), note});
+    } catch (const Error&) {
+      tb.add_row({std::to_string(nb), "infeasible", "-", "-", note});
+    }
+  }
+  std::cout << tb;
+  std::cout << "The estimate ceil(cp/lat) = "
+            << at_estimate.report.cycle_deltas
+            << " is the smallest feasible budget.\n\n";
+
+  // --- C: stronger baseline (integer multicycle on) -------------------------
+  std::cout << "=== Ablation C: multicycle-enabled baseline ===\n";
+  TextTable tc({"Circuit", "lat", "BC-like (ns)", "Multicycle (ns)",
+                "Opt (ns)", "Saved vs BC", "Saved vs MC"});
+  for (const SuiteEntry& s : classical_suites()) {
+    const Dfg d = s.build();
+    const unsigned lat = s.latencies.front();
+    const ImplementationReport weak = run_conventional_flow(d, lat);
+    const OpSchedule mc = schedule_conventional(
+        d, lat, ConventionalOptions{.allow_multicycle = true});
+    const double mc_cycle = DelayModel{}.cycle_ns(mc.cycle_deltas);
+    const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+    tc.add_row({s.name, std::to_string(lat), fixed(weak.cycle_ns, 2),
+                fixed(mc_cycle, 2), fixed(opt.report.cycle_ns, 2),
+                pct(opt.report.cycle_saving_vs(weak)),
+                pct(1.0 - opt.report.cycle_ns / mc_cycle)});
+    if (opt.report.cycle_ns > mc_cycle) ok = false;  // must still win
+  }
+  std::cout << tc << '\n';
+
+  // --- D: adder style ---------------------------------------------------------
+  std::cout << "=== Ablation D: ripple vs carry-lookahead delay model ===\n";
+  TextTable td({"Style", "Orig cycle (ns)", "Opt cycle (ns)", "Saved"});
+  for (const AdderStyle style : {AdderStyle::Ripple, AdderStyle::CarryLookahead}) {
+    FlowOptions opt_flags;
+    opt_flags.delay.style = style;
+    // The bit-level flow's delta counts model ripple chaining; under a CLA
+    // library the baseline op depth shrinks, compressing but not erasing
+    // the win (conclusion of the paper).
+    const Dfg d = motivational();
+    const ImplementationReport orig = run_conventional_flow(d, 3, opt_flags);
+    // CLA baseline: each op takes adder_depth(16) deltas instead of 16.
+    const double orig_ns =
+        style == AdderStyle::Ripple
+            ? orig.cycle_ns
+            : opt_flags.delay.cycle_ns(opt_flags.delay.adder_depth(16));
+    const OptimizedFlowResult o = run_optimized_flow(d, 3, opt_flags);
+    const double opt_ns =
+        style == AdderStyle::Ripple
+            ? o.report.cycle_ns
+            : opt_flags.delay.cycle_ns(
+                  opt_flags.delay.adder_depth(o.report.cycle_deltas));
+    td.add_row({style == AdderStyle::Ripple ? "ripple" : "carry-lookahead",
+                fixed(orig_ns, 2), fixed(opt_ns, 2),
+                pct(1.0 - opt_ns / orig_ns)});
+  }
+  std::cout << td << '\n';
+
+  // --- E: list scheduler vs force-directed scheduler -----------------------
+  std::cout << "=== Ablation E: fragment scheduler comparison ===\n";
+  TextTable te({"Circuit", "lat", "list peak bits", "fd peak bits",
+                "list FU gates", "fd FU gates", "list reg bits", "fd reg bits"});
+  for (const SuiteEntry& s : all_suites()) {
+    const Dfg kernel = extract_kernel(s.build());
+    const unsigned lat = s.latencies.front();
+    const TransformResult t = transform_spec(kernel, lat);
+    const FragSchedule ls = schedule_transformed(t);
+    const FragSchedule fd = schedule_transformed_forcedirected(t);
+    auto peak_bits = [&](const FragSchedule& fs) {
+      std::vector<unsigned> bits(lat, 0);
+      for (const auto& f : fs.fu_ops) bits[f.cycle] += f.bits.width;
+      return *std::max_element(bits.begin(), bits.end());
+    };
+    const Datapath dls = allocate_bitlevel(t, ls);
+    const Datapath dfd = allocate_bitlevel(t, fd);
+    const GateModel gm;
+    te.add_row({s.name, std::to_string(lat), std::to_string(peak_bits(ls)),
+                std::to_string(peak_bits(fd)),
+                std::to_string(area_of(dls, gm).fu_gates),
+                std::to_string(area_of(dfd, gm).fu_gates),
+                std::to_string(dls.total_register_bits()),
+                std::to_string(dfd.total_register_bits())});
+  }
+  std::cout << te << '\n';
+
+  // --- F: width narrowing before the transformation ------------------------
+  std::cout << "=== Ablation F: value-range width narrowing ===\n";
+  TextTable tf({"Circuit", "lat", "bits removed", "plain cycle (ns)",
+                "narrowed cycle (ns)", "plain gates", "narrowed gates"});
+  for (const SuiteEntry& s : adpcm_suites()) {
+    const Dfg kernel = extract_kernel(s.build());
+    const unsigned lat = s.latencies.front();
+    NarrowStats st;
+    const Dfg narrowed = narrow_widths(kernel, &st);
+    const OptimizedFlowResult plain = run_optimized_flow(kernel, lat);
+    const OptimizedFlowResult thin = run_optimized_flow(narrowed, lat);
+    tf.add_row({s.name, std::to_string(lat), std::to_string(st.bits_removed),
+                fixed(plain.report.cycle_ns, 2), fixed(thin.report.cycle_ns, 2),
+                std::to_string(plain.report.area.total()),
+                std::to_string(thin.report.area.total())});
+    if (thin.report.area.total() > plain.report.area.total() * 11 / 10) {
+      ok = false;  // narrowing must never cost >10 % area
+    }
+  }
+  std::cout << tf << '\n';
+
+  std::cout << (ok ? "All ablation shape checks PASSED.\n"
+                   : "Ablation shape checks FAILED.\n");
+  return ok ? 0 : 1;
+}

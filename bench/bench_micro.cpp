@@ -1,0 +1,79 @@
+// Microbenchmarks (google-benchmark): cost of the presynthesis
+// transformation itself. The paper reports "negligible increments in the
+// design time"; these benches quantify kernel extraction, window
+// computation, fragmentation and scheduling per suite.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/flow.hpp"
+#include "frag/bit_windows.hpp"
+#include "kernel/extract.hpp"
+#include "sched/fragsched.hpp"
+#include "suites/suites.hpp"
+#include "timing/critical_path.hpp"
+
+namespace {
+
+using namespace hls;
+
+const SuiteEntry& suite(std::size_t i) {
+  static const std::vector<SuiteEntry> suites = all_suites();
+  return suites[i % suites.size()];
+}
+
+void BM_KernelExtraction(benchmark::State& state) {
+  const SuiteEntry& s = suite(static_cast<std::size_t>(state.range(0)));
+  const Dfg d = s.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_kernel(d));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_KernelExtraction)->DenseRange(0, 8);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const SuiteEntry& s = suite(static_cast<std::size_t>(state.range(0)));
+  const Dfg kernel = extract_kernel(s.build());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(critical_path(kernel));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_CriticalPath)->DenseRange(0, 8);
+
+void BM_Transform(benchmark::State& state) {
+  const SuiteEntry& s = suite(static_cast<std::size_t>(state.range(0)));
+  const Dfg kernel = extract_kernel(s.build());
+  const unsigned latency = s.latencies.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform_spec(kernel, latency));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_Transform)->DenseRange(0, 8);
+
+void BM_FragmentSchedule(benchmark::State& state) {
+  const SuiteEntry& s = suite(static_cast<std::size_t>(state.range(0)));
+  const Dfg kernel = extract_kernel(s.build());
+  const TransformResult t = transform_spec(kernel, s.latencies.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_transformed(t));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_FragmentSchedule)->DenseRange(0, 8);
+
+void BM_WholeOptimizedFlow(benchmark::State& state) {
+  const SuiteEntry& s = suite(static_cast<std::size_t>(state.range(0)));
+  const Dfg d = s.build();
+  const unsigned latency = s.latencies.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_optimized_flow(d, latency));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_WholeOptimizedFlow)->DenseRange(0, 8);
+
+} // namespace
+
+BENCHMARK_MAIN();

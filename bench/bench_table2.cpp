@@ -1,0 +1,85 @@
+// Table II — classical HLS benchmarks: cycle duration of original vs
+// optimized specification per latency, saving, area increment, and the
+// growth in operation count.
+//
+// Paper values are printed alongside. The paper's op-count growth (~34 %) is
+// much lower than ours on multiplier-heavy designs because our kernel
+// extraction decomposes multiplications down to partial-product additions
+// (DESIGN.md §2 documents this substitution); savings/who-wins still match.
+
+#include <iostream>
+
+#include "flow/flow.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "suites/suites.hpp"
+
+using namespace hls;
+
+namespace {
+
+struct PaperRow {
+  const char* suite;
+  unsigned latency;
+  double saved_pct;
+  double area_inc_pct;
+};
+
+// Table II of the paper.
+constexpr PaperRow kPaper[] = {
+    {"elliptic", 11, 77.45, 5.4}, {"elliptic", 6, 64.9, 6.45},
+    {"elliptic", 4, 56.89, 8.23}, {"diffeq", 6, 57.8, 4.57},
+    {"diffeq", 5, 52.84, 5.98},   {"diffeq", 4, 41.75, 9.04},
+    {"iir4", 6, 83.67, 5.76},     {"iir4", 5, 80.33, 7.34},
+    {"fir2", 5, 84.67, 6.03},     {"fir2", 3, 78.0, 6.78},
+};
+
+const PaperRow* paper_row(const std::string& suite, unsigned latency) {
+  for (const PaperRow& r : kPaper) {
+    if (suite == r.suite && latency == r.latency) return &r;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Table II: classical HLS benchmarks ===\n\n";
+  TextTable t({"Circuit", "lat", "Orig cycle (ns)", "Opt cycle (ns)", "Saved",
+               "Paper saved", "Area delta", "Paper area", "Ops x"});
+
+  double total_saved = 0;
+  unsigned rows = 0;
+  bool all_positive = true;
+
+  for (const SuiteEntry& s : classical_suites()) {
+    const Dfg d = s.build();
+    for (unsigned lat : s.latencies) {
+      const ImplementationReport orig = run_conventional_flow(d, lat);
+      const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+      const double saved = opt.report.cycle_saving_vs(orig);
+      const double area = opt.report.area_delta_vs(orig);
+      const double opsx =
+          static_cast<double>(opt.report.op_count) / orig.op_count;
+      const PaperRow* p = paper_row(s.name, lat);
+      t.add_row({s.name, std::to_string(lat), fixed(orig.cycle_ns, 2),
+                 fixed(opt.report.cycle_ns, 2), pct(saved),
+                 p ? fixed(p->saved_pct, 1) + " %" : "-",
+                 strformat("%+.1f %%", area * 100),
+                 p ? strformat("+%.1f %%", p->area_inc_pct) : "-",
+                 fixed(opsx, 1)});
+      total_saved += saved;
+      rows++;
+      if (saved <= 0) all_positive = false;
+    }
+  }
+  std::cout << t << '\n';
+  const double avg = total_saved / rows;
+  std::cout << "Average cycle-length saving: " << pct(avg)
+            << " (paper: 67 % average, up to 84 %)\n\n";
+
+  bool ok = all_positive && avg > 0.40;
+  std::cout << (ok ? "All Table II shape checks PASSED.\n"
+                   : "Table II shape checks FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Design-space exploration of the fifth-order elliptic wave filter: sweep
+// the latency constraint, synthesize original and optimized implementations
+// at each point, and report the Pareto view (execution time vs area) a
+// designer would use to pick an operating point.
+//
+// Build & run:   ./build/examples/filter_explorer
+
+#include <iostream>
+
+#include "flow/flow.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "suites/suites.hpp"
+
+using namespace hls;
+
+int main() {
+  const Dfg filter = elliptic();
+  std::cout << "Fifth-order elliptic wave filter, one iteration per frame.\n";
+  std::cout << "Sweep: latency 3..15 cycles, both specifications.\n\n";
+
+  TextTable t({"lat", "orig cycle", "orig exec", "orig area", "opt cycle",
+               "opt exec", "opt area", "saved"});
+  double best_exec = 1e30;
+  unsigned best_lat = 0;
+  for (unsigned lat = 3; lat <= 15; ++lat) {
+    const ImplementationReport orig = run_conventional_flow(filter, lat);
+    const OptimizedFlowResult opt = run_optimized_flow(filter, lat);
+    t.add_row({std::to_string(lat), fixed(orig.cycle_ns, 2),
+               fixed(orig.execution_ns, 1), std::to_string(orig.area.total()),
+               fixed(opt.report.cycle_ns, 2), fixed(opt.report.execution_ns, 1),
+               std::to_string(opt.report.area.total()),
+               pct(opt.report.cycle_saving_vs(orig))});
+    if (opt.report.execution_ns < best_exec) {
+      best_exec = opt.report.execution_ns;
+      best_lat = lat;
+    }
+  }
+  std::cout << t << '\n';
+
+  const OptimizedFlowResult best = run_optimized_flow(filter, best_lat);
+  std::cout << "Fastest optimized design point: latency " << best_lat << ", "
+            << fixed(best.report.execution_ns, 1) << " ns per iteration ("
+            << fixed(1000.0 / best.report.execution_ns, 1) << " MHz sample rate), "
+            << best.report.area.total() << " gates.\n";
+  std::cout << "Transformed spec: " << best.transform.spec.additive_op_count()
+            << " additions (from " << best.kernel.additive_op_count()
+            << " kernel additions), " << best.transform.fragmented_op_count
+            << " operations fragmented, budget " << best.transform.n_bits
+            << " chained bits/cycle.\n";
+  return 0;
+}

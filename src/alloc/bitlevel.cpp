@@ -1,0 +1,234 @@
+#include "alloc/bitlevel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace hls {
+
+namespace {
+
+using SourceKey = std::tuple<std::uint32_t, unsigned, unsigned>;
+
+SourceKey key_of(const Operand& o) {
+  return {o.node.index, o.bits.lo, o.bits.width};
+}
+
+unsigned log2_ceil(unsigned v) {
+  return v <= 1 ? 0 : static_cast<unsigned>(std::bit_width(v - 1));
+}
+
+/// Real adder bits of a fragment node: result bits within the operand
+/// slices; the exposed carry-out and zero-extension bits are wiring.
+unsigned real_adder_width(const Node& n) {
+  unsigned w = 0;
+  for (unsigned b = 0; b < n.width; ++b) {
+    if (!n.add_bit_is_free(b)) ++w;
+  }
+  return w;
+}
+
+/// Applies `fn(source_node, source_bit)` for every Add bit an operand slice
+/// depends on, walking through glue and concat wiring bit-exactly.
+void for_each_source_bit(
+    const Dfg& dfg, const Operand& o,
+    const std::function<void(NodeId, unsigned)>& fn) {
+  const Node& p = dfg.node(o.node);
+  switch (p.kind) {
+    case OpKind::Add:
+      for (unsigned j = 0; j < o.bits.width; ++j) fn(o.node, o.bits.lo + j);
+      return;
+    case OpKind::Input:
+    case OpKind::Const:
+      return;
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not:
+      for (const Operand& q : p.operands) {
+        const BitRange within = o.bits.intersect(BitRange::whole(q.bits.width));
+        if (within.empty()) continue;
+        for_each_source_bit(
+            dfg, Operand{q.node, BitRange{q.bits.lo + within.lo, within.width}},
+            fn);
+      }
+      return;
+    case OpKind::Concat: {
+      unsigned base = 0;
+      for (const Operand& q : p.operands) {
+        const BitRange span{base, q.bits.width};
+        const BitRange within = o.bits.intersect(span);
+        if (!within.empty()) {
+          for_each_source_bit(
+              dfg,
+              Operand{q.node,
+                      BitRange{q.bits.lo + (within.lo - base), within.width}},
+              fn);
+        }
+        base += q.bits.width;
+      }
+      return;
+    }
+    default:
+      HLS_ASSERT(false, "non-kernel node in bit-level allocation");
+  }
+}
+
+} // namespace
+
+Datapath allocate_bitlevel(const TransformResult& t, const FragSchedule& fs) {
+  const Dfg& dfg = t.spec;
+  Datapath dp;
+  dp.states = t.latency;
+
+  // ---- adders: same-operation groups colored over cycle occupancy ---------
+  struct Group {
+    NodeId orig;
+    unsigned width = 0;  ///< widest real adder slice of the group
+    std::vector<const FragSchedule::FuOp*> ops;
+  };
+  std::map<std::uint32_t, Group> groups;
+  for (const FragSchedule::FuOp& f : fs.fu_ops) {
+    auto [gi, inserted] = groups.try_emplace(f.orig.index);
+    Group& g = gi->second;
+    if (inserted) g.orig = f.orig;
+    unsigned w = 0;
+    for (NodeId node : f.nodes) w += real_adder_width(dfg.node(node));
+    g.width = std::max(g.width, w);
+    g.ops.push_back(&f);
+  }
+
+  std::vector<Group*> ordered;
+  for (auto& [_, g] : groups) {
+    if (g.width > 0) ordered.push_back(&g);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Group* a, const Group* b) { return a->width > b->width; });
+
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> busy;
+  busy.reserve(ordered.size());
+  for (const Group* g : ordered) {
+    std::vector<std::pair<unsigned, unsigned>> cycles;
+    for (const auto* f : g->ops) cycles.push_back({f->cycle, f->cycle});
+    busy.push_back(std::move(cycles));
+  }
+  std::map<std::uint32_t, std::size_t> fu_of_orig;
+  if (!ordered.empty()) {
+    const std::vector<unsigned> color = color_intervals(busy);
+    const unsigned n_fus = *std::max_element(color.begin(), color.end()) + 1;
+    dp.fus.assign(n_fus, FuInstance{FuClass::Adder, 0, 0, {}});
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      FuInstance& fu = dp.fus[color[i]];
+      fu.width = std::max(fu.width, ordered[i]->width);
+      for (const auto* f : ordered[i]->ops) {
+        fu.bound.push_back({f->cycle, ordered[i]->orig});
+      }
+      fu_of_orig[ordered[i]->orig.index] = color[i];
+    }
+  }
+
+  // ---- multiplexers: distinct sources per adder port ----------------------
+  // Port 0/1 = data operands, port 2 = carry-in. Carries between fragments
+  // merged into one fu_op are internal to the wider adder, not routed.
+  std::vector<std::map<unsigned, std::set<SourceKey>>> port_sources(dp.fus.size());
+  for (const FragSchedule::FuOp& f : fs.fu_ops) {
+    auto it = fu_of_orig.find(f.orig.index);
+    if (it == fu_of_orig.end()) continue;
+    std::set<std::uint32_t> own;
+    for (NodeId node : f.nodes) own.insert(node.index);
+    for (NodeId node : f.nodes) {
+      const Node& n = dfg.node(node);
+      for (unsigned p = 0; p < n.operands.size(); ++p) {
+        if (p == 2 && own.count(n.operands[p].node.index)) continue;
+        port_sources[it->second][p].insert(key_of(n.operands[p]));
+      }
+    }
+  }
+  for (std::size_t k = 0; k < dp.fus.size(); ++k) {
+    for (const auto& [port, sources] : port_sources[k]) {
+      if (sources.size() < 2) continue;
+      dp.muxes.push_back(MuxInstance{static_cast<unsigned>(sources.size()),
+                                     port == 2 ? 1 : dp.fus[k].width});
+    }
+  }
+
+  // ---- registers: bit-level liveness ---------------------------------------
+  std::map<std::uint32_t, unsigned> cycle_of_node;
+  for (const ScheduleRow& r : fs.schedule.rows) {
+    cycle_of_node[r.op.index] = r.cycle;
+  }
+  // last_use[(node, bit)] = latest cycle a scheduled add reads the bit.
+  std::map<std::pair<std::uint32_t, unsigned>, unsigned> last_use;
+  for (const ScheduleRow& r : fs.schedule.rows) {
+    const Node& n = dfg.node(r.op);
+    const unsigned use_cycle = r.cycle;
+    for (const Operand& o : n.operands) {
+      for_each_source_bit(dfg, o, [&](NodeId u, unsigned bit) {
+        auto [it, _] = last_use.try_emplace({u.index, bit}, 0u);
+        it->second = std::max(it->second, use_cycle);
+      });
+    }
+  }
+
+  // Contiguous bit runs of one node with identical live spans become one
+  // register; runs share physical registers across disjoint spans.
+  struct Run {
+    unsigned width;
+    unsigned first_boundary, last_boundary;
+    NodeId node;
+    BitRange bits;
+    unsigned produced, use;
+  };
+  std::vector<Run> runs;
+  for (const auto& [node_idx, produced] : cycle_of_node) {
+    const Node& n = dfg.node(NodeId{node_idx});
+    unsigned b = 0;
+    while (b < n.width) {
+      const auto it = last_use.find({node_idx, b});
+      if (it == last_use.end() || it->second <= produced) {
+        ++b;
+        continue;
+      }
+      const unsigned use = it->second;
+      unsigned run_end = b + 1;
+      while (run_end < n.width) {
+        const auto jt = last_use.find({node_idx, run_end});
+        if (jt == last_use.end() || jt->second != use) break;
+        ++run_end;
+      }
+      runs.push_back(Run{run_end - b, produced, use - 1, NodeId{node_idx},
+                         BitRange{b, run_end - b}, produced, use});
+      b = run_end;
+    }
+  }
+  std::stable_sort(runs.begin(), runs.end(),
+                   [](const Run& a, const Run& b) { return a.width > b.width; });
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> reg_busy;
+  reg_busy.reserve(runs.size());
+  for (const Run& r : runs) {
+    reg_busy.push_back({{r.first_boundary, r.last_boundary}});
+  }
+  if (!runs.empty()) {
+    const std::vector<unsigned> color = color_intervals(reg_busy);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      dp.stored.push_back(StoredRun{runs[i].node, runs[i].bits,
+                                    runs[i].produced, runs[i].use, color[i]});
+    }
+    const unsigned n_regs = *std::max_element(color.begin(), color.end()) + 1;
+    dp.regs.assign(n_regs, RegInstance{0, UINT32_MAX, 0});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      RegInstance& r = dp.regs[color[i]];
+      r.width = std::max(r.width, runs[i].width);
+      r.first_boundary = std::min(r.first_boundary, runs[i].first_boundary);
+      r.last_boundary = std::max(r.last_boundary, runs[i].last_boundary);
+    }
+  }
+
+  for (const MuxInstance& m : dp.muxes) dp.control_signals += log2_ceil(m.inputs);
+  dp.control_signals += static_cast<unsigned>(dp.regs.size());
+  return dp;
+}
+
+} // namespace hls

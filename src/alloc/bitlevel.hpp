@@ -1,0 +1,19 @@
+#pragma once
+// Bit-level allocation for fragmented schedules — the paper's datapath.
+//
+// Functional units are adders sized to fragment widths. All fragments of one
+// original operation bind to the same adder (the paper's example: one 6-bit
+// adder computes C5..0, C11..6 and C15..12 across the three cycles), adders
+// are shared across operations with disjoint cycle occupancy, and only the
+// result bits that actually cross a cycle boundary are registered — which is
+// how the motivational example ends up storing just C5, E4 and three carry
+// bits instead of whole 16-bit values.
+
+#include "alloc/datapath.hpp"
+#include "sched/fragsched.hpp"
+
+namespace hls {
+
+Datapath allocate_bitlevel(const TransformResult& t, const FragSchedule& fs);
+
+} // namespace hls

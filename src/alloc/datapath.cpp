@@ -1,0 +1,78 @@
+#include "alloc/datapath.hpp"
+
+#include <algorithm>
+
+namespace hls {
+
+FuClass fu_class_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::Add:
+      return FuClass::Adder;
+    case OpKind::Sub:
+    case OpKind::Neg:
+      return FuClass::Subtractor;
+    case OpKind::Mul:
+      return FuClass::Multiplier;
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::Eq:
+    case OpKind::Ne:
+      return FuClass::Comparator;
+    case OpKind::Max:
+    case OpKind::Min:
+      return FuClass::MinMax;
+    default:
+      HLS_ASSERT(false, "no functional unit for structural/glue kinds");
+  }
+}
+
+std::string_view fu_class_name(FuClass c) {
+  switch (c) {
+    case FuClass::Adder: return "adder";
+    case FuClass::Subtractor: return "subtractor";
+    case FuClass::Multiplier: return "multiplier";
+    case FuClass::Comparator: return "comparator";
+    case FuClass::MinMax: return "min/max";
+  }
+  return "?";
+}
+
+unsigned Datapath::total_register_bits() const {
+  unsigned bits = 0;
+  for (const RegInstance& r : regs) bits += r.width;
+  return bits;
+}
+
+unsigned Datapath::fu_count(FuClass c) const {
+  return static_cast<unsigned>(
+      std::count_if(fus.begin(), fus.end(),
+                    [c](const FuInstance& f) { return f.cls == c; }));
+}
+
+std::vector<unsigned> color_intervals(
+    const std::vector<std::vector<std::pair<unsigned, unsigned>>>& busy) {
+  std::vector<unsigned> color(busy.size(), 0);
+  // occupied[k] = intervals already placed on color k.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> occupied;
+  auto conflicts = [](const std::vector<std::pair<unsigned, unsigned>>& xs,
+                      const std::vector<std::pair<unsigned, unsigned>>& ys) {
+    for (const auto& [a1, a2] : xs) {
+      for (const auto& [b1, b2] : ys) {
+        if (a1 <= b2 && b1 <= a2) return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    unsigned k = 0;
+    while (k < occupied.size() && conflicts(occupied[k], busy[i])) ++k;
+    if (k == occupied.size()) occupied.emplace_back();
+    occupied[k].insert(occupied[k].end(), busy[i].begin(), busy[i].end());
+    color[i] = k;
+  }
+  return color;
+}
+
+} // namespace hls

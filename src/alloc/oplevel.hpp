@@ -1,0 +1,21 @@
+#pragma once
+// Classic op-level allocation for conventional and BLC schedules.
+//
+// Functional units are allocated per operation class by first-fit interval
+// coloring over the ops' cycle spans (widest ops first, so shared FUs take
+// the maximum width of their users). Values whose producer and consumers sit
+// in different cycles are registered whole; registers are shared across
+// values with disjoint live spans the same way. Multiplexers are counted per
+// FU input port from the number of distinct operand sources.
+
+#include "alloc/datapath.hpp"
+#include "sched/conventional.hpp"
+
+namespace hls {
+
+/// Allocates a datapath for an op-granular schedule over `spec` (the
+/// original specification for the conventional flow, the kernel form for
+/// BLC).
+Datapath allocate_oplevel(const Dfg& spec, const OpSchedule& s);
+
+} // namespace hls

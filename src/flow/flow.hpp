@@ -1,0 +1,80 @@
+#pragma once
+// End-to-end synthesis flows.
+//
+// Three flows mirror the three implementations the paper compares:
+//   * run_conventional_flow — the original specification through a
+//     conventional scheduler (chaining + multicycle) and classic allocation;
+//     this is "Behavioral Compiler on the original specification".
+//   * run_blc_flow — kernel extraction, then bit-level chaining with atomic
+//     operations (the Fig. 1 d reference point).
+//   * run_optimized_flow — the paper's method: kernel extraction (§3.1),
+//     cycle estimation (§3.2), fragmentation + transformed spec (§3.3),
+//     fragment-aware scheduling, bit-level allocation.
+//
+// All three produce an ImplementationReport with the same cost model so the
+// benches can print the paper's tables.
+
+#include <optional>
+#include <string>
+
+#include "frag/transform.hpp"
+#include "ir/dfg.hpp"
+#include "kernel/extract.hpp"
+#include "rtl/area.hpp"
+#include "sched/fragsched.hpp"
+#include "timing/delay_model.hpp"
+
+namespace hls {
+
+struct ImplementationReport {
+  std::string flow;            ///< "original" | "blc" | "optimized"
+  unsigned latency = 0;
+  unsigned cycle_deltas = 0;   ///< clock length in deltas
+  double cycle_ns = 0;
+  double execution_ns = 0;     ///< latency * cycle_ns
+  AreaBreakdown area;
+  Datapath datapath;
+  std::size_t op_count = 0;    ///< schedulable operations in the spec synthesized
+
+  /// Cycle-length saving of `*this` relative to `base` (paper's "Saved %").
+  double cycle_saving_vs(const ImplementationReport& base) const {
+    return 1.0 - cycle_ns / base.cycle_ns;
+  }
+  /// Area delta of `*this` relative to `base` (positive = increment).
+  double area_delta_vs(const ImplementationReport& base) const {
+    return static_cast<double>(area.total()) / base.area.total() - 1.0;
+  }
+};
+
+enum class FragScheduler { List, ForceDirected };
+
+struct FlowOptions {
+  DelayModel delay;
+  GateModel gates;
+  /// Apply value-range width narrowing (kernel/narrow.hpp) between kernel
+  /// extraction and the transformation. Off by default (paper-faithful).
+  bool narrow = false;
+  /// Fragment scheduler for the optimized flow.
+  FragScheduler scheduler = FragScheduler::List;
+};
+
+ImplementationReport run_conventional_flow(const Dfg& spec, unsigned latency,
+                                           const FlowOptions& opt = {});
+ImplementationReport run_blc_flow(const Dfg& spec, unsigned latency,
+                                  const FlowOptions& opt = {});
+
+/// Full optimized-flow result: the report plus the intermediate artefacts
+/// (kernel, transformed spec, schedule) for inspection and examples.
+struct OptimizedFlowResult {
+  ImplementationReport report;
+  KernelStats kernel_stats;
+  Dfg kernel;
+  TransformResult transform;
+  FragSchedule schedule;
+};
+
+OptimizedFlowResult run_optimized_flow(const Dfg& spec, unsigned latency,
+                                       const FlowOptions& opt = {},
+                                       unsigned n_bits_override = 0);
+
+} // namespace hls

@@ -1,0 +1,72 @@
+#include "flow/json.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const ImplementationReport& r) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"flow\":\"" << json_escape(r.flow) << "\",";
+  os << "\"latency\":" << r.latency << ",";
+  os << "\"cycle_deltas\":" << r.cycle_deltas << ",";
+  os << "\"cycle_ns\":" << strformat("%.4f", r.cycle_ns) << ",";
+  os << "\"execution_ns\":" << strformat("%.4f", r.execution_ns) << ",";
+  os << "\"op_count\":" << r.op_count << ",";
+  os << "\"area\":{";
+  os << "\"fu\":" << r.area.fu_gates << ",";
+  os << "\"registers\":" << r.area.reg_gates << ",";
+  os << "\"muxes\":" << r.area.mux_gates << ",";
+  os << "\"controller\":" << r.area.controller_gates << ",";
+  os << "\"total\":" << r.area.total() << "},";
+  os << "\"datapath\":{";
+  os << "\"fus\":" << r.datapath.fus.size() << ",";
+  os << "\"register_bits\":" << r.datapath.total_register_bits() << ",";
+  os << "\"muxes\":" << r.datapath.muxes.size() << ",";
+  os << "\"control_signals\":" << r.datapath.control_signals << "}";
+  os << "}";
+  return os.str();
+}
+
+std::string to_json(const std::vector<ImplementationReport>& rs) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (i != 0) os << ",";
+    os << to_json(rs[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string to_json(const PipelineReport& p) {
+  std::ostringstream os;
+  os << "{\"latency\":" << p.latency << ",\"min_ii\":" << p.min_ii
+     << ",\"cycle_ns\":" << strformat("%.4f", p.cycle_ns)
+     << ",\"throughput_per_us\":" << strformat("%.4f", p.throughput_per_us())
+     << ",\"speedup\":" << strformat("%.4f", p.speedup()) << "}";
+  return os.str();
+}
+
+} // namespace hls

@@ -1,0 +1,25 @@
+#pragma once
+// Machine-readable (JSON) rendering of flow reports, for scripting around
+// the CLI (`fraghls ... --json`) and for archiving experiment results.
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/pipeline.hpp"
+
+namespace hls {
+
+/// One report as a JSON object (flow, latency, cycle/execution times, area
+/// breakdown, datapath component counts).
+std::string to_json(const ImplementationReport& r);
+
+/// Several reports as a JSON array (the CLI's --json output).
+std::string to_json(const std::vector<ImplementationReport>& rs);
+
+std::string to_json(const PipelineReport& p);
+
+/// Minimal string escaping for JSON string values.
+std::string json_escape(const std::string& s);
+
+} // namespace hls

@@ -1,0 +1,121 @@
+#include "frag/bit_windows.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace {
+
+/// Tightens the required-by slot of producer bits referenced by `op`,
+/// walking transparently through glue and concat. `need[p]` is the latest
+/// slot at which relative bit p of the operand slice must be available.
+void propagate_requirement(const Operand& op,
+                           const std::vector<unsigned>& need,
+                           BitArrivals& alap) {
+  std::vector<unsigned>& dst = alap[op.node.index];
+  for (unsigned p = 0; p < op.bits.width && p < need.size(); ++p) {
+    const unsigned producer_bit = op.bits.lo + p;
+    dst[producer_bit] = std::min(dst[producer_bit], need[p]);
+  }
+}
+
+} // namespace
+
+BitWindows BitWindows::compute(const Dfg& kernel, unsigned latency,
+                               unsigned n_bits) {
+  HLS_REQUIRE(latency > 0, "latency must be positive");
+  HLS_REQUIRE(n_bits > 0, "n_bits must be positive");
+
+  BitWindows w;
+  w.latency_ = latency;
+  w.n_bits_ = n_bits;
+  w.asap_ = bit_arrival_times(kernel);
+
+  const unsigned T = w.horizon();
+  const unsigned critical = max_arrival(w.asap_);
+  if (critical > T) {
+    throw Error(strformat(
+        "time constraint unsatisfiable: critical path %u deltas > "
+        "latency %u x n_bits %u",
+        critical, latency, n_bits));
+  }
+
+  // Backward pass: every bit defaults to the horizon (it must exist by the
+  // end of the schedule even if dead); consumers tighten it.
+  w.alap_.resize(kernel.size());
+  for (std::uint32_t i = 0; i < kernel.size(); ++i) {
+    w.alap_[i].assign(kernel.node(NodeId{i}).width, T);
+  }
+
+  for (std::uint32_t idx = static_cast<std::uint32_t>(kernel.size()); idx-- > 0;) {
+    const Node& n = kernel.node(NodeId{idx});
+    std::vector<unsigned>& self = w.alap_[idx];
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Const:
+        break;
+      case OpKind::Output:
+        // Port values must be ready by the deadline; self is already T.
+        propagate_requirement(n.operands[0], self, w.alap_);
+        break;
+      case OpKind::Add: {
+        // Carry chain: the full adder at bit i+1 consumes bit i's carry one
+        // slot earlier, so the chain tightens from the MSB down. Bits beyond
+        // both operand slices only forward the carry and cost no slot.
+        auto cost = [&n](unsigned bit) { return n.add_bit_is_free(bit) ? 0u : 1u; };
+        for (unsigned i = n.width - 1; i-- > 0;) {
+          self[i] = std::min(self[i], self[i + 1] - cost(i + 1));
+        }
+        // Operand bits must be valid the slot before their adder fires.
+        std::vector<unsigned> need(n.width);
+        for (unsigned i = 0; i < n.width; ++i) need[i] = self[i] - cost(i);
+        propagate_requirement(n.operands[0], need, w.alap_);
+        propagate_requirement(n.operands[1], need, w.alap_);
+        if (n.has_carry_in()) {
+          propagate_requirement(n.operands[2], {need[0]}, w.alap_);
+        }
+        break;
+      }
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+      case OpKind::Not: {
+        // Glue is free: operand bits are needed exactly when the result is.
+        for (const Operand& o : n.operands) {
+          propagate_requirement(o, self, w.alap_);
+        }
+        break;
+      }
+      case OpKind::Concat: {
+        unsigned base = 0;
+        for (const Operand& o : n.operands) {
+          const std::vector<unsigned> need(self.begin() + base,
+                                           self.begin() + base + o.bits.width);
+          propagate_requirement(o, need, w.alap_);
+          base += o.bits.width;
+        }
+        break;
+      }
+      default:
+        throw Error("BitWindows: non-kernel node kind '" +
+                    std::string(op_name(n.kind)) + "'; run extract_kernel first");
+    }
+  }
+
+  // Sanity: the window of every add bit must be non-empty.
+  for (std::uint32_t i = 0; i < kernel.size(); ++i) {
+    const Node& n = kernel.node(NodeId{i});
+    if (n.kind != OpKind::Add) continue;
+    for (unsigned b = 0; b < n.width; ++b) {
+      HLS_ASSERT(w.asap_[i][b] <= w.alap_[i][b],
+                 strformat("empty window for node %u bit %u (asap slot %u > "
+                           "alap slot %u)",
+                           i, b, w.asap_[i][b], w.alap_[i][b]));
+    }
+  }
+  return w;
+}
+
+} // namespace hls

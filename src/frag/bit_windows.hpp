@@ -1,0 +1,59 @@
+#pragma once
+// Bit-level ASAP/ALAP schedules — the analysis half of paper §3.3.
+//
+// Given a kernel-form DFG, a latency (number of cycles) and the per-cycle
+// chained-bit budget n_bits (the §3.2 cycle estimate), this computes for
+// every result bit of every Add:
+//
+//   * its ASAP slot: the earliest delta-slot it can be computed. Slots are
+//     global: slot s belongs to cycle (s-1)/n_bits. Because each cycle holds
+//     exactly n_bits of ripple depth and values crossing a boundary are
+//     registered (available at the next cycle start), the earliest slot
+//     equals the unbounded ripple arrival time.
+//   * its ALAP slot: the latest slot it can be computed so that every
+//     consumer (including its own carry chain) still meets the deadline
+//     T = latency * n_bits.
+//
+// The cycle projections of these slots are what the fragmentation pairing
+// consumes; a bit whose ASAP and ALAP cycles coincide is pre-scheduled.
+
+#include "ir/dfg.hpp"
+#include "timing/arrival.hpp"
+
+namespace hls {
+
+class BitWindows {
+public:
+  /// Throws hls::Error when the critical path exceeds latency * n_bits
+  /// (the time constraint is unsatisfiable even with fragmentation).
+  static BitWindows compute(const Dfg& kernel, unsigned latency, unsigned n_bits);
+
+  unsigned latency() const { return latency_; }
+  unsigned n_bits() const { return n_bits_; }
+  /// Deadline slot: latency * n_bits.
+  unsigned horizon() const { return latency_ * n_bits_; }
+
+  /// Earliest slot bit `bit` of node `id` can be computed (1-based).
+  unsigned asap_slot(NodeId id, unsigned bit) const { return asap_[id.index][bit]; }
+  /// Latest slot bit `bit` of node `id` may be computed.
+  unsigned alap_slot(NodeId id, unsigned bit) const { return alap_[id.index][bit]; }
+
+  /// 0-based cycle of a slot; slot 0 (inputs) maps to cycle 0.
+  unsigned cycle_of(unsigned slot) const {
+    return slot == 0 ? 0 : (slot - 1) / n_bits_;
+  }
+  unsigned asap_cycle(NodeId id, unsigned bit) const {
+    return cycle_of(asap_slot(id, bit));
+  }
+  unsigned alap_cycle(NodeId id, unsigned bit) const {
+    return cycle_of(alap_slot(id, bit));
+  }
+
+private:
+  unsigned latency_ = 0;
+  unsigned n_bits_ = 0;
+  BitArrivals asap_;
+  BitArrivals alap_;
+};
+
+} // namespace hls

@@ -1,0 +1,104 @@
+#include "frag/fragment.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+std::vector<unsigned> bits_per_cycle_hist(const Dfg& kernel, const BitWindows& w,
+                                          NodeId id, bool use_alap) {
+  const Node& n = kernel.node(id);
+  std::vector<unsigned> hist(w.latency(), 0);
+  for (unsigned b = 0; b < n.width; ++b) {
+    const unsigned c = use_alap ? w.alap_cycle(id, b) : w.asap_cycle(id, b);
+    HLS_ASSERT(c < w.latency(), "bit scheduled past the latency horizon");
+    hist[c]++;
+  }
+  return hist;
+}
+
+std::vector<Fragment> pair_fragments(NodeId op, unsigned width,
+                                     const std::vector<unsigned>& asap_hist,
+                                     const std::vector<unsigned>& alap_hist) {
+  HLS_REQUIRE(asap_hist.size() == alap_hist.size(),
+              "histograms must cover the same latency");
+  HLS_REQUIRE(std::accumulate(asap_hist.begin(), asap_hist.end(), 0u) == width &&
+                  std::accumulate(alap_hist.begin(), alap_hist.end(), 0u) == width,
+              "histograms must cover every operation bit");
+
+  // Paper §3.3, second loop: consume min(sched_ASAP[i], sched_ALAP[j]) bits
+  // at a time; each (i, j) pair becomes one fragment of that size with
+  // mobility ASAP = i, ALAP = j.
+  std::vector<unsigned> sched_asap = asap_hist;
+  std::vector<unsigned> sched_alap = alap_hist;
+  std::vector<Fragment> out;
+  unsigned consumed = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (consumed < width) {
+    while (sched_asap[i] == 0) ++i;
+    while (sched_alap[j] == 0) ++j;
+    const unsigned m = std::min(sched_asap[i], sched_alap[j]);
+    sched_asap[i] -= m;
+    sched_alap[j] -= m;
+    out.push_back(Fragment{op, BitRange{consumed, m},
+                           static_cast<unsigned>(i), static_cast<unsigned>(j)});
+    consumed += m;
+  }
+
+  // Invariants from the construction: fragments tile [0, width) LSB-first,
+  // and every fragment's window is non-empty (ASAP bits of a run can never
+  // sit later than its ALAP bits).
+  for (const Fragment& f : out) {
+    HLS_ASSERT(f.asap <= f.alap, "fragment with inverted mobility window");
+  }
+  return out;
+}
+
+std::string format_bit_schedule(const Dfg& kernel, const BitWindows& w,
+                                bool use_alap) {
+  std::ostringstream os;
+  os << (use_alap ? "ALAP" : "ASAP") << " bit schedule:\n";
+  for (unsigned c = 0; c < w.latency(); ++c) {
+    os << "  cycle " << (c + 1) << ":";
+    for (std::uint32_t idx = 0; idx < kernel.size(); ++idx) {
+      const NodeId id{idx};
+      const Node& n = kernel.node(id);
+      if (n.kind != OpKind::Add) continue;
+      // Bits of this op scheduled in cycle c form a contiguous run (cycles
+      // are monotone along the carry chain).
+      unsigned lo = n.width, hi = 0;
+      for (unsigned b = 0; b < n.width; ++b) {
+        const unsigned bc = use_alap ? w.alap_cycle(id, b) : w.asap_cycle(id, b);
+        if (bc == c) {
+          lo = std::min(lo, b);
+          hi = std::max(hi, b + 1);
+        }
+      }
+      if (hi <= lo) continue;
+      const std::string label =
+          n.name.empty() ? "%" + std::to_string(idx) : n.name;
+      os << ' ' << label << to_string(BitRange{lo, hi - lo});
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<Fragment> fragment_operations(const Dfg& kernel, const BitWindows& w) {
+  std::vector<Fragment> out;
+  for (std::uint32_t idx = 0; idx < kernel.size(); ++idx) {
+    const NodeId id{idx};
+    if (kernel.node(id).kind != OpKind::Add) continue;
+    const std::vector<unsigned> asap_hist = bits_per_cycle_hist(kernel, w, id, false);
+    const std::vector<unsigned> alap_hist = bits_per_cycle_hist(kernel, w, id, true);
+    const std::vector<Fragment> frags =
+        pair_fragments(id, kernel.node(id).width, asap_hist, alap_hist);
+    out.insert(out.end(), frags.begin(), frags.end());
+  }
+  return out;
+}
+
+} // namespace hls

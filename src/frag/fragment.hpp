@@ -1,0 +1,52 @@
+#pragma once
+// Fragmentation of operations — the pairing half of paper §3.3.
+//
+// For each Add, the bits whose ASAP and ALAP cycles coincide are
+// pre-scheduled; the rest keep their mobility. The number of fragments
+// equals the number of distinct (ASAP cycle, ALAP cycle) pairs found while
+// sweeping the operation's bits LSB to MSB, and each fragment's width is the
+// number of bits sharing that pair — the verbatim min-pairing loop of the
+// paper's pseudocode, run on per-cycle bit histograms.
+
+#include <vector>
+
+#include "frag/bit_windows.hpp"
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+struct Fragment {
+  NodeId op;       ///< Add node in the kernel DFG this fragment belongs to
+  BitRange bits;   ///< result bits covered (contiguous, LSB-first per op)
+  unsigned asap = 0;  ///< earliest cycle (0-based)
+  unsigned alap = 0;  ///< latest cycle (0-based)
+
+  bool scheduled() const { return asap == alap; }  ///< mobility of one cycle
+  friend bool operator==(const Fragment&, const Fragment&) = default;
+};
+
+/// Runs the paper's fragmentation algorithm on one operation. `asap_hist`
+/// and `alap_hist` give, per cycle, the maximum number of the operation's
+/// bits schedulable in that cycle under the ASAP/ALAP bit schedules; both
+/// must sum to the operation's width.
+std::vector<Fragment> pair_fragments(NodeId op, unsigned width,
+                                     const std::vector<unsigned>& asap_hist,
+                                     const std::vector<unsigned>& alap_hist);
+
+/// Fragments every Add of a kernel-form DFG under the given bit windows.
+/// Fragments of one operation are emitted LSB-first; operations that need no
+/// splitting yield exactly one fragment covering all bits.
+std::vector<Fragment> fragment_operations(const Dfg& kernel, const BitWindows& w);
+
+/// Bits-per-cycle histogram of one node under the ASAP (or ALAP) bit
+/// schedule; exposed for tests and the schedule printers.
+std::vector<unsigned> bits_per_cycle_hist(const Dfg& kernel, const BitWindows& w,
+                                          NodeId id, bool use_alap);
+
+/// Renders the per-cycle ASAP or ALAP bit schedule of every Add, in the
+/// style of the paper's Fig. 3 c)-e):
+///   cycle 1: A(2 downto 0) B(2 downto 0) ...
+std::string format_bit_schedule(const Dfg& kernel, const BitWindows& w,
+                                bool use_alap);
+
+} // namespace hls

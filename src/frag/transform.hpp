@@ -1,0 +1,53 @@
+#pragma once
+// Behavioural transformation — materializing the optimized specification.
+//
+// Combines the pieces of §3: estimates the cycle budget from the §3.2
+// critical path, computes bit windows, fragments every Add, and rebuilds the
+// specification so that each fragment is an independent Add node:
+//
+//   * fragment j of C = A + B covers result bits [lo, hi) and computes
+//     slice(A) + slice(B) (+ carry from fragment j-1) at width hi-lo+1, so
+//     its carry-out is an ordinary result bit the next fragment consumes —
+//     exactly the shape of the paper's Fig. 2 a) VHDL;
+//   * consumers of the original operation read a Concat of the fragment
+//     slices, so data bits are usable the cycle they are produced;
+//   * every new Add carries its mobility window (ASAP/ALAP cycle) for the
+//     downstream conventional scheduler.
+//
+// The transformation is semantics-preserving (property-tested against the
+// evaluator) and yields a kernel-form specification.
+
+#include <vector>
+
+#include "frag/fragment.hpp"
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+/// One Add of the transformed specification, with provenance and mobility.
+struct TransformedAdd {
+  NodeId node;        ///< Add node id in TransformResult::spec
+  NodeId orig;        ///< originating Add in the kernel DFG
+  BitRange bits;      ///< result bits of the original operation covered
+  unsigned asap = 0;  ///< earliest cycle (0-based)
+  unsigned alap = 0;  ///< latest cycle (0-based)
+};
+
+struct TransformResult {
+  Dfg spec;                  ///< transformed, kernel-form specification
+  unsigned latency = 0;      ///< cycles the schedule must fit in
+  unsigned n_bits = 0;       ///< per-cycle chained-bit budget (§3.2 estimate)
+  unsigned critical_time = 0;///< §3.2 critical path of the input, in deltas
+  std::vector<TransformedAdd> adds;  ///< every Add of `spec`, LSB-first per op
+
+  /// Number of Adds that were actually split (>= 2 fragments).
+  unsigned fragmented_op_count = 0;
+};
+
+/// Transforms a kernel-form specification for the given latency. The cycle
+/// budget defaults to the §3.2 estimate ceil(critical_path / latency); pass
+/// `n_bits_override` to explore other budgets (used by the ablation bench).
+TransformResult transform_spec(const Dfg& kernel, unsigned latency,
+                               unsigned n_bits_override = 0);
+
+} // namespace hls

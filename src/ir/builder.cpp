@@ -1,0 +1,142 @@
+#include "ir/builder.hpp"
+
+#include <algorithm>
+
+namespace hls {
+
+Val Val::slice(unsigned msb, unsigned lsb) const {
+  HLS_REQUIRE(builder_ != nullptr, "slice of a default-constructed Val");
+  HLS_REQUIRE(lsb <= msb && msb < op_.bits.width, "slice out of range");
+  // Re-base onto the producer: bit 0 of this Val is op_.bits.lo of the node.
+  const BitRange r{op_.bits.lo + lsb, msb - lsb + 1};
+  return Val(builder_, Operand{op_.node, r});
+}
+
+namespace {
+/// Signedness inference for infix operators: an expression is signed when
+/// either producer node is signed (matches how the suites model two's-
+/// complement specifications).
+bool inferred_signed(const SpecBuilder* b, const Val& x, const Val& y) {
+  const Dfg& d = b->dfg();
+  return d.node(x.node()).is_signed || d.node(y.node()).is_signed;
+}
+} // namespace
+
+Val SpecBuilder::wrap(NodeId id) { return Val(this, dfg_.whole(id)); }
+
+Val SpecBuilder::binop(OpKind k, const Val& a, const Val& b, unsigned width,
+                       bool sgn) {
+  HLS_REQUIRE(a.builder_ == this && b.builder_ == this,
+              "values from a different builder");
+  return wrap(dfg_.add_op(k, width, a.operand(), b.operand(), sgn));
+}
+
+Val SpecBuilder::in(std::string name, unsigned width) {
+  return wrap(dfg_.add_input(std::move(name), width));
+}
+
+Val SpecBuilder::signed_in(std::string name, unsigned width) {
+  // The flag on an input has no semantics of its own; it only seeds the
+  // signedness inference performed by the infix operators.
+  return wrap(dfg_.add_input(std::move(name), width, /*is_signed=*/true));
+}
+
+Val SpecBuilder::cst(std::uint64_t value, unsigned width) {
+  return wrap(dfg_.add_const(value, width));
+}
+
+Val SpecBuilder::named(const Val& v, std::string name) {
+  HLS_REQUIRE(v.builder_ == this, "value from a different builder");
+  dfg_.rename_node(v.node(), std::move(name));
+  return v;
+}
+
+void SpecBuilder::out(std::string name, const Val& v) {
+  HLS_REQUIRE(v.builder_ == this, "value from a different builder");
+  dfg_.add_output(std::move(name), v.operand());
+}
+
+Val SpecBuilder::add(const Val& a, const Val& b, unsigned width) {
+  return binop(OpKind::Add, a, b, width, false);
+}
+
+Val SpecBuilder::add_cin(const Val& a, const Val& b, const Val& cin,
+                         unsigned width) {
+  HLS_REQUIRE(a.builder_ == this && b.builder_ == this && cin.builder_ == this,
+              "values from a different builder");
+  return wrap(dfg_.add_add_cin(width, a.operand(), b.operand(), cin.operand()));
+}
+
+Val SpecBuilder::sub(const Val& a, const Val& b, unsigned width, bool is_signed) {
+  return binop(OpKind::Sub, a, b, width, is_signed);
+}
+
+Val SpecBuilder::mul(const Val& a, const Val& b, unsigned width, bool is_signed) {
+  return binop(OpKind::Mul, a, b, width, is_signed);
+}
+
+Val SpecBuilder::max(const Val& a, const Val& b, bool is_signed) {
+  return binop(OpKind::Max, a, b, std::max(a.width(), b.width()), is_signed);
+}
+
+Val SpecBuilder::min(const Val& a, const Val& b, bool is_signed) {
+  return binop(OpKind::Min, a, b, std::max(a.width(), b.width()), is_signed);
+}
+
+Val SpecBuilder::neg(const Val& a) {
+  HLS_REQUIRE(a.builder_ == this, "value from a different builder");
+  return wrap(dfg_.add_op(OpKind::Neg, a.width(), a.operand(), /*is_signed=*/true));
+}
+
+Val SpecBuilder::cmp(OpKind kind, const Val& a, const Val& b, bool is_signed) {
+  HLS_REQUIRE(is_comparison(kind), "cmp requires a comparison kind");
+  return binop(kind, a, b, 1, is_signed);
+}
+
+Val SpecBuilder::concat_lsb_first(const std::vector<Val>& parts) {
+  std::vector<Operand> ops;
+  ops.reserve(parts.size());
+  for (const Val& p : parts) {
+    HLS_REQUIRE(p.builder_ == this, "value from a different builder");
+    ops.push_back(p.operand());
+  }
+  return wrap(dfg_.add_concat(std::move(ops)));
+}
+
+Val SpecBuilder::zext(const Val& a, unsigned width) {
+  HLS_REQUIRE(a.builder_ == this, "value from a different builder");
+  HLS_REQUIRE(width >= a.width(), "zext target narrower than value");
+  if (width == a.width()) return a;
+  return concat_lsb_first({a, cst(0, width - a.width())});
+}
+
+#define HLS_DEFINE_INFIX(op, kind, width_expr)                          \
+  Val operator op(const Val& a, const Val& b) {                         \
+    HLS_REQUIRE(a.builder_ != nullptr && a.builder_ == b.builder_,      \
+                "values from different builders");                      \
+    SpecBuilder* sb = a.builder_;                                       \
+    return sb->binop(OpKind::kind, a, b, (width_expr),                  \
+                     inferred_signed(sb, a, b));                        \
+  }
+
+HLS_DEFINE_INFIX(+, Add, std::max(a.width(), b.width()))
+HLS_DEFINE_INFIX(-, Sub, std::max(a.width(), b.width()))
+HLS_DEFINE_INFIX(*, Mul, a.width() + b.width())
+HLS_DEFINE_INFIX(&, And, std::max(a.width(), b.width()))
+HLS_DEFINE_INFIX(|, Or, std::max(a.width(), b.width()))
+HLS_DEFINE_INFIX(^, Xor, std::max(a.width(), b.width()))
+HLS_DEFINE_INFIX(<, Lt, 1u)
+HLS_DEFINE_INFIX(<=, Le, 1u)
+HLS_DEFINE_INFIX(>, Gt, 1u)
+HLS_DEFINE_INFIX(>=, Ge, 1u)
+HLS_DEFINE_INFIX(==, Eq, 1u)
+HLS_DEFINE_INFIX(!=, Ne, 1u)
+#undef HLS_DEFINE_INFIX
+
+Val operator~(const Val& a) {
+  HLS_REQUIRE(a.builder_ != nullptr, "value from a default-constructed Val");
+  SpecBuilder* sb = a.builder_;
+  return sb->wrap(sb->dfg_.add_op(OpKind::Not, a.width(), a.operand()));
+}
+
+} // namespace hls

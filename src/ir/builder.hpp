@@ -1,0 +1,119 @@
+#pragma once
+// SpecBuilder: expression-style front end for constructing behavioural
+// specifications programmatically. This is the API the examples and the
+// benchmark suites use; the DSL parser lowers onto it as well.
+//
+//   SpecBuilder b("example");
+//   auto A = b.in("A", 16), B = b.in("B", 16), D = b.in("D", 16);
+//   auto C = A + B;            // truncating add, VHDL-style width
+//   b.out("G", C + D);
+//   Dfg dfg = std::move(b).take();
+
+#include <string>
+#include <utility>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+class SpecBuilder;
+
+/// A value handle: an operand (node + slice) bound to its builder. Operator
+/// overloads append nodes to the underlying Dfg.
+class Val {
+public:
+  Val() = default;
+
+  Operand operand() const { return op_; }
+  unsigned width() const { return op_.bits.width; }
+  NodeId node() const { return op_.node; }
+
+  /// VHDL-style "(msb downto lsb)" slice of this value (relative to its
+  /// current slice, i.e. bit 0 is this value's LSB).
+  Val slice(unsigned msb, unsigned lsb) const;
+  Val bit(unsigned b) const { return slice(b, b); }
+
+  // Truncating arithmetic, result width = max of operand widths.
+  friend Val operator+(const Val& a, const Val& b);
+  friend Val operator-(const Val& a, const Val& b);
+  /// Full-product multiplication, result width = wa + wb.
+  friend Val operator*(const Val& a, const Val& b);
+
+  friend Val operator&(const Val& a, const Val& b);
+  friend Val operator|(const Val& a, const Val& b);
+  friend Val operator^(const Val& a, const Val& b);
+  friend Val operator~(const Val& a);
+
+  friend Val operator<(const Val& a, const Val& b);
+  friend Val operator<=(const Val& a, const Val& b);
+  friend Val operator>(const Val& a, const Val& b);
+  friend Val operator>=(const Val& a, const Val& b);
+  friend Val operator==(const Val& a, const Val& b);
+  friend Val operator!=(const Val& a, const Val& b);
+
+private:
+  friend class SpecBuilder;
+  Val(SpecBuilder* b, Operand op) : builder_(b), op_(op) {}
+
+  SpecBuilder* builder_ = nullptr;
+  Operand op_;
+};
+
+class SpecBuilder {
+public:
+  explicit SpecBuilder(std::string name) : dfg_(std::move(name)) {}
+
+  /// Declares a primary input port.
+  Val in(std::string name, unsigned width);
+  /// Materialises a literal constant.
+  Val cst(std::uint64_t value, unsigned width);
+  /// Declares a primary output port driven by `v`.
+  void out(std::string name, const Val& v);
+
+  // Explicit-width / explicit-signedness forms ------------------------------
+  Val add(const Val& a, const Val& b, unsigned width);
+  Val add_cin(const Val& a, const Val& b, const Val& cin, unsigned width);
+  Val sub(const Val& a, const Val& b, unsigned width, bool is_signed = false);
+  Val mul(const Val& a, const Val& b, unsigned width, bool is_signed = false);
+  Val max(const Val& a, const Val& b, bool is_signed = false);
+  Val min(const Val& a, const Val& b, bool is_signed = false);
+  Val neg(const Val& a);  ///< two's-complement negation (signed)
+  Val cmp(OpKind kind, const Val& a, const Val& b, bool is_signed = false);
+  Val concat_lsb_first(const std::vector<Val>& parts);
+  /// Zero-extends `a` to `width` ("0" & a in the paper's VHDL).
+  Val zext(const Val& a, unsigned width);
+
+  /// Marks the last created value as signed (for signed ins via builder).
+  Val signed_in(std::string name, unsigned width);
+
+  /// Labels the node producing `v` (for dumps, schedules and emitted VHDL;
+  /// names never affect semantics). Returns `v` for chaining.
+  Val named(const Val& v, std::string name);
+
+  const Dfg& dfg() const { return dfg_; }
+  /// Finalises the specification; the builder must not be used afterwards.
+  Dfg take() && { return std::move(dfg_); }
+
+private:
+  friend class Val;
+  friend Val operator+(const Val&, const Val&);
+  friend Val operator-(const Val&, const Val&);
+  friend Val operator*(const Val&, const Val&);
+  friend Val operator&(const Val&, const Val&);
+  friend Val operator|(const Val&, const Val&);
+  friend Val operator^(const Val&, const Val&);
+  friend Val operator~(const Val&);
+  friend Val operator<(const Val&, const Val&);
+  friend Val operator<=(const Val&, const Val&);
+  friend Val operator>(const Val&, const Val&);
+  friend Val operator>=(const Val&, const Val&);
+  friend Val operator==(const Val&, const Val&);
+  friend Val operator!=(const Val&, const Val&);
+
+  Val wrap(NodeId id);
+  Val binop(OpKind k, const Val& a, const Val& b, unsigned width, bool sgn);
+
+  Dfg dfg_;
+};
+
+} // namespace hls

@@ -1,0 +1,73 @@
+#include "ir/dot.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace {
+
+const char* fill_of(OpKind k) {
+  if (k == OpKind::Add) return "palegreen";
+  if (is_additive(k)) return "lightblue";
+  if (is_glue(k)) return "gray90";
+  if (k == OpKind::Concat) return "gray95";
+  if (k == OpKind::Const) return "lightyellow";
+  return "white";  // ports
+}
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+} // namespace
+
+std::string emit_dot(const Dfg& dfg) {
+  std::ostringstream os;
+  os << "digraph \"" << escaped(dfg.name()) << "\" {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"monospace\", fontsize=10];\n";
+  for (std::uint32_t i = 0; i < dfg.size(); ++i) {
+    const Node& n = dfg.node(NodeId{i});
+    const bool port = n.kind == OpKind::Input || n.kind == OpKind::Output;
+    std::string label = n.name.empty() ? std::string(op_name(n.kind)) : n.name;
+    if (n.kind == OpKind::Const) {
+      label = strformat("%llu", static_cast<unsigned long long>(n.value));
+    } else if (!port) {
+      label += strformat("\\n%s:%u", std::string(op_name(n.kind)).c_str(), n.width);
+    } else {
+      label += strformat(":%u", n.width);
+    }
+    os << "  n" << i << " [label=\"" << escaped(label) << "\", shape="
+       << (port ? "box" : "ellipse") << ", style=filled, fillcolor=\""
+       << fill_of(n.kind) << "\"];\n";
+  }
+  for (std::uint32_t i = 0; i < dfg.size(); ++i) {
+    const Node& n = dfg.node(NodeId{i});
+    for (std::size_t p = 0; p < n.operands.size(); ++p) {
+      const Operand& o = n.operands[p];
+      const Node& src = dfg.node(o.node);
+      os << "  n" << o.node.index << " -> n" << i;
+      std::vector<std::string> attrs;
+      // Label partial slices; whole-value edges stay clean.
+      if (!(o.bits.lo == 0 && o.bits.width == src.width)) {
+        attrs.push_back("label=\"" + escaped(to_string(o.bits)) + "\"");
+      }
+      if (n.kind == OpKind::Add && p == 2) {
+        attrs.push_back("style=dashed");  // carry-in edges
+        attrs.push_back("color=red");
+      }
+      if (!attrs.empty()) os << " [" << join(attrs, ", ") << "]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+} // namespace hls

@@ -1,0 +1,18 @@
+#pragma once
+// Graphviz (dot) rendering of a specification's DFG.
+//
+// Operations are ellipses (adds green, pre-kernel additive ops blue), glue
+// is gray, ports are boxes; edges carry their bit-slice labels. Useful for
+// inspecting kernel extraction and fragmentation results:
+//
+//   fraghls spec.hls --latency 3 --emit-dot | dot -Tsvg > dfg.svg
+
+#include <string>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+std::string emit_dot(const Dfg& dfg);
+
+} // namespace hls

@@ -1,0 +1,134 @@
+#include "ir/eval.hpp"
+
+namespace hls {
+
+std::uint64_t truncate(std::uint64_t v, unsigned width) {
+  HLS_ASSERT(width >= 1 && width <= 64, "truncate width out of range");
+  if (width == 64) return v;
+  return v & ((std::uint64_t{1} << width) - 1);
+}
+
+std::uint64_t extract_bits(std::uint64_t producer_value, const BitRange& bits) {
+  HLS_ASSERT(bits.hi() <= 64, "bit extraction out of range");
+  return truncate(producer_value >> bits.lo, bits.width);
+}
+
+std::int64_t sign_extend(std::uint64_t v, unsigned width) {
+  HLS_ASSERT(width >= 1 && width <= 64, "sign_extend width out of range");
+  if (width == 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  const std::uint64_t masked = truncate(v, width);
+  return static_cast<std::int64_t>((masked ^ sign) - sign);
+}
+
+namespace {
+
+std::uint64_t eval_node(const Node& n, const std::vector<std::uint64_t>& values,
+                        const InputValues& inputs) {
+  // Operand values, right-aligned and zero-extended.
+  auto opval = [&](std::size_t i) {
+    const Operand& o = n.operands[i];
+    return extract_bits(values[o.node.index], o.bits);
+  };
+  // Signed interpretation of an operand at its slice width.
+  auto sopval = [&](std::size_t i) {
+    return sign_extend(opval(i), n.operands[i].bits.width);
+  };
+
+  switch (n.kind) {
+    case OpKind::Input: {
+      auto it = inputs.find(n.name);
+      if (it == inputs.end()) {
+        throw Error("no value supplied for input port '" + n.name + "'");
+      }
+      return truncate(it->second, n.width);
+    }
+    case OpKind::Const:
+      return truncate(n.value, n.width);
+    case OpKind::Output:
+      return opval(0);
+    case OpKind::Add: {
+      const std::uint64_t cin = n.has_carry_in() ? opval(2) : 0;
+      return truncate(opval(0) + opval(1) + cin, n.width);
+    }
+    case OpKind::Sub:
+      return truncate(opval(0) - opval(1), n.width);
+    case OpKind::Mul: {
+      // Full products need the operands extended to the result width; use
+      // 128-bit intermediates so no width <= 64 can overflow.
+      if (n.is_signed) {
+        const __int128 p = static_cast<__int128>(sopval(0)) * sopval(1);
+        return truncate(static_cast<std::uint64_t>(p), n.width);
+      }
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(opval(0)) * opval(1);
+      return truncate(static_cast<std::uint64_t>(p), n.width);
+    }
+    case OpKind::Lt:
+      return n.is_signed ? (sopval(0) < sopval(1)) : (opval(0) < opval(1));
+    case OpKind::Le:
+      return n.is_signed ? (sopval(0) <= sopval(1)) : (opval(0) <= opval(1));
+    case OpKind::Gt:
+      return n.is_signed ? (sopval(0) > sopval(1)) : (opval(0) > opval(1));
+    case OpKind::Ge:
+      return n.is_signed ? (sopval(0) >= sopval(1)) : (opval(0) >= opval(1));
+    case OpKind::Eq:
+      return opval(0) == opval(1);
+    case OpKind::Ne:
+      return opval(0) != opval(1);
+    case OpKind::Max:
+      if (n.is_signed) {
+        return truncate(static_cast<std::uint64_t>(
+                            sopval(0) > sopval(1) ? sopval(0) : sopval(1)),
+                        n.width);
+      }
+      return truncate(opval(0) > opval(1) ? opval(0) : opval(1), n.width);
+    case OpKind::Min:
+      if (n.is_signed) {
+        return truncate(static_cast<std::uint64_t>(
+                            sopval(0) < sopval(1) ? sopval(0) : sopval(1)),
+                        n.width);
+      }
+      return truncate(opval(0) < opval(1) ? opval(0) : opval(1), n.width);
+    case OpKind::Neg:
+      return truncate(std::uint64_t{0} - opval(0), n.width);
+    case OpKind::And:
+      return opval(0) & opval(1);
+    case OpKind::Or:
+      return opval(0) | opval(1);
+    case OpKind::Xor:
+      return opval(0) ^ opval(1);
+    case OpKind::Not:
+      return truncate(~opval(0), n.width);
+    case OpKind::Concat: {
+      std::uint64_t acc = 0;
+      unsigned shift = 0;
+      for (std::size_t i = 0; i < n.operands.size(); ++i) {
+        acc |= opval(i) << shift;
+        shift += n.operands[i].bits.width;
+      }
+      return truncate(acc, n.width);
+    }
+  }
+  HLS_ASSERT(false, "unknown OpKind in evaluator");
+}
+
+} // namespace
+
+std::vector<std::uint64_t> evaluate_nodes(const Dfg& dfg,
+                                          const InputValues& inputs) {
+  std::vector<std::uint64_t> values(dfg.size(), 0);
+  for (std::uint32_t i = 0; i < dfg.size(); ++i) {
+    values[i] = eval_node(dfg.node(NodeId{i}), values, inputs);
+  }
+  return values;
+}
+
+OutputValues evaluate(const Dfg& dfg, const InputValues& inputs) {
+  const std::vector<std::uint64_t> values = evaluate_nodes(dfg, inputs);
+  OutputValues out;
+  for (NodeId id : dfg.outputs()) out[dfg.node(id).name] = values[id.index];
+  return out;
+}
+
+} // namespace hls

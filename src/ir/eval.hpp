@@ -1,0 +1,40 @@
+#pragma once
+// Functional evaluator for behavioural specifications.
+//
+// The transformation pipeline must be semantics-preserving: for any input
+// assignment, the kernel-extracted and fragmented specifications must produce
+// the same output values as the original. The evaluator is the oracle the
+// property tests use to check that.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+/// Input port name -> value (truncated to the port width).
+using InputValues = std::map<std::string, std::uint64_t>;
+/// Output port name -> value.
+using OutputValues = std::map<std::string, std::uint64_t>;
+
+/// Computes the result value of every node, indexed by NodeId::index.
+/// Throws hls::Error if an input port has no value in `inputs`.
+std::vector<std::uint64_t> evaluate_nodes(const Dfg& dfg, const InputValues& inputs);
+
+/// Evaluates the specification and returns its output port values.
+OutputValues evaluate(const Dfg& dfg, const InputValues& inputs);
+
+/// Extracts operand bits from a producer value: bits [lo, lo+width) of
+/// `producer_value`, returned right-aligned (zero-extended).
+std::uint64_t extract_bits(std::uint64_t producer_value, const BitRange& bits);
+
+/// Sign-extends the low `width` bits of `v` to a signed 64-bit integer.
+std::int64_t sign_extend(std::uint64_t v, unsigned width);
+
+/// Truncates `v` to the low `width` bits.
+std::uint64_t truncate(std::uint64_t v, unsigned width);
+
+} // namespace hls

@@ -1,0 +1,108 @@
+#include "ir/op.hpp"
+
+#include "support/error.hpp"
+
+namespace hls {
+
+std::string_view op_name(OpKind k) {
+  switch (k) {
+    case OpKind::Input: return "input";
+    case OpKind::Const: return "const";
+    case OpKind::Output: return "output";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Lt: return "lt";
+    case OpKind::Le: return "le";
+    case OpKind::Gt: return "gt";
+    case OpKind::Ge: return "ge";
+    case OpKind::Eq: return "eq";
+    case OpKind::Ne: return "ne";
+    case OpKind::Max: return "max";
+    case OpKind::Min: return "min";
+    case OpKind::Neg: return "neg";
+    case OpKind::And: return "and";
+    case OpKind::Or: return "or";
+    case OpKind::Xor: return "xor";
+    case OpKind::Not: return "not";
+    case OpKind::Concat: return "concat";
+  }
+  HLS_ASSERT(false, "unknown OpKind");
+}
+
+bool is_additive(OpKind k) {
+  switch (k) {
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::Eq:
+    case OpKind::Ne:
+    case OpKind::Max:
+    case OpKind::Min:
+    case OpKind::Neg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_glue(OpKind k) {
+  switch (k) {
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_structural(OpKind k) {
+  switch (k) {
+    case OpKind::Input:
+    case OpKind::Const:
+    case OpKind::Output:
+    case OpKind::Concat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_comparison(OpKind k) {
+  switch (k) {
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::Eq:
+    case OpKind::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int op_arity(OpKind k) {
+  switch (k) {
+    case OpKind::Input:
+    case OpKind::Const:
+      return 0;
+    case OpKind::Output:
+    case OpKind::Not:
+    case OpKind::Neg:
+      return 1;
+    case OpKind::Add:
+    case OpKind::Concat:
+      return -1;
+    default:
+      return 2;
+  }
+}
+
+} // namespace hls

@@ -1,0 +1,59 @@
+#pragma once
+// Operation kinds of the behavioural IR and their static traits.
+//
+// Before kernel extraction (paper §3.1) a specification may contain any of
+// these kinds, signed or unsigned. After extraction only Add plus glue logic
+// (And/Or/Xor/Not/Concat) and structural kinds remain — that is the
+// "operative kernel" the rest of the flow works on.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hls {
+
+enum class OpKind : std::uint8_t {
+  // structural
+  Input,   ///< primary input; no operands
+  Const,   ///< literal constant; no operands
+  Output,  ///< primary output sink; one operand, passthrough
+
+  // additive kernel
+  Add,     ///< operands: a, b [, carry-in (1 bit)]; result truncated to width
+
+  // additive operations rewritten by kernel extraction
+  Sub,     ///< a - b
+  Mul,     ///< a * b (full or truncated product, given by node width)
+  Lt, Le, Gt, Ge, Eq, Ne,  ///< comparisons; 1-bit result
+  Max, Min,
+  Neg,     ///< two's-complement negation
+
+  // glue logic: zero additive delay in the paper's timing model
+  And, Or, Xor, Not,
+  Concat,  ///< bit concatenation; operands listed LSB-first
+};
+
+/// Number of OpKind enumerators (for tables indexed by kind).
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::Concat) + 1;
+
+/// Mnemonic used in dumps and the spec DSL ("add", "mul", "concat", ...).
+std::string_view op_name(OpKind k);
+
+/// True for operations whose kernel is one or more additions (paper §3.1):
+/// Add itself plus everything `extract_kernel` rewrites into additions.
+bool is_additive(OpKind k);
+
+/// True for bitwise glue logic, which contributes no chained-addition delay
+/// in the paper's §3.2 timing model.
+bool is_glue(OpKind k);
+
+/// True for Input/Const/Output/Concat — structure, not computation.
+bool is_structural(OpKind k);
+
+/// True for comparison kinds (1-bit result).
+bool is_comparison(OpKind k);
+
+/// Expected operand count; Add returns -1 (2 or 3, optional carry-in),
+/// Concat returns -1 (variadic, >= 1).
+int op_arity(OpKind k);
+
+} // namespace hls

@@ -1,0 +1,68 @@
+#include "ir/print.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+std::string to_string(const Dfg& dfg, NodeId id) {
+  const Node& n = dfg.node(id);
+  std::ostringstream os;
+  os << '%' << id.index << " = " << op_name(n.kind) << ':' << n.width;
+  if (n.is_signed) os << 's';
+  if (n.kind == OpKind::Const) {
+    os << " #" << n.value;
+  }
+  for (std::size_t i = 0; i < n.operands.size(); ++i) {
+    const Operand& o = n.operands[i];
+    os << (i == 0 ? " " : ", ") << '%' << o.node.index << to_string(o.bits);
+  }
+  if (!n.name.empty()) os << "    ; \"" << n.name << '"';
+  return os.str();
+}
+
+std::string to_string(const Dfg& dfg) {
+  std::ostringstream os;
+  os << "dfg \"" << dfg.name() << "\" (" << dfg.size() << " nodes)\n";
+  for (std::uint32_t i = 0; i < dfg.size(); ++i) {
+    os << "  " << to_string(dfg, NodeId{i}) << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Dfg& dfg) {
+  return os << to_string(dfg);
+}
+
+std::string summarize(const Dfg& dfg) {
+  std::array<unsigned, kNumOpKinds> counts{};
+  unsigned wmin = UINT32_MAX;
+  unsigned wmax = 0;
+  for (const Node& n : dfg.nodes()) {
+    counts[static_cast<int>(n.kind)]++;
+    if (!is_structural(n.kind) && !is_glue(n.kind)) {
+      wmin = std::min(wmin, n.width);
+      wmax = std::max(wmax, n.width);
+    }
+  }
+  std::vector<std::string> parts;
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    const auto kind = static_cast<OpKind>(k);
+    if (counts[k] != 0 && !is_structural(kind)) {
+      parts.push_back(strformat("%s=%u", std::string(op_name(kind)).c_str(),
+                                counts[k]));
+    }
+  }
+  std::ostringstream os;
+  os << "#ops=" << dfg.operations().size() << " (" << join(parts, " ") << ")"
+     << " #in=" << counts[static_cast<int>(OpKind::Input)]
+     << " #out=" << counts[static_cast<int>(OpKind::Output)];
+  if (wmax != 0) os << " width[" << wmin << ".." << wmax << "]";
+  return os.str();
+}
+
+} // namespace hls

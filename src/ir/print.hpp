@@ -1,0 +1,23 @@
+#pragma once
+// Text dump of a Dfg, one node per line:
+//
+//   %3 = add:16 %0(15 downto 0), %1(15 downto 0)        ; "C"
+//
+// Used by tests (golden comparisons) and by the examples to show the
+// specification before/after the transformation.
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+std::string to_string(const Dfg& dfg);
+std::string to_string(const Dfg& dfg, NodeId id);
+std::ostream& operator<<(std::ostream& os, const Dfg& dfg);
+
+/// One-line statistics summary: "#ops=8 (add=8) #in=9 #out=1 width[5..8]".
+std::string summarize(const Dfg& dfg);
+
+} // namespace hls

@@ -1,0 +1,355 @@
+#include "kernel/extract.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hls {
+
+namespace {
+
+/// Rewrite context: the output graph plus glue-level building blocks shared
+/// by the individual operation rewrites.
+class Rewriter {
+public:
+  explicit Rewriter(const Dfg& in) : in_(in), out_(in.name()) {}
+
+  Dfg run(KernelStats* stats);
+
+private:
+  // -- glue helpers ----------------------------------------------------------
+  Operand whole(NodeId id) { return out_.whole(id); }
+  Operand cst(std::uint64_t v, unsigned w) { return whole(out_.add_const(v, w)); }
+  Operand not_at(Operand a, unsigned w) {
+    // Not zero-extends its operand to `w` and inverts: ~zext(a, w).
+    return whole(out_.add_op(OpKind::Not, w, a));
+  }
+  Operand and2(Operand a, Operand b, unsigned w) {
+    return whole(out_.add_op(OpKind::And, w, a, b));
+  }
+  Operand or2(Operand a, Operand b, unsigned w) {
+    return whole(out_.add_op(OpKind::Or, w, a, b));
+  }
+  Operand xor2(Operand a, Operand b, unsigned w) {
+    return whole(out_.add_op(OpKind::Xor, w, a, b));
+  }
+  /// Replicates a 1-bit operand across `w` bits.
+  Operand replicate(Operand bit1, unsigned w) {
+    HLS_ASSERT(bit1.bits.width == 1, "replicate needs a single bit");
+    if (w == 1) return bit1;
+    std::vector<Operand> parts(w, bit1);
+    return whole(out_.add_concat(std::move(parts)));
+  }
+  /// value << n, width grows by n (implemented as a concat with zeros).
+  Operand shl(Operand a, unsigned n) {
+    if (n == 0) return a;
+    return whole(out_.add_concat({cst(0, n), a}));
+  }
+  /// Sign-extends an operand slice to `w` bits by replicating its MSB.
+  Operand sext(Operand a, unsigned w) {
+    HLS_ASSERT(w >= a.bits.width, "sext target narrower than value");
+    if (w == a.bits.width) return a;
+    const Operand msb{a.node, BitRange{a.bits.msb(), 1}};
+    std::vector<Operand> parts{a};
+    for (unsigned i = a.bits.width; i < w; ++i) parts.push_back(msb);
+    return whole(out_.add_concat(std::move(parts)));
+  }
+  /// Glue multiplexer: sel ? x : y, all at width w.
+  Operand mux(Operand sel, Operand x, Operand y, unsigned w) {
+    const Operand rep = replicate(sel, w);
+    const Operand xs = and2(x, rep, w);
+    const Operand ys = and2(y, not_at(rep, w), w);
+    return or2(xs, ys, w);
+  }
+  /// OR-reduction of an operand slice to one bit.
+  Operand or_reduce(Operand a) {
+    Operand acc{a.node, BitRange{a.bits.lo, 1}};
+    for (unsigned b = 1; b < a.bits.width; ++b) {
+      acc = or2(acc, Operand{a.node, BitRange{a.bits.lo + b, 1}}, 1);
+    }
+    return acc;
+  }
+
+  // -- additive building blocks ----------------------------------------------
+  Operand add2(Operand a, Operand b, unsigned w) {
+    return whole(out_.add_op(OpKind::Add, w, a, b));
+  }
+  Operand add_cin(Operand a, Operand b, Operand cin, unsigned w) {
+    return whole(out_.add_add_cin(w, a, b, cin));
+  }
+  /// a - b mod 2^w, as one add with inverted operand and carry-in 1.
+  Operand sub_core(Operand a, Operand b, unsigned w) {
+    return add_cin(a, not_at(b, w), cst(1, 1), w);
+  }
+  /// Borrow-based unsigned less-than: !carry_out(a + ~b + 1).
+  Operand ult(Operand a, Operand b) {
+    const unsigned w = std::max(a.bits.width, b.bits.width);
+    const Operand t = add_cin(a, not_at(b, w), cst(1, 1), w + 1);
+    return not_at(Operand{t.node, BitRange{w, 1}}, 1);
+  }
+  /// Signed less-than via the sign-bit-flip trick on sign-extended operands.
+  Operand slt(Operand a, Operand b) {
+    const unsigned w = std::max(a.bits.width, b.bits.width);
+    const Operand flip = cst(std::uint64_t{1} << (w - 1), w);
+    return ult(xor2(sext(a, w), flip, w), xor2(sext(b, w), flip, w));
+  }
+  Operand lt(Operand a, Operand b, bool is_signed) {
+    return is_signed ? slt(a, b) : ult(a, b);
+  }
+
+  Operand rewrite_mul_unsigned(Operand a, Operand b, unsigned w);
+  Operand rewrite_mul_signed(Operand a, Operand b, unsigned w);
+  Operand rewrite_node(const Node& n, const std::vector<Operand>& ops,
+                       KernelStats* stats);
+
+  /// True bits of a constant producer, if the operand slices a Const node.
+  bool constant_bits(const Operand& o, std::uint64_t* bits) const;
+
+  const Dfg& in_;
+  Dfg out_;
+  std::vector<NodeId> map_;  ///< old NodeId::index -> new NodeId
+};
+
+bool Rewriter::constant_bits(const Operand& o, std::uint64_t* bits) const {
+  const Node& p = out_.node(o.node);
+  if (p.kind != OpKind::Const) return false;
+  *bits = (p.value >> o.bits.lo) &
+          (o.bits.width == 64 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << o.bits.width) - 1));
+  return true;
+}
+
+Operand Rewriter::rewrite_mul_unsigned(Operand a, Operand b, unsigned w) {
+  // Prefer the narrower operand as the multiplier (fewer partial products);
+  // a constant multiplier is best of all since zero bits prune products.
+  std::uint64_t const_bits = 0;
+  const bool b_const = constant_bits(b, &const_bits);
+  std::uint64_t a_const_bits = 0;
+  if (!b_const && constant_bits(a, &a_const_bits)) {
+    std::swap(a, b);
+    const_bits = a_const_bits;
+  } else if (!b_const && b.bits.width > a.bits.width) {
+    std::swap(a, b);
+  }
+  const bool have_const = constant_bits(b, &const_bits);
+
+  // Partial products pp_i = (a AND rep(b_i)) << i, truncated to w.
+  std::vector<Operand> pps;
+  for (unsigned i = 0; i < b.bits.width && i < w; ++i) {
+    const unsigned wi = std::min(w - i, a.bits.width);
+    if (have_const) {
+      if (((const_bits >> i) & 1) == 0) continue;  // pruned: known zero
+      Operand pa = a;
+      if (pa.bits.width > wi) pa = Operand{pa.node, BitRange{pa.bits.lo, wi}};
+      pps.push_back(shl(pa, i));
+    } else {
+      const Operand bi{b.node, BitRange{b.bits.lo + i, 1}};
+      pps.push_back(shl(and2(a, replicate(bi, wi), wi), i));
+    }
+  }
+  if (pps.empty()) return cst(0, w);
+
+  // Balanced reduction tree of additions, each truncated to w bits.
+  while (pps.size() > 1) {
+    std::vector<Operand> next;
+    for (std::size_t i = 0; i + 1 < pps.size(); i += 2) {
+      const unsigned wa = pps[i].bits.width;
+      const unsigned wb = pps[i + 1].bits.width;
+      const unsigned ws = std::min(w, std::max(wa, wb) + 1);
+      next.push_back(add2(pps[i], pps[i + 1], ws));
+    }
+    if (pps.size() % 2 != 0) next.push_back(pps.back());
+    pps = std::move(next);
+  }
+  Operand r = pps.front();
+  if (r.bits.width < w) {
+    // Zero-extend to the requested product width.
+    r = whole(out_.add_concat({r, cst(0, w - r.bits.width)}));
+  }
+  return r;
+}
+
+Operand Rewriter::rewrite_mul_signed(Operand a, Operand b, unsigned w) {
+  const unsigned wa = a.bits.width;
+  const unsigned wb = b.bits.width;
+  // Degenerate 1-bit factors: a 1-bit two's-complement value is 0 or -1,
+  // so the product is a mux between 0 and the negation of the other factor.
+  if (wa == 1 || wb == 1) {
+    const Operand sel = wa == 1 ? a : b;
+    const Operand other = wa == 1 ? b : a;
+    const Operand ext = sext(other, w);
+    // -other = ~other + 1.
+    const Operand negated = add_cin(not_at(ext, w), cst(0, 1), cst(1, 1), w);
+    return mux(sel, negated, cst(0, w), w);
+  }
+
+  // Baugh & Wooley style decomposition (paper §3.1): split each factor into
+  // its sign bit and unsigned magnitude part,
+  //   A = -sa*2^(wa-1) + A',  B = -sb*2^(wb-1) + B'
+  //   A*B = A'B' - sa*2^(wa-1)*B' - sb*2^(wb-1)*A' + sa*sb*2^(wa+wb-2)
+  // The (wa-1)x(wb-1) unsigned core keeps the multiplier small; the two
+  // negative terms become conditional additions (carry-in = sign bit).
+  const Operand sa{a.node, BitRange{a.bits.msb(), 1}};
+  const Operand sb{b.node, BitRange{b.bits.msb(), 1}};
+  const Operand ap{a.node, BitRange{a.bits.lo, wa - 1}};
+  const Operand bp{b.node, BitRange{b.bits.lo, wb - 1}};
+
+  Operand acc = rewrite_mul_unsigned(ap, bp, w);
+
+  // term1 = sa ? (-B' mod 2^(w-wa+1)) << (wa-1) : 0
+  if (w > wa - 1) {
+    const unsigned w1 = w - (wa - 1);
+    const Operand masked = and2(not_at(bp, w1), replicate(sa, w1), w1);
+    const Operand neg = add_cin(masked, cst(0, 1), sa, w1);
+    acc = add2(acc, shl(neg, wa - 1), w);
+  }
+  // term2 = sb ? (-A' mod 2^(w-wb+1)) << (wb-1) : 0
+  if (w > wb - 1) {
+    const unsigned w2 = w - (wb - 1);
+    const Operand masked = and2(not_at(ap, w2), replicate(sb, w2), w2);
+    const Operand neg = add_cin(masked, cst(0, 1), sb, w2);
+    acc = add2(acc, shl(neg, wb - 1), w);
+  }
+  // term3 = sa*sb << (wa+wb-2); contributes nothing when it shifts out.
+  if (wa + wb - 2 < w) {
+    acc = add2(acc, shl(and2(sa, sb, 1), wa + wb - 2), w);
+  }
+  return acc;
+}
+
+Operand Rewriter::rewrite_node(const Node& n, const std::vector<Operand>& ops,
+                               KernelStats* stats) {
+  const unsigned w = n.width;
+  switch (n.kind) {
+    case OpKind::Sub:
+      if (stats) stats->rewritten_subs++;
+      return sub_core(ops[0], ops[1], w);
+    case OpKind::Neg:
+      if (stats) stats->rewritten_negs++;
+      return add_cin(not_at(ops[0], w), cst(0, 1), cst(1, 1), w);
+    case OpKind::Lt:
+      if (stats) stats->rewritten_compares++;
+      return lt(ops[0], ops[1], n.is_signed);
+    case OpKind::Gt:
+      if (stats) stats->rewritten_compares++;
+      return lt(ops[1], ops[0], n.is_signed);
+    case OpKind::Ge:
+      if (stats) stats->rewritten_compares++;
+      return not_at(lt(ops[0], ops[1], n.is_signed), 1);
+    case OpKind::Le:
+      if (stats) stats->rewritten_compares++;
+      return not_at(lt(ops[1], ops[0], n.is_signed), 1);
+    case OpKind::Eq:
+    case OpKind::Ne: {
+      if (stats) stats->rewritten_compares++;
+      const unsigned wc = std::max(ops[0].bits.width, ops[1].bits.width);
+      const Operand diff = sub_core(ops[0], ops[1], wc);
+      const Operand any = or_reduce(diff);
+      return n.kind == OpKind::Ne ? any : not_at(any, 1);
+    }
+    case OpKind::Max:
+    case OpKind::Min: {
+      if (stats) stats->rewritten_minmax++;
+      Operand a = ops[0];
+      Operand b = ops[1];
+      if (n.is_signed) {
+        a = sext(a, w);
+        b = sext(b, w);
+      }
+      const Operand a_lt_b = lt(a, b, n.is_signed);
+      return n.kind == OpKind::Max ? mux(a_lt_b, b, a, w) : mux(a_lt_b, a, b, w);
+    }
+    case OpKind::Mul:
+      if (stats) stats->rewritten_muls++;
+      if (n.is_signed) {
+        if (stats) stats->rewritten_signed_muls++;
+        return rewrite_mul_signed(ops[0], ops[1], w);
+      }
+      return rewrite_mul_unsigned(ops[0], ops[1], w);
+    default:
+      HLS_ASSERT(false, "rewrite_node called on non-rewritable kind");
+  }
+}
+
+Dfg Rewriter::run(KernelStats* stats) {
+  if (stats) stats->ops_before = in_.operations().size();
+  map_.assign(in_.size(), kInvalidNode);
+
+  for (std::uint32_t i = 0; i < in_.size(); ++i) {
+    const Node& n = in_.node(NodeId{i});
+    // Translate operands into the output graph. Widths are preserved by
+    // every rewrite, so slices carry over unchanged.
+    std::vector<Operand> ops;
+    ops.reserve(n.operands.size());
+    for (const Operand& o : n.operands) {
+      HLS_ASSERT(map_[o.node.index].valid(), "operand not yet rewritten");
+      ops.emplace_back(map_[o.node.index], o.bits);
+    }
+
+    NodeId mapped;
+    switch (n.kind) {
+      case OpKind::Input:
+        mapped = out_.add_input(n.name, n.width);
+        break;
+      case OpKind::Const:
+        mapped = out_.add_const(n.value, n.width);
+        break;
+      case OpKind::Output:
+        mapped = out_.add_output(n.name, ops[0]);
+        break;
+      case OpKind::Add: {
+        Node copy;
+        copy.kind = OpKind::Add;
+        copy.width = n.width;
+        copy.operands = ops;
+        copy.name = n.name;
+        mapped = out_.add_node(std::move(copy));
+        break;
+      }
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+      case OpKind::Not:
+      case OpKind::Concat: {
+        Node copy;
+        copy.kind = n.kind;
+        copy.width = n.width;
+        copy.operands = ops;
+        copy.name = n.name;
+        mapped = out_.add_node(std::move(copy));
+        break;
+      }
+      default: {
+        const Operand r = rewrite_node(n, ops, stats);
+        HLS_ASSERT(r.bits.width == n.width && r.bits.lo == 0,
+                   "rewrite must produce a whole value of the original width");
+        mapped = r.node;
+        break;
+      }
+    }
+    map_[i] = mapped;
+  }
+
+  if (stats) {
+    stats->adds_after = static_cast<std::size_t>(
+        std::count_if(out_.nodes().begin(), out_.nodes().end(),
+                      [](const Node& n) { return n.kind == OpKind::Add; }));
+  }
+  return std::move(out_);
+}
+
+} // namespace
+
+Dfg extract_kernel(const Dfg& input, KernelStats* stats) {
+  Rewriter rw(input);
+  Dfg out = rw.run(stats);
+  out.verify();
+  return out;
+}
+
+bool is_kernel_form(const Dfg& dfg) {
+  return std::all_of(dfg.nodes().begin(), dfg.nodes().end(), [](const Node& n) {
+    return n.kind == OpKind::Add || is_glue(n.kind) || is_structural(n.kind);
+  });
+}
+
+} // namespace hls

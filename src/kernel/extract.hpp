@@ -1,0 +1,46 @@
+#pragma once
+// Operative kernel extraction — paper §3.1.
+//
+// Rewrites a behavioural specification so that every additive operation
+// becomes unsigned additions plus glue logic, unifying representation
+// formats so that operations can later share functional units and so the
+// bit-level timing/fragmentation machinery only ever sees Add nodes:
+//
+//   Sub            -> a + ~b + 1 (add with carry-in)
+//   Neg            -> ~a + 1
+//   Lt/Le/Gt/Ge    -> borrow bit of a subtraction (sign-flip glue first for
+//                     signed comparisons, Hwang-style)
+//   Eq/Ne          -> subtraction + OR-reduction of the difference
+//   Max/Min        -> comparison + glue multiplexer
+//   Mul (unsigned) -> shift-and-add partial-product tree (constant operands
+//                     prune zero partial products)
+//   Mul (signed)   -> variant of the Baugh & Wooley decomposition: one
+//                     (m-1)x(n-1) unsigned multiplication (recursively
+//                     decomposed) plus sign-correction additions
+//
+// The output Dfg contains only Input/Const/Output/Concat, Add, and bitwise
+// glue. Functional equivalence with the input spec is checked by property
+// tests against the evaluator.
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+struct KernelStats {
+  unsigned rewritten_subs = 0;
+  unsigned rewritten_negs = 0;
+  unsigned rewritten_muls = 0;
+  unsigned rewritten_signed_muls = 0;
+  unsigned rewritten_compares = 0;
+  unsigned rewritten_minmax = 0;
+  std::size_t ops_before = 0;   ///< schedulable operations in the input
+  std::size_t adds_after = 0;   ///< Add nodes in the result
+};
+
+/// Returns the kernel-extracted specification. The input is not modified.
+Dfg extract_kernel(const Dfg& input, KernelStats* stats = nullptr);
+
+/// True when `dfg` already contains only operative-kernel node kinds.
+bool is_kernel_form(const Dfg& dfg);
+
+} // namespace hls

@@ -1,0 +1,211 @@
+#include "kernel/narrow.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hls {
+
+namespace {
+
+std::uint64_t mask_of(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+/// Smallest all-ones value covering x (upper bound for OR/XOR results).
+std::uint64_t ones_cover(std::uint64_t x) {
+  return x == 0 ? 0 : mask_of(static_cast<unsigned>(std::bit_width(x)));
+}
+
+/// Range of an operand slice, given the producer's range: extracting bits
+/// [lo, lo+k) keeps [r.lo, r.hi] only for untruncated low slices; otherwise
+/// the safe bounds are [0, min(mask, hi >> lo)].
+ValueRange slice_range(const ValueRange& r, const BitRange& bits) {
+  const std::uint64_t m = mask_of(bits.width);
+  if (bits.lo == 0) {
+    if (r.hi <= m) return ValueRange{r.lo, r.hi};
+    return ValueRange{0, m};
+  }
+  return ValueRange{0, std::min(m, bits.lo >= 64 ? 0 : r.hi >> bits.lo)};
+}
+
+} // namespace
+
+std::vector<ValueRange> analyze_ranges(const Dfg& kernel) {
+  std::vector<ValueRange> ranges(kernel.size());
+  auto opr = [&](const Operand& o) {
+    return slice_range(ranges[o.node.index], o.bits);
+  };
+
+  for (std::uint32_t i = 0; i < kernel.size(); ++i) {
+    const Node& n = kernel.node(NodeId{i});
+    const std::uint64_t m = mask_of(n.width);
+    switch (n.kind) {
+      case OpKind::Input:
+        ranges[i] = {0, m};
+        break;
+      case OpKind::Const:
+        ranges[i] = {n.value & m, n.value & m};
+        break;
+      case OpKind::Output:
+        ranges[i] = opr(n.operands[0]);
+        break;
+      case OpKind::Add: {
+        const ValueRange a = opr(n.operands[0]);
+        const ValueRange b = opr(n.operands[1]);
+        const ValueRange c =
+            n.has_carry_in() ? opr(n.operands[2]) : ValueRange{0, 0};
+        const unsigned __int128 hi =
+            static_cast<unsigned __int128>(a.hi) + b.hi + c.hi;
+        if (hi <= m) {
+          ranges[i] = {a.lo + b.lo + c.lo, static_cast<std::uint64_t>(hi)};
+        } else {
+          ranges[i] = {0, m};  // may wrap: give up
+        }
+        break;
+      }
+      case OpKind::And: {
+        const ValueRange a = opr(n.operands[0]);
+        const ValueRange b = opr(n.operands[1]);
+        ranges[i] = {0, std::min({a.hi, b.hi, m})};
+        break;
+      }
+      case OpKind::Or:
+      case OpKind::Xor: {
+        const ValueRange a = opr(n.operands[0]);
+        const ValueRange b = opr(n.operands[1]);
+        ranges[i] = {n.kind == OpKind::Or ? std::max(a.lo, b.lo) : 0,
+                     std::min(m, ones_cover(a.hi | b.hi))};
+        break;
+      }
+      case OpKind::Not: {
+        // Exact complement of the zero-extended operand.
+        const ValueRange a = opr(n.operands[0]);
+        ranges[i] = {m - std::min(m, a.hi), m - std::min(m, a.lo)};
+        break;
+      }
+      case OpKind::Concat: {
+        unsigned shift = 0;
+        unsigned __int128 lo = 0, hi = 0;
+        for (const Operand& o : n.operands) {
+          const ValueRange r = opr(o);
+          if (shift < 64) {
+            lo += static_cast<unsigned __int128>(r.lo) << shift;
+            hi += static_cast<unsigned __int128>(r.hi) << shift;
+          }
+          shift += o.bits.width;
+        }
+        ranges[i] = {static_cast<std::uint64_t>(std::min<unsigned __int128>(lo, m)),
+                     static_cast<std::uint64_t>(std::min<unsigned __int128>(hi, m))};
+        break;
+      }
+      default:
+        throw Error("analyze_ranges requires a kernel-form specification");
+    }
+  }
+  return ranges;
+}
+
+Dfg narrow_widths(const Dfg& kernel, NarrowStats* stats) {
+  const std::vector<ValueRange> ranges = analyze_ranges(kernel);
+
+  Dfg out(kernel.name());
+  std::vector<NodeId> map(kernel.size(), kInvalidNode);
+  std::vector<unsigned> new_width(kernel.size(), 0);
+
+  // Translate an operand: clip slices into bits that still exist; removed
+  // bits are provably zero. Returns an empty-bits operand when the whole
+  // slice was zeros.
+  auto translate = [&](const Operand& o) -> Operand {
+    const BitRange clipped =
+        o.bits.intersect(BitRange::whole(new_width[o.node.index]));
+    return Operand{map[o.node.index], clipped};
+  };
+  // Like translate, but padded back to the original slice width (for
+  // position-sensitive consumers: concat parts and output ports).
+  auto translate_padded = [&](const Operand& o,
+                              std::vector<Operand>& parts) {
+    const Operand t = translate(o);
+    if (!t.bits.empty()) parts.push_back(t);
+    const unsigned missing = o.bits.width - t.bits.width;
+    if (missing > 0) {
+      parts.push_back(out.whole(out.add_const(0, missing)));
+    }
+  };
+
+  for (std::uint32_t i = 0; i < kernel.size(); ++i) {
+    const Node& n = kernel.node(NodeId{i});
+    switch (n.kind) {
+      case OpKind::Input:
+        map[i] = out.add_input(n.name, n.width);
+        new_width[i] = n.width;
+        break;
+      case OpKind::Const: {
+        map[i] = out.add_const(n.value, n.width);
+        new_width[i] = n.width;
+        break;
+      }
+      case OpKind::Output: {
+        std::vector<Operand> parts;
+        translate_padded(n.operands[0], parts);
+        const Operand value =
+            parts.size() == 1 ? parts[0] : out.whole(out.add_concat(parts));
+        map[i] = out.add_output(n.name, value);
+        new_width[i] = n.width;
+        break;
+      }
+      case OpKind::Add: {
+        const unsigned needed = std::max<unsigned>(
+            1, static_cast<unsigned>(std::bit_width(ranges[i].hi)));
+        const unsigned w = std::min(n.width, needed);
+        if (stats && w < n.width) {
+          stats->nodes_narrowed++;
+          stats->bits_removed += n.width - w;
+        }
+        Node add;
+        add.kind = OpKind::Add;
+        add.width = w;
+        add.name = n.name;
+        const Operand zero1 = out.whole(out.add_const(0, 1));
+        for (std::size_t p = 0; p < n.operands.size(); ++p) {
+          Operand t = translate(n.operands[p]);
+          if (t.bits.empty()) t = zero1;
+          add.operands.push_back(t);
+        }
+        map[i] = out.add_node(std::move(add));
+        new_width[i] = w;
+        break;
+      }
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+      case OpKind::Not: {
+        Node glue;
+        glue.kind = n.kind;
+        glue.width = n.width;
+        glue.name = n.name;
+        const Operand zero1 = out.whole(out.add_const(0, 1));
+        for (const Operand& o : n.operands) {
+          Operand t = translate(o);
+          if (t.bits.empty()) t = zero1;
+          glue.operands.push_back(t);
+        }
+        map[i] = out.add_node(std::move(glue));
+        new_width[i] = n.width;
+        break;
+      }
+      case OpKind::Concat: {
+        std::vector<Operand> parts;
+        for (const Operand& o : n.operands) translate_padded(o, parts);
+        map[i] = out.add_concat(std::move(parts));
+        new_width[i] = n.width;
+        break;
+      }
+      default:
+        throw Error("narrow_widths requires a kernel-form specification");
+    }
+  }
+  out.verify();
+  return out;
+}
+
+} // namespace hls

@@ -1,0 +1,36 @@
+#pragma once
+// Value-range analysis and width narrowing — an optional presynthesis pass
+// beyond the paper.
+//
+// Kernel extraction (§3.1) normalizes representation formats; this pass goes
+// one step further and shrinks operation widths that can never carry
+// information: unsigned interval arithmetic propagates [lo, hi] ranges from
+// the inputs, and every Add whose result provably fits fewer bits is rebuilt
+// at the smaller width (consumer slices are clipped; sliced-away bits are
+// provably zero). Typical wins: the upper halves of zero-extended adder
+// trees from constant-coefficient multiplier decomposition.
+//
+// Running it before transform_spec shortens critical paths and shrinks
+// adders/registers; `bench_ablation` (F) quantifies the effect. The pass is
+// semantics-preserving (property-tested against the evaluator).
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+struct NarrowStats {
+  unsigned nodes_narrowed = 0;
+  unsigned bits_removed = 0;
+};
+
+/// Unsigned value range of every node, index-aligned with the Dfg.
+struct ValueRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+std::vector<ValueRange> analyze_ranges(const Dfg& kernel);
+
+/// Returns the narrowed specification (kernel form in, kernel form out).
+Dfg narrow_widths(const Dfg& kernel, NarrowStats* stats = nullptr);
+
+} // namespace hls

@@ -1,0 +1,238 @@
+#include "parser/lexer.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+ParseError::ParseError(const std::string& message, unsigned line, unsigned col)
+    : Error(strformat("%u:%u: %s", line, col, message.c_str())),
+      line_(line),
+      col_(col) {}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+bool classify_type_name(const std::string& s, unsigned* width, bool* is_signed) {
+  if (s.size() < 2 || (s[0] != 'u' && s[0] != 's')) return false;
+  unsigned w = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    w = w * 10 + static_cast<unsigned>(s[i] - '0');
+    if (w > 64) return false;
+  }
+  if (w == 0) return false;
+  *width = w;
+  *is_signed = s[0] == 's';
+  return true;
+}
+
+std::string_view token_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwModule: return "'module'";
+    case Tok::KwInput: return "'input'";
+    case Tok::KwOutput: return "'output'";
+    case Tok::KwSigned: return "'signed'";
+    case Tok::KwLet: return "'let'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Colon: return "':'";
+    case Tok::Semicolon: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Assign: return "'='";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  unsigned line = 1;
+  unsigned col = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto push = [&](Tok kind, unsigned at_col) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.col = at_col;
+    out.push_back(t);
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    const unsigned at_col = col;
+    if (ident_start(c)) {
+      std::string word;
+      while (i < src.size() && ident_char(src[i])) {
+        word += src[i];
+        advance();
+      }
+      Token t;
+      t.line = line;
+      t.col = at_col;
+      t.text = word;
+      if (word == "module") {
+        t.kind = Tok::KwModule;
+      } else if (word == "input") {
+        t.kind = Tok::KwInput;
+      } else if (word == "output") {
+        t.kind = Tok::KwOutput;
+      } else if (word == "signed") {
+        t.kind = Tok::KwSigned;
+      } else if (word == "let") {
+        t.kind = Tok::KwLet;
+      } else {
+        t.kind = Tok::Ident;
+      }
+      out.push_back(t);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      std::string text;
+      if (c == '0' && i + 1 < src.size() && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        text = "0x";
+        advance(2);
+        if (i >= src.size() || !std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          throw ParseError("expected hex digits after 0x", line, at_col);
+        }
+        while (i < src.size() && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          const char h = src[i];
+          v = v * 16 + static_cast<std::uint64_t>(
+                           std::isdigit(static_cast<unsigned char>(h))
+                               ? h - '0'
+                               : std::tolower(h) - 'a' + 10);
+          text += h;
+          advance();
+        }
+      } else {
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+          v = v * 10 + static_cast<std::uint64_t>(src[i] - '0');
+          text += src[i];
+          advance();
+        }
+      }
+      Token t;
+      t.kind = Tok::Number;
+      t.line = line;
+      t.col = at_col;
+      t.value = v;
+      t.text = text;
+      out.push_back(t);
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < src.size() && src[i + 1] == second;
+    };
+    switch (c) {
+      case '{': push(Tok::LBrace, at_col); advance(); break;
+      case '}': push(Tok::RBrace, at_col); advance(); break;
+      case '(': push(Tok::LParen, at_col); advance(); break;
+      case ')': push(Tok::RParen, at_col); advance(); break;
+      case '[': push(Tok::LBracket, at_col); advance(); break;
+      case ']': push(Tok::RBracket, at_col); advance(); break;
+      case ':': push(Tok::Colon, at_col); advance(); break;
+      case ';': push(Tok::Semicolon, at_col); advance(); break;
+      case ',': push(Tok::Comma, at_col); advance(); break;
+      case '+': push(Tok::Plus, at_col); advance(); break;
+      case '-': push(Tok::Minus, at_col); advance(); break;
+      case '*': push(Tok::Star, at_col); advance(); break;
+      case '&': push(Tok::Amp, at_col); advance(); break;
+      case '|': push(Tok::Pipe, at_col); advance(); break;
+      case '^': push(Tok::Caret, at_col); advance(); break;
+      case '~': push(Tok::Tilde, at_col); advance(); break;
+      case '<':
+        if (two('=')) {
+          push(Tok::Le, at_col);
+          advance(2);
+        } else {
+          push(Tok::Lt, at_col);
+          advance();
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(Tok::Ge, at_col);
+          advance(2);
+        } else {
+          push(Tok::Gt, at_col);
+          advance();
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(Tok::EqEq, at_col);
+          advance(2);
+        } else {
+          push(Tok::Assign, at_col);
+          advance();
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(Tok::NotEq, at_col);
+          advance(2);
+        } else {
+          throw ParseError("unexpected '!'", line, at_col);
+        }
+        break;
+      default:
+        throw ParseError(strformat("unexpected character '%c'", c), line, at_col);
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.line = line;
+  end.col = col;
+  out.push_back(end);
+  return out;
+}
+
+} // namespace hls

@@ -1,0 +1,66 @@
+#pragma once
+// Lexer for the behavioural specification DSL.
+//
+// The DSL is the text front end of the library (DESIGN.md §2 documents it as
+// the substitution for the paper's VHDL input):
+//
+//   module diffeq {
+//     input x: u16;
+//     input dx: u16;
+//     output y1: u16;
+//     let t2 = u * dx;
+//     let c = x1 < a;
+//     y1 = y + t2;
+//   }
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hls {
+
+enum class Tok : std::uint8_t {
+  Ident, Number,                 // foo, 42
+  KwModule, KwInput, KwOutput, KwSigned, KwLet,
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Colon, Semicolon, Comma,
+  Plus, Minus, Star, Amp, Pipe, Caret, Tilde,
+  Lt, Le, Gt, Ge, EqEq, NotEq, Assign,
+  End,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       ///< identifier / raw number text
+  std::uint64_t value = 0;///< numeric value (Number)
+  unsigned line = 1;
+  unsigned col = 1;
+};
+
+/// Recognizes u<N>/s<N> type names (u16, s12). Types are ordinary
+/// identifiers lexically — names like "u1" stay usable as variables — and
+/// are classified in type position by the parser via this helper.
+bool classify_type_name(const std::string& word, unsigned* width,
+                        bool* is_signed);
+
+/// Syntax error with location info.
+class ParseError : public Error {
+public:
+  ParseError(const std::string& message, unsigned line, unsigned col);
+  unsigned line() const { return line_; }
+  unsigned col() const { return col_; }
+
+private:
+  unsigned line_;
+  unsigned col_;
+};
+
+/// Tokenizes a whole source buffer. `//` comments run to end of line.
+/// Numbers are decimal or 0x hex. Throws ParseError on bad characters.
+std::vector<Token> lex(const std::string& source);
+
+std::string_view token_name(Tok t);
+
+} // namespace hls

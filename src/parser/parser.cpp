@@ -1,0 +1,319 @@
+#include "parser/parser.hpp"
+
+#include <map>
+#include <memory>
+
+#include "ir/builder.hpp"
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& source) : toks_(lex(source)) {}
+
+  Dfg run();
+
+private:
+  const Token& peek(unsigned ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& next() {
+    const Token& t = peek();
+    if (t.kind != Tok::End) ++pos_;
+    return t;
+  }
+  bool accept(Tok k) {
+    if (peek().kind != k) return false;
+    next();
+    return true;
+  }
+  const Token& expect(Tok k, const char* context) {
+    if (peek().kind != k) {
+      throw ParseError(strformat("expected %s %s, got %s",
+                                 std::string(token_name(k)).c_str(), context,
+                                 std::string(token_name(peek().kind)).c_str()),
+                       peek().line, peek().col);
+    }
+    return next();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, peek().line, peek().col);
+  }
+
+  /// Parsed type annotation: u<N> / s<N>.
+  struct Type {
+    unsigned width = 0;
+    bool is_signed = false;
+  };
+  Type expect_type(const char* context) {
+    const Token& t = expect(Tok::Ident, context);
+    Type ty;
+    if (!classify_type_name(t.text, &ty.width, &ty.is_signed)) {
+      throw ParseError("'" + t.text + "' is not a type (expected u<N> or s<N>)",
+                       t.line, t.col);
+    }
+    return ty;
+  }
+
+  bool producer_signed(const Val& v) const {
+    return builder_->dfg().node(v.node()).is_signed;
+  }
+
+  /// Zero-extends or truncates to exactly `w` bits.
+  Val fit(Val v, unsigned w) {
+    if (v.width() == w) return v;
+    if (v.width() > w) return v.slice(w - 1, 0);
+    return builder_->zext(v, w);
+  }
+
+  void parse_statement();
+  Val parse_expr() { return parse_bitor(); }
+  Val parse_bitor();
+  Val parse_bitxor();
+  Val parse_bitand();
+  Val parse_cmp();
+  Val parse_addsub();
+  Val parse_muls();
+  Val parse_unary();
+  Val parse_postfix();
+  Val parse_primary();
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<SpecBuilder> builder_;
+  std::map<std::string, Val> symbols_;
+  std::map<std::string, unsigned> outputs_;  ///< declared, not yet driven
+};
+
+Dfg Parser::run() {
+  expect(Tok::KwModule, "at start of specification");
+  const Token& name = expect(Tok::Ident, "as module name");
+  builder_ = std::make_unique<SpecBuilder>(name.text);
+  expect(Tok::LBrace, "after module name");
+  while (!accept(Tok::RBrace)) {
+    if (peek().kind == Tok::End) fail("unterminated module (missing '}')");
+    parse_statement();
+  }
+  if (!outputs_.empty()) {
+    throw ParseError("output '" + outputs_.begin()->first + "' is never assigned",
+                     toks_.back().line, toks_.back().col);
+  }
+  return std::move(*builder_).take();
+}
+
+void Parser::parse_statement() {
+  const bool is_signed = accept(Tok::KwSigned);
+  if (is_signed && peek().kind != Tok::KwInput) {
+    fail("'signed' only qualifies inputs (signedness is inferred elsewhere)");
+  }
+  if (accept(Tok::KwInput)) {
+    const Token name = expect(Tok::Ident, "as input name");
+    expect(Tok::Colon, "after input name");
+    const Type type = expect_type("as input type");
+    if (symbols_.count(name.text)) fail("redefinition of '" + name.text + "'");
+    const bool sgn = is_signed || type.is_signed;
+    symbols_.emplace(name.text, sgn ? builder_->signed_in(name.text, type.width)
+                                    : builder_->in(name.text, type.width));
+    expect(Tok::Semicolon, "after input declaration");
+    return;
+  }
+  if (accept(Tok::KwOutput)) {
+    const Token name = expect(Tok::Ident, "as output name");
+    expect(Tok::Colon, "after output name");
+    const Type type = expect_type("as output type");
+    if (symbols_.count(name.text) || outputs_.count(name.text)) {
+      fail("redefinition of '" + name.text + "'");
+    }
+    outputs_.emplace(name.text, type.width);
+    expect(Tok::Semicolon, "after output declaration");
+    return;
+  }
+  if (accept(Tok::KwLet)) {
+    const Token name = expect(Tok::Ident, "as binding name");
+    unsigned declared = 0;
+    if (accept(Tok::Colon)) {
+      const Type type = expect_type("as binding type");
+      if (type.is_signed) {
+        fail("signed binding types are not supported; signedness is inferred "
+             "from the operands");
+      }
+      declared = type.width;
+    }
+    expect(Tok::Assign, "in let binding");
+    Val v = parse_expr();
+    if (declared != 0) v = fit(v, declared);
+    if (symbols_.count(name.text) || outputs_.count(name.text)) {
+      fail("redefinition of '" + name.text + "'");
+    }
+    symbols_.emplace(name.text, v);
+    expect(Tok::Semicolon, "after let binding");
+    return;
+  }
+  // Output drive: IDENT '=' expr ';'
+  const Token name = expect(Tok::Ident, "at start of statement");
+  auto it = outputs_.find(name.text);
+  if (it == outputs_.end()) {
+    fail(symbols_.count(name.text)
+             ? "'" + name.text + "' is not an output (did you mean 'let'?)"
+             : "unknown output '" + name.text + "'");
+  }
+  expect(Tok::Assign, "in output assignment");
+  const Val v = fit(parse_expr(), it->second);
+  builder_->out(name.text, v);
+  outputs_.erase(it);
+  expect(Tok::Semicolon, "after output assignment");
+}
+
+Val Parser::parse_bitor() {
+  Val v = parse_bitxor();
+  while (accept(Tok::Pipe)) v = v | parse_bitxor();
+  return v;
+}
+
+Val Parser::parse_bitxor() {
+  Val v = parse_bitand();
+  while (accept(Tok::Caret)) v = v ^ parse_bitand();
+  return v;
+}
+
+Val Parser::parse_bitand() {
+  Val v = parse_cmp();
+  while (accept(Tok::Amp)) v = v & parse_cmp();
+  return v;
+}
+
+Val Parser::parse_cmp() {
+  Val v = parse_addsub();
+  const Tok k = peek().kind;
+  switch (k) {
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge:
+    case Tok::EqEq:
+    case Tok::NotEq: {
+      next();
+      const Val rhs = parse_addsub();
+      const bool sgn = producer_signed(v) || producer_signed(rhs);
+      OpKind op = OpKind::Lt;
+      if (k == Tok::Le) op = OpKind::Le;
+      if (k == Tok::Gt) op = OpKind::Gt;
+      if (k == Tok::Ge) op = OpKind::Ge;
+      if (k == Tok::EqEq) op = OpKind::Eq;
+      if (k == Tok::NotEq) op = OpKind::Ne;
+      return builder_->cmp(op, v, rhs, sgn);
+    }
+    default:
+      return v;
+  }
+}
+
+Val Parser::parse_addsub() {
+  Val v = parse_muls();
+  for (;;) {
+    if (accept(Tok::Plus)) {
+      v = v + parse_muls();
+    } else if (accept(Tok::Minus)) {
+      v = v - parse_muls();
+    } else {
+      return v;
+    }
+  }
+}
+
+Val Parser::parse_muls() {
+  Val v = parse_unary();
+  while (accept(Tok::Star)) v = v * parse_unary();
+  return v;
+}
+
+Val Parser::parse_unary() {
+  if (accept(Tok::Minus)) return builder_->neg(parse_unary());
+  if (accept(Tok::Tilde)) return ~parse_unary();
+  return parse_postfix();
+}
+
+Val Parser::parse_postfix() {
+  Val v = parse_primary();
+  while (accept(Tok::LBracket)) {
+    const Token& msb = expect(Tok::Number, "as slice msb");
+    expect(Tok::Colon, "in slice");
+    const Token& lsb = expect(Tok::Number, "as slice lsb");
+    expect(Tok::RBracket, "after slice");
+    if (msb.value < lsb.value || msb.value >= v.width()) {
+      throw ParseError(strformat("slice [%llu:%llu] out of range for %u bits",
+                                 static_cast<unsigned long long>(msb.value),
+                                 static_cast<unsigned long long>(lsb.value),
+                                 v.width()),
+                       msb.line, msb.col);
+    }
+    v = v.slice(static_cast<unsigned>(msb.value), static_cast<unsigned>(lsb.value));
+  }
+  return v;
+}
+
+Val Parser::parse_primary() {
+  if (accept(Tok::LParen)) {
+    const Val v = parse_expr();
+    expect(Tok::RParen, "to close parenthesis");
+    return v;
+  }
+  if (peek().kind == Tok::Number) {
+    const Token num = next();
+    expect(Tok::Colon, "after literal (literals need a width: 5:u4)");
+    const Type type = expect_type("as literal type");
+    if (type.width < 64 && num.value >= (std::uint64_t{1} << type.width)) {
+      throw ParseError("literal does not fit its width", num.line, num.col);
+    }
+    return builder_->cst(num.value, type.width);
+  }
+  const Token id = expect(Tok::Ident, "in expression");
+  // Builtin calls.
+  if (peek().kind == Tok::LParen &&
+      (id.text == "max" || id.text == "min" || id.text == "zext" ||
+       id.text == "cat")) {
+    next();  // (
+    std::vector<Val> args;
+    std::vector<Token> arg_toks;
+    if (id.text == "zext") {
+      args.push_back(parse_expr());
+      expect(Tok::Comma, "in zext(value, width)");
+      const Token& w = expect(Tok::Number, "as zext width");
+      expect(Tok::RParen, "after zext");
+      if (w.value < args[0].width() || w.value > 64) {
+        throw ParseError("invalid zext target width", w.line, w.col);
+      }
+      return builder_->zext(args[0], static_cast<unsigned>(w.value));
+    }
+    args.push_back(parse_expr());
+    while (accept(Tok::Comma)) args.push_back(parse_expr());
+    expect(Tok::RParen, "after call arguments");
+    if (id.text == "cat") {
+      return builder_->concat_lsb_first(args);
+    }
+    if (args.size() != 2) {
+      throw ParseError(id.text + "() takes exactly two arguments", id.line, id.col);
+    }
+    const bool sgn = producer_signed(args[0]) || producer_signed(args[1]);
+    return id.text == "max" ? builder_->max(args[0], args[1], sgn)
+                            : builder_->min(args[0], args[1], sgn);
+  }
+  auto it = symbols_.find(id.text);
+  if (it == symbols_.end()) {
+    throw ParseError("unknown name '" + id.text + "'", id.line, id.col);
+  }
+  return it->second;
+}
+
+} // namespace
+
+Dfg parse_spec(const std::string& source) {
+  Parser p(source);
+  return p.run();
+}
+
+} // namespace hls

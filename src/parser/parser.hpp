@@ -1,0 +1,39 @@
+#pragma once
+// Parser for the behavioural specification DSL -> Dfg.
+//
+// Grammar (see lexer.hpp for an example):
+//
+//   module    := 'module' IDENT '{' stmt* '}'
+//   stmt      := ('signed')? 'input' IDENT ':' TYPE ';'
+//              | 'output' IDENT ':' TYPE ';'
+//              | 'let' IDENT (':' TYPE)? '=' expr ';'
+//              | IDENT '=' expr ';'                        // drive an output
+//   expr      := bitor
+//   bitor     := bitxor  ('|' bitxor)*
+//   bitxor    := bitand  ('^' bitand)*
+//   bitand    := cmp     ('&' cmp)*
+//   cmp       := addsub  (('<'|'<='|'>'|'>='|'=='|'!=') addsub)?
+//   addsub    := muls    (('+'|'-') muls)*
+//   muls      := unary   ('*' unary)*
+//   unary     := ('-'|'~') unary | postfix
+//   postfix   := primary ('[' NUM ':' NUM ']')*            // [msb:lsb]
+//   primary   := IDENT | NUM ':' TYPE | '(' expr ')'
+//              | ('max'|'min'|'zext'|'cat') '(' expr (',' expr)* ')'
+//
+// Semantics match SpecBuilder: '+'/'-' truncate to the wider operand width,
+// '*' yields the full product, comparisons are 1 bit and signed when either
+// operand's producer is signed, 'let x: u8 = e' truncates/zero-extends e to
+// 8 bits, 'cat' concatenates LSB-first.
+
+#include <string>
+
+#include "ir/dfg.hpp"
+#include "parser/lexer.hpp"
+
+namespace hls {
+
+/// Parses one module; throws ParseError with location on syntax or
+/// semantic errors (unknown names, double assignment, width misuse).
+Dfg parse_spec(const std::string& source);
+
+} // namespace hls

@@ -1,0 +1,48 @@
+#include "rtl/area.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+unsigned GateModel::fu(const FuInstance& f) const {
+  switch (f.cls) {
+    case FuClass::Adder: return adder(f.width);
+    case FuClass::Subtractor: return subtractor(f.width);
+    case FuClass::Multiplier: return multiplier(f.width, f.width2);
+    case FuClass::Comparator: return comparator(f.width);
+    case FuClass::MinMax: return minmax(f.width);
+  }
+  return 0;
+}
+
+AreaBreakdown area_of(const Datapath& dp, const GateModel& gm) {
+  AreaBreakdown a;
+  for (const FuInstance& f : dp.fus) a.fu_gates += gm.fu(f);
+  for (const RegInstance& r : dp.regs) a.reg_gates += gm.register_(r.width);
+  for (const MuxInstance& m : dp.muxes) a.mux_gates += gm.mux(m.inputs, m.width);
+  a.controller_gates = gm.controller(dp.states, dp.control_signals);
+  return a;
+}
+
+std::string describe(const Datapath& dp) {
+  std::map<std::pair<FuClass, unsigned>, unsigned> fu_counts;
+  for (const FuInstance& f : dp.fus) fu_counts[{f.cls, f.width}]++;
+  std::vector<std::string> parts;
+  for (const auto& [key, count] : fu_counts) {
+    parts.push_back(strformat("%u %s(%ub)", count,
+                              std::string(fu_class_name(key.first)).c_str(),
+                              key.second));
+  }
+  unsigned reg_bits = 0;
+  for (const RegInstance& r : dp.regs) reg_bits += r.width;
+  std::ostringstream os;
+  os << join(parts, " + ");
+  os << " | " << dp.regs.size() << " regs(" << reg_bits << " bits)";
+  os << " | " << dp.muxes.size() << " muxes";
+  return os.str();
+}
+
+} // namespace hls

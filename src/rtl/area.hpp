@@ -1,0 +1,62 @@
+#pragma once
+// Gate-level area model, calibrated against Table I of the paper.
+//
+// The paper reports component costs from Synopsys Design Compiler; we use a
+// consistent per-component gate model whose constants were fitted to the
+// data points Table I exposes:
+//   * 16-bit ripple adder = 162 gates          -> adder(w)    = 10*w + 2
+//   * 16-bit register = 81, 5x 1-bit regs = 55 -> register(w) = 5*w + 6
+//   * mux gate solve from the two routing rows -> mux(k, w)   = (k + 1) * w
+//   * controllers 60/32 gates at 3/1 states    -> fsm(s, sig) = 18 + 14*s + sig
+// Absolute numbers are testbed-specific; the model's job is to preserve the
+// paper's relative comparisons (who is bigger, by roughly what factor).
+
+#include <string>
+
+#include "alloc/datapath.hpp"
+#include "timing/delay_model.hpp"
+
+namespace hls {
+
+struct GateModel {
+  unsigned adder(unsigned w) const { return 10 * w + 2; }
+  /// Adder plus an inverter row on one operand.
+  unsigned subtractor(unsigned w) const { return 11 * w + 2; }
+  /// Ripple-carry array multiplier: m*n AND terms + (m-1) rows of n full
+  /// adders at ~9 gates each.
+  unsigned multiplier(unsigned m, unsigned n) const {
+    if (m == 0 || n == 0) return 0;
+    return m * n + 9 * (m > 0 ? (m - 1) * n : 0);
+  }
+  unsigned comparator(unsigned w) const { return 3 * w + 2; }
+  /// Comparator plus a 2:1 mux.
+  unsigned minmax(unsigned w) const { return comparator(w) + 3 * w; }
+  unsigned register_(unsigned w) const { return 5 * w + 6; }
+  unsigned mux(unsigned inputs, unsigned w) const {
+    return inputs < 2 ? 0 : (inputs + 1) * w;
+  }
+  unsigned controller(unsigned states, unsigned control_signals) const {
+    return 18 + 14 * states + control_signals;
+  }
+
+  unsigned fu(const FuInstance& f) const;
+};
+
+/// Gate-count breakdown of a datapath, Table I style.
+struct AreaBreakdown {
+  unsigned fu_gates = 0;
+  unsigned reg_gates = 0;
+  unsigned mux_gates = 0;
+  unsigned controller_gates = 0;
+
+  unsigned total() const {
+    return fu_gates + reg_gates + mux_gates + controller_gates;
+  }
+};
+
+AreaBreakdown area_of(const Datapath& dp, const GateModel& gm = {});
+
+/// One-line component summary: "3 adders(6b) | 2 regs(7 bits) | 11 muxes".
+std::string describe(const Datapath& dp);
+
+} // namespace hls

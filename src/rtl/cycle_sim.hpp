@@ -1,0 +1,28 @@
+#pragma once
+// Cycle-accurate datapath simulation.
+//
+// Executes a fragmented schedule the way the synthesized RTL would: cycle by
+// cycle, with values living only in (a) the primary input ports, (b) the
+// current cycle's combinational nets, and (c) the registers the bit-level
+// allocator planned (Datapath::stored). A bit consumed in a later cycle than
+// it was produced MUST be covered by a stored run that is still live —
+// otherwise the datapath would read garbage, and the simulator throws.
+//
+// This closes the verification loop: evaluator (specification semantics)
+// == cycle simulation (schedule + binding + register plan semantics) is the
+// strongest end-to-end property the test suite checks.
+
+#include "alloc/datapath.hpp"
+#include "frag/transform.hpp"
+#include "ir/eval.hpp"
+#include "sched/fragsched.hpp"
+
+namespace hls {
+
+/// Simulates the schedule against the register plan. Throws hls::Error when
+/// a cross-cycle value has no live register coverage, when a value is read
+/// before it is computed, or when an input port value is missing.
+OutputValues simulate_datapath(const TransformResult& t, const FragSchedule& fs,
+                               const Datapath& dp, const InputValues& inputs);
+
+} // namespace hls

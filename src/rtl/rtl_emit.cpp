@@ -1,0 +1,304 @@
+#include "rtl/rtl_emit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace {
+
+std::string sanitize_id(const std::string& s, const std::string& fallback) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? fallback : out;
+}
+
+/// Where one bit of a value lives at a given cycle.
+struct BitSource {
+  enum Kind { Zero, One, Port, Net, Reg } kind = Zero;
+  std::uint32_t id = 0;  ///< node index (Port/Net) or register index (Reg)
+  unsigned bit = 0;      ///< bit position within the source signal
+};
+
+class RtlEmitter {
+public:
+  RtlEmitter(const TransformResult& t, const FragSchedule& fs, const Datapath& dp)
+      : dfg_(t.spec), dp_(dp), latency_(t.latency) {
+    cycle_of_.assign(dfg_.size(), UINT32_MAX);
+    for (const ScheduleRow& r : fs.schedule.rows) {
+      cycle_of_[r.op.index] = r.cycle;
+    }
+    assign_names();
+  }
+
+  std::string run();
+
+private:
+  void assign_names() {
+    names_.resize(dfg_.size());
+    std::vector<std::string> used;
+    for (std::uint32_t i = 0; i < dfg_.size(); ++i) {
+      const Node& n = dfg_.node(NodeId{i});
+      std::string name = sanitize_id(n.name, "n" + std::to_string(i));
+      while (std::find(used.begin(), used.end(), name) != used.end()) {
+        name += "_" + std::to_string(i);
+      }
+      used.push_back(name);
+      names_[i] = name;
+    }
+  }
+
+  /// Source of bit `bit` of node `node` as read in `cycle`.
+  BitSource bit_source(NodeId node, unsigned bit, unsigned cycle) const {
+    const Node& n = dfg_.node(node);
+    switch (n.kind) {
+      case OpKind::Input:
+        return BitSource{BitSource::Port, node.index, bit};
+      case OpKind::Const:
+        return BitSource{((n.value >> bit) & 1) ? BitSource::One : BitSource::Zero,
+                         0, 0};
+      case OpKind::Add: {
+        const unsigned produced = cycle_of_[node.index];
+        if (produced == cycle) return BitSource{BitSource::Net, node.index, bit};
+        // Cross-cycle: find the stored run (guaranteed by the allocator and
+        // verified by simulate_datapath).
+        for (const StoredRun& run : dp_.stored) {
+          if (run.node == node && run.bits.contains(bit) &&
+              run.produced < cycle && run.last_use >= cycle) {
+            return BitSource{BitSource::Reg, static_cast<std::uint32_t>(run.reg),
+                             bit - run.bits.lo};
+          }
+        }
+        throw Error(strformat(
+            "RTL emission: bit %u of %%%u read in cycle %u has no source",
+            bit, node.index, cycle));
+      }
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+      case OpKind::Not:
+        // Glue is rendered as its own combinational expression per cycle; a
+        // glue bit simply reads "the glue net" which we inline by value:
+        // emit glue as nets too (variables computed in every cycle they are
+        // read). For sourcing purposes treat as Net of this node.
+        return BitSource{BitSource::Net, node.index, bit};
+      case OpKind::Concat: {
+        unsigned base = 0;
+        for (const Operand& part : n.operands) {
+          if (bit < base + part.bits.width) {
+            const unsigned rel = bit - base;
+            if (rel >= part.bits.width) break;
+            return bit_source(part.node, part.bits.lo + rel, cycle);
+          }
+          base += part.bits.width;
+        }
+        return BitSource{BitSource::Zero, 0, 0};
+      }
+      default:
+        throw Error("RTL emission requires a kernel-form spec");
+    }
+  }
+
+  /// VHDL expression for an operand slice zero-extended to `target` bits,
+  /// assembled MSB-first from maximal uniform segments.
+  std::string operand_expr(const Operand& o, unsigned target, unsigned cycle) {
+    struct Segment {
+      BitSource src;
+      unsigned width;
+    };
+    std::vector<Segment> segs;  // LSB-first
+    for (unsigned b = 0; b < target; ++b) {
+      BitSource s{BitSource::Zero, 0, 0};
+      if (b < o.bits.width) s = bit_source(o.node, o.bits.lo + b, cycle);
+      const bool extends =
+          !segs.empty() && segs.back().src.kind == s.kind &&
+          ((s.kind == BitSource::Zero || s.kind == BitSource::One)
+               ? true
+               : (segs.back().src.id == s.id &&
+                  segs.back().src.bit + segs.back().width == s.bit));
+      if (extends) {
+        segs.back().width++;
+      } else {
+        segs.push_back(Segment{s, 1});
+      }
+    }
+    std::vector<std::string> parts;  // MSB-first for VHDL concatenation
+    for (auto it = segs.rbegin(); it != segs.rend(); ++it) {
+      const Segment& seg = *it;
+      switch (seg.src.kind) {
+        case BitSource::Zero:
+        case BitSource::One:
+          parts.push_back("\"" + std::string(seg.width,
+                                             seg.src.kind == BitSource::One ? '1'
+                                                                            : '0') +
+                          "\"");
+          break;
+        case BitSource::Port:
+        case BitSource::Net: {
+          const std::string base =
+              seg.src.kind == BitSource::Port ? names_[seg.src.id]
+                                              : "v_" + names_[seg.src.id];
+          parts.push_back(seg.width == 1
+                              ? strformat("%s(%u downto %u)", base.c_str(),
+                                          seg.src.bit, seg.src.bit)
+                              : strformat("%s(%u downto %u)", base.c_str(),
+                                          seg.src.bit + seg.width - 1,
+                                          seg.src.bit));
+          break;
+        }
+        case BitSource::Reg:
+          parts.push_back(strformat("r%u(%u downto %u)", seg.src.id,
+                                    seg.src.bit + seg.width - 1, seg.src.bit));
+          break;
+      }
+    }
+    std::string e = join(parts, " & ");
+    if (parts.size() > 1) e = "(" + e + ")";
+    return e;
+  }
+
+  /// Emits the computation of every net (add or glue) needed in `cycle`, in
+  /// topological order, as process variables.
+  void emit_cycle(std::ostringstream& os, unsigned cycle) {
+    // Which nets does this cycle need? Adds scheduled here, plus glue feeding
+    // them (glue is cheap to recompute; emit any glue whose sources are all
+    // available — conservatively every glue node, each cycle it is consumed).
+    for (std::uint32_t i = 0; i < dfg_.size(); ++i) {
+      const Node& n = dfg_.node(NodeId{i});
+      if (n.kind == OpKind::Add && cycle_of_[i] == cycle) {
+        std::string expr =
+            "std_logic_vector(unsigned(" +
+            operand_expr(n.operands[0], n.width, cycle) + ") + unsigned(" +
+            operand_expr(n.operands[1], n.width, cycle) + ")";
+        if (n.has_carry_in()) {
+          expr += " + unsigned(" + operand_expr(n.operands[2], n.width, cycle) +
+                  ")";
+        }
+        expr += ")";
+        os << "          v_" << names_[i] << " := " << expr << ";\n";
+      } else if (is_glue(n.kind)) {
+        // Emit glue nets every cycle (pure wiring; synthesis prunes).
+        const char* op = n.kind == OpKind::And   ? " and "
+                         : n.kind == OpKind::Or  ? " or "
+                         : n.kind == OpKind::Xor ? " xor "
+                                                 : nullptr;
+        try {
+          if (op != nullptr) {
+            os << "          v_" << names_[i] << " := "
+               << operand_expr(n.operands[0], n.width, cycle) << op
+               << operand_expr(n.operands[1], n.width, cycle) << ";\n";
+          } else {
+            os << "          v_" << names_[i] << " := not "
+               << operand_expr(n.operands[0], n.width, cycle) << ";\n";
+          }
+        } catch (const Error&) {
+          // Glue whose sources are unavailable this cycle is not consumed
+          // this cycle either; skip it.
+        }
+      }
+    }
+    // Register loads: runs produced in this cycle.
+    for (const StoredRun& run : dp_.stored) {
+      if (run.produced != cycle) continue;
+      os << "          r" << run.reg << "(" << run.bits.width - 1
+         << " downto 0) <= v_" << names_[run.node.index] << "("
+         << run.bits.msb() << " downto " << run.bits.lo << ");\n";
+    }
+    // Output latches: latch the whole port in every cycle where all of its
+    // bits resolve to live sources (compose the expression first — a partial
+    // line must never leak when a bit is not yet available).
+    for (NodeId out : dfg_.outputs()) {
+      const Operand& o = dfg_.node(out).operands[0];
+      std::string expr;
+      try {
+        expr = operand_expr(o, o.bits.width, cycle);
+      } catch (const Error&) {
+        continue;  // not fully available yet
+      }
+      os << "          " << names_[out.index] << "_r <= " << expr << ";\n";
+    }
+  }
+
+  const Dfg& dfg_;
+  const Datapath& dp_;
+  unsigned latency_;
+  std::vector<unsigned> cycle_of_;
+  std::vector<std::string> names_;
+};
+
+std::string RtlEmitter::run() {
+  const std::string entity = sanitize_id(dfg_.name(), "design") + "_rtl";
+  std::ostringstream os;
+  os << "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+  os << "entity " << entity << " is\n";
+  os << "port (clk: in std_logic;\n      rst: in std_logic;\n";
+  for (NodeId id : dfg_.inputs()) {
+    os << "      " << names_[id.index] << ": in std_logic_vector("
+       << dfg_.node(id).width - 1 << " downto 0);\n";
+  }
+  for (NodeId id : dfg_.outputs()) {
+    os << "      " << names_[id.index] << ": out std_logic_vector("
+       << dfg_.node(id).width - 1 << " downto 0);\n";
+  }
+  os << "      done: out std_logic);\n";
+  os << "end " << entity << ";\n\n";
+  os << "architecture rtl of " << entity << " is\n";
+  os << "  signal state: natural range 0 to " << latency_ - 1 << " := 0;\n";
+  for (std::size_t r = 0; r < dp_.regs.size(); ++r) {
+    os << "  signal r" << r << ": std_logic_vector(" << dp_.regs[r].width - 1
+       << " downto 0);\n";
+  }
+  for (NodeId id : dfg_.outputs()) {
+    os << "  signal " << names_[id.index] << "_r: std_logic_vector("
+       << dfg_.node(id).width - 1 << " downto 0);\n";
+  }
+  os << "begin\n";
+  for (NodeId id : dfg_.outputs()) {
+    os << "  " << names_[id.index] << " <= " << names_[id.index] << "_r;\n";
+  }
+  os << "  done <= '1' when state = " << latency_ - 1 << " else '0';\n\n";
+  os << "  main: process(clk)\n";
+  for (std::uint32_t i = 0; i < dfg_.size(); ++i) {
+    const Node& n = dfg_.node(NodeId{i});
+    if (n.kind == OpKind::Add || is_glue(n.kind)) {
+      os << "    variable v_" << names_[i] << ": std_logic_vector("
+         << n.width - 1 << " downto 0);\n";
+    }
+  }
+  os << "  begin\n";
+  os << "    if rising_edge(clk) then\n";
+  os << "      if rst = '1' then\n        state <= 0;\n";
+  os << "      else\n";
+  os << "        case state is\n";
+  for (unsigned c = 0; c < latency_; ++c) {
+    os << "        when " << c << " =>\n";
+    emit_cycle(os, c);
+    os << "          state <= " << (c + 1 == latency_ ? 0 : c + 1) << ";\n";
+  }
+  os << "        end case;\n";
+  os << "      end if;\n";
+  os << "    end if;\n";
+  os << "  end process main;\n";
+  os << "end rtl;\n";
+  return os.str();
+}
+
+} // namespace
+
+std::string emit_rtl_vhdl(const TransformResult& t, const FragSchedule& fs,
+                          const Datapath& dp) {
+  RtlEmitter e(t, fs, dp);
+  return e.run();
+}
+
+} // namespace hls

@@ -1,0 +1,27 @@
+#pragma once
+// Structural RTL emitter.
+//
+// Turns a fragmented schedule plus its datapath (register plan) into a
+// clocked VHDL architecture: one FSM counter, one register signal per
+// allocated register, and per-state combinational computation of exactly the
+// fragment additions scheduled in that state. Operand expressions are
+// assembled from maximal uniform segments — port slices, same-cycle nets,
+// register slices and zero padding — i.e. the emitter performs the same
+// source resolution the cycle simulator checks, so `simulate_datapath`
+// passing implies the emitted RTL reads only values that exist in hardware.
+//
+// The output targets the ieee.numeric_std subset and is meant to be read
+// (and dropped into a synthesis flow) rather than consumed by this library.
+
+#include <string>
+
+#include "alloc/datapath.hpp"
+#include "frag/transform.hpp"
+#include "sched/fragsched.hpp"
+
+namespace hls {
+
+std::string emit_rtl_vhdl(const TransformResult& t, const FragSchedule& fs,
+                          const Datapath& dp);
+
+} // namespace hls

@@ -1,0 +1,26 @@
+#pragma once
+// VHDL testbench generator.
+//
+// Emits a self-checking testbench for the structural RTL of emit_rtl_vhdl():
+// it drives the input ports with the supplied vectors, waits the schedule's
+// latency, and asserts the output ports against expected values computed by
+// the reference evaluator. Together with emit_rtl_vhdl() this gives a
+// complete, simulator-ready verification package for the synthesized design
+// (the in-repo equivalent is simulate_datapath, which the test suite runs).
+
+#include <string>
+#include <vector>
+
+#include "frag/transform.hpp"
+#include "ir/eval.hpp"
+
+namespace hls {
+
+/// Generates `vectors` random stimulus/response pairs with `rng_seed` and
+/// returns the testbench source. Expected responses come from evaluating
+/// the transformed specification (== the original, by the equivalence
+/// property).
+std::string emit_testbench(const TransformResult& t, unsigned vectors,
+                           std::uint64_t rng_seed);
+
+} // namespace hls

@@ -1,0 +1,19 @@
+#pragma once
+// Behavioural VHDL-subset emitter.
+//
+// Renders a specification the way the paper presents its examples (Fig. 1 a
+// and Fig. 2 a): an entity with the primary ports and one process assigning
+// every operation in topological order. Fragmented specifications come out
+// with the same sliced-operand, carry-chained shape as the paper's
+// transformed VHDL. The output is presentation-faithful (a proof artefact
+// and example payload), not a synthesis input of this library.
+
+#include <string>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+std::string emit_vhdl(const Dfg& dfg, const std::string& architecture = "beh");
+
+} // namespace hls

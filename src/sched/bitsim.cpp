@@ -1,0 +1,139 @@
+#include "sched/bitsim.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace {
+
+constexpr BitAvail kStartOfTime{0, 0};
+constexpr BitAvail kUnavailable{kUnassignedCycle, 0};
+
+bool later(const BitAvail& a, const BitAvail& b) {
+  return a.cycle != b.cycle ? a.cycle > b.cycle : a.slot > b.slot;
+}
+
+} // namespace
+
+BitCycles make_unassigned(const Dfg& kernel) {
+  BitCycles assign(kernel.size());
+  for (std::uint32_t i = 0; i < kernel.size(); ++i) {
+    if (kernel.node(NodeId{i}).kind == OpKind::Add) {
+      assign[i].assign(kernel.node(NodeId{i}).width, kUnassignedCycle);
+    }
+  }
+  return assign;
+}
+
+BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
+  BitSim sim;
+  sim.avail.resize(kernel.size());
+
+  // Relative bit of an operand slice; bits beyond the slice are constant 0,
+  // available from the start of time.
+  auto operand_avail = [&sim](const Operand& o, unsigned rel) -> BitAvail {
+    if (rel >= o.bits.width) return kStartOfTime;
+    return sim.avail[o.node.index][o.bits.lo + rel];
+  };
+
+  for (std::uint32_t idx = 0; idx < kernel.size(); ++idx) {
+    const Node& n = kernel.node(NodeId{idx});
+    std::vector<BitAvail>& self = sim.avail[idx];
+    self.assign(n.width, kUnavailable);
+
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Const:
+        self.assign(n.width, kStartOfTime);
+        break;
+      case OpKind::Output:
+        for (unsigned b = 0; b < n.width; ++b) {
+          self[b] = operand_avail(n.operands[0], b);
+        }
+        break;
+      case OpKind::Add: {
+        for (unsigned b = 0; b < n.width; ++b) {
+          const unsigned c = assign[idx][b];
+          if (c == kUnassignedCycle) continue;  // partial schedules are fine
+
+          // Carry into this bit: the previous result bit, or the carry-in
+          // operand for bit 0.
+          BitAvail carry = kStartOfTime;
+          if (b > 0) {
+            carry = self[b - 1];
+            if (carry.cycle == kUnassignedCycle) {
+              throw Error(strformat(
+                  "bit %u of add %%%u is scheduled but bit %u is not", b, idx,
+                  b - 1));
+            }
+            if (carry.cycle > c) {
+              throw Error(strformat(
+                  "carry chain of add %%%u runs backwards: bit %u in cycle "
+                  "%u, bit %u in cycle %u",
+                  idx, b - 1, carry.cycle, b, c));
+            }
+          } else if (n.has_carry_in()) {
+            carry = operand_avail(n.operands[2], 0);
+          }
+
+          unsigned slot = 0;
+          for (const BitAvail& in :
+               {operand_avail(n.operands[0], b), operand_avail(n.operands[1], b),
+                carry}) {
+            if (in.cycle == kUnassignedCycle) {
+              throw Error(strformat(
+                  "add %%%u bit %u consumes an unscheduled value", idx, b));
+            }
+            if (in.cycle > c) {
+              throw Error(strformat(
+                  "add %%%u bit %u (cycle %u) consumes a bit computed in "
+                  "cycle %u",
+                  idx, b, c, in.cycle));
+            }
+            if (in.cycle == c) slot = std::max(slot, in.slot);
+          }
+          // Bits beyond both operand slices forward the carry for free; real
+          // sum bits cost one full-adder slot.
+          const unsigned cost = n.add_bit_is_free(b) ? 0u : 1u;
+          self[b] = BitAvail{c, slot + cost};
+          sim.max_slot = std::max(sim.max_slot, slot + cost);
+        }
+        break;
+      }
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+      case OpKind::Not: {
+        for (unsigned b = 0; b < n.width; ++b) {
+          BitAvail v = kStartOfTime;
+          bool unavailable = false;
+          for (const Operand& o : n.operands) {
+            const BitAvail in = operand_avail(o, b);
+            if (in.cycle == kUnassignedCycle) unavailable = true;
+            if (later(in, v)) v = in;
+          }
+          self[b] = unavailable ? kUnavailable : v;
+        }
+        break;
+      }
+      case OpKind::Concat: {
+        unsigned base = 0;
+        for (const Operand& o : n.operands) {
+          for (unsigned b = 0; b < o.bits.width; ++b) {
+            self[base + b] = operand_avail(o, b);
+          }
+          base += o.bits.width;
+        }
+        break;
+      }
+      default:
+        throw Error("simulate_bit_schedule: non-kernel node '" +
+                    std::string(op_name(n.kind)) + "'");
+    }
+  }
+  return sim;
+}
+
+} // namespace hls

@@ -1,0 +1,47 @@
+#pragma once
+// Exact bit-slot simulation of a (partial) schedule.
+//
+// Given a per-bit cycle assignment for every Add of a kernel-form DFG, this
+// computes when each bit of each node becomes available as a (cycle, slot)
+// pair: values produced in an earlier cycle are registered and cost slot 0;
+// values produced in the same cycle chain combinationally at their slot.
+// Glue and concats are transparent. This is the engine behind schedule
+// validation and the in-cycle feasibility checks of the schedulers.
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+/// Availability of one bit.
+struct BitAvail {
+  unsigned cycle = 0;  ///< cycle in which the bit is computed
+  unsigned slot = 0;   ///< chained-adder depth within that cycle (0 = at start)
+
+  friend bool operator==(const BitAvail&, const BitAvail&) = default;
+};
+
+/// Per-bit cycle assignment of Add results. assign[node][bit] is the cycle;
+/// kUnassigned marks bits not scheduled yet (their consumers may not be
+/// simulated). Non-Add nodes use empty vectors.
+inline constexpr unsigned kUnassignedCycle = 0xFFFFFFFFu;
+using BitCycles = std::vector<std::vector<unsigned>>;
+
+struct BitSim {
+  std::vector<std::vector<BitAvail>> avail;  ///< per node, per bit
+  unsigned max_slot = 0;  ///< deepest in-cycle chain anywhere in the schedule
+
+  const BitAvail& at(NodeId id, unsigned bit) const { return avail[id.index][bit]; }
+};
+
+/// Simulates the assignment. Throws hls::Error if an Add consumes a bit
+/// computed in a later cycle, if an Add's bit cycles decrease along its
+/// carry chain, or if a consumed bit is unassigned. Does NOT check max_slot
+/// against any budget — callers compare against their cycle length.
+BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign);
+
+/// Builds the all-unassigned assignment shape for `kernel`.
+BitCycles make_unassigned(const Dfg& kernel);
+
+} // namespace hls

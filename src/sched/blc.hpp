@@ -1,0 +1,27 @@
+#pragma once
+// Bit-level chaining (BLC) scheduler — the Fig. 1 d) comparison point.
+//
+// Models the technique of Park & Choi (the paper's reference [3]): operations
+// stay atomic (all bits of an op execute in one cycle, no fragmentation),
+// but data-dependent operations overlap at the bit level within a cycle —
+// bit i of C = A + B and bit i-1 of E = C + D compute simultaneously.
+//
+// Requires a kernel-form DFG (bit-level overlap is defined on the additive
+// kernel). Given a latency, finds the minimal cycle length for which a
+// greedy earliest-cycle placement fits, via the exact bit-slot simulator.
+
+#include "sched/conventional.hpp"
+#include "sched/schedule.hpp"
+
+namespace hls {
+
+/// Returns an op-granular schedule (every op occupies exactly one cycle).
+/// Throws hls::Error if `kernel` is not kernel-form.
+OpSchedule schedule_blc(const Dfg& kernel, unsigned latency);
+
+/// Fixed-cycle-length probe; returns the per-op cycle assignment when
+/// feasible. Exposed for tests.
+bool blc_fits(const Dfg& kernel, unsigned latency, unsigned cycle_deltas,
+              std::vector<unsigned>* cycles_out = nullptr);
+
+} // namespace hls

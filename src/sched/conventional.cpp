@@ -1,0 +1,132 @@
+#include "sched/conventional.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace hls {
+
+unsigned conventional_depth(const Node& n) {
+  switch (n.kind) {
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Neg:
+      return n.width;
+    case OpKind::Mul:
+      // Ripple-carry array multiplier: carry chain of m + n full adders.
+      return n.operands[0].bits.width + n.operands[1].bits.width;
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+    case OpKind::Eq:
+    case OpKind::Ne:
+      return std::max(n.operands[0].bits.width, n.operands[1].bits.width) + 1;
+    case OpKind::Max:
+    case OpKind::Min:
+      // Magnitude comparison followed by a mux level.
+      return n.width + 2;
+    default:
+      return 0;  // IO, constants, glue, concat: wiring
+  }
+}
+
+namespace {
+
+struct Placement {
+  unsigned start = 0;  ///< delta at which the op begins computing
+  unsigned avail = 0;  ///< delta at which consumers may use the result
+};
+
+/// Schedules every node on a continuous delta timeline with cycle
+/// boundaries every L deltas. Returns nullopt when any result lands after
+/// the latency horizon.
+std::optional<std::vector<Placement>> place_ops(const Dfg& spec,
+                                                unsigned latency, unsigned L,
+                                                const ConventionalOptions& opt) {
+  const unsigned horizon = latency * L;
+  std::vector<Placement> p(spec.size());
+
+  for (std::uint32_t idx = 0; idx < spec.size(); ++idx) {
+    const Node& n = spec.node(NodeId{idx});
+    unsigned ready = 0;
+    for (const Operand& o : n.operands) {
+      ready = std::max(ready, p[o.node.index].avail);
+    }
+    const unsigned d = conventional_depth(n);
+    if (d == 0) {
+      p[idx] = {ready, ready};
+      continue;
+    }
+    const unsigned into_cycle = ready % L;
+    unsigned start = ready;
+    if (d <= L) {
+      // Chain into the current cycle if the op fits in its remainder;
+      // otherwise wait for the next boundary.
+      if (into_cycle + d > L) start = ready + (L - into_cycle);
+      p[idx] = {start, start + d};
+    } else {
+      if (!opt.allow_multicycle) return std::nullopt;  // op longer than cycle
+      // Integer multicycle: start at a boundary, result registered at the
+      // boundary after ceil(d / L) cycles.
+      if (into_cycle != 0) start = ready + (L - into_cycle);
+      const unsigned cycles = (d + L - 1) / L;
+      p[idx] = {start, start + cycles * L};
+    }
+    if (p[idx].avail > horizon) return std::nullopt;
+  }
+  return p;
+}
+
+OpSchedule build_schedule(const Dfg& spec, unsigned latency, unsigned L,
+                          const std::vector<Placement>& p) {
+  OpSchedule s;
+  s.latency = latency;
+  s.cycle_deltas = L;
+  for (std::uint32_t idx = 0; idx < spec.size(); ++idx) {
+    const Node& n = spec.node(NodeId{idx});
+    const unsigned d = conventional_depth(n);
+    if (d == 0) continue;
+    const unsigned first = p[idx].start / L;
+    // Last delta actually computing is start + d - 1.
+    const unsigned last = (p[idx].start + d - 1) / L;
+    s.spans.push_back(OpSpan{NodeId{idx}, first, std::min(last, latency - 1)});
+  }
+  return s;
+}
+
+} // namespace
+
+bool conventional_fits(const Dfg& spec, unsigned latency, unsigned cycle_deltas,
+                       const ConventionalOptions& opt) {
+  return place_ops(spec, latency, cycle_deltas, opt).has_value();
+}
+
+OpSchedule schedule_conventional(const Dfg& spec, unsigned latency,
+                                 const ConventionalOptions& opt) {
+  HLS_REQUIRE(latency > 0, "latency must be positive");
+
+  // Upper bound: chaining everything serially fits in one cycle of the
+  // summed depths.
+  unsigned hi = 1;
+  for (const Node& n : spec.nodes()) hi += conventional_depth(n);
+  if (!conventional_fits(spec, latency, hi, opt)) {
+    throw Error("conventional scheduler: no feasible cycle length found");
+  }
+  unsigned lo = 1;
+  while (lo < hi) {  // smallest feasible L (feasibility is monotone in L
+                     // for this placement rule: more slack never hurts)
+    const unsigned mid = lo + (hi - lo) / 2;
+    if (conventional_fits(spec, latency, mid, opt)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const auto placement = place_ops(spec, latency, hi, opt);
+  HLS_ASSERT(placement.has_value(), "binary search converged on infeasible L");
+  return build_schedule(spec, latency, hi, *placement);
+}
+
+} // namespace hls

@@ -1,0 +1,60 @@
+#pragma once
+// Conventional time-constrained scheduler — the paper's baseline.
+//
+// Models what the paper calls "a conventional algorithm" (and what Synopsys
+// Behavioral Compiler provides): operations are atomic, a result is usable
+// only when the whole operation finished, chaining packs whole
+// data-dependent operations into one cycle, and operations longer than the
+// cycle become integer multicycle ops registered at the following boundary.
+//
+// Runs directly on the *original* specification (no kernel extraction): each
+// operation kind has a ripple depth matching the functional unit a
+// conventional tool would allocate (adder, comparator, array multiplier...).
+//
+// Given a latency, finds the minimal cycle length with a feasible schedule.
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+/// Op-granular schedule: each operation occupies its functional unit from
+/// first_cycle through last_cycle inclusive.
+struct OpSpan {
+  NodeId op;
+  unsigned first_cycle = 0;
+  unsigned last_cycle = 0;
+};
+
+struct OpSchedule {
+  unsigned latency = 0;
+  unsigned cycle_deltas = 0;  ///< clock length, deltas
+  std::vector<OpSpan> spans;
+};
+
+/// Ripple depth (deltas) of one operation under the conventional FU library:
+/// adds/subs ripple their width, an m x n array multiplier ripples m + n,
+/// comparisons ripple max(wa, wb) + 1, min/max add a mux level, glue and
+/// structure are free.
+unsigned conventional_depth(const Node& n);
+
+struct ConventionalOptions {
+  /// Allow integer multicycle operations. Off by default: the paper's
+  /// Behavioral Compiler baseline keeps the clock at least as long as the
+  /// slowest operation (diffeq's original cycle equals one multiplier delay
+  /// at every latency in Table II), and Fig. 4's flat "original" curve
+  /// depends on that. The ablation bench turns it on.
+  bool allow_multicycle = false;
+};
+
+/// Schedules `spec` (original or kernel form) in `latency` cycles; returns
+/// the schedule at the minimal feasible cycle length.
+OpSchedule schedule_conventional(const Dfg& spec, unsigned latency,
+                                 const ConventionalOptions& opt = {});
+
+/// Feasibility probe for a fixed cycle length; exposed for tests.
+bool conventional_fits(const Dfg& spec, unsigned latency, unsigned cycle_deltas,
+                       const ConventionalOptions& opt = {});
+
+} // namespace hls

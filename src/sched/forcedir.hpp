@@ -1,0 +1,29 @@
+#pragma once
+// Force-directed fragment scheduler (Paulin & Knight's algorithm adapted to
+// bit-slice fragments).
+//
+// An alternative to the list scheduler of fragsched.hpp, used by the
+// scheduler ablation bench. Each unplaced fragment spreads a probability
+// mass of width/|window| over its mobility window; the distribution graph
+// DG[c] sums that mass per cycle (in adder bits, the resource the datapath
+// allocates). The scheduler repeatedly commits the (fragment, cycle) choice
+// with the lowest force
+//
+//   force(f, c) = DG'(c) - mean(DG' over window(f))
+//
+// where DG' is the distribution graph after hypothetically placing f at c,
+// plus the implied window tightening of the fragment's carry-chain
+// neighbours (predecessor fragments may no longer end after c, successors
+// may no longer start before c). In-cycle chaining feasibility is checked
+// with the exact bit-slot simulator before commitment; the final schedule is
+// validated like every other one.
+
+#include "frag/transform.hpp"
+#include "sched/fragsched.hpp"
+
+namespace hls {
+
+/// Force-directed placement; same result contract as schedule_transformed().
+FragSchedule schedule_transformed_forcedirected(const TransformResult& t);
+
+} // namespace hls

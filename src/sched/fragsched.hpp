@@ -1,0 +1,42 @@
+#pragma once
+// Fragment-aware scheduler: the "conventional scheduler run on the
+// transformed specification" of the paper.
+//
+// Every Add of a TransformResult carries a mobility window [asap, alap].
+// The scheduler places each fragment in one cycle of its window, using the
+// exact bit-slot simulator for in-cycle chaining feasibility, and balances
+// the number of active fragments per cycle (that is what makes operation A
+// of Fig. 3 execute in cycles 1 and 3 — unconsecutive — in the paper's
+// schedule). Placement at every fragment's ASAP cycle is always feasible,
+// so balancing failures fall back to ASAP placement.
+
+#include "frag/transform.hpp"
+#include "sched/schedule.hpp"
+
+namespace hls {
+
+struct FragSchedule {
+  /// Per-fragment rows over TransformResult::spec; passes validate_schedule.
+  Schedule schedule;
+
+  /// Adder-level operations after merging: adjacent fragments of the same
+  /// original operation placed in the same cycle become one wider adder op
+  /// (A2 and A4..3 merging into A4..2 in Fig. 3 g). `bits` are original
+  /// result bits; the adder width the datapath needs is bits.width (the
+  /// carry-out is inherent to the adder, not an extra stage).
+  struct FuOp {
+    NodeId orig;                 ///< Add in the kernel (pre-transform) DFG
+    BitRange bits;               ///< original result bits computed here
+    unsigned cycle = 0;
+    std::vector<NodeId> nodes;   ///< fragment nodes in TransformResult::spec
+  };
+  std::vector<FuOp> fu_ops;
+
+  /// True when some original operation executes in non-consecutive cycles —
+  /// the capability the paper claims is unique to this method.
+  bool has_unconsecutive_execution() const;
+};
+
+FragSchedule schedule_transformed(const TransformResult& t);
+
+} // namespace hls

@@ -1,0 +1,99 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "sched/bitsim.hpp"
+#include "support/strings.hpp"
+
+namespace hls {
+
+std::vector<const ScheduleRow*> Schedule::rows_in_cycle(unsigned c) const {
+  std::vector<const ScheduleRow*> out;
+  for (const ScheduleRow& r : rows) {
+    if (r.cycle == c) out.push_back(&r);
+  }
+  return out;
+}
+
+unsigned Schedule::max_rows_per_cycle() const {
+  std::vector<unsigned> count(latency, 0);
+  for (const ScheduleRow& r : rows) {
+    if (r.cycle < latency) count[r.cycle]++;
+  }
+  return count.empty() ? 0 : *std::max_element(count.begin(), count.end());
+}
+
+unsigned Schedule::max_row_width() const {
+  unsigned w = 0;
+  for (const ScheduleRow& r : rows) w = std::max(w, r.bits.width);
+  return w;
+}
+
+std::string to_string(const Dfg& dfg, const Schedule& s) {
+  std::ostringstream os;
+  os << "schedule: " << s.latency << " cycles x " << s.cycle_deltas
+     << " deltas\n";
+  for (unsigned c = 0; c < s.latency; ++c) {
+    os << "  cycle " << (c + 1) << ":";
+    for (const ScheduleRow* r : s.rows_in_cycle(c)) {
+      const Node& n = dfg.node(r->op);
+      // Fragment names already carry their bit range ("C(5 downto 0)");
+      // anonymous rows print the node id plus the bits computed.
+      if (!n.name.empty()) {
+        os << ' ' << n.name;
+      } else {
+        os << " %" << r->op.index << to_string(r->bits);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void validate_schedule(const Dfg& dfg, const Schedule& s) {
+  HLS_REQUIRE(s.latency > 0 && s.cycle_deltas > 0,
+              "schedule must have positive latency and cycle length");
+
+  // Rows -> per-bit cycle assignment, checking exact coverage.
+  BitCycles assign = make_unassigned(dfg);
+  for (const ScheduleRow& r : s.rows) {
+    const Node& n = dfg.node(r.op);
+    if (n.kind != OpKind::Add) {
+      throw Error(strformat("schedule row for non-add node %%%u", r.op.index));
+    }
+    if (r.cycle >= s.latency) {
+      throw Error(strformat("row of %%%u scheduled in cycle %u >= latency %u",
+                            r.op.index, r.cycle, s.latency));
+    }
+    if (r.bits.empty() || r.bits.hi() > n.width) {
+      throw Error(strformat("row of %%%u covers bits %s outside width %u",
+                            r.op.index, to_string(r.bits).c_str(), n.width));
+    }
+    for (unsigned b = r.bits.lo; b < r.bits.hi(); ++b) {
+      if (assign[r.op.index][b] != kUnassignedCycle) {
+        throw Error(strformat("bit %u of %%%u scheduled twice", b, r.op.index));
+      }
+      assign[r.op.index][b] = r.cycle;
+    }
+  }
+  for (std::uint32_t i = 0; i < dfg.size(); ++i) {
+    if (dfg.node(NodeId{i}).kind != OpKind::Add) continue;
+    for (unsigned b = 0; b < dfg.node(NodeId{i}).width; ++b) {
+      if (assign[i][b] == kUnassignedCycle) {
+        throw Error(strformat("bit %u of add %%%u is not scheduled", b, i));
+      }
+    }
+  }
+
+  // Precedence and chaining depth via exact simulation.
+  const BitSim sim = simulate_bit_schedule(dfg, assign);
+  if (sim.max_slot > s.cycle_deltas) {
+    throw Error(strformat(
+        "in-cycle chain depth %u exceeds the cycle length of %u deltas",
+        sim.max_slot, s.cycle_deltas));
+  }
+}
+
+} // namespace hls

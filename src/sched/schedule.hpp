@@ -1,0 +1,52 @@
+#pragma once
+// Unified schedule representation.
+//
+// A schedule assigns *result-bit ranges* of Add operations to clock cycles.
+// This one structure expresses all three flows of the paper:
+//   * conventional schedules (op-level chaining/multicycle): a multicycle op
+//     contributes one row per cycle it spans;
+//   * bit-level-chaining schedules: one row per op, overlapping in-cycle;
+//   * fragmented schedules: one row per fragment (merged when adjacent
+//     fragments of the same original op land in the same cycle).
+// Allocation, binding and the area model all consume rows.
+
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+struct ScheduleRow {
+  NodeId op;      ///< Add node of the scheduled DFG
+  unsigned cycle; ///< 0-based clock cycle
+  BitRange bits;  ///< result bits of `op` computed in this cycle
+
+  friend bool operator==(const ScheduleRow&, const ScheduleRow&) = default;
+};
+
+struct Schedule {
+  unsigned latency = 0;       ///< number of clock cycles
+  unsigned cycle_deltas = 0;  ///< clock length, in chained 1-bit-adder deltas
+  std::vector<ScheduleRow> rows;
+
+  std::vector<const ScheduleRow*> rows_in_cycle(unsigned c) const;
+  /// Maximum number of rows in any cycle: a lower bound on adder count.
+  unsigned max_rows_per_cycle() const;
+  /// Widest row (adder width needed somewhere in the schedule).
+  unsigned max_row_width() const;
+};
+
+/// Renders "cycle k: C(5 downto 0) E(4 downto 0) ..." like Fig. 3 g).
+std::string to_string(const Dfg& dfg, const Schedule& s);
+
+/// Bit-exact schedule validation. Checks that
+///   * every Add bit is covered by exactly one row, in a cycle < latency;
+///   * no operation consumes a bit computed in a later cycle;
+///   * within every cycle, the chained ripple depth (computed by exact
+///     bit-slot simulation, glue transparent, carries included) fits in
+///     cycle_deltas.
+/// Throws hls::Error with a diagnostic on the first violation.
+void validate_schedule(const Dfg& dfg, const Schedule& s);
+
+} // namespace hls

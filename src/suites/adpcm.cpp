@@ -1,0 +1,116 @@
+#include "suites/suites.hpp"
+
+#include "ir/builder.hpp"
+
+namespace hls {
+
+namespace {
+
+/// Conditional two's complement: sign ? -x : x, built from glue and one
+/// addition (xor with the replicated sign, then +sign), the shape ADPCM
+/// sign/magnitude handling lowers to.
+Val conditional_negate(SpecBuilder& b, const Val& x, const Val& sign) {
+  std::vector<Val> rep(x.width(), sign);
+  const Val mask = b.concat_lsb_first(rep);
+  return b.add_cin(x ^ mask, b.cst(0, 1), sign, x.width());
+}
+
+} // namespace
+
+Dfg adpcm_iaq() {
+  // G.721 inverse adaptive quantizer (RECONST + ANTILOG core): reconstructs
+  // the quantized difference signal DQ from the ADPCM code I and the scale
+  // factor Y. The W(I) table lookup is a ROM and enters as a port; the
+  // module's arithmetic is the log-domain addition, the mantissa offset and
+  // the sign application.
+  SpecBuilder b("iaq");
+  const Val I = b.in("I", 4);        // ADPCM codeword (sign + 3 magnitude)
+  const Val WI = b.in("WI", 12);     // quantizer table output W(|I|)
+  const Val Y = b.in("Y", 13);       // scale factor
+
+  // DQL = W(I) + Y >> 2  (log domain, 12 bits)
+  const Val dql = b.add(WI, Y.slice(12, 2), 12);
+  // Mantissa: DQT = 1.DMN (offset-128 fixed point) -> 128 + DQL(6..0).
+  const Val dqt = b.add(b.cst(128, 8), dql.slice(6, 0), 9);
+  // Exponent path kept for the output format (wiring only).
+  const Val dex = dql.slice(10, 7);
+  // Sign application: DQ = SIGN(I) ? -DQT : DQT.
+  const Val sign = I.bit(3);
+  const Val dq = conditional_negate(b, b.zext(dqt, 12), sign);
+
+  b.out("DQ", dq);
+  b.out("DEX", dex);
+  return std::move(b).take();
+}
+
+Dfg adpcm_ttd() {
+  // G.721 tone & transition detector (TONE + TRANS): flags partial-band
+  // signals (A2 below -0.71875) and transitions (|DQ| exceeding a threshold
+  // derived from the locked scale factor YL).
+  SpecBuilder b("ttd");
+  const Val A2 = b.signed_in("A2", 16);  // second predictor coefficient
+  const Val YL = b.in("YL", 15);         // locked scale factor (integer part)
+  const Val DQ = b.in("DQ", 15);         // quantized difference magnitude
+
+  // TDP = 1 when A2 < -0.71875 (constant -11776 at Q14).
+  const Val thr_a2 = b.signed_in("THR_A2", 16);  // constant port (-11776)
+  const Val tdp = b.cmp(OpKind::Lt, A2, thr_a2, /*is_signed=*/true);
+
+  // Transition threshold: DQTHR = YLMAG + YLMAG/2 (1.5x, shift-add form).
+  const Val ylmag = YL.slice(14, 3);
+  const Val dqthr = b.add(ylmag, ylmag.slice(11, 1), 13);
+  const Val big = b.cmp(OpKind::Gt, DQ, dqthr);
+
+  // TR = TDP and (|DQ| > DQTHR); both flags are also outputs.
+  b.out("TDP", tdp);
+  b.out("TR", tdp & big);
+  return std::move(b).take();
+}
+
+Dfg adpcm_opfc_sca() {
+  // G.721 output PCM format conversion (COMPRESS) plus synchronous coding
+  // adjustment. COMPRESS locates the log-PCM segment of the reconstructed
+  // signal SR with a ladder of magnitude comparisons and assembles the PCM
+  // word; SCA re-quantizes and nudges the PCM code by +/-1 when the decoder
+  // quantization disagrees (the +/-1 is a conditional add).
+  SpecBuilder b("opfc_sca");
+  const Val SR = b.signed_in("SR", 16);   // reconstructed signal
+  const Val SP = b.in("SP", 8);           // PCM codeword candidate
+  const Val DLN = b.in("DLN", 12);        // log difference for SCA
+  const Val DS = b.in("DS", 1);           // difference sign
+
+  // |SR| via conditional negate (sign-magnitude PCM domain).
+  const Val srs = SR.bit(15);
+  const Val mag = conditional_negate(b, SR, srs).slice(14, 0);
+
+  // Segment search: ladder of comparisons against the mu-law breakpoints.
+  std::vector<Val> seg_bits;
+  unsigned breakpoint = 31;
+  for (int s = 0; s < 7; ++s) {
+    seg_bits.push_back(b.cmp(OpKind::Gt, mag, b.cst(breakpoint, 15)));
+    breakpoint = breakpoint * 2 + 31;  // 31, 93, 217, 465, ...
+  }
+  // Segment number = sum of the ladder flags (a small adder tree).
+  Val seg = b.zext(seg_bits[0], 3);
+  for (int s = 1; s < 7; ++s) seg = b.add(seg, seg_bits[s], 3);
+
+  // Quantization step within the segment (mantissa bits) and PCM assembly.
+  const Val quan = b.add(mag.slice(9, 2), seg, 8);
+  const Val pcm = b.add(quan, b.cst(33, 7), 8);  // bias of the mu-law code
+
+  // SCA: decoder-side log difference vs the encoder's; adjust SP by +/-1.
+  const Val dlx = b.add(DLN, b.cst(13, 5), 12);
+  const Val disagree_lo = b.cmp(OpKind::Lt, dlx, b.zext(pcm, 12));
+  const Val disagree_hi = b.cmp(OpKind::Gt, dlx, b.zext(pcm, 12));
+  // SD = SP + (disagree_lo ? +1 : 0) - (disagree_hi ? 1 : 0), folded into
+  // two conditional adds on the PCM word.
+  const Val sd1 = b.add_cin(SP, b.cst(0, 1), disagree_lo, 8);
+  const Val neg_one_masked = conditional_negate(b, b.zext(disagree_hi, 8), DS);
+  const Val sd = b.add(sd1, neg_one_masked, 8);
+
+  b.out("PCM", pcm);
+  b.out("SD", sd);
+  return std::move(b).take();
+}
+
+} // namespace hls

@@ -1,0 +1,157 @@
+#include "suites/suites.hpp"
+
+#include "ir/builder.hpp"
+
+namespace hls {
+
+namespace {
+
+constexpr unsigned kWidth = 16;  ///< classical benchmarks use 16-bit data
+
+/// Two-port wave-digital adaptor, the building block of the elliptic wave
+/// filter: with reflection coefficient gamma,
+///   d  = a1 - a2
+///   s  = gamma * d     (constant multiplication)
+///   b1 = a2 + s
+///   b2 = a1 + s
+/// Contributes 3 additive ops and one constant multiplication.
+struct Adaptor {
+  Val b1, b2;
+};
+
+Adaptor adaptor(SpecBuilder& b, const Val& a1, const Val& a2, unsigned gamma) {
+  const Val d = b.sub(a1, a2, kWidth);
+  const Val s = b.mul(d, b.cst(gamma, 5), kWidth);
+  return Adaptor{b.add(a2, s, kWidth), b.add(a1, s, kWidth)};
+}
+
+} // namespace
+
+Dfg elliptic() {
+  // Fifth-order elliptic wave digital filter, reconstructed from its ladder
+  // adaptor structure with the canonical benchmark profile: 26 additive
+  // operations and 8 constant multiplications, additive critical path of
+  // ~14 operations. State values (delay registers) appear as primary inputs
+  // and outputs: the DFG describes one filter iteration, as in the HLS
+  // benchmark suite.
+  SpecBuilder b("elliptic");
+  const Val in = b.in("inp", kWidth);
+  const Val sv1 = b.in("sv1", kWidth);
+  const Val sv2 = b.in("sv2", kWidth);
+  const Val sv3 = b.in("sv3", kWidth);
+  const Val sv4 = b.in("sv4", kWidth);
+  const Val sv5 = b.in("sv5", kWidth);
+
+  // Input section: source combination feeding the first ladder stage.
+  const Val t1 = b.add(in, sv1, kWidth);
+  const Val t2 = b.add(t1, sv2, kWidth);
+
+  // Ladder of five adaptors (one per filter order), chained through their
+  // transmitted ports with the state values on the reflected ports.
+  const Adaptor s1 = adaptor(b, t2, sv1, 9);    // 3 additive + 1 mul
+  const Adaptor s2 = adaptor(b, s1.b2, sv2, 21);
+  const Val m1 = b.add(s1.b1, s2.b1, kWidth);
+  const Adaptor s3 = adaptor(b, s2.b2, sv3, 13);
+  const Adaptor s4 = adaptor(b, m1, sv4, 27);
+  const Val m2 = b.add(s3.b1, s4.b1, kWidth);
+  const Adaptor s5 = adaptor(b, s4.b2, sv5, 7);
+
+  // Three more constant multiplications scale the tap outputs (the wave
+  // filter's port resistance normalizations).
+  const Val g1 = b.mul(s3.b2, b.cst(11, 5), kWidth);
+  const Val g2 = b.mul(s5.b1, b.cst(19, 5), kWidth);
+  const Val g3 = b.mul(m2, b.cst(5, 5), kWidth);
+
+  // Output section and state updates: 6 more additions.
+  const Val o1 = b.add(g1, g2, kWidth);
+  const Val o2 = b.add(o1, g3, kWidth);
+  const Val o3 = b.add(o2, s5.b2, kWidth);
+  b.out("outp", o3);
+  b.out("sv1_n", b.add(s1.b1, t1, kWidth));
+  b.out("sv2_n", b.add(s2.b1, t2, kWidth));
+  b.out("sv3_n", b.add(s3.b1, m1, kWidth));
+  b.out("sv4_n", s4.b2);
+  b.out("sv5_n", s5.b2);
+  return std::move(b).take();
+}
+
+Dfg diffeq() {
+  // The HAL differential-equation solver:
+  //   x1 = x + dx
+  //   u1 = u - 3*x*u*dx - 3*y*dx
+  //   y1 = y + u*dx
+  //   c  = x1 < a
+  SpecBuilder b("diffeq");
+  const Val x = b.in("x", kWidth), y = b.in("y", kWidth);
+  const Val u = b.in("u", kWidth), dx = b.in("dx", kWidth);
+  const Val a = b.in("a", kWidth);
+  const Val three = b.cst(3, 2);
+
+  const Val x1 = b.add(x, dx, kWidth);
+  const Val t1 = b.mul(three, x, kWidth);     // 3x
+  const Val t2 = b.mul(u, dx, kWidth);        // u dx
+  const Val t3 = b.mul(t1, t2, kWidth);       // 3x u dx
+  const Val t4 = b.mul(three, y, kWidth);     // 3y
+  const Val t5 = b.mul(t4, dx, kWidth);       // 3y dx
+  const Val t6 = b.sub(u, t3, kWidth);
+  const Val u1 = b.sub(t6, t5, kWidth);
+  const Val y1 = b.add(y, t2, kWidth);
+  const Val c = b.cmp(OpKind::Lt, x1, a);
+
+  b.out("x1", x1);
+  b.out("u1", u1);
+  b.out("y1", y1);
+  b.out("c", c);
+  return std::move(b).take();
+}
+
+namespace {
+
+/// Direct-form-II biquad: w = x - a1*w1 - a2*w2; y = b0*w + b1*w1 + b2*w2.
+Val biquad(SpecBuilder& b, const Val& x, const Val& w1, const Val& w2,
+           unsigned a1, unsigned a2, unsigned b0, unsigned b1c, unsigned b2,
+           Val* w_out) {
+  const Val t1 = b.mul(w1, b.cst(a1, 5), kWidth);
+  const Val t2 = b.mul(w2, b.cst(a2, 5), kWidth);
+  const Val w = b.sub(b.sub(x, t1, kWidth), t2, kWidth);
+  const Val p0 = b.mul(w, b.cst(b0, 5), kWidth);
+  const Val p1 = b.mul(w1, b.cst(b1c, 5), kWidth);
+  const Val p2 = b.mul(w2, b.cst(b2, 5), kWidth);
+  *w_out = w;
+  return b.add(b.add(p0, p1, kWidth), p2, kWidth);
+}
+
+} // namespace
+
+Dfg iir4() {
+  // Fourth-order IIR as a cascade of two direct-form-II biquads; delay-line
+  // states are ports of the one-iteration DFG.
+  SpecBuilder b("iir4");
+  const Val x = b.in("x", kWidth);
+  const Val w11 = b.in("w11", kWidth), w12 = b.in("w12", kWidth);
+  const Val w21 = b.in("w21", kWidth), w22 = b.in("w22", kWidth);
+
+  Val w1_new, w2_new;
+  const Val y1 = biquad(b, x, w11, w12, 13, 7, 9, 18, 9, &w1_new);
+  const Val y2 = biquad(b, y1, w21, w22, 11, 5, 7, 14, 7, &w2_new);
+
+  b.out("y", y2);
+  b.out("w1_n", w1_new);
+  b.out("w2_n", w2_new);
+  return std::move(b).take();
+}
+
+Dfg fir2() {
+  // Second-order FIR: y = c0*x0 + c1*x1 + c2*x2.
+  SpecBuilder b("fir2");
+  const Val x0 = b.in("x0", kWidth);
+  const Val x1 = b.in("x1", kWidth);
+  const Val x2 = b.in("x2", kWidth);
+  const Val p0 = b.mul(x0, b.cst(11, 5), kWidth);
+  const Val p1 = b.mul(x1, b.cst(25, 5), kWidth);
+  const Val p2 = b.mul(x2, b.cst(11, 5), kWidth);
+  b.out("y", b.add(b.add(p0, p1, kWidth), p2, kWidth));
+  return std::move(b).take();
+}
+
+} // namespace hls

@@ -1,0 +1,101 @@
+#include "suites/suites.hpp"
+
+#include "ir/builder.hpp"
+
+namespace hls {
+
+namespace {
+constexpr unsigned kWidth = 16;
+} // namespace
+
+Dfg ar_lattice() {
+  // Fourth-order autoregressive lattice filter (the "AR filter" benchmark
+  // family): per stage, with reflection coefficient k_i,
+  //   f_{i}   = f_{i+1} - k_i * b_i
+  //   b_{i+1} = b_i     + k_i * f_i
+  // followed by a tapped output combination. Exercises variable-operand
+  // multiplications (coefficients arrive as ports, not constants).
+  SpecBuilder b("ar_lattice");
+  Val f = b.in("x", kWidth);
+  std::vector<Val> taps;
+  std::vector<Val> bs;
+  for (int i = 0; i < 4; ++i) {
+    bs.push_back(b.in("b" + std::to_string(i), kWidth));
+  }
+  std::vector<Val> ks;
+  for (int i = 0; i < 4; ++i) {
+    ks.push_back(b.in("k" + std::to_string(i), kWidth));
+  }
+  for (int i = 3; i >= 0; --i) {
+    const Val kb = b.mul(ks[i], bs[i], kWidth);
+    f = b.sub(f, kb, kWidth);
+    const Val kf = b.mul(ks[i], f, kWidth);
+    const Val bn = b.add(bs[i], kf, kWidth);
+    b.out("bn" + std::to_string(i), bn);
+    taps.push_back(bn);
+  }
+  // Output weighting: tapped sum with port coefficients.
+  Val acc = b.mul(f, b.in("w", kWidth), kWidth);
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const Val wi = b.in("w" + std::to_string(i), kWidth);
+    acc = b.add(acc, b.mul(taps[i], wi, kWidth), kWidth);
+  }
+  b.out("y", acc);
+  return std::move(b).take();
+}
+
+Dfg fir8() {
+  // Eight-tap constant-coefficient FIR with a balanced adder tree.
+  SpecBuilder b("fir8");
+  const unsigned coeffs[8] = {3, 11, 25, 31, 31, 25, 11, 3};
+  std::vector<Val> products;
+  for (int i = 0; i < 8; ++i) {
+    const Val xi = b.in("x" + std::to_string(i), kWidth);
+    products.push_back(b.mul(xi, b.cst(coeffs[i], 5), kWidth));
+  }
+  while (products.size() > 1) {
+    std::vector<Val> next;
+    for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
+      next.push_back(b.add(products[i], products[i + 1], kWidth));
+    }
+    if (products.size() % 2 != 0) next.push_back(products.back());
+    products = std::move(next);
+  }
+  b.out("y", products.front());
+  return std::move(b).take();
+}
+
+Dfg dct4() {
+  // Four-point DCT-II butterfly (Chen decomposition): two add/sub stages
+  // around constant rotations — short critical path, wide parallelism.
+  SpecBuilder b("dct4");
+  const Val x0 = b.in("x0", kWidth), x1 = b.in("x1", kWidth);
+  const Val x2 = b.in("x2", kWidth), x3 = b.in("x3", kWidth);
+
+  const Val s03 = b.add(x0, x3, kWidth);
+  const Val d03 = b.sub(x0, x3, kWidth);
+  const Val s12 = b.add(x1, x2, kWidth);
+  const Val d12 = b.sub(x1, x2, kWidth);
+
+  // c4 = cos(pi/4), c2/c6 rotation constants in Q5.
+  b.out("X0", b.mul(b.add(s03, s12, kWidth), b.cst(23, 5), kWidth));
+  b.out("X2", b.mul(b.sub(s03, s12, kWidth), b.cst(23, 5), kWidth));
+  const Val t1 = b.mul(d03, b.cst(30, 5), kWidth);
+  const Val t2 = b.mul(d12, b.cst(12, 5), kWidth);
+  const Val t3 = b.mul(d03, b.cst(12, 5), kWidth);
+  const Val t4 = b.mul(d12, b.cst(30, 5), kWidth);
+  b.out("X1", b.add(t1, t2, kWidth));
+  b.out("X3", b.sub(t3, t4, kWidth));
+  return std::move(b).take();
+}
+
+const std::vector<SuiteEntry>& extended_suites() {
+  static const std::vector<SuiteEntry> suites = {
+      {"ar_lattice", ar_lattice, {8, 6, 4}},
+      {"fir8", fir8, {6, 4, 2}},
+      {"dct4", dct4, {4, 3, 2}},
+  };
+  return suites;
+}
+
+} // namespace hls

@@ -1,0 +1,37 @@
+#include "suites/suites.hpp"
+
+#include "ir/builder.hpp"
+
+namespace hls {
+
+Dfg motivational() {
+  SpecBuilder b("example");
+  const Val A = b.in("A", 16), B = b.in("B", 16);
+  const Val D = b.in("D", 16), F = b.in("F", 16);
+  const Val C = b.named(b.add(A, B, 16), "C");
+  const Val E = b.named(b.add(C, D, 16), "E");
+  b.out("G", b.add(E, F, 16));
+  return std::move(b).take();
+}
+
+Dfg fig3_dfg() {
+  SpecBuilder b("fig3");
+  const Val i1 = b.in("i1", 6), i2 = b.in("i2", 6), i3 = b.in("i3", 6);
+  const Val i4 = b.in("i4", 6), i5 = b.in("i5", 5), i6 = b.in("i6", 5);
+  const Val i7 = b.in("i7", 8), i8 = b.in("i8", 8), i9 = b.in("i9", 8);
+  const Val A = b.named(b.add(i5, i6, 5), "A");
+  const Val B = b.named(b.add(i1, i2, 6), "B");
+  const Val C = b.named(b.add(B, i3, 6), "C");
+  const Val E = b.named(b.add(C, i4, 6), "E");
+  const Val D = b.named(b.add(i1, i4, 6), "D");
+  const Val F = b.named(b.add(i7, i8, 8), "F");
+  const Val G = b.named(b.add(i8, i9, 8), "G");
+  const Val H = b.named(b.add(F, G, 8), "H");
+  b.out("oA", A);
+  b.out("oD", D);
+  b.out("oE", E);
+  b.out("oH", H);
+  return std::move(b).take();
+}
+
+} // namespace hls

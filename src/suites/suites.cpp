@@ -1,0 +1,33 @@
+#include "suites/suites.hpp"
+
+namespace hls {
+
+const std::vector<SuiteEntry>& classical_suites() {
+  static const std::vector<SuiteEntry> suites = {
+      {"elliptic", elliptic, {11, 6, 4}},
+      {"diffeq", diffeq, {6, 5, 4}},
+      {"iir4", iir4, {6, 5}},
+      {"fir2", fir2, {5, 3}},
+  };
+  return suites;
+}
+
+const std::vector<SuiteEntry>& adpcm_suites() {
+  static const std::vector<SuiteEntry> suites = {
+      {"IAQ", adpcm_iaq, {3}},
+      {"TTD", adpcm_ttd, {5}},
+      {"OPFC + SCA", adpcm_opfc_sca, {12}},
+  };
+  return suites;
+}
+
+std::vector<SuiteEntry> all_suites() {
+  std::vector<SuiteEntry> out;
+  out.push_back({"motivational", motivational, {3}});
+  out.push_back({"fig3", fig3_dfg, {3}});
+  for (const SuiteEntry& s : classical_suites()) out.push_back(s);
+  for (const SuiteEntry& s : adpcm_suites()) out.push_back(s);
+  return out;
+}
+
+} // namespace hls

@@ -1,0 +1,51 @@
+#pragma once
+// Benchmark circuits used by the paper's evaluation.
+//
+// * motivational() / fig3() — the paper's own worked examples (Fig. 1-3).
+// * elliptic/diffeq/iir4/fir2 — the classical HLS benchmarks of [9]
+//   (Dutt's UCI suite). diffeq, iir4 and fir2 follow their canonical
+//   published dataflow; the elliptic wave filter is reconstructed from its
+//   wave-digital-adaptor structure with the benchmark's operation profile
+//   (26 additions, 8 constant multiplications) since the original tech
+//   report is not redistributable. See DESIGN.md §2.
+// * adpcm_* — behavioural models of the CCITT G.721 ADPCM decoder modules
+//   the paper synthesizes (IAQ, TTD, OPFC+SCA), written from the
+//   recommendation's arithmetic.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+Dfg motivational();   ///< Fig. 1 a): three chained 16-bit additions
+Dfg fig3_dfg();       ///< Fig. 3 a): 4x6-bit, 3x8-bit, 1x5-bit additions
+
+Dfg elliptic();       ///< fifth-order elliptic wave filter
+Dfg diffeq();         ///< HAL differential equation solver
+Dfg iir4();           ///< fourth-order IIR filter (two biquads)
+Dfg fir2();           ///< second-order FIR filter
+
+Dfg adpcm_iaq();      ///< G.721 inverse adaptive quantizer
+Dfg adpcm_ttd();      ///< G.721 tone & transition detector
+Dfg adpcm_opfc_sca(); ///< G.721 output PCM format conversion + sync adjustment
+
+// Extended evaluation beyond the paper's circuits.
+Dfg ar_lattice();     ///< fourth-order AR lattice (variable-operand muls)
+Dfg fir8();           ///< eight-tap constant FIR with balanced adder tree
+Dfg dct4();           ///< four-point DCT-II butterfly
+
+/// Registry for benches and property sweeps.
+struct SuiteEntry {
+  std::string name;
+  std::function<Dfg()> build;
+  std::vector<unsigned> latencies;  ///< the latencies Table II/III evaluates
+};
+const std::vector<SuiteEntry>& classical_suites();  ///< Table II circuits
+const std::vector<SuiteEntry>& adpcm_suites();      ///< Table III circuits
+const std::vector<SuiteEntry>& extended_suites();   ///< beyond-paper circuits
+std::vector<SuiteEntry> all_suites();               ///< paper circuits only
+
+} // namespace hls

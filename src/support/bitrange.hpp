@@ -1,0 +1,67 @@
+#pragma once
+// BitRange: a half-open range of bit positions [lo, lo+width) within a value.
+//
+// The whole transformation operates on bit slices of operation results
+// (C(6 downto 0), E(11 downto 5), ...); BitRange is the value type that
+// represents them. Bit 0 is the least significant bit.
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hls {
+
+struct BitRange {
+  unsigned lo = 0;     ///< least significant bit index (inclusive)
+  unsigned width = 0;  ///< number of bits; empty range has width 0
+
+  constexpr BitRange() = default;
+  constexpr BitRange(unsigned lo_, unsigned width_) : lo(lo_), width(width_) {}
+
+  /// Builds a range from msb/lsb indices, VHDL "(msb downto lsb)" style.
+  static constexpr BitRange downto(unsigned msb, unsigned lsb) {
+    return BitRange{lsb, msb - lsb + 1};
+  }
+  /// Range covering the whole of a w-bit value.
+  static constexpr BitRange whole(unsigned w) { return BitRange{0, w}; }
+
+  constexpr bool empty() const { return width == 0; }
+  /// One past the most significant bit.
+  constexpr unsigned hi() const { return lo + width; }
+  /// Most significant bit index; requires non-empty.
+  constexpr unsigned msb() const { return lo + width - 1; }
+
+  constexpr bool contains(unsigned bit) const { return bit >= lo && bit < hi(); }
+  constexpr bool contains(const BitRange& o) const {
+    return o.empty() || (o.lo >= lo && o.hi() <= hi());
+  }
+  constexpr bool overlaps(const BitRange& o) const {
+    return !empty() && !o.empty() && lo < o.hi() && o.lo < hi();
+  }
+  /// True when `o` starts exactly where this range ends.
+  constexpr bool abuts_below(const BitRange& o) const { return hi() == o.lo; }
+
+  constexpr BitRange intersect(const BitRange& o) const {
+    const unsigned l = std::max(lo, o.lo);
+    const unsigned h = std::min(hi(), o.hi());
+    return h > l ? BitRange{l, h - l} : BitRange{};
+  }
+
+  /// Shifts the range down by `n` bits (used when re-basing slices of slices).
+  constexpr BitRange shifted_down(unsigned n) const {
+    HLS_ASSERT(lo >= n, "BitRange shift below zero");
+    return BitRange{lo - n, width};
+  }
+  constexpr BitRange shifted_up(unsigned n) const { return BitRange{lo + n, width}; }
+
+  friend constexpr bool operator==(const BitRange&, const BitRange&) = default;
+  friend constexpr auto operator<=>(const BitRange&, const BitRange&) = default;
+};
+
+/// "(msb downto lsb)" rendering used in reports and the VHDL emitter.
+std::string to_string(const BitRange& r);
+
+} // namespace hls

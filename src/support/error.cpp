@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace hls::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << message << " [" << expr << "] at "
+     << file << ":" << line;
+  throw Error(os.str());
+}
+
+} // namespace hls::detail

@@ -1,0 +1,38 @@
+#pragma once
+// Error handling for the fraghls library.
+//
+// API-boundary contract violations throw hls::Error; internal invariants use
+// HLS_ASSERT, which throws in all build types (an HLS flow must never
+// silently produce a wrong netlist).
+
+#include <stdexcept>
+#include <string>
+
+namespace hls {
+
+/// Exception thrown on any contract violation at a library API boundary
+/// (malformed specification, out-of-range slice, unschedulable constraint...).
+class Error : public std::runtime_error {
+public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}
+
+} // namespace hls
+
+/// Internal invariant check; throws hls::Error with location info on failure.
+#define HLS_ASSERT(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) ::hls::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Precondition check for public entry points.
+#define HLS_REQUIRE(expr, msg)                                                 \
+  do {                                                                         \
+    if (!(expr)) throw ::hls::Error(std::string("precondition failed: ") +     \
+                                    (msg) + " [" #expr "]");                   \
+  } while (false)

@@ -1,0 +1,46 @@
+#include "support/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/bitrange.hpp"
+
+namespace hls {
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string fixed(double v, int digits) {
+  return strformat("%.*f", digits, v);
+}
+
+std::string pct(double fraction, int digits) {
+  return strformat("%.*f %%", digits, fraction * 100.0);
+}
+
+std::string to_string(const BitRange& r) {
+  if (r.empty()) return "(empty)";
+  if (r.width == 1) return strformat("(%u)", r.lo);
+  return strformat("(%u downto %u)", r.msb(), r.lo);
+}
+
+} // namespace hls

@@ -1,0 +1,22 @@
+#pragma once
+// Small string/format helpers shared by reports, emitters and diagnostics.
+
+#include <string>
+#include <vector>
+
+namespace hls {
+
+/// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+/// Fixed-point rendering with `digits` decimals, trailing zeros kept
+/// ("9.40" for 9.4, digits=2). Used so report rows are column-stable.
+std::string fixed(double v, int digits);
+
+/// Percentage rendering: pct(0.6749) == "67.5 %".
+std::string pct(double fraction, int digits = 1);
+
+} // namespace hls

@@ -1,0 +1,62 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hls {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  HLS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HLS_REQUIRE(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> w(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.rule) continue;
+    for (size_t c = 0; c < r.cells.size(); ++c) w[c] = std::max(w[c], r.cells[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(w[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << '+';
+    for (size_t c = 0; c < w.size(); ++c) os << std::string(w[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_cells(header_);
+  emit_rule();
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      emit_rule();
+    } else {
+      emit_cells(r.cells);
+    }
+  }
+  emit_rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+} // namespace hls

@@ -1,0 +1,35 @@
+#pragma once
+// Plain-text table printer used by every bench binary to render the paper's
+// tables (Table I/II/III, Fig. 3 h, Fig. 4 series) in aligned columns.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hls {
+
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Appends a horizontal separator line.
+  void add_rule();
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with single-space-padded, '|'-separated columns.
+  std::string render() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+} // namespace hls

@@ -1,0 +1,118 @@
+#include "timing/arrival.hpp"
+
+#include <algorithm>
+
+namespace hls {
+
+std::vector<unsigned> operand_arrivals(const Operand& op,
+                                       const BitArrivals& arrivals) {
+  const std::vector<unsigned>& src = arrivals[op.node.index];
+  std::vector<unsigned> out(op.bits.width);
+  for (unsigned b = 0; b < op.bits.width; ++b) out[b] = src[op.bits.lo + b];
+  return out;
+}
+
+namespace {
+
+/// Arrival of operand bit `b`, treating bits beyond the slice as constant
+/// zero (available at t = 0) — the zero-extension consumers apply.
+unsigned operand_bit(const Operand& op, unsigned b, const BitArrivals& arr) {
+  if (b >= op.bits.width) return 0;
+  return arr[op.node.index][op.bits.lo + b];
+}
+
+std::vector<unsigned> ripple_add_arrivals(const Node& n, const BitArrivals& arr) {
+  std::vector<unsigned> out(n.width);
+  // Carry into bit 0: the explicit carry-in operand if present, else 0.
+  unsigned carry = n.has_carry_in() ? operand_bit(n.operands[2], 0, arr) : 0;
+  for (unsigned b = 0; b < n.width; ++b) {
+    if (n.add_bit_is_free(b)) {
+      // Beyond both operands: the bit is the forwarded carry itself.
+      out[b] = carry;
+      continue;
+    }
+    const unsigned in =
+        std::max(operand_bit(n.operands[0], b, arr), operand_bit(n.operands[1], b, arr));
+    // Full adder at bit b fires once both the incoming carry and the operand
+    // bits are valid; sum and carry-out settle one delta later.
+    const unsigned t = std::max(in, carry) + 1;
+    out[b] = t;
+    carry = t;
+  }
+  return out;
+}
+
+} // namespace
+
+BitArrivals bit_arrival_times(const Dfg& dfg) {
+  BitArrivals arr(dfg.size());
+  for (std::uint32_t i = 0; i < dfg.size(); ++i) {
+    const Node& n = dfg.node(NodeId{i});
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Const:
+        arr[i].assign(n.width, 0);
+        break;
+      case OpKind::Output: {
+        arr[i].resize(n.width);
+        for (unsigned b = 0; b < n.width; ++b) {
+          arr[i][b] = operand_bit(n.operands[0], b, arr);
+        }
+        break;
+      }
+      case OpKind::Add:
+        arr[i] = ripple_add_arrivals(n, arr);
+        break;
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor: {
+        arr[i].resize(n.width);
+        for (unsigned b = 0; b < n.width; ++b) {
+          arr[i][b] = std::max(operand_bit(n.operands[0], b, arr),
+                               operand_bit(n.operands[1], b, arr));
+        }
+        break;
+      }
+      case OpKind::Not: {
+        arr[i].resize(n.width);
+        for (unsigned b = 0; b < n.width; ++b) {
+          arr[i][b] = operand_bit(n.operands[0], b, arr);
+        }
+        break;
+      }
+      case OpKind::Concat: {
+        arr[i].clear();
+        arr[i].reserve(n.width);
+        for (const Operand& o : n.operands) {
+          for (unsigned b = 0; b < o.bits.width; ++b) {
+            arr[i].push_back(operand_bit(o, b, arr));
+          }
+        }
+        break;
+      }
+      default:
+        throw Error(
+            "bit_arrival_times: node '" + std::string(op_name(n.kind)) +
+            "' is not part of the operative kernel; run extract_kernel first");
+    }
+  }
+  return arr;
+}
+
+unsigned max_output_arrival(const Dfg& dfg, const BitArrivals& arrivals) {
+  unsigned worst = 0;
+  for (NodeId id : dfg.outputs()) {
+    for (unsigned t : arrivals[id.index]) worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+unsigned max_arrival(const BitArrivals& arrivals) {
+  unsigned worst = 0;
+  for (const std::vector<unsigned>& per_node : arrivals) {
+    for (unsigned t : per_node) worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+} // namespace hls

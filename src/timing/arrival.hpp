@@ -1,0 +1,43 @@
+#pragma once
+// Exact per-bit arrival times under ripple semantics (Fig. 1 e / Fig. 2 c of
+// the paper).
+//
+// Every result bit of every node gets an arrival time in delta units,
+// assuming all primary inputs are stable at t = 0 and the whole DFG executes
+// combinationally (no cycle boundaries). This captures the "inherent
+// parallelism" of chained additions: bit i of C = A + B arrives at (i+1)
+// deltas, bit i of E = C + D at (i+2) deltas, and so on.
+//
+// Glue logic (And/Or/Xor/Not/Concat) is transparent: it propagates arrival
+// times without adding delta delay, matching §3.2's "non-additive operations
+// are not considered".
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+/// arrival[node.index][bit] = earliest time (delta units) the bit is valid.
+using BitArrivals = std::vector<std::vector<unsigned>>;
+
+/// Computes per-bit arrival times for every node of `dfg`.
+///
+/// Precondition: the DFG contains only the operative kernel (Add + glue +
+/// structure). Other additive kinds (Sub/Mul/...) are rejected with
+/// hls::Error — run kernel extraction first.
+BitArrivals bit_arrival_times(const Dfg& dfg);
+
+/// Latest arrival over all bits of all primary outputs: the combinational
+/// critical-path length of the output cone, in delta units.
+unsigned max_output_arrival(const Dfg& dfg, const BitArrivals& arrivals);
+
+/// Latest arrival over all bits of all nodes. Every scheduled operation must
+/// settle, whether or not its result reaches an output, so this is the
+/// measure that matches the §3.2 critical path.
+unsigned max_arrival(const BitArrivals& arrivals);
+
+/// Arrival times of one operand slice, right-aligned (index 0 = slice LSB).
+std::vector<unsigned> operand_arrivals(const Operand& op, const BitArrivals& arrivals);
+
+} // namespace hls

@@ -1,0 +1,45 @@
+#pragma once
+// Critical-path identification and clock-cycle estimation — paper §3.2.
+//
+// The paper measures path length in chained 1-bit additions: walking a path
+// of additive operations from output to input, the last operation
+// contributes its full width; every earlier operation contributes 1 delta,
+// plus the number of its LSBs the successor truncates away (those bits must
+// ripple before the successor's LSB can start).
+//
+// Two implementations are provided and cross-checked in tests:
+//   * critical_path(): dynamic program over the additive-operation DAG,
+//     equivalent to enumerating all paths with the paper's walk (linear time)
+//   * max_output_arrival() (arrival.hpp): exact per-bit simulation
+// and the cycle estimate of §3.2:
+//     cycle_duration = ceil(critical_path_time / latency).
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+struct CriticalPathResult {
+  unsigned time = 0;               ///< path execution time, delta units
+  std::vector<NodeId> path;        ///< additive ops, input side first
+};
+
+/// Longest path over additive operations, per the paper's §3.2 walk. Glue
+/// logic and concats are traversed transparently at zero cost.
+/// Requires a kernel-extracted DFG (Add + glue only).
+CriticalPathResult critical_path(const Dfg& dfg);
+
+/// §3.2 estimate: ceil(critical_path_time / latency), in delta units.
+/// Throws hls::Error when latency == 0.
+unsigned estimate_cycle_duration(const Dfg& dfg, unsigned latency);
+unsigned estimate_cycle_duration(unsigned critical_path_time, unsigned latency);
+
+/// Verbatim transcription of the paper's path-walk pseudocode, for one
+/// explicit path given input-side-first. `truncated_lsbs[i]` is the number
+/// of LSBs of path[i]'s result its successor path[i+1] truncates away.
+/// Exposed for unit tests and documentation; critical_path() is equivalent.
+unsigned path_execution_time(const Dfg& dfg, const std::vector<NodeId>& path,
+                             const std::vector<unsigned>& truncated_lsbs);
+
+} // namespace hls

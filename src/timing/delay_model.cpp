@@ -1,0 +1,20 @@
+#include "timing/delay_model.hpp"
+
+#include <bit>
+
+namespace hls {
+
+unsigned DelayModel::adder_depth(unsigned width) const {
+  if (width == 0) return 0;
+  switch (style) {
+    case AdderStyle::Ripple:
+      return width;
+    case AdderStyle::CarryLookahead:
+      // Two levels of PG logic plus ceil(log2(width)) prefix stages, in
+      // units of one full-adder delay (coarse but monotone).
+      return 2 + static_cast<unsigned>(std::bit_width(width) - 1);
+  }
+  return width;
+}
+
+} // namespace hls

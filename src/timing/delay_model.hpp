@@ -1,0 +1,43 @@
+#pragma once
+// Delay model: conversion between the paper's abstract time unit (delta, the
+// delay of one 1-bit full adder) and nanoseconds, plus the adder style used
+// by the datapath.
+//
+// All scheduling and fragmentation arithmetic is exact integer delta-unit
+// math; nanoseconds appear only in reports:
+//   cycle_ns = sequential_overhead_ns + delta_units * delta_ns
+// The defaults are calibrated so the motivational example reproduces
+// Table I's 9.40 ns (16 chained bits) and ~3.6 ns (6 chained bits) cycles.
+
+namespace hls {
+
+/// Adder implementation style. The paper's algorithms assume Ripple; the
+/// conclusion notes the method also pays off with faster adders, which the
+/// ablation bench explores via CarryLookahead.
+enum class AdderStyle {
+  Ripple,          ///< 1 delta per chained bit (paper's model)
+  CarryLookahead,  ///< ~log2(width) deltas for a whole addition
+};
+
+struct DelayModel {
+  double delta_ns = 0.5;             ///< delay of one 1-bit full adder
+  double sequential_overhead_ns = 1.4;  ///< register setup + clk-to-q + skew
+  AdderStyle style = AdderStyle::Ripple;
+
+  /// Clock period for a cycle whose longest chained-addition depth is
+  /// `delta_units` bits.
+  double cycle_ns(unsigned delta_units) const {
+    return sequential_overhead_ns + static_cast<double>(delta_units) * delta_ns;
+  }
+
+  /// Total execution time for `latency` cycles of the given length.
+  double execution_ns(unsigned latency, unsigned delta_units_per_cycle) const {
+    return static_cast<double>(latency) * cycle_ns(delta_units_per_cycle);
+  }
+
+  /// Chained-delay contribution (in delta units) of one w-bit addition whose
+  /// operands are all ready, under the configured adder style.
+  unsigned adder_depth(unsigned width) const;
+};
+
+} // namespace hls

@@ -1,0 +1,270 @@
+// fraghls — command-line driver for the presynthesis transformation flow.
+//
+//   fraghls <spec.hls> --latency N [options]
+//
+// Reads a behavioural specification in the DSL (see examples/specs/), runs
+// the requested flows and prints schedules, reports, and optionally the
+// transformed behavioural VHDL or the structural RTL.
+//
+//   --latency N        time constraint in cycles (required)
+//   --flow F           original | blc | optimized | all   (default: all)
+//   --n-bits N         override the cycle budget estimate (optimized flow)
+//   --dump-dfg         print the parsed DFG and its kernel form
+//   --dump-schedule    print the optimized schedule (Fig. 2 b style)
+//   --emit-vhdl        print the transformed behavioural VHDL (Fig. 2 a)
+//   --emit-rtl         print the structural RTL (FSM + datapath)
+//   --emit-dot         print the transformed DFG as Graphviz dot
+//   --emit-tb N        print a self-checking VHDL testbench with N vectors
+//   --sweep LO..HI     latency sweep (Fig. 4 style) instead of one latency
+//   --narrow           width-narrow the kernel before transforming
+//   --scheduler S      list | forcedirected                  (default: list)
+//   --pipeline         report the minimal initiation interval (optimized)
+//   --json             machine-readable report output
+//   --delta NS         1-bit adder delay in ns        (default 0.5)
+//   --overhead NS      register/clock overhead in ns  (default 1.4)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "flow/json.hpp"
+#include "flow/pipeline.hpp"
+#include "ir/dot.hpp"
+#include "ir/print.hpp"
+#include "parser/parser.hpp"
+#include "rtl/rtl_emit.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/vhdl.hpp"
+#include "sched/schedule.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hls;
+
+namespace {
+
+struct Args {
+  std::string spec_path;
+  unsigned latency = 0;
+  unsigned sweep_lo = 0, sweep_hi = 0;
+  std::string flow = "all";
+  unsigned n_bits = 0;
+  bool dump_dfg = false;
+  bool dump_schedule = false;
+  bool emit_behavioural = false;
+  bool emit_rtl = false;
+  bool emit_dot_graph = false;
+  unsigned emit_tb_vectors = 0;
+  bool narrow = false;
+  std::string scheduler = "list";
+  bool pipeline = false;
+  bool json = false;
+  DelayModel delay;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: fraghls <spec.hls> --latency N [--flow original|blc|optimized|all]\n"
+      "               [--n-bits N] [--dump-dfg] [--dump-schedule]\n"
+      "               [--emit-vhdl] [--emit-rtl] [--delta NS] [--overhead NS]\n";
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--latency") {
+      a.latency = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--sweep") {
+      const std::string v = value();
+      const std::size_t dots = v.find("..");
+      if (dots == std::string::npos) usage("--sweep expects LO..HI");
+      a.sweep_lo = static_cast<unsigned>(std::stoul(v.substr(0, dots)));
+      a.sweep_hi = static_cast<unsigned>(std::stoul(v.substr(dots + 2)));
+      if (a.sweep_lo == 0 || a.sweep_hi < a.sweep_lo) {
+        usage("--sweep bounds must satisfy 1 <= LO <= HI");
+      }
+    } else if (arg == "--flow") {
+      a.flow = value();
+    } else if (arg == "--n-bits") {
+      a.n_bits = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--dump-dfg") {
+      a.dump_dfg = true;
+    } else if (arg == "--dump-schedule") {
+      a.dump_schedule = true;
+    } else if (arg == "--emit-vhdl") {
+      a.emit_behavioural = true;
+    } else if (arg == "--emit-rtl") {
+      a.emit_rtl = true;
+    } else if (arg == "--emit-dot") {
+      a.emit_dot_graph = true;
+    } else if (arg == "--emit-tb") {
+      a.emit_tb_vectors = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--narrow") {
+      a.narrow = true;
+    } else if (arg == "--scheduler") {
+      a.scheduler = value();
+    } else if (arg == "--pipeline") {
+      a.pipeline = true;
+    } else if (arg == "--json") {
+      a.json = true;
+    } else if (arg == "--delta") {
+      a.delay.delta_ns = std::stod(value());
+    } else if (arg == "--overhead") {
+      a.delay.sequential_overhead_ns = std::stod(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(("unknown option " + arg).c_str());
+    } else if (a.spec_path.empty()) {
+      a.spec_path = arg;
+    } else {
+      usage("more than one spec file given");
+    }
+  }
+  if (a.spec_path.empty()) usage("no spec file given");
+  if (a.latency == 0 && a.sweep_lo == 0) {
+    usage("--latency N or --sweep LO..HI is required");
+  }
+  if (a.flow != "all" && a.flow != "original" && a.flow != "blc" &&
+      a.flow != "optimized") {
+    usage("--flow must be original, blc, optimized or all");
+  }
+  if (a.scheduler != "list" && a.scheduler != "forcedirected") {
+    usage("--scheduler must be list or forcedirected");
+  }
+  return a;
+}
+
+void print_report(const ImplementationReport& r) {
+  TextTable t({"flow", "latency", "cycle (deltas)", "cycle (ns)", "exec (ns)",
+               "FU", "regs", "muxes", "ctrl", "total gates"});
+  t.add_row({r.flow, std::to_string(r.latency), std::to_string(r.cycle_deltas),
+             fixed(r.cycle_ns, 2), fixed(r.execution_ns, 2),
+             std::to_string(r.area.fu_gates), std::to_string(r.area.reg_gates),
+             std::to_string(r.area.mux_gates),
+             std::to_string(r.area.controller_gates),
+             std::to_string(r.area.total())});
+  std::cout << t;
+  std::cout << "datapath: " << describe(r.datapath) << "\n\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::ifstream file(args.spec_path);
+  if (!file) {
+    std::cerr << "error: cannot open '" << args.spec_path << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  try {
+    const Dfg spec = parse_spec(buffer.str());
+    if (!args.json) {
+      std::cout << "parsed '" << spec.name() << "': " << summarize(spec)
+                << "\n\n";
+    }
+    if (args.dump_dfg) {
+      std::cout << to_string(spec) << '\n';
+    }
+
+    FlowOptions opt;
+    opt.delay = args.delay;
+    opt.narrow = args.narrow;
+    opt.scheduler = args.scheduler == "forcedirected"
+                        ? FragScheduler::ForceDirected
+                        : FragScheduler::List;
+    std::vector<ImplementationReport> reports;
+
+    if (args.sweep_lo != 0) {
+      // Latency sweep: one row per latency, original vs optimized (Fig. 4).
+      TextTable t({"latency", "orig cycle (ns)", "opt cycle (ns)", "saved",
+                   "opt exec (ns)", "opt area (gates)"});
+      for (unsigned lat = args.sweep_lo; lat <= args.sweep_hi; ++lat) {
+        const ImplementationReport orig = run_conventional_flow(spec, lat, opt);
+        const OptimizedFlowResult o = run_optimized_flow(spec, lat, opt);
+        reports.push_back(orig);
+        reports.push_back(o.report);
+        t.add_row({std::to_string(lat), fixed(orig.cycle_ns, 2),
+                   fixed(o.report.cycle_ns, 2),
+                   pct(o.report.cycle_saving_vs(orig)),
+                   fixed(o.report.execution_ns, 1),
+                   std::to_string(o.report.area.total())});
+      }
+      if (args.json) {
+        std::cout << to_json(reports) << '\n';
+      } else {
+        std::cout << t;
+      }
+      return 0;
+    }
+
+    if (args.flow == "all" || args.flow == "original") {
+      reports.push_back(run_conventional_flow(spec, args.latency, opt));
+      if (!args.json) print_report(reports.back());
+    }
+    if (args.flow == "all" || args.flow == "blc") {
+      reports.push_back(run_blc_flow(spec, args.latency, opt));
+      if (!args.json) print_report(reports.back());
+    }
+    if (args.flow == "all" || args.flow == "optimized") {
+      const OptimizedFlowResult o =
+          run_optimized_flow(spec, args.latency, opt, args.n_bits);
+      reports.push_back(o.report);
+      if (!args.json) print_report(o.report);
+      if (args.pipeline) {
+        const PipelineReport p =
+            analyze_pipelining(o.schedule, o.report.datapath, opt.delay);
+        if (args.json) {
+          std::cout << to_json(p) << '\n';
+        } else {
+          std::cout << "pipelining: min II = " << p.min_ii << " cycles, "
+                    << strformat("%.2f", p.throughput_per_us())
+                    << " iterations/us, speedup x"
+                    << strformat("%.2f", p.speedup()) << "\n\n";
+        }
+      }
+      if (args.dump_dfg) {
+        std::cout << "kernel form:\n" << to_string(o.kernel) << '\n';
+      }
+      if (args.dump_schedule) {
+        std::cout << to_string(o.transform.spec, o.schedule.schedule) << '\n';
+      }
+      if (args.emit_behavioural) {
+        std::cout << emit_vhdl(o.transform.spec, "beh_opt") << '\n';
+      }
+      if (args.emit_rtl) {
+        std::cout << emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath)
+                  << '\n';
+      }
+      if (args.emit_dot_graph) {
+        std::cout << emit_dot(o.transform.spec) << '\n';
+      }
+      if (args.emit_tb_vectors > 0) {
+        std::cout << emit_testbench(o.transform, args.emit_tb_vectors, 1) << '\n';
+      }
+    }
+    if (args.json) {
+      std::cout << to_json(reports) << '\n';
+    }
+  } catch (const ParseError& e) {
+    std::cerr << args.spec_path << ":" << e.what() << '\n';
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

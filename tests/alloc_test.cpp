@@ -1,0 +1,164 @@
+// Tests for allocation/binding: interval coloring, op-level allocation for
+// conventional/BLC schedules, and the paper's bit-level allocation.
+
+#include <gtest/gtest.h>
+
+#include "alloc/bitlevel.hpp"
+#include "alloc/oplevel.hpp"
+#include "ir/builder.hpp"
+#include "flow/flow.hpp"
+#include "sched/blc.hpp"
+#include "sched/conventional.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+namespace {
+
+TEST(ColorIntervals, DisjointShareOneColor) {
+  const std::vector<std::vector<std::pair<unsigned, unsigned>>> busy = {
+      {{0, 0}}, {{1, 1}}, {{2, 2}}};
+  const auto color = color_intervals(busy);
+  EXPECT_EQ(color, (std::vector<unsigned>{0, 0, 0}));
+}
+
+TEST(ColorIntervals, OverlapsForceNewColors) {
+  const std::vector<std::vector<std::pair<unsigned, unsigned>>> busy = {
+      {{0, 2}}, {{1, 1}}, {{2, 3}}, {{4, 4}}};
+  const auto color = color_intervals(busy);
+  EXPECT_EQ(color[0], 0u);
+  EXPECT_EQ(color[1], 1u);  // overlaps 0
+  EXPECT_EQ(color[2], 1u);  // overlaps 0, fits after 1
+  EXPECT_EQ(color[3], 0u);
+}
+
+TEST(ColorIntervals, MultiIntervalItems) {
+  // Item occupying cycles {0, 2} conflicts with items in either cycle.
+  const std::vector<std::vector<std::pair<unsigned, unsigned>>> busy = {
+      {{0, 0}, {2, 2}}, {{2, 2}}, {{1, 1}}};
+  const auto color = color_intervals(busy);
+  EXPECT_EQ(color[0], 0u);
+  EXPECT_EQ(color[1], 1u);
+  EXPECT_EQ(color[2], 0u);
+}
+
+TEST(OpLevel, MotivationalSharesOneAdder) {
+  // Fig. 1 b): three additions in three cycles -> one 16-bit adder, one
+  // 16-bit register (C then E), two 3:1 operand muxes.
+  const Dfg d = motivational();
+  const OpSchedule s = schedule_conventional(d, 3);
+  const Datapath dp = allocate_oplevel(d, s);
+  ASSERT_EQ(dp.fus.size(), 1u);
+  EXPECT_EQ(dp.fus[0].cls, FuClass::Adder);
+  EXPECT_EQ(dp.fus[0].width, 16u);
+  ASSERT_EQ(dp.regs.size(), 1u);
+  EXPECT_EQ(dp.regs[0].width, 16u);
+  ASSERT_EQ(dp.muxes.size(), 2u);
+  EXPECT_EQ(dp.muxes[0].inputs, 3u);
+  EXPECT_EQ(dp.muxes[1].inputs, 3u);
+  EXPECT_EQ(dp.states, 3u);
+}
+
+TEST(OpLevel, BlcSingleCycleNeedsThreeAdders) {
+  // Fig. 1 d): all three additions chained in one cycle -> three dedicated
+  // adders, no registers, no muxes.
+  const Dfg d = motivational();
+  const OpSchedule s = schedule_blc(d, 1);
+  const Datapath dp = allocate_oplevel(d, s);
+  EXPECT_EQ(dp.fus.size(), 3u);
+  EXPECT_TRUE(dp.regs.empty());
+  EXPECT_TRUE(dp.muxes.empty());
+}
+
+TEST(OpLevel, MixedKindsGetSeparateFuClasses) {
+  const Dfg d = diffeq();
+  const OpSchedule s = schedule_conventional(d, 6);
+  const Datapath dp = allocate_oplevel(d, s);
+  EXPECT_GE(dp.fu_count(FuClass::Multiplier), 1u);
+  EXPECT_GE(dp.fu_count(FuClass::Adder), 1u);
+  EXPECT_GE(dp.fu_count(FuClass::Subtractor), 1u);
+  EXPECT_GE(dp.fu_count(FuClass::Comparator), 1u);
+}
+
+TEST(OpLevel, MulticycleOpHoldsItsFu) {
+  // One 16-bit add at latency 2 is multicycle: the adder is busy in both
+  // cycles but there is only one op, so exactly one FU.
+  SpecBuilder b("mc");
+  const Val x = b.in("x", 16), y = b.in("y", 16);
+  b.out("o", x + y);
+  const Dfg d = std::move(b).take();
+  const OpSchedule s =
+      schedule_conventional(d, 2, ConventionalOptions{.allow_multicycle = true});
+  const Datapath dp = allocate_oplevel(d, s);
+  EXPECT_EQ(dp.fus.size(), 1u);
+}
+
+TEST(BitLevel, MotivationalMatchesTableI) {
+  // The paper's optimized implementation: 3 adders of 6 bits, 5 stored bits
+  // (C5, E4, and the three fragment carries).
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const Datapath& dp = o.report.datapath;
+  ASSERT_EQ(dp.fus.size(), 3u);
+  for (const FuInstance& f : dp.fus) {
+    EXPECT_EQ(f.cls, FuClass::Adder);
+    EXPECT_EQ(f.width, 6u);
+  }
+  unsigned reg_bits = 0;
+  for (const RegInstance& r : dp.regs) reg_bits += r.width;
+  EXPECT_EQ(reg_bits, 5u);
+  EXPECT_EQ(dp.states, 3u);
+}
+
+TEST(BitLevel, FragmentsOfOneOpShareOneAdder) {
+  // Dedicated binding: each original addition's fragments use one adder
+  // across cycles (paper: "every adder is dedicated to calculate just one
+  // addition").
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  for (const FuInstance& f : o.report.datapath.fus) {
+    ASSERT_FALSE(f.bound.empty());
+    const NodeId orig = f.bound.front().second;
+    for (const auto& [cycle, op] : f.bound) EXPECT_EQ(op, orig);
+  }
+}
+
+TEST(BitLevel, CarryRegistersAreOneBitRuns) {
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  // No register instance may exceed 2 bits (data bit + adjacent carry).
+  for (const RegInstance& r : o.report.datapath.regs) {
+    EXPECT_LE(r.width, 2u);
+  }
+}
+
+TEST(BitLevel, WideAddStoresOnlyCarryBetweenCycles) {
+  // A single 12-bit addition split over two cycles needs exactly one stored
+  // bit: the inter-fragment carry.
+  SpecBuilder b("carry");
+  const Val x = b.in("x", 12), y = b.in("y", 12);
+  b.out("o", x + y);
+  const Dfg d = std::move(b).take();
+  const OptimizedFlowResult o = run_optimized_flow(d, 2);
+  EXPECT_EQ(o.report.datapath.total_register_bits(), 1u);
+  ASSERT_EQ(o.report.datapath.fus.size(), 1u);
+  EXPECT_EQ(o.report.datapath.fus[0].width, 6u);
+}
+
+TEST(BitLevel, RegistersSharedAcrossDisjointBoundaries) {
+  // Values live across boundary 0 only and boundary 1 only can share.
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  unsigned reg_bits = o.report.datapath.total_register_bits();
+  // 5 bits live at each boundary, shared registers keep the total at 5
+  // (not 10).
+  EXPECT_EQ(reg_bits, 5u);
+}
+
+TEST(BitLevel, ControlSignalsCountSelectsAndEnables) {
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const Datapath& dp = o.report.datapath;
+  unsigned expected = static_cast<unsigned>(dp.regs.size());
+  for (const MuxInstance& m : dp.muxes) {
+    expected += m.inputs <= 2 ? 1 : 2;  // log2-ceil for small muxes
+  }
+  EXPECT_EQ(dp.control_signals, expected);
+}
+
+} // namespace
+} // namespace hls

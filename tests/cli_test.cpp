@@ -1,0 +1,111 @@
+// Integration tests for the `fraghls` CLI binary: argument handling, flows,
+// emitters and the sweep/JSON modes, exercised through the real executable.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+// The binary's location relative to the ctest working directory (the build
+// tree root); overridable for out-of-tree setups.
+const char* cli_path() {
+  const char* env = std::getenv("FRAGHLS_CLI");
+  return env ? env : "./src/tools/fraghls";
+}
+
+struct CliResult {
+  int status = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(cli_path()) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  CliResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return r;
+  while (std::size_t n = std::fread(buf.data(), 1, buf.size(), pipe)) {
+    r.output.append(buf.data(), n);
+  }
+  r.status = pclose(pipe);
+  return r;
+}
+
+std::string write_spec(const std::string& name, const std::string& body) {
+  const std::string path = "/tmp/fraghls_cli_" + name + ".hls";
+  std::ofstream(path) << body;
+  return path;
+}
+
+const std::string kChain = R"(
+  module example {
+    input A: u16; input B: u16; input D: u16; input F: u16;
+    output G: u16;
+    let C = A + B;
+    let E = C + D;
+    G = E + F;
+  }
+)";
+
+TEST(Cli, RunsAllFlows) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(spec + " --latency 3");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("parsed 'example'"), std::string::npos);
+  EXPECT_NE(r.output.find("original"), std::string::npos);
+  EXPECT_NE(r.output.find("blc"), std::string::npos);
+  EXPECT_NE(r.output.find("optimized"), std::string::npos);
+}
+
+TEST(Cli, JsonOutputIsParseableShape) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(spec + " --latency 3 --flow optimized --json");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("[{\"flow\":\"optimized\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"cycle_deltas\":6"), std::string::npos);
+}
+
+TEST(Cli, SweepMode) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(spec + " --sweep 2..4");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("| latency |"), std::string::npos);
+  EXPECT_NE(r.output.find("| 2 "), std::string::npos);
+  EXPECT_NE(r.output.find("| 4 "), std::string::npos);
+}
+
+TEST(Cli, EmittersProduceArtifacts) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(
+      spec + " --latency 3 --flow optimized --dump-schedule --emit-vhdl "
+             "--emit-rtl --emit-dot --emit-tb 1 --pipeline");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("cycle 1:"), std::string::npos);
+  EXPECT_NE(r.output.find("architecture beh_opt"), std::string::npos);
+  EXPECT_NE(r.output.find("architecture rtl"), std::string::npos);
+  EXPECT_NE(r.output.find("digraph"), std::string::npos);
+  EXPECT_NE(r.output.find("architecture tb"), std::string::npos);
+  EXPECT_NE(r.output.find("pipelining: min II"), std::string::npos);
+}
+
+TEST(Cli, ReportsParseErrorsWithLocation) {
+  const std::string spec =
+      write_spec("bad", "module m {\n  input a u8;\n}");
+  const CliResult r = run_cli(spec + " --latency 2");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("2:"), std::string::npos);  // line number
+}
+
+TEST(Cli, RejectsBadArguments) {
+  const std::string spec = write_spec("chain", kChain);
+  EXPECT_NE(run_cli(spec).status, 0);                       // no latency
+  EXPECT_NE(run_cli(spec + " --latency 3 --flow x").status, 0);
+  EXPECT_NE(run_cli(spec + " --sweep 5..2").status, 0);
+  EXPECT_NE(run_cli("missing.hls --latency 3").status, 0);
+}
+
+} // namespace

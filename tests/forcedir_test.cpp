@@ -1,0 +1,98 @@
+// Tests for the force-directed fragment scheduler: validity, equivalence to
+// the spec, and resource quality relative to the list scheduler.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "alloc/bitlevel.hpp"
+#include "flow/flow.hpp"
+#include "ir/builder.hpp"
+#include "rtl/cycle_sim.hpp"
+#include "sched/forcedir.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+namespace {
+
+TEST(ForceDirected, MotivationalIsValidAndTight) {
+  const TransformResult t = transform_spec(motivational(), 3);
+  const FragSchedule fs = schedule_transformed_forcedirected(t);
+  EXPECT_NO_THROW(validate_schedule(t.spec, fs.schedule));
+  EXPECT_EQ(fs.schedule.cycle_deltas, 6u);
+  // Everything pre-scheduled: both schedulers must agree.
+  const FragSchedule list = schedule_transformed(t);
+  EXPECT_EQ(fs.fu_ops.size(), list.fu_ops.size());
+}
+
+TEST(ForceDirected, ValidOnEverySuite) {
+  for (const SuiteEntry& s : all_suites()) {
+    const Dfg kernel = extract_kernel(s.build());
+    for (unsigned lat : s.latencies) {
+      const TransformResult t = transform_spec(kernel, lat);
+      const FragSchedule fs = schedule_transformed_forcedirected(t);
+      EXPECT_NO_THROW(validate_schedule(t.spec, fs.schedule))
+          << s.name << " lat " << lat;
+    }
+  }
+}
+
+TEST(ForceDirected, DatapathStillComputesCorrectValues) {
+  // Allocation + cycle simulation over the force-directed schedule.
+  const Dfg d = fig3_dfg();
+  const TransformResult t = transform_spec(d, 3);
+  const FragSchedule fs = schedule_transformed_forcedirected(t);
+  const Datapath dp = allocate_bitlevel(t, fs);
+  std::mt19937_64 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    InputValues in;
+    for (NodeId id : d.inputs()) in[d.node(id).name] = rng();
+    EXPECT_EQ(simulate_datapath(t, fs, dp, in), evaluate(d, in));
+  }
+}
+
+TEST(ForceDirected, BalancesBitDemand) {
+  // On the Fig. 3 DFG the mobile fragments must spread: no cycle may carry
+  // more than half of all adder bits.
+  const TransformResult t = transform_spec(fig3_dfg(), 3);
+  const FragSchedule fs = schedule_transformed_forcedirected(t);
+  std::vector<unsigned> bits(3, 0);
+  unsigned total = 0;
+  for (const auto& f : fs.fu_ops) {
+    bits[f.cycle] += f.bits.width;
+    total += f.bits.width;
+  }
+  for (unsigned c = 0; c < 3; ++c) EXPECT_LT(bits[c], total / 2 + 1);
+}
+
+TEST(ForceDirected, RespectsWindows) {
+  const TransformResult t = transform_spec(fig3_dfg(), 3);
+  const FragSchedule fs = schedule_transformed_forcedirected(t);
+  std::map<std::uint32_t, unsigned> cycle_of;
+  for (const ScheduleRow& r : fs.schedule.rows) cycle_of[r.op.index] = r.cycle;
+  for (const TransformedAdd& a : t.adds) {
+    EXPECT_GE(cycle_of.at(a.node.index), a.asap);
+    EXPECT_LE(cycle_of.at(a.node.index), a.alap);
+  }
+}
+
+TEST(ForceDirected, ComparableResourceQuality) {
+  // Force-directed should never need dramatically more adder bits per cycle
+  // than the list scheduler (usually equal or better balance).
+  for (const SuiteEntry& s : {classical_suites()[1], classical_suites()[3]}) {
+    const Dfg kernel = extract_kernel(s.build());
+    const unsigned lat = s.latencies.front();
+    const TransformResult t = transform_spec(kernel, lat);
+    auto peak_bits = [&](const FragSchedule& fs) {
+      std::vector<unsigned> bits(lat, 0);
+      for (const auto& f : fs.fu_ops) bits[f.cycle] += f.bits.width;
+      return *std::max_element(bits.begin(), bits.end());
+    };
+    const unsigned fd = peak_bits(schedule_transformed_forcedirected(t));
+    const unsigned ls = peak_bits(schedule_transformed(t));
+    EXPECT_LE(fd, ls * 3 / 2 + 8) << s.name;
+  }
+}
+
+} // namespace
+} // namespace hls

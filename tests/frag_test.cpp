@@ -1,0 +1,391 @@
+// Tests for the paper's core contribution (§3.3): bit windows, fragmentation
+// pairing, and the materialized transformed specification. The expected
+// values for the motivational example (Fig. 2) and the Fig. 3 DFG come
+// straight from the paper.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "frag/bit_windows.hpp"
+#include "frag/fragment.hpp"
+#include "frag/transform.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "kernel/extract.hpp"
+#include "timing/arrival.hpp"
+#include "timing/critical_path.hpp"
+
+namespace hls {
+namespace {
+
+// Fig. 1 a): C = A+B; E = C+D; G = E+F, all 16 bits.
+Dfg motivational() {
+  SpecBuilder b("example");
+  const Val A = b.in("A", 16), B = b.in("B", 16);
+  const Val D = b.in("D", 16), F = b.in("F", 16);
+  b.out("G", A + B + D + F);
+  return std::move(b).take();
+}
+
+// Node ids in motivational(): 0..3 inputs, 4 = C, 5 = E, 6 = G.
+constexpr NodeId kC{4}, kE{5}, kG{6};
+
+TEST(BitWindows, MotivationalAsapCycles) {
+  const Dfg d = motivational();
+  const BitWindows w = BitWindows::compute(d, 3, 6);
+  // Fig. 2 c): cycle 1 computes C5..0, E4..0, G3..0.
+  EXPECT_EQ(w.asap_cycle(kC, 5), 0u);
+  EXPECT_EQ(w.asap_cycle(kC, 6), 1u);
+  EXPECT_EQ(w.asap_cycle(kE, 4), 0u);
+  EXPECT_EQ(w.asap_cycle(kE, 5), 1u);
+  EXPECT_EQ(w.asap_cycle(kG, 3), 0u);
+  EXPECT_EQ(w.asap_cycle(kG, 4), 1u);
+  EXPECT_EQ(w.asap_cycle(kC, 15), 2u);
+  EXPECT_EQ(w.asap_cycle(kG, 15), 2u);
+}
+
+TEST(BitWindows, MotivationalAlapEqualsAsap) {
+  // With n_bits = ceil(18/3) = 6 the schedule is tight: every bit's ALAP
+  // cycle coincides with its ASAP cycle.
+  const Dfg d = motivational();
+  const BitWindows w = BitWindows::compute(d, 3, 6);
+  for (NodeId op : {kC, kE, kG}) {
+    for (unsigned b = 0; b < 16; ++b) {
+      EXPECT_EQ(w.asap_cycle(op, b), w.alap_cycle(op, b))
+          << "op %" << op.index << " bit " << b;
+    }
+  }
+}
+
+TEST(BitWindows, InfeasibleBudgetThrows) {
+  const Dfg d = motivational();
+  EXPECT_THROW(BitWindows::compute(d, 3, 5), Error);  // 15 slots < 18 needed
+  EXPECT_NO_THROW(BitWindows::compute(d, 3, 6));
+}
+
+TEST(BitWindows, SlackAppearsWithLooserBudget) {
+  // With n_bits = 18 and latency 3 there are 54 slots for an 18-delta
+  // critical path: plenty of mobility.
+  const Dfg d = motivational();
+  const BitWindows w = BitWindows::compute(d, 3, 18);
+  EXPECT_EQ(w.asap_cycle(kC, 0), 0u);
+  EXPECT_EQ(w.alap_cycle(kC, 0), 2u);  // may be postponed to the last cycle
+}
+
+TEST(Fragment, MotivationalSplitsMatchFig2) {
+  const Dfg d = motivational();
+  const BitWindows w = BitWindows::compute(d, 3, 6);
+  const std::vector<Fragment> frags = fragment_operations(d, w);
+  ASSERT_EQ(frags.size(), 9u);  // three ops x three fragments
+
+  auto of = [&](NodeId op) {
+    std::vector<Fragment> v;
+    for (const Fragment& f : frags) {
+      if (f.op == op) v.push_back(f);
+    }
+    return v;
+  };
+  // Fig. 2 a): C splits 7|6|3 as stored widths 6,6,4 over cycles 1,2,3.
+  const auto c = of(kC);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].bits, BitRange::downto(5, 0));
+  EXPECT_EQ(c[1].bits, BitRange::downto(11, 6));
+  EXPECT_EQ(c[2].bits, BitRange::downto(15, 12));
+  // E splits 5,6,5: E(4..0), E(10..5), E(15..11).
+  const auto e = of(kE);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].bits, BitRange::downto(4, 0));
+  EXPECT_EQ(e[1].bits, BitRange::downto(10, 5));
+  EXPECT_EQ(e[2].bits, BitRange::downto(15, 11));
+  // G splits 4,6,6: G(3..0), G(9..4), G(15..10).
+  const auto g = of(kG);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0].bits, BitRange::downto(3, 0));
+  EXPECT_EQ(g[1].bits, BitRange::downto(9, 4));
+  EXPECT_EQ(g[2].bits, BitRange::downto(15, 10));
+  // All fragments are tightly scheduled (cycle k gets fragment k).
+  for (const auto& group : {c, e, g}) {
+    for (unsigned k = 0; k < 3; ++k) {
+      EXPECT_TRUE(group[k].scheduled());
+      EXPECT_EQ(group[k].asap, k);
+    }
+  }
+}
+
+// Fig. 3 a) DFG. Returns ids of the named operations via out-parameters.
+struct Fig3 {
+  Dfg dfg;
+  NodeId A, B, C, D, E, F, G, H;
+};
+
+Fig3 fig3() {
+  SpecBuilder b("fig3");
+  const Val i1 = b.in("i1", 6), i2 = b.in("i2", 6), i3 = b.in("i3", 6);
+  const Val i4 = b.in("i4", 6), i5 = b.in("i5", 5), i6 = b.in("i6", 5);
+  const Val i7 = b.in("i7", 8), i8 = b.in("i8", 8), i9 = b.in("i9", 8);
+  const Val A = b.add(i5, i6, 5);
+  const Val B = b.add(i1, i2, 6);
+  const Val C = b.add(B, i3, 6);
+  const Val E = b.add(C, i4, 6);
+  const Val D = b.add(i1, i4, 6);
+  const Val F = b.add(i7, i8, 8);
+  const Val G = b.add(i8, i9, 8);
+  const Val H = b.add(F, G, 8);
+  b.out("oA", A);
+  b.out("oD", D);
+  b.out("oE", E);
+  b.out("oH", H);
+  Fig3 r{std::move(b).take(), A.node(), B.node(), C.node(), D.node(),
+         E.node(), F.node(), G.node(), H.node()};
+  return r;
+}
+
+TEST(Fragment, Fig3CycleEstimateIsThreeDeltas) {
+  const Fig3 f = fig3();
+  EXPECT_EQ(critical_path(f.dfg).time, 9u);
+  EXPECT_EQ(estimate_cycle_duration(f.dfg, 3), 3u);
+}
+
+TEST(Fragment, Fig3OperationBMatchesPaperText) {
+  // Paper: "operation B is broken up into B1..0, B2, B4..3, and B5. B1..0
+  // and B4..3 are already scheduled in cycles 1 and 2; the mobility of B2
+  // includes cycles 1 and 2, and the mobility of B5 cycles 2 and 3."
+  const Fig3 f = fig3();
+  const BitWindows w = BitWindows::compute(f.dfg, 3, 3);
+  const auto hist_a = bits_per_cycle_hist(f.dfg, w, f.B, false);
+  const auto hist_l = bits_per_cycle_hist(f.dfg, w, f.B, true);
+  EXPECT_EQ(hist_a, (std::vector<unsigned>{3, 3, 0}));
+  EXPECT_EQ(hist_l, (std::vector<unsigned>{2, 3, 1}));
+
+  const auto frags = pair_fragments(f.B, 6, hist_a, hist_l);
+  ASSERT_EQ(frags.size(), 4u);
+  EXPECT_EQ(frags[0].bits, BitRange::downto(1, 0));  // B1..0 fixed in cycle 1
+  EXPECT_EQ(frags[0].asap, 0u);
+  EXPECT_EQ(frags[0].alap, 0u);
+  EXPECT_EQ(frags[1].bits, BitRange::downto(2, 2));  // B2 mobile cycles 1-2
+  EXPECT_EQ(frags[1].asap, 0u);
+  EXPECT_EQ(frags[1].alap, 1u);
+  EXPECT_EQ(frags[2].bits, BitRange::downto(4, 3));  // B4..3 fixed in cycle 2
+  EXPECT_EQ(frags[2].asap, 1u);
+  EXPECT_EQ(frags[2].alap, 1u);
+  EXPECT_EQ(frags[3].bits, BitRange::downto(5, 5));  // B5 mobile cycles 2-3
+  EXPECT_EQ(frags[3].asap, 1u);
+  EXPECT_EQ(frags[3].alap, 2u);
+}
+
+TEST(Fragment, Fig3OperationAMatchesPaperFigure) {
+  // Fig. 3 f): A1..0 mobile over cycles 1-2, A2 over 1-3, A4..3 over 2-3.
+  const Fig3 f = fig3();
+  const BitWindows w = BitWindows::compute(f.dfg, 3, 3);
+  const auto frags =
+      pair_fragments(f.A, 5, bits_per_cycle_hist(f.dfg, w, f.A, false),
+                     bits_per_cycle_hist(f.dfg, w, f.A, true));
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_EQ(frags[0].bits, BitRange::downto(1, 0));
+  EXPECT_EQ(frags[0].asap, 0u);
+  EXPECT_EQ(frags[0].alap, 1u);
+  EXPECT_EQ(frags[1].bits, BitRange::downto(2, 2));
+  EXPECT_EQ(frags[1].asap, 0u);
+  EXPECT_EQ(frags[1].alap, 2u);
+  EXPECT_EQ(frags[2].bits, BitRange::downto(4, 3));
+  EXPECT_EQ(frags[2].asap, 1u);
+  EXPECT_EQ(frags[2].alap, 2u);
+}
+
+TEST(Fragment, Fig3FGHArePreScheduled) {
+  // Paper: "Both ASAP and ALAP schedules coincide on operations F, G, and H".
+  // Fig. 3 c) shows the splits: F2..0|F5..3|F7..6, G likewise, and
+  // H1..0|H4..2|H7..5 (H starts one ripple later, so only 2 bits fit in
+  // cycle 1).
+  const Fig3 f = fig3();
+  const BitWindows w = BitWindows::compute(f.dfg, 3, 3);
+  for (NodeId op : {f.F, f.G}) {
+    const auto frags =
+        pair_fragments(op, 8, bits_per_cycle_hist(f.dfg, w, op, false),
+                       bits_per_cycle_hist(f.dfg, w, op, true));
+    ASSERT_EQ(frags.size(), 3u);
+    EXPECT_EQ(frags[0].bits, BitRange::downto(2, 0));
+    EXPECT_EQ(frags[1].bits, BitRange::downto(5, 3));
+    EXPECT_EQ(frags[2].bits, BitRange::downto(7, 6));
+    for (unsigned k = 0; k < 3; ++k) {
+      EXPECT_TRUE(frags[k].scheduled()) << "op %" << op.index;
+      EXPECT_EQ(frags[k].asap, k);
+    }
+  }
+  const auto h = pair_fragments(f.H, 8, bits_per_cycle_hist(f.dfg, w, f.H, false),
+                                bits_per_cycle_hist(f.dfg, w, f.H, true));
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0].bits, BitRange::downto(1, 0));
+  EXPECT_EQ(h[1].bits, BitRange::downto(4, 2));
+  EXPECT_EQ(h[2].bits, BitRange::downto(7, 5));
+  for (unsigned k = 0; k < 3; ++k) {
+    EXPECT_TRUE(h[k].scheduled());
+    EXPECT_EQ(h[k].asap, k);
+  }
+}
+
+TEST(Fragment, TilingInvariants) {
+  // Property: fragments of each op tile [0, width) LSB-first with non-empty
+  // windows, for random kernels and random feasible budgets.
+  std::mt19937_64 rng(7);
+  for (unsigned trial = 0; trial < 30; ++trial) {
+    SpecBuilder b("t");
+    std::vector<Val> pool;
+    for (int i = 0; i < 3; ++i) {
+      pool.push_back(b.in("i" + std::to_string(i), 3 + rng() % 12));
+    }
+    for (int i = 0; i < 6; ++i) {
+      const Val& x = pool[rng() % pool.size()];
+      const Val& y = pool[rng() % pool.size()];
+      pool.push_back(b.add(x, y, std::max(x.width(), y.width())));
+    }
+    b.out("o", pool.back());
+    const Dfg d = std::move(b).take();
+    const unsigned cp = critical_path(d).time;
+    const unsigned latency = 2 + rng() % 4;
+    const unsigned n_bits = estimate_cycle_duration(cp, latency) + rng() % 3;
+    const BitWindows w = BitWindows::compute(d, latency, n_bits);
+    const auto frags = fragment_operations(d, w);
+
+    std::map<std::uint32_t, unsigned> next_lo;
+    for (const Fragment& f : frags) {
+      EXPECT_LE(f.asap, f.alap);
+      EXPECT_LT(f.alap, latency);
+      auto [it, inserted] = next_lo.try_emplace(f.op.index, 0u);
+      EXPECT_EQ(f.bits.lo, it->second) << "fragments not LSB-contiguous";
+      it->second = f.bits.hi();
+    }
+    for (const auto& [op, hi] : next_lo) {
+      EXPECT_EQ(hi, d.node(NodeId{op}).width) << "fragments do not cover op";
+    }
+  }
+}
+
+TEST(Fragment, FormatBitScheduleMatchesFig3c) {
+  // Fig. 3 c): the pre-scheduled operations' bits per cycle.
+  const Fig3 f = fig3();
+  const BitWindows w = BitWindows::compute(f.dfg, 3, 3);
+  const std::string asap = format_bit_schedule(f.dfg, w, false);
+  EXPECT_NE(asap.find("ASAP bit schedule:"), std::string::npos);
+  // F contributes F(2 downto 0) to cycle 1 and H only 2 bits.
+  const std::size_t c1 = asap.find("cycle 1:");
+  const std::size_t c2 = asap.find("cycle 2:");
+  const std::string line1 = asap.substr(c1, c2 - c1);
+  EXPECT_NE(line1.find("(2 downto 0)"), std::string::npos);
+  EXPECT_NE(line1.find("(1 downto 0)"), std::string::npos);
+  const std::string alap = format_bit_schedule(f.dfg, w, true);
+  EXPECT_NE(alap.find("ALAP bit schedule:"), std::string::npos);
+}
+
+TEST(Transform, MotivationalProducesNineAddsInKernelForm) {
+  const Dfg d = motivational();
+  const TransformResult t = transform_spec(d, 3);
+  EXPECT_EQ(t.n_bits, 6u);
+  EXPECT_EQ(t.critical_time, 18u);
+  EXPECT_EQ(t.fragmented_op_count, 3u);
+  EXPECT_EQ(t.adds.size(), 9u);
+  EXPECT_TRUE(is_kernel_form(t.spec));
+  // The paper reports ~34 % more operations on the classical benchmarks;
+  // here 3 adds become 9.
+  EXPECT_EQ(t.spec.additive_op_count(), 9u);
+}
+
+TEST(Transform, MotivationalIsEquivalent) {
+  const Dfg d = motivational();
+  const TransformResult t = transform_spec(d, 3);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const InputValues in{{"A", rng()}, {"B", rng()}, {"D", rng()}, {"F", rng()}};
+    EXPECT_EQ(evaluate(d, in), evaluate(t.spec, in));
+  }
+}
+
+TEST(Transform, FragmentAddsExposeCarryBits) {
+  const Dfg d = motivational();
+  const TransformResult t = transform_spec(d, 3);
+  // Fragment widths for C are 6, 6, 4 -> node widths 7, 7, 4 (carry bit on
+  // all but the last), exactly like Fig. 2 a)'s C(6 downto 0) slice.
+  std::vector<unsigned> widths;
+  for (const TransformedAdd& a : t.adds) {
+    if (a.orig == kC) widths.push_back(t.spec.node(a.node).width);
+  }
+  EXPECT_EQ(widths, (std::vector<unsigned>{7, 7, 4}));
+}
+
+TEST(Transform, UnfragmentedOpsAreCopied) {
+  // Latency 1 => n_bits = critical path => nothing needs splitting.
+  const Dfg d = motivational();
+  const TransformResult t = transform_spec(d, 1);
+  EXPECT_EQ(t.fragmented_op_count, 0u);
+  EXPECT_EQ(t.adds.size(), 3u);
+  EXPECT_EQ(t.spec.additive_op_count(), 3u);
+}
+
+TEST(Transform, NBitsOverrideLoosensBudget) {
+  const Dfg d = motivational();
+  const TransformResult t = transform_spec(d, 3, 18);
+  EXPECT_EQ(t.n_bits, 18u);
+  // Ops fit whole cycles now; no fragmentation required.
+  EXPECT_EQ(t.fragmented_op_count, 0u);
+}
+
+TEST(Transform, ZeroExtensionBitsAreFree) {
+  // An add wider than its operands: the bits beyond both operand slices only
+  // forward the carry, so the critical path is the operand width, not the
+  // add width — and the transformation stays semantics-preserving.
+  SpecBuilder b("wide");
+  const Val x = b.in("x", 4), y = b.in("y", 4);
+  b.out("o", b.add(x, y, 16));
+  const Dfg d = std::move(b).take();
+  EXPECT_EQ(max_arrival(bit_arrival_times(d)), 4u);
+  const TransformResult t = transform_spec(d, 2);  // n_bits = 2
+  EXPECT_EQ(t.n_bits, 2u);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const InputValues in{{"x", rng()}, {"y", rng()}};
+    EXPECT_EQ(evaluate(d, in), evaluate(t.spec, in));
+  }
+}
+
+TEST(TransformProperty, RandomSpecsEquivalentThroughFullPipeline) {
+  // extract_kernel + transform_spec over random mixed specs: outputs match
+  // the original evaluator for random latencies.
+  std::mt19937_64 rng(42);
+  for (unsigned trial = 0; trial < 20; ++trial) {
+    SpecBuilder b("p" + std::to_string(trial));
+    std::vector<Val> pool;
+    for (int i = 0; i < 3; ++i) {
+      pool.push_back(b.in("i" + std::to_string(i), 4 + rng() % 9));
+    }
+    for (int i = 0; i < 6; ++i) {
+      const Val& x = pool[rng() % pool.size()];
+      const Val& y = pool[rng() % pool.size()];
+      switch (rng() % 5) {
+        case 0: pool.push_back(x + y); break;
+        case 1: pool.push_back(x - y); break;
+        case 2: pool.push_back(b.mul(x, y, std::min(14u, x.width() + y.width())));
+                break;
+        case 3: pool.push_back(b.max(x, y, rng() % 2 == 0)); break;
+        default: pool.push_back(b.add(x, y, std::max(x.width(), y.width()) + 1));
+                 break;
+      }
+    }
+    b.out("o", pool.back());
+    const Dfg original = std::move(b).take();
+    const Dfg kernel = extract_kernel(original);
+    const unsigned latency = 2 + rng() % 5;
+    const TransformResult t = transform_spec(kernel, latency);
+
+    for (int i = 0; i < 50; ++i) {
+      InputValues in;
+      for (NodeId id : original.inputs()) in[original.node(id).name] = rng();
+      EXPECT_EQ(evaluate(original, in), evaluate(t.spec, in))
+          << "trial " << trial;
+    }
+  }
+}
+
+} // namespace
+} // namespace hls

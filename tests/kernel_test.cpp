@@ -1,0 +1,248 @@
+// Unit + property tests for operative kernel extraction (paper §3.1).
+//
+// The central property: extraction is semantics-preserving. Every rewrite is
+// checked against the evaluator over randomized inputs, and the result must
+// be in kernel form (Add + glue + structure only).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "kernel/extract.hpp"
+#include "timing/arrival.hpp"
+
+namespace hls {
+namespace {
+
+/// Checks original vs extracted outputs on `n` random input vectors.
+void expect_equivalent(const Dfg& original, unsigned n = 200,
+                       unsigned seed = 12345) {
+  const Dfg kernel = extract_kernel(original);
+  EXPECT_TRUE(is_kernel_form(kernel)) << "extraction left non-kernel nodes";
+  std::mt19937_64 rng(seed);
+  for (unsigned trial = 0; trial < n; ++trial) {
+    InputValues in;
+    for (NodeId id : original.inputs()) {
+      in[original.node(id).name] = rng();
+    }
+    EXPECT_EQ(evaluate(original, in), evaluate(kernel, in))
+        << "divergence on trial " << trial << " of '" << original.name() << "'";
+  }
+}
+
+TEST(Kernel, AddPassesThroughUnchanged) {
+  SpecBuilder b("adds");
+  const Val A = b.in("A", 16), B = b.in("B", 16), D = b.in("D", 16);
+  b.out("G", A + B + D);
+  const Dfg d = std::move(b).take();
+  KernelStats st;
+  const Dfg k = extract_kernel(d, &st);
+  EXPECT_EQ(st.ops_before, 2u);
+  EXPECT_EQ(st.adds_after, 2u);
+  expect_equivalent(d);
+}
+
+TEST(Kernel, SubBecomesAddWithCarryIn) {
+  SpecBuilder b("sub");
+  const Val A = b.in("A", 12), B = b.in("B", 12);
+  b.out("o", A - B);
+  const Dfg d = std::move(b).take();
+  KernelStats st;
+  const Dfg k = extract_kernel(d, &st);
+  EXPECT_EQ(st.rewritten_subs, 1u);
+  EXPECT_EQ(st.adds_after, 1u);  // exactly one add, no extra ripple stages
+  expect_equivalent(d);
+}
+
+TEST(Kernel, NegIsNotPlusOne) {
+  SpecBuilder b("neg");
+  const Val A = b.in("A", 9);
+  b.out("o", b.neg(A));
+  expect_equivalent(b.dfg());
+}
+
+using CmpCase = std::tuple<OpKind, bool, unsigned, unsigned>;
+
+class KernelCompare : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(KernelCompare, EquivalentToEvaluator) {
+  const auto [kind, is_signed, wa, wb] = GetParam();
+  SpecBuilder b("cmp");
+  const Val A = b.in("A", wa), B = b.in("B", wb);
+  b.out("o", b.cmp(kind, A, B, is_signed));
+  expect_equivalent(b.dfg(), 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllComparisons, KernelCompare,
+    ::testing::Combine(::testing::Values(OpKind::Lt, OpKind::Le, OpKind::Gt,
+                                         OpKind::Ge, OpKind::Eq, OpKind::Ne),
+                       ::testing::Bool(), ::testing::Values(4u, 8u),
+                       ::testing::Values(8u, 11u)));
+
+using MinMaxCase = std::tuple<bool, bool, unsigned>;
+class KernelMinMax : public ::testing::TestWithParam<MinMaxCase> {};
+
+TEST_P(KernelMinMax, EquivalentToEvaluator) {
+  const auto [use_max, is_signed, w] = GetParam();
+  SpecBuilder b("mm");
+  const Val A = b.in("A", w), B = b.in("B", w);
+  b.out("o", use_max ? b.max(A, B, is_signed) : b.min(A, B, is_signed));
+  expect_equivalent(b.dfg(), 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMinMax, KernelMinMax,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                                            ::testing::Values(1u, 7u, 16u)));
+
+struct MulCase {
+  unsigned wa, wb, wout;
+  bool is_signed;
+};
+
+class KernelMul : public ::testing::TestWithParam<MulCase> {};
+
+TEST_P(KernelMul, EquivalentToEvaluator) {
+  const MulCase c = GetParam();
+  SpecBuilder b("mul");
+  const Val A = b.in("A", c.wa), B = b.in("B", c.wb);
+  b.out("o", b.mul(A, B, c.wout, c.is_signed));
+  expect_equivalent(b.dfg(), 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, KernelMul,
+    ::testing::Values(MulCase{4, 4, 8, false}, MulCase{8, 8, 16, false},
+                      MulCase{8, 8, 8, false}, MulCase{16, 16, 16, false},
+                      MulCase{5, 9, 14, false}, MulCase{16, 4, 20, false},
+                      MulCase{4, 4, 8, true}, MulCase{8, 8, 16, true},
+                      MulCase{8, 8, 8, true}, MulCase{16, 16, 16, true},
+                      MulCase{5, 9, 14, true}, MulCase{2, 2, 4, true},
+                      MulCase{1, 8, 9, true}, MulCase{8, 1, 9, true}));
+
+TEST(Kernel, MulByConstantPrunesPartialProducts) {
+  SpecBuilder b("cmul");
+  const Val A = b.in("A", 16);
+  b.out("o", b.mul(A, b.cst(4, 8), 16));  // power of two: pure shift
+  const Dfg d = b.dfg();
+  const Dfg k = extract_kernel(d);
+  // A single pruned partial product needs no adder at all.
+  EXPECT_EQ(k.additive_op_count(), 0u);
+  expect_equivalent(d);
+}
+
+TEST(Kernel, MulByDenseConstantStillPrunes) {
+  SpecBuilder b("cmul5");
+  const Val A = b.in("A", 12);
+  b.out("o", b.mul(A, b.cst(5, 4), 16));  // 0b0101: two partial products
+  const Dfg k = extract_kernel(b.dfg());
+  EXPECT_EQ(k.additive_op_count(), 1u);
+  expect_equivalent(b.dfg());
+}
+
+TEST(Kernel, SignedMulUsesSmallerUnsignedCore) {
+  // Paper: m x n signed -> (m-1) x (n-1) unsigned mult plus additions.
+  SpecBuilder b("bw");
+  const Val A = b.in("A", 8), B = b.in("B", 8);
+  b.out("o", b.mul(A, B, 16, /*is_signed=*/true));
+  KernelStats st;
+  extract_kernel(b.dfg(), &st);
+  EXPECT_EQ(st.rewritten_signed_muls, 1u);
+  expect_equivalent(b.dfg(), 600);
+}
+
+TEST(Kernel, ResultIsTimeable) {
+  // After extraction the bit-level timing machinery must accept the graph.
+  SpecBuilder b("mix");
+  const Val A = b.in("A", 8), B = b.in("B", 8), C = b.in("C", 8);
+  const Val p = b.mul(A, B, 8);
+  const Val q = b.max(p, C);
+  b.out("o", q - A);
+  const Dfg k = extract_kernel(b.dfg());
+  EXPECT_NO_THROW(bit_arrival_times(k));
+}
+
+TEST(Kernel, MixedExpressionDeepChain) {
+  SpecBuilder b("deep");
+  const Val A = b.in("A", 10), B = b.in("B", 10), C = b.in("C", 10);
+  const Val D = b.in("D", 10);
+  const Val t1 = A - B;
+  const Val t2 = b.mul(t1, C, 10);
+  const Val t3 = b.max(t2, D);
+  const Val t4 = b.min(t3, A);
+  const Val t5 = (t4 > B);
+  b.out("o1", t4 + D);
+  b.out("o2", t5);
+  expect_equivalent(b.dfg(), 400);
+}
+
+TEST(Kernel, SignedCompareMixedWidths) {
+  SpecBuilder b("scmp");
+  const Val A = b.in("A", 5), B = b.in("B", 12);
+  b.out("o", b.cmp(OpKind::Lt, A, B, /*is_signed=*/true));
+  expect_equivalent(b.dfg(), 500);
+}
+
+TEST(Kernel, IdempotentOnKernelForm) {
+  SpecBuilder b("idem");
+  const Val A = b.in("A", 8), B = b.in("B", 8);
+  b.out("o", A - B);  // one rewrite away from kernel form
+  const Dfg k1 = extract_kernel(b.dfg());
+  const Dfg k2 = extract_kernel(k1);
+  EXPECT_EQ(k1.size(), k2.size());
+  EXPECT_TRUE(is_kernel_form(k2));
+}
+
+TEST(Kernel, StatsCountEveryRewrite) {
+  SpecBuilder b("stats");
+  const Val A = b.in("A", 8), B = b.in("B", 8);
+  const Val s = A - B;
+  const Val m = b.mul(A, B, 8);
+  const Val mx = b.max(s, m);
+  b.out("o", mx);
+  b.out("c", A < B);
+  KernelStats st;
+  extract_kernel(b.dfg(), &st);
+  EXPECT_EQ(st.rewritten_subs, 1u);
+  EXPECT_EQ(st.rewritten_muls, 1u);
+  // max rewrites to compare+mux; the lone Lt counts too.
+  EXPECT_EQ(st.rewritten_minmax, 1u);
+  EXPECT_EQ(st.rewritten_compares, 1u);
+  EXPECT_EQ(st.ops_before, 4u);  // Sub, Mul, Max, Lt
+}
+
+TEST(KernelProperty, RandomMixedSpecsStayEquivalent) {
+  std::mt19937_64 rng(99);
+  for (unsigned spec = 0; spec < 25; ++spec) {
+    SpecBuilder b("rand" + std::to_string(spec));
+    std::vector<Val> pool;
+    const unsigned nin = 3;
+    for (unsigned i = 0; i < nin; ++i) {
+      pool.push_back(b.in("i" + std::to_string(i), 4 + rng() % 10));
+    }
+    const unsigned nops = 4 + rng() % 8;
+    for (unsigned i = 0; i < nops; ++i) {
+      const Val& x = pool[rng() % pool.size()];
+      const Val& y = pool[rng() % pool.size()];
+      const unsigned w = std::max(x.width(), y.width());
+      switch (rng() % 7) {
+        case 0: pool.push_back(x + y); break;
+        case 1: pool.push_back(x - y); break;
+        case 2: pool.push_back(b.mul(x, y, std::min(16u, x.width() + y.width())));
+                break;
+        case 3: pool.push_back(b.max(x, y, rng() % 2 == 0)); break;
+        case 4: pool.push_back(b.min(x, y, rng() % 2 == 0)); break;
+        case 5: pool.push_back(b.zext(b.cmp(OpKind::Lt, x, y, rng() % 2 == 0), 2));
+                break;
+        default: pool.push_back(b.add(x, y, w + 1)); break;
+      }
+    }
+    b.out("o", pool.back());
+    expect_equivalent(b.dfg(), 60, 1000 + spec);
+  }
+}
+
+} // namespace
+} // namespace hls

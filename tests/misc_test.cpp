@@ -1,0 +1,202 @@
+// Coverage for corners the module suites leave thin: op traits, 64-bit
+// evaluation, Dfg verification, schedule queries, printer output, and
+// scheduler detail behaviour.
+
+#include <gtest/gtest.h>
+
+#include "flow/flow.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/print.hpp"
+#include "sched/blc.hpp"
+#include "sched/conventional.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+namespace {
+
+TEST(OpTraits, Classification) {
+  EXPECT_TRUE(is_additive(OpKind::Add));
+  EXPECT_TRUE(is_additive(OpKind::Mul));
+  EXPECT_TRUE(is_additive(OpKind::Max));
+  EXPECT_FALSE(is_additive(OpKind::And));
+  EXPECT_FALSE(is_additive(OpKind::Concat));
+  EXPECT_TRUE(is_glue(OpKind::Xor));
+  EXPECT_FALSE(is_glue(OpKind::Add));
+  EXPECT_TRUE(is_structural(OpKind::Input));
+  EXPECT_TRUE(is_structural(OpKind::Concat));
+  EXPECT_TRUE(is_comparison(OpKind::Ne));
+  EXPECT_FALSE(is_comparison(OpKind::Min));
+  EXPECT_EQ(op_arity(OpKind::Input), 0);
+  EXPECT_EQ(op_arity(OpKind::Not), 1);
+  EXPECT_EQ(op_arity(OpKind::Sub), 2);
+  EXPECT_EQ(op_arity(OpKind::Add), -1);   // optional carry-in
+  EXPECT_EQ(op_arity(OpKind::Concat), -1);
+  EXPECT_EQ(op_name(OpKind::Mul), "mul");
+}
+
+TEST(Eval, SixtyFourBitWidths) {
+  SpecBuilder b("w64");
+  const Val x = b.in("x", 64), y = b.in("y", 64);
+  b.out("s", x + y);
+  b.out("n", ~x);
+  b.out("lt", x < y);
+  const Dfg d = std::move(b).take();
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFFFull;
+  const OutputValues out = evaluate(d, {{"x", big}, {"y", 2}});
+  EXPECT_EQ(out.at("s"), 1u);          // wraps mod 2^64
+  EXPECT_EQ(out.at("n"), 0u);
+  EXPECT_EQ(out.at("lt"), 0u);
+  EXPECT_EQ(truncate(big, 64), big);
+  EXPECT_EQ(sign_extend(big, 64), -1);
+}
+
+TEST(Eval, MultiPartConcat) {
+  SpecBuilder b("cc");
+  const Val x = b.in("x", 4);
+  const Val y = b.in("y", 4);
+  const Val z = b.in("z", 4);
+  b.out("o", b.concat_lsb_first({x, y, z}));
+  const OutputValues out =
+      evaluate(b.dfg(), {{"x", 0xA}, {"y", 0xB}, {"z", 0xC}});
+  EXPECT_EQ(out.at("o"), 0xCBAu);
+}
+
+TEST(Eval, SliceOfConstant) {
+  SpecBuilder b("sc");
+  const Val k = b.cst(0b1011'0110, 8);
+  b.out("o", k.slice(5, 2));
+  b.out("p", b.in("x", 1) & k.bit(7));
+  EXPECT_EQ(evaluate(b.dfg(), {{"x", 1}}).at("o"), 0b1101u);
+}
+
+TEST(Dfg, WidthLimits) {
+  Dfg d("lim");
+  EXPECT_THROW(d.add_input("too_wide", 65), Error);
+  EXPECT_THROW(d.add_input("zero", 0), Error);
+  EXPECT_NO_THROW(d.add_input("ok", 64));
+}
+
+TEST(Dfg, ConstantsMustFit) {
+  Dfg d("cf");
+  EXPECT_THROW(d.add_const(16, 4), Error);
+  EXPECT_NO_THROW(d.add_const(15, 4));
+  EXPECT_NO_THROW(d.add_const(~std::uint64_t{0}, 64));
+}
+
+TEST(Dfg, OutputsCannotBeReadBack) {
+  Dfg d("ro");
+  const NodeId a = d.add_input("a", 4);
+  const NodeId o = d.add_output("o", d.whole(a));
+  Node n;
+  n.kind = OpKind::Not;
+  n.width = 4;
+  n.operands = {d.whole(o)};
+  EXPECT_THROW(d.add_node(std::move(n)), Error);
+}
+
+TEST(Schedule, RowQueries) {
+  Schedule s;
+  s.latency = 3;
+  s.cycle_deltas = 4;
+  s.rows = {{NodeId{1}, 0, BitRange{0, 4}},
+            {NodeId{2}, 0, BitRange{0, 2}},
+            {NodeId{3}, 2, BitRange{0, 7}}};
+  EXPECT_EQ(s.rows_in_cycle(0).size(), 2u);
+  EXPECT_EQ(s.rows_in_cycle(1).size(), 0u);
+  EXPECT_EQ(s.max_rows_per_cycle(), 2u);
+  EXPECT_EQ(s.max_row_width(), 7u);
+}
+
+TEST(Print, ScheduleRendering) {
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const std::string s = to_string(o.transform.spec, o.schedule.schedule);
+  EXPECT_NE(s.find("3 cycles x 6 deltas"), std::string::npos);
+  EXPECT_NE(s.find("cycle 1:"), std::string::npos);
+  EXPECT_NE(s.find("C(5 downto 0)"), std::string::npos);
+  // Fragment names are not double-sliced.
+  EXPECT_EQ(s.find("C(5 downto 0)("), std::string::npos);
+}
+
+TEST(Conventional, ChainsWhenItFits) {
+  // Two 4-bit adds chained in an 8-delta cycle at latency 1.
+  SpecBuilder b("ch");
+  const Val x = b.in("x", 4), y = b.in("y", 4), z = b.in("z", 4);
+  b.out("o", b.add(b.add(x, y, 4), z, 4));
+  const Dfg d = std::move(b).take();
+  const OpSchedule s = schedule_conventional(d, 1);
+  EXPECT_EQ(s.cycle_deltas, 8u);
+  for (const OpSpan& sp : s.spans) EXPECT_EQ(sp.first_cycle, 0u);
+}
+
+TEST(Conventional, BoundaryAlignedChaining) {
+  // 4+4 deltas fill an 8-delta cycle exactly; a third add must wait for
+  // cycle 2 at latency 2.
+  SpecBuilder b("ba");
+  const Val x = b.in("x", 4), y = b.in("y", 4), z = b.in("z", 4);
+  const Val s1 = b.add(x, y, 4);
+  const Val s2 = b.add(s1, z, 4);
+  b.out("o", b.add(s2, x, 4));
+  const Dfg d = std::move(b).take();
+  EXPECT_FALSE(conventional_fits(d, 1, 8));
+  EXPECT_TRUE(conventional_fits(d, 2, 8));
+  const OpSchedule s = schedule_conventional(d, 2);
+  // Minimal L stays 8: two ops chain exactly into cycle 1, the third gets
+  // cycle 2 (smaller L would strand the second op behind the boundary).
+  EXPECT_EQ(s.cycle_deltas, 8u);
+}
+
+TEST(Blc, FitsProbeReturnsAssignment) {
+  const Dfg d = motivational();
+  std::vector<unsigned> cycles;
+  ASSERT_TRUE(blc_fits(d, 3, 16, &cycles));
+  EXPECT_EQ(cycles[4], 0u);  // C
+  EXPECT_EQ(cycles[5], 1u);  // E cannot share C's 16-delta cycle
+  EXPECT_EQ(cycles[6], 2u);
+  EXPECT_FALSE(blc_fits(d, 3, 15));  // narrower than an atomic op
+}
+
+TEST(Blc, SharesCycleWhenChainFits) {
+  // Two 4-bit adds fit a 9-delta cycle with bit-level overlap (depth 5).
+  SpecBuilder b("sh");
+  const Val x = b.in("x", 4), y = b.in("y", 4), z = b.in("z", 4);
+  b.out("o", b.add(b.add(x, y, 4), z, 4));
+  const Dfg d = std::move(b).take();
+  std::vector<unsigned> cycles;
+  ASSERT_TRUE(blc_fits(d, 2, 5, &cycles));
+  EXPECT_EQ(cycles[3], 0u);
+  EXPECT_EQ(cycles[4], 0u);  // overlapped in the same cycle
+}
+
+TEST(Flows, DelayModelScalesReports) {
+  FlowOptions opt;
+  opt.delay.delta_ns = 1.0;
+  opt.delay.sequential_overhead_ns = 0.0;
+  const ImplementationReport r = run_conventional_flow(motivational(), 3, opt);
+  EXPECT_DOUBLE_EQ(r.cycle_ns, 16.0);
+  EXPECT_DOUBLE_EQ(r.execution_ns, 48.0);
+}
+
+TEST(Suites, EllipticIsPureAdditiveAfterExtraction) {
+  const Dfg kernel = extract_kernel(elliptic());
+  EXPECT_TRUE(is_kernel_form(kernel));
+  // Constant multiplications decompose without leaving multipliers behind.
+  for (const Node& n : kernel.nodes()) EXPECT_NE(n.kind, OpKind::Mul);
+}
+
+TEST(Suites, AdpcmTtdDetectsTone) {
+  const Dfg d = adpcm_ttd();
+  // A2 = -0.75 (Q14: -12288 -> 0xD000) below the -0.71875 threshold.
+  InputValues in{{"A2", 0xD000}, {"THR_A2", static_cast<std::uint64_t>(-11776) & 0xFFFF},
+                 {"YL", 0x1000}, {"DQ", 0x7FFF}};
+  OutputValues out = evaluate(d, in);
+  EXPECT_EQ(out.at("TDP"), 1u);
+  EXPECT_EQ(out.at("TR"), 1u);  // huge DQ exceeds the threshold
+  in["A2"] = 0x1000;            // positive coefficient: no tone
+  out = evaluate(d, in);
+  EXPECT_EQ(out.at("TDP"), 0u);
+  EXPECT_EQ(out.at("TR"), 0u);
+}
+
+} // namespace
+} // namespace hls

@@ -1,0 +1,228 @@
+// Tests for the DSL front end: lexer, parser, semantics vs the evaluator.
+
+#include <gtest/gtest.h>
+
+#include "ir/eval.hpp"
+#include "ir/print.hpp"
+#include "parser/parser.hpp"
+
+namespace hls {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndTypes) {
+  const auto toks = lex("module m { let a: u8 = 0x2A:u8 <= b; } // tail");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, Tok::KwModule);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "m");
+  // Find the hex literal and the <= token; types stay plain identifiers.
+  bool saw_hex = false, saw_le = false, saw_u8 = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::Number && t.value == 42) saw_hex = true;
+    if (t.kind == Tok::Le) saw_le = true;
+    if (t.kind == Tok::Ident && t.text == "u8") saw_u8 = true;
+  }
+  EXPECT_TRUE(saw_hex);
+  EXPECT_TRUE(saw_le);
+  EXPECT_TRUE(saw_u8);
+  unsigned w = 0;
+  bool sgn = false;
+  EXPECT_TRUE(classify_type_name("u8", &w, &sgn));
+  EXPECT_EQ(w, 8u);
+  EXPECT_FALSE(sgn);
+  EXPECT_TRUE(classify_type_name("s12", &w, &sgn));
+  EXPECT_TRUE(sgn);
+  EXPECT_FALSE(classify_type_name("u1x", &w, &sgn));
+  EXPECT_FALSE(classify_type_name("x8", &w, &sgn));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("module m {\n  input x: u4;\n}");
+  // 'input' begins line 2, column 3.
+  const Token* input_tok = nullptr;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::KwInput) input_tok = &t;
+  }
+  ASSERT_NE(input_tok, nullptr);
+  EXPECT_EQ(input_tok->line, 2u);
+  EXPECT_EQ(input_tok->col, 3u);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(lex("module m { $ }"), ParseError);
+  EXPECT_THROW(lex("module m { a ! b }"), ParseError);
+  EXPECT_THROW(lex("0x"), ParseError);
+}
+
+TEST(Parser, MotivationalExample) {
+  const Dfg d = parse_spec(R"(
+    module example {
+      input A: u16;  input B: u16;  input D: u16;  input F: u16;
+      output G: u16;
+      let C = A + B;
+      let E = C + D;
+      G = E + F;
+    }
+  )");
+  EXPECT_EQ(d.name(), "example");
+  EXPECT_EQ(d.operations().size(), 3u);
+  const OutputValues out =
+      evaluate(d, {{"A", 1}, {"B", 2}, {"D", 3}, {"F", 4}});
+  EXPECT_EQ(out.at("G"), 10u);
+}
+
+TEST(Parser, PrecedenceMulBeforeAddBeforeCompare) {
+  const Dfg d = parse_spec(R"(
+    module p {
+      input a: u8; input b: u8; input c: u8;
+      output o: u1;
+      o = a + b * c < c;
+    }
+  )");
+  // (a + (b*c)) < c with wrap-around semantics at width 16 (product width).
+  const OutputValues out = evaluate(d, {{"a", 1}, {"b", 2}, {"c", 3}});
+  EXPECT_EQ(out.at("o"), (1 + 2 * 3) < 3 ? 1u : 0u);
+}
+
+TEST(Parser, SlicesAndConcat) {
+  const Dfg d = parse_spec(R"(
+    module s {
+      input x: u16;
+      output hi: u4;
+      output swapped: u8;
+      hi = x[15:12];
+      swapped = cat(x[7:4], x[3:0]);
+    }
+  )");
+  const OutputValues out = evaluate(d, {{"x", 0xABCD}});
+  EXPECT_EQ(out.at("hi"), 0xAu);
+  // cat is LSB-first: x[7:4] in the low nibble.
+  EXPECT_EQ(out.at("swapped"), 0xDCu);
+}
+
+TEST(Parser, SignedInputsInferSignedCompare) {
+  const Dfg d = parse_spec(R"(
+    module sc {
+      signed input a: s8;
+      input b: u8;
+      output lt: u1;
+      lt = a < b;
+    }
+  )");
+  // -1 < 1 signed.
+  const OutputValues out = evaluate(d, {{"a", 0xFF}, {"b", 1}});
+  EXPECT_EQ(out.at("lt"), 1u);
+}
+
+TEST(Parser, MaxMinZextBuiltins) {
+  const Dfg d = parse_spec(R"(
+    module mm {
+      input a: u8; input b: u8;
+      output mx: u8;
+      output mn: u8;
+      output z: u12;
+      mx = max(a, b);
+      mn = min(a, b);
+      z = zext(a, 12);
+    }
+  )");
+  const OutputValues out = evaluate(d, {{"a", 9}, {"b", 200}});
+  EXPECT_EQ(out.at("mx"), 200u);
+  EXPECT_EQ(out.at("mn"), 9u);
+  EXPECT_EQ(out.at("z"), 9u);
+}
+
+TEST(Parser, LetWidthAnnotationFits) {
+  const Dfg d = parse_spec(R"(
+    module w {
+      input a: u8; input b: u8;
+      output o: u4;
+      let t: u4 = a + b;   // truncated to 4 bits
+      o = t;
+    }
+  )");
+  const OutputValues out = evaluate(d, {{"a", 0x0F}, {"b", 0x01}});
+  EXPECT_EQ(out.at("o"), 0u);
+}
+
+TEST(Parser, UnaryOperators) {
+  const Dfg d = parse_spec(R"(
+    module u {
+      input a: u8;
+      output n: u8;
+      output inv: u8;
+      n = -a;
+      inv = ~a;
+    }
+  )");
+  const OutputValues out = evaluate(d, {{"a", 5}});
+  EXPECT_EQ(out.at("n"), 0xFBu);
+  EXPECT_EQ(out.at("inv"), 0xFAu);
+}
+
+TEST(Parser, LiteralsNeedWidths) {
+  EXPECT_THROW(parse_spec("module m { input a: u8; output o: u8; o = a + 3; }"),
+               ParseError);
+  EXPECT_NO_THROW(
+      parse_spec("module m { input a: u8; output o: u8; o = a + 3:u2; }"));
+}
+
+TEST(Parser, ErrorsCarryLocations) {
+  try {
+    parse_spec("module m {\n  input a: u8;\n  output o: u8;\n  o = q;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("unknown name 'q'"), std::string::npos);
+  }
+}
+
+TEST(Parser, SemanticErrors) {
+  // Undriven output.
+  EXPECT_THROW(parse_spec("module m { input a: u4; output o: u4; }"), ParseError);
+  // Redefinition.
+  EXPECT_THROW(
+      parse_spec("module m { input a: u4; input a: u4; output o: u4; o = a; }"),
+      ParseError);
+  // Driving a non-output.
+  EXPECT_THROW(
+      parse_spec("module m { input a: u4; output o: u4; a = a; o = a; }"),
+      ParseError);
+  // Double drive.
+  EXPECT_THROW(parse_spec(
+                   "module m { input a: u4; output o: u4; o = a; o = a; }"),
+               ParseError);
+  // Slice out of range.
+  EXPECT_THROW(
+      parse_spec("module m { input a: u4; output o: u4; o = a[7:0]; }"),
+      ParseError);
+  // Literal overflow.
+  EXPECT_THROW(
+      parse_spec("module m { input a: u4; output o: u4; o = a + 9:u2; }"),
+      ParseError);
+}
+
+TEST(Parser, EquivalentToBuilderSpec) {
+  // The DSL and the builder must produce functionally identical DFGs.
+  const Dfg parsed = parse_spec(R"(
+    module diffeq_ish {
+      input x: u16; input dx: u16; input u: u16; input y: u16;
+      output u1: u16;
+      output y1: u16;
+      let t2 = u * dx;
+      let t6 = u - 3:u2 * x * t2[15:0];
+      u1 = t6 - 3:u2 * y * dx;
+      y1 = y + t2;
+    }
+  )");
+  for (std::uint64_t x : {0ull, 5ull, 1000ull}) {
+    const InputValues in{{"x", x}, {"dx", x + 1}, {"u", 3 * x}, {"y", x ^ 7}};
+    const OutputValues out = evaluate(parsed, in);
+    const std::uint64_t t2 = truncate((3 * x) * (x + 1), 32);
+    const std::uint64_t expect_y1 = truncate((x ^ 7) + t2, 16);
+    EXPECT_EQ(out.at("y1"), expect_y1);
+  }
+}
+
+} // namespace
+} // namespace hls

@@ -1,0 +1,142 @@
+// Tests for the pipelining analysis extension and the JSON reporters.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "flow/flow.hpp"
+#include "flow/json.hpp"
+#include "flow/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+namespace {
+
+TEST(Pipeline, FullyBusyDatapathCannotOverlap) {
+  // Motivational example: each dedicated 6-bit adder computes one fragment
+  // in every cycle, so no iteration overlap is possible: min II = latency.
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+  EXPECT_EQ(p.min_ii, 3u);
+  EXPECT_DOUBLE_EQ(p.speedup(), 1.0);
+}
+
+TEST(Pipeline, SparseScheduleOverlaps) {
+  // A single 12-bit add fragmented over two of six cycles: the adder and the
+  // carry register are idle most of the time, II = 1 or 2.
+  SpecBuilder b("sparse");
+  const Val x = b.in("x", 12), y = b.in("y", 12);
+  b.out("o", x + y);
+  const Dfg d = std::move(b).take();
+  const OptimizedFlowResult o = run_optimized_flow(d, 2);
+  const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+  EXPECT_LE(p.min_ii, 2u);
+  EXPECT_GE(p.speedup(), 1.0);
+}
+
+TEST(Pipeline, IiLatencyAlwaysFeasible) {
+  for (const SuiteEntry& s : all_suites()) {
+    const OptimizedFlowResult o =
+        run_optimized_flow(s.build(), s.latencies.front());
+    EXPECT_TRUE(pipeline_feasible(o.schedule, o.report.datapath,
+                                  o.schedule.schedule.latency))
+        << s.name;
+    const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+    EXPECT_GE(p.min_ii, 1u) << s.name;
+    EXPECT_LE(p.min_ii, o.schedule.schedule.latency) << s.name;
+  }
+}
+
+TEST(Pipeline, FeasibilityIsMonotoneInIi) {
+  // If II is feasible, II+1 must be too (more slack, same reservations) —
+  // checked on a mid-sized suite.
+  const OptimizedFlowResult o = run_optimized_flow(fir8(), 6);
+  bool seen_feasible = false;
+  for (unsigned ii = 1; ii <= 6; ++ii) {
+    const bool f = pipeline_feasible(o.schedule, o.report.datapath, ii);
+    if (seen_feasible) EXPECT_TRUE(f) << "ii=" << ii;
+    seen_feasible = seen_feasible || f;
+  }
+  EXPECT_TRUE(seen_feasible);
+}
+
+TEST(Pipeline, ThroughputArithmetic) {
+  PipelineReport p;
+  p.latency = 6;
+  p.min_ii = 2;
+  p.cycle_ns = 4.0;
+  EXPECT_DOUBLE_EQ(p.throughput_per_us(), 125.0);  // 1000 / (2 * 4)
+  EXPECT_DOUBLE_EQ(p.speedup(), 3.0);
+}
+
+TEST(Pipeline, VerifiedExecutionAtMinIi) {
+  // Functional check: issuing iterations every min_ii cycles collides on
+  // nothing and every iteration computes the evaluator's outputs.
+  for (const SuiteEntry& s : {all_suites()[0], all_suites()[3], all_suites()[5]}) {
+    const Dfg d = s.build();
+    const OptimizedFlowResult o = run_optimized_flow(d, s.latencies.front());
+    const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+    std::mt19937_64 rng(9);
+    std::vector<InputValues> iterations(4);
+    for (InputValues& in : iterations) {
+      for (NodeId id : d.inputs()) in[d.node(id).name] = rng();
+    }
+    const std::vector<OutputValues> out = verify_pipelined_execution(
+        o.transform, o.schedule, o.report.datapath, iterations, p.min_ii);
+    ASSERT_EQ(out.size(), 4u) << s.name;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(out[i], evaluate(d, iterations[i])) << s.name;
+    }
+  }
+}
+
+TEST(Pipeline, VerifiedExecutionRejectsTooSmallIi) {
+  // The motivational datapath is busy every cycle: II=1 must collide.
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  std::vector<InputValues> iterations(2);
+  std::mt19937_64 rng(4);
+  for (InputValues& in : iterations) {
+    for (NodeId id : motivational().inputs()) {
+      in[motivational().node(id).name] = rng();
+    }
+  }
+  iterations[0] = {{"A", 1}, {"B", 2}, {"D", 3}, {"F", 4}};
+  iterations[1] = {{"A", 5}, {"B", 6}, {"D", 7}, {"F", 8}};
+  EXPECT_THROW(verify_pipelined_execution(o.transform, o.schedule,
+                                          o.report.datapath, iterations, 1),
+               Error);
+}
+
+TEST(Json, ReportRoundTripFields) {
+  const ImplementationReport r = run_conventional_flow(motivational(), 3);
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"flow\":\"original\""), std::string::npos);
+  EXPECT_NE(j.find("\"latency\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"cycle_ns\":9.4000"), std::string::npos);
+  EXPECT_NE(j.find("\"total\":441"), std::string::npos);
+  EXPECT_NE(j.find("\"register_bits\":16"), std::string::npos);
+}
+
+TEST(Json, ArrayAndEscaping) {
+  const std::vector<ImplementationReport> rs = {
+      run_conventional_flow(motivational(), 3)};
+  const std::string j = to_json(rs);
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), ']');
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, PipelineReport) {
+  PipelineReport p;
+  p.latency = 4;
+  p.min_ii = 2;
+  p.cycle_ns = 2.5;
+  const std::string j = to_json(p);
+  EXPECT_NE(j.find("\"min_ii\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"speedup\":2.0000"), std::string::npos);
+}
+
+} // namespace
+} // namespace hls

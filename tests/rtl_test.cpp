@@ -1,0 +1,175 @@
+// Tests for the RTL layer: gate model calibration points from Table I and
+// the VHDL emitter.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "flow/flow.hpp"
+#include "rtl/area.hpp"
+#include "rtl/vhdl.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+namespace {
+
+TEST(GateModel, TableICalibrationPoints) {
+  const GateModel gm;
+  EXPECT_EQ(gm.adder(16), 162u);          // Table I: 16-bit adder, 162 gates
+  EXPECT_EQ(3 * gm.adder(16), 486u);      // BLC row: 3 adders
+  EXPECT_EQ(gm.register_(1) * 5, 55u);    // 5 one-bit registers, 55 gates
+  EXPECT_EQ(gm.controller(1, 0), 32u);    // BLC controller: 32 gates
+  EXPECT_EQ(gm.controller(3, 0), 60u);    // conventional controller: 60
+  // Mux constants solved from Table I's routing rows: 3/bit for 2:1,
+  // 4/bit for 3:1.
+  EXPECT_EQ(gm.mux(2, 1), 3u);
+  EXPECT_EQ(gm.mux(3, 16), 64u);
+  EXPECT_EQ(gm.mux(1, 16), 0u);  // single source: wire, not a mux
+}
+
+TEST(GateModel, MonotoneInWidthAndInputs) {
+  const GateModel gm;
+  for (unsigned w = 1; w < 32; ++w) {
+    EXPECT_LT(gm.adder(w), gm.adder(w + 1));
+    EXPECT_LT(gm.register_(w), gm.register_(w + 1));
+    EXPECT_LT(gm.mux(2, w), gm.mux(3, w));
+  }
+  EXPECT_LT(gm.adder(16), gm.subtractor(16));
+  EXPECT_GT(gm.multiplier(16, 16), 10 * gm.adder(16));
+}
+
+TEST(GateModel, FuDispatch) {
+  const GateModel gm;
+  EXPECT_EQ(gm.fu(FuInstance{FuClass::Adder, 16, 0, {}}), gm.adder(16));
+  EXPECT_EQ(gm.fu(FuInstance{FuClass::Multiplier, 8, 12, {}}),
+            gm.multiplier(8, 12));
+  EXPECT_EQ(gm.fu(FuInstance{FuClass::Comparator, 8, 0, {}}), gm.comparator(8));
+}
+
+TEST(AreaOf, SumsComponentsAndController) {
+  Datapath dp;
+  dp.fus = {FuInstance{FuClass::Adder, 6, 0, {}},
+            FuInstance{FuClass::Adder, 6, 0, {}}};
+  dp.regs = {RegInstance{1, 0, 0}, RegInstance{2, 0, 1}};
+  dp.muxes = {MuxInstance{3, 6}};
+  dp.states = 3;
+  dp.control_signals = 7;
+  const GateModel gm;
+  const AreaBreakdown a = area_of(dp, gm);
+  EXPECT_EQ(a.fu_gates, 2 * gm.adder(6));
+  EXPECT_EQ(a.reg_gates, gm.register_(1) + gm.register_(2));
+  EXPECT_EQ(a.mux_gates, gm.mux(3, 6));
+  EXPECT_EQ(a.controller_gates, gm.controller(3, 7));
+  EXPECT_EQ(a.total(),
+            a.fu_gates + a.reg_gates + a.mux_gates + a.controller_gates);
+}
+
+TEST(Vhdl, EmitsEntityPortsAndProcess) {
+  const std::string v = emit_vhdl(motivational());
+  EXPECT_NE(v.find("entity example is"), std::string::npos);
+  EXPECT_NE(v.find("A: in std_logic_vector(15 downto 0);"), std::string::npos);
+  EXPECT_NE(v.find("G: out std_logic_vector(15 downto 0));"), std::string::npos);
+  EXPECT_NE(v.find("main: process"), std::string::npos);
+  EXPECT_NE(v.find("end process main;"), std::string::npos);
+}
+
+TEST(Vhdl, TransformedSpecUsesSlicedOperandsAndCarries) {
+  // Fig. 2 a) shape: zero-padded slices and carry-in additions.
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const std::string v = emit_vhdl(o.transform.spec, "beh2");
+  EXPECT_NE(v.find("architecture beh2"), std::string::npos);
+  // A 6-bit slice of A zero-extended into a 7-bit addition.
+  EXPECT_NE(v.find("(\"0\" & A(5 downto 0))"), std::string::npos);
+  // Some addition consumes a single carry bit (+ x(6) style operand).
+  EXPECT_NE(v.find("(6)"), std::string::npos);
+}
+
+TEST(Vhdl, ConstantsInlineAsBinaryLiterals) {
+  SpecBuilder b("k");
+  const Val x = b.in("x", 4);
+  b.out("o", b.add(x, b.cst(5, 4), 4));
+  const std::string v = emit_vhdl(b.dfg());
+  EXPECT_NE(v.find("\"0101\""), std::string::npos);
+}
+
+TEST(Vhdl, OperatorsRenderWithVhdlSpelling) {
+  SpecBuilder b("ops");
+  const Val x = b.in("x", 8), y = b.in("y", 8);
+  b.out("s", x - y);
+  b.out("p", b.mul(x, y, 8));
+  b.out("l", x & y);
+  b.out("n", ~x);
+  b.out("c", x != y);
+  const std::string v = emit_vhdl(b.dfg());
+  EXPECT_NE(v.find(" - "), std::string::npos);
+  EXPECT_NE(v.find(" * "), std::string::npos);
+  EXPECT_NE(v.find(" and "), std::string::npos);
+  EXPECT_NE(v.find("not "), std::string::npos);
+  EXPECT_NE(v.find(" /= "), std::string::npos);
+}
+
+TEST(Vhdl, NamesAreSanitizedAndUnique) {
+  // Fragment names contain "(15 downto 12)" style text that must flatten to
+  // identifiers; duplicates get suffixes.
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const std::string v = emit_vhdl(o.transform.spec);
+  EXPECT_EQ(v.find("downto 0)("), std::string::npos);  // no nested slices
+  // Declared variable names must be identifier-shaped (spot check one).
+  EXPECT_NE(v.find("variable G_3_downto_0"), std::string::npos);
+}
+
+} // namespace
+} // namespace hls
+
+// -- appended: testbench generator tests -------------------------------------
+#include "rtl/testbench.hpp"
+
+namespace hls {
+namespace {
+
+TEST(Testbench, SelfCheckingShape) {
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const std::string tb = emit_testbench(o.transform, 3, 42);
+  EXPECT_NE(tb.find("entity example_opt_rtl_tb is"), std::string::npos);
+  EXPECT_NE(tb.find("dut: entity work.example_opt_rtl"), std::string::npos);
+  EXPECT_NE(tb.find("clk <= not clk after 5 ns;"), std::string::npos);
+  // Three vectors, each asserting G.
+  std::size_t asserts = 0;
+  for (std::size_t p = tb.find("assert G ="); p != std::string::npos;
+       p = tb.find("assert G =", p + 1)) {
+    asserts++;
+  }
+  EXPECT_EQ(asserts, 3u);
+  // One full latency wait per vector.
+  EXPECT_NE(tb.find("for i in 1 to 3 loop"), std::string::npos);
+}
+
+TEST(Testbench, GoldenValuesMatchEvaluator) {
+  // The generated expected literal must equal the evaluator's result for
+  // the same seeded stimulus.
+  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const std::string tb = emit_testbench(o.transform, 1, 7);
+  std::mt19937_64 rng(7);
+  InputValues in;
+  for (NodeId id : o.transform.spec.inputs()) {
+    in[o.transform.spec.node(id).name] = rng();
+  }
+  const std::uint64_t g = evaluate(o.transform.spec, in).at("G");
+  std::string bits;
+  for (unsigned b = 16; b-- > 0;) bits += ((g >> b) & 1) ? '1' : '0';
+  EXPECT_NE(tb.find("assert G = \"" + bits + "\""), std::string::npos);
+}
+
+TEST(Testbench, EmitsForEverySuite) {
+  for (const SuiteEntry& s : all_suites()) {
+    const OptimizedFlowResult o =
+        run_optimized_flow(s.build(), s.latencies.front());
+    const std::string tb = emit_testbench(o.transform, 2, 1);
+    EXPECT_NE(tb.find("end tb;"), std::string::npos) << s.name;
+  }
+}
+
+} // namespace
+} // namespace hls

@@ -1,0 +1,112 @@
+// Unit tests for the support substrate: BitRange, strings, TextTable, errors.
+
+#include <gtest/gtest.h>
+
+#include "support/bitrange.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hls {
+namespace {
+
+TEST(BitRange, DowntoMatchesVhdlConvention) {
+  // C(6 downto 0) from the paper's Fig. 2 a).
+  const BitRange r = BitRange::downto(6, 0);
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.width, 7u);
+  EXPECT_EQ(r.msb(), 6u);
+  EXPECT_EQ(r.hi(), 7u);
+}
+
+TEST(BitRange, WholeCoversEveryBit) {
+  const BitRange r = BitRange::whole(16);
+  for (unsigned b = 0; b < 16; ++b) EXPECT_TRUE(r.contains(b));
+  EXPECT_FALSE(r.contains(16));
+}
+
+TEST(BitRange, ContainsRange) {
+  const BitRange outer = BitRange::downto(12, 6);
+  EXPECT_TRUE(outer.contains(BitRange::downto(10, 6)));
+  EXPECT_TRUE(outer.contains(BitRange::downto(12, 12)));
+  EXPECT_FALSE(outer.contains(BitRange::downto(13, 6)));
+  EXPECT_FALSE(outer.contains(BitRange::downto(5, 5)));
+  EXPECT_TRUE(outer.contains(BitRange{}));  // empty is contained everywhere
+}
+
+TEST(BitRange, OverlapsIsSymmetricAndStrict) {
+  const BitRange a = BitRange::downto(7, 4);
+  const BitRange b = BitRange::downto(4, 0);
+  const BitRange c = BitRange::downto(3, 0);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(BitRange{}.overlaps(a));
+}
+
+TEST(BitRange, IntersectComputesCommonBits) {
+  const BitRange a = BitRange::downto(11, 5);
+  const BitRange b = BitRange::downto(8, 2);
+  const BitRange i = a.intersect(b);
+  EXPECT_EQ(i, BitRange::downto(8, 5));
+  EXPECT_TRUE(a.intersect(BitRange::downto(4, 0)).empty());
+}
+
+TEST(BitRange, AbutsDetectsAdjacentFragments) {
+  // Fragment C(6 downto 0) then C(12 downto 7): adjacency at bit 7.
+  EXPECT_TRUE(BitRange::downto(6, 0).abuts_below(BitRange::downto(12, 7)));
+  EXPECT_FALSE(BitRange::downto(6, 0).abuts_below(BitRange::downto(12, 8)));
+}
+
+TEST(BitRange, ShiftRebasing) {
+  const BitRange r = BitRange::downto(11, 6);
+  EXPECT_EQ(r.shifted_down(6), BitRange::downto(5, 0));
+  EXPECT_EQ(r.shifted_up(2), BitRange::downto(13, 8));
+  EXPECT_THROW(BitRange::downto(3, 2).shifted_down(5), Error);
+}
+
+TEST(BitRange, ToStringRendersDownto) {
+  EXPECT_EQ(to_string(BitRange::downto(15, 0)), "(15 downto 0)");
+  EXPECT_EQ(to_string(BitRange{4, 1}), "(4)");
+  EXPECT_EQ(to_string(BitRange{}), "(empty)");
+}
+
+TEST(Strings, FormatAndJoin) {
+  EXPECT_EQ(strformat("lat=%u cycle=%.2f", 3u, 9.4), "lat=3 cycle=9.40");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, FixedAndPct) {
+  EXPECT_EQ(fixed(9.4, 2), "9.40");
+  EXPECT_EQ(pct(0.6749), "67.5 %");
+  EXPECT_EQ(pct(0.845, 0), "84 %");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Module", "Cycle"});
+  t.add_row({"IAQ", "6.96"});
+  t.add_row({"TTD", "9.28"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| Module | Cycle |"), std::string::npos);
+  EXPECT_NE(s.find("| IAQ    | 6.96  |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ErrorMacros, RequireAndAssertThrow) {
+  EXPECT_THROW(HLS_REQUIRE(false, "boom"), Error);
+  try {
+    HLS_ASSERT(1 == 2, "impossible arithmetic");
+    FAIL() << "HLS_ASSERT should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("impossible arithmetic"),
+              std::string::npos);
+  }
+}
+
+} // namespace
+} // namespace hls
