@@ -13,7 +13,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "alloc/bitlevel.hpp"
 #include "sched/forcedir.hpp"
 #include "kernel/narrow.hpp"
@@ -27,6 +27,7 @@ using namespace hls;
 
 int main() {
   bool ok = true;
+  const Session session;
 
   // --- A: fragmentation vs BLC at equal latency ---------------------------
   std::cout << "=== Ablation A: fragmentation vs bit-level chaining ===\n";
@@ -35,8 +36,9 @@ int main() {
   for (const SuiteEntry& s : {classical_suites()[0], classical_suites()[3]}) {
     const Dfg d = s.build();
     for (unsigned lat : s.latencies) {
-      const ImplementationReport blc = run_blc_flow(d, lat);
-      const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+      const ImplementationReport blc =
+          session.run({d, "blc", lat}).require().report;
+      const FlowResult opt = session.run({d, "optimized", lat}).require();
       ta.add_row({s.name, std::to_string(lat), fixed(blc.cycle_ns, 2),
                   fixed(opt.report.cycle_ns, 2),
                   std::to_string(blc.area.fu_gates),
@@ -52,15 +54,16 @@ int main() {
   std::cout << "=== Ablation B: n_bits budget sweep around the estimate ===\n";
   const Dfg mot = motivational();
   TextTable tb({"n_bits", "cycle (ns)", "exec (ns)", "total gates", "note"});
-  const OptimizedFlowResult at_estimate = run_optimized_flow(mot, 3);
+  const FlowResult at_estimate = session.run({mot, "optimized", 3}).require();
   for (unsigned nb = 5; nb <= 18; ++nb) {
     std::string note = nb == at_estimate.report.cycle_deltas ? "<- estimate" : "";
-    try {
-      const OptimizedFlowResult o = run_optimized_flow(mot, 3, {}, nb);
+    // Infeasible budgets come back as diagnostics, not exceptions.
+    const FlowResult o = session.run({mot, "optimized", 3, nb});
+    if (o.ok) {
       tb.add_row({std::to_string(nb), fixed(o.report.cycle_ns, 2),
                   fixed(o.report.execution_ns, 2),
                   std::to_string(o.report.area.total()), note});
-    } catch (const Error&) {
+    } else {
       tb.add_row({std::to_string(nb), "infeasible", "-", "-", note});
     }
   }
@@ -76,11 +79,12 @@ int main() {
   for (const SuiteEntry& s : classical_suites()) {
     const Dfg d = s.build();
     const unsigned lat = s.latencies.front();
-    const ImplementationReport weak = run_conventional_flow(d, lat);
+    const ImplementationReport weak =
+        session.run({d, "original", lat}).require().report;
     const OpSchedule mc = schedule_conventional(
         d, lat, ConventionalOptions{.allow_multicycle = true});
     const double mc_cycle = DelayModel{}.cycle_ns(mc.cycle_deltas);
-    const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+    const FlowResult opt = session.run({d, "optimized", lat}).require();
     tc.add_row({s.name, std::to_string(lat), fixed(weak.cycle_ns, 2),
                 fixed(mc_cycle, 2), fixed(opt.report.cycle_ns, 2),
                 pct(opt.report.cycle_saving_vs(weak)),
@@ -99,13 +103,15 @@ int main() {
     // library the baseline op depth shrinks, compressing but not erasing
     // the win (conclusion of the paper).
     const Dfg d = motivational();
-    const ImplementationReport orig = run_conventional_flow(d, 3, opt_flags);
+    const ImplementationReport orig =
+        session.run({d, "original", 3, 0, opt_flags}).require().report;
     // CLA baseline: each op takes adder_depth(16) deltas instead of 16.
     const double orig_ns =
         style == AdderStyle::Ripple
             ? orig.cycle_ns
             : opt_flags.delay.cycle_ns(opt_flags.delay.adder_depth(16));
-    const OptimizedFlowResult o = run_optimized_flow(d, 3, opt_flags);
+    const FlowResult o =
+        session.run({d, "optimized", 3, 0, opt_flags}).require();
     const double opt_ns =
         style == AdderStyle::Ripple
             ? o.report.cycle_ns
@@ -153,8 +159,8 @@ int main() {
     const unsigned lat = s.latencies.front();
     NarrowStats st;
     const Dfg narrowed = narrow_widths(kernel, &st);
-    const OptimizedFlowResult plain = run_optimized_flow(kernel, lat);
-    const OptimizedFlowResult thin = run_optimized_flow(narrowed, lat);
+    const FlowResult plain = session.run({kernel, "optimized", lat}).require();
+    const FlowResult thin = session.run({narrowed, "optimized", lat}).require();
     tf.add_row({s.name, std::to_string(lat), std::to_string(st.bits_removed),
                 fixed(plain.report.cycle_ns, 2), fixed(thin.report.cycle_ns, 2),
                 std::to_string(plain.report.area.total()),

@@ -4,7 +4,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "suites/suites.hpp"
@@ -18,21 +18,33 @@ int main() {
   bool ok = true;
   double total = 0;
   unsigned rows = 0;
+  // One Session batch over every (circuit, latency, flow) job.
+  const Session session;
+  std::vector<FlowRequest> requests;
+  std::vector<std::string> names;
   for (const SuiteEntry& s : extended_suites()) {
     const Dfg d = s.build();
     for (unsigned lat : s.latencies) {
-      const ImplementationReport orig = run_conventional_flow(d, lat);
-      const OptimizedFlowResult opt = run_optimized_flow(d, lat);
-      const double saved = opt.report.cycle_saving_vs(orig);
-      t.add_row({s.name, std::to_string(lat), fixed(orig.cycle_ns, 2),
-                 fixed(opt.report.cycle_ns, 2), pct(saved),
-                 strformat("%+.1f %%", opt.report.area_delta_vs(orig) * 100),
-                 fixed(orig.execution_ns, 1),
-                 fixed(opt.report.execution_ns, 1)});
-      if (saved <= 0) ok = false;
-      total += saved;
-      rows++;
+      requests.push_back({d, "original", lat});
+      requests.push_back({d, "optimized", lat});
+      names.push_back(s.name);
     }
+  }
+  const std::vector<FlowResult> results = session.run_batch(requests);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const ImplementationReport& orig = results[2 * i].require().report;
+    const FlowResult& opt = results[2 * i + 1].require();
+    const unsigned lat = orig.latency;
+    const double saved = opt.report.cycle_saving_vs(orig);
+    t.add_row({name, std::to_string(lat), fixed(orig.cycle_ns, 2),
+               fixed(opt.report.cycle_ns, 2), pct(saved),
+               strformat("%+.1f %%", opt.report.area_delta_vs(orig) * 100),
+               fixed(orig.execution_ns, 1),
+               fixed(opt.report.execution_ns, 1)});
+    if (saved <= 0) ok = false;
+    total += saved;
+    rows++;
   }
   std::cout << t << '\n';
   std::cout << "Average cycle-length saving: " << pct(total / rows) << "\n\n";

@@ -4,7 +4,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "frag/bit_windows.hpp"
 #include "frag/fragment.hpp"
 #include "sched/schedule.hpp"
@@ -51,15 +51,17 @@ int main() {
   std::cout << "=== Fig. 3 c-f): fragments and mobilities ===\n" << ft << '\n';
 
   // Fig. 3 g): the balanced schedule.
-  const OptimizedFlowResult opt = run_optimized_flow(d, latency);
+  const Session session;
+  const FlowResult opt = session.run({d, "optimized", latency}).require();
   std::cout << "=== Fig. 3 g): schedule of the optimized specification ===\n";
-  std::cout << to_string(opt.transform.spec, opt.schedule.schedule);
+  std::cout << to_string(opt.transform->spec, opt.schedule->schedule);
   std::cout << "unconsecutive execution of some operation: "
-            << (opt.schedule.has_unconsecutive_execution() ? "yes" : "no")
+            << (opt.schedule->has_unconsecutive_execution() ? "yes" : "no")
             << " (paper: operation A runs in cycles 1 and 3)\n\n";
 
   // Fig. 3 h): area and cycle comparison.
-  const ImplementationReport orig = run_conventional_flow(d, latency);
+  const ImplementationReport orig =
+      session.run({d, "original", latency}).require().report;
   TextTable at({"Area (gates)", "Original", "Optimized", "Saved",
                 "Paper saved"});
   auto arow = [&](const std::string& label, unsigned o, unsigned p,
@@ -88,7 +90,7 @@ int main() {
   };
   check(n_bits == 3, "cycle estimate must be 3 chained bits");
   check(opt.report.cycle_saving_vs(orig) > 0.35, "cycle saving must be large");
-  check(opt.schedule.has_unconsecutive_execution(),
+  check(opt.schedule->has_unconsecutive_execution(),
         "some operation must execute in unconsecutive cycles");
   std::cout << (ok ? "All Fig. 3 shape checks PASSED.\n"
                    : "Fig. 3 shape checks FAILED.\n");

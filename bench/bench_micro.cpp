@@ -5,7 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "frag/bit_windows.hpp"
 #include "kernel/extract.hpp"
 #include "sched/fragsched.hpp"
@@ -65,14 +65,26 @@ BENCHMARK(BM_FragmentSchedule)->DenseRange(0, 8);
 
 void BM_WholeOptimizedFlow(benchmark::State& state) {
   const SuiteEntry& s = suite(static_cast<std::size_t>(state.range(0)));
-  const Dfg d = s.build();
-  const unsigned latency = s.latencies.front();
+  const Session session;
+  const FlowRequest req{s.build(), "optimized", s.latencies.front()};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_optimized_flow(d, latency));
+    benchmark::DoNotOptimize(session.run(req));
   }
   state.SetLabel(s.name);
 }
 BENCHMARK(BM_WholeOptimizedFlow)->DenseRange(0, 8);
+
+// A 16-point latency sweep through the Session thread pool (0 = all cores),
+// the batch shape the acceptance criteria pin.
+void BM_SweepBatch16(benchmark::State& state) {
+  const Session session({.workers = static_cast<unsigned>(state.range(0))});
+  const Dfg d = diffeq();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run_sweep(d, "optimized", 3, 18));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " workers");
+}
+BENCHMARK(BM_SweepBatch16)->Arg(1)->Arg(4)->Arg(0);
 
 } // namespace
 

@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "rtl/vhdl.hpp"
 #include "sched/schedule.hpp"
 #include "support/strings.hpp"
@@ -20,9 +20,16 @@ using namespace hls;
 int main() {
   const Dfg spec = motivational();
 
-  const ImplementationReport orig = run_conventional_flow(spec, 3);
-  const ImplementationReport blc = run_blc_flow(spec, 1);
-  const OptimizedFlowResult opt = run_optimized_flow(spec, 3);
+  // Table I's three implementations as one concurrent Session batch.
+  const Session session;
+  const std::vector<FlowResult> results = session.run_batch({
+      {spec, "original", 3},
+      {spec, "blc", 1},
+      {spec, "optimized", 3},
+  });
+  const ImplementationReport& orig = results[0].require().report;
+  const ImplementationReport& blc = results[1].require().report;
+  const FlowResult& opt = results[2].require();
 
   std::cout << "=== Table I: motivational example (C=A+B; E=C+D; G=E+F) ===\n\n";
 
@@ -68,10 +75,10 @@ int main() {
   std::cout << "  optimized: " << describe(opt.report.datapath) << "\n\n";
 
   std::cout << "=== Fig. 2 b): schedule of the transformed specification ===\n";
-  std::cout << to_string(opt.transform.spec, opt.schedule.schedule) << '\n';
+  std::cout << to_string(opt.transform->spec, opt.schedule->schedule) << '\n';
 
   std::cout << "=== Fig. 2 a): transformed specification (VHDL) ===\n";
-  std::cout << emit_vhdl(opt.transform.spec, "beh2") << '\n';
+  std::cout << emit_vhdl(opt.transform->spec, "beh2") << '\n';
 
   // Shape checks: exit non-zero if the paper's qualitative claims fail.
   bool ok = true;

@@ -4,7 +4,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "suites/suites.hpp"
@@ -28,26 +28,38 @@ int main() {
   unsigned rows = 0;
   bool all_positive = true;
 
+  // One Session batch over every (module, latency, flow) job.
+  const Session session;
+  std::vector<FlowRequest> requests;
+  std::vector<std::string> names;
   for (const SuiteEntry& s : adpcm_suites()) {
     const Dfg d = s.build();
     for (unsigned lat : s.latencies) {
-      const ImplementationReport orig = run_conventional_flow(d, lat);
-      const OptimizedFlowResult opt = run_optimized_flow(d, lat);
-      const double saved = opt.report.cycle_saving_vs(orig);
-      const double area = opt.report.area_delta_vs(orig);
-      const PaperRow* p = nullptr;
-      for (const PaperRow& r : paper) {
-        if (s.name == r.module) p = &r;
-      }
-      t.add_row({s.name, std::to_string(lat), fixed(orig.cycle_ns, 2),
-                 fixed(opt.report.cycle_ns, 2), pct(saved),
-                 p ? fixed(p->saved_pct, 1) + " %" : "-",
-                 strformat("%+.1f %%", area * 100),
-                 p ? fixed(p->area_saved_pct, 1) + " %" : "-"});
-      total_saved += saved;
-      rows++;
-      if (saved <= 0) all_positive = false;
+      requests.push_back({d, "original", lat});
+      requests.push_back({d, "optimized", lat});
+      names.push_back(s.name);
     }
+  }
+  const std::vector<FlowResult> results = session.run_batch(requests);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const ImplementationReport& orig = results[2 * i].require().report;
+    const FlowResult& opt = results[2 * i + 1].require();
+    const unsigned lat = orig.latency;
+    const double saved = opt.report.cycle_saving_vs(orig);
+    const double area = opt.report.area_delta_vs(orig);
+    const PaperRow* p = nullptr;
+    for (const PaperRow& r : paper) {
+      if (name == r.module) p = &r;
+    }
+    t.add_row({name, std::to_string(lat), fixed(orig.cycle_ns, 2),
+               fixed(opt.report.cycle_ns, 2), pct(saved),
+               p ? fixed(p->saved_pct, 1) + " %" : "-",
+               strformat("%+.1f %%", area * 100),
+               p ? fixed(p->area_saved_pct, 1) + " %" : "-"});
+    total_saved += saved;
+    rows++;
+    if (saved <= 0) all_positive = false;
   }
   std::cout << t << '\n';
   std::cout << "Average cycle-length saving: " << pct(total_saved / rows)

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "ir/print.hpp"
 #include "rtl/vhdl.hpp"
 #include "sched/schedule.hpp"
@@ -23,24 +23,26 @@ int main() {
 
   TextTable t({"Module", "lat", "ops before", "adds after kernel",
                "fragments", "cycle saved"});
+  const Session session;
   for (const SuiteEntry& s : adpcm_suites()) {
     const Dfg d = s.build();
     const unsigned lat = s.latencies.front();
-    const ImplementationReport orig = run_conventional_flow(d, lat);
-    const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+    const ImplementationReport orig =
+        session.run({d, "original", lat}).require().report;
+    const FlowResult opt = session.run({d, "optimized", lat}).require();
     t.add_row({s.name, std::to_string(lat),
-               std::to_string(opt.kernel_stats.ops_before),
-               std::to_string(opt.kernel_stats.adds_after),
-               std::to_string(opt.transform.adds.size()),
+               std::to_string(opt.kernel_stats->ops_before),
+               std::to_string(opt.kernel_stats->adds_after),
+               std::to_string(opt.transform->adds.size()),
                pct(opt.report.cycle_saving_vs(orig))});
   }
   std::cout << t << '\n';
 
-  const OptimizedFlowResult iaq = run_optimized_flow(adpcm_iaq(), 3);
-  std::cout << "IAQ kernel: " << summarize(iaq.kernel) << '\n';
+  const FlowResult iaq = session.run({adpcm_iaq(), "optimized", 3}).require();
+  std::cout << "IAQ kernel: " << summarize(*iaq.kernel) << '\n';
   std::cout << "IAQ transformed schedule:\n"
-            << to_string(iaq.transform.spec, iaq.schedule.schedule) << '\n';
+            << to_string(iaq.transform->spec, iaq.schedule->schedule) << '\n';
   std::cout << "IAQ transformed specification (VHDL):\n"
-            << emit_vhdl(iaq.transform.spec, "beh_opt");
+            << emit_vhdl(iaq.transform->spec, "beh_opt");
   return 0;
 }

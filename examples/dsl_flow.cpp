@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "ir/eval.hpp"
 #include "ir/print.hpp"
 #include "parser/parser.hpp"
@@ -52,19 +52,23 @@ int main() {
             << " y1=" << out.at("y1") << " u1=" << static_cast<int16_t>(out.at("u1"))
             << " c=" << out.at("c") << "\n\n";
 
-  TextTable t({"Flow", "lat", "cycle (ns)", "exec (ns)", "area (gates)"});
+  // All nine (flow, latency) jobs as one concurrent Session batch.
+  const Session session;
+  std::vector<FlowRequest> requests;
   for (unsigned latency : {4u, 5u, 6u}) {
-    const ImplementationReport conv = run_conventional_flow(spec, latency);
-    const ImplementationReport blc = run_blc_flow(spec, latency);
-    const OptimizedFlowResult opt = run_optimized_flow(spec, latency);
-    t.add_row({"conventional", std::to_string(latency), fixed(conv.cycle_ns, 2),
-               fixed(conv.execution_ns, 2), std::to_string(conv.area.total())});
-    t.add_row({"blc", std::to_string(latency), fixed(blc.cycle_ns, 2),
-               fixed(blc.execution_ns, 2), std::to_string(blc.area.total())});
-    t.add_row({"optimized", std::to_string(latency),
-               fixed(opt.report.cycle_ns, 2), fixed(opt.report.execution_ns, 2),
-               std::to_string(opt.report.area.total())});
-    t.add_rule();
+    for (const char* flow : {"conventional", "blc", "optimized"}) {
+      requests.push_back({spec, flow, latency});
+    }
+  }
+  const std::vector<FlowResult> results = session.run_batch(requests);
+
+  TextTable t({"Flow", "lat", "cycle (ns)", "exec (ns)", "area (gates)"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ImplementationReport& r = results[i].require().report;
+    t.add_row({results[i].flow, std::to_string(r.latency),
+               fixed(r.cycle_ns, 2), fixed(r.execution_ns, 2),
+               std::to_string(r.area.total())});
+    if (i % 3 == 2) t.add_rule();
   }
   std::cout << t;
   return 0;

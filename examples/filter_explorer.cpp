@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "suites/suites.hpp"
@@ -21,32 +21,40 @@ int main() {
 
   TextTable t({"lat", "orig cycle", "orig exec", "orig area", "opt cycle",
                "opt exec", "opt area", "saved"});
+  // Both series, every latency, as two concurrent Session sweeps.
+  const Session session;
+  const std::vector<FlowResult> orig_sweep =
+      session.run_sweep(filter, "original", 3, 15);
+  const std::vector<FlowResult> opt_sweep =
+      session.run_sweep(filter, "optimized", 3, 15);
+
   double best_exec = 1e30;
-  unsigned best_lat = 0;
-  for (unsigned lat = 3; lat <= 15; ++lat) {
-    const ImplementationReport orig = run_conventional_flow(filter, lat);
-    const OptimizedFlowResult opt = run_optimized_flow(filter, lat);
-    t.add_row({std::to_string(lat), fixed(orig.cycle_ns, 2),
+  std::size_t best_point = 0;
+  for (std::size_t i = 0; i < orig_sweep.size(); ++i) {
+    const ImplementationReport& orig = orig_sweep[i].require().report;
+    const FlowResult& opt = opt_sweep[i].require();
+    t.add_row({std::to_string(orig.latency), fixed(orig.cycle_ns, 2),
                fixed(orig.execution_ns, 1), std::to_string(orig.area.total()),
                fixed(opt.report.cycle_ns, 2), fixed(opt.report.execution_ns, 1),
                std::to_string(opt.report.area.total()),
                pct(opt.report.cycle_saving_vs(orig))});
     if (opt.report.execution_ns < best_exec) {
       best_exec = opt.report.execution_ns;
-      best_lat = lat;
+      best_point = i;
     }
   }
   std::cout << t << '\n';
 
-  const OptimizedFlowResult best = run_optimized_flow(filter, best_lat);
+  const FlowResult& best = opt_sweep[best_point];
+  const unsigned best_lat = best.report.latency;
   std::cout << "Fastest optimized design point: latency " << best_lat << ", "
             << fixed(best.report.execution_ns, 1) << " ns per iteration ("
             << fixed(1000.0 / best.report.execution_ns, 1) << " MHz sample rate), "
             << best.report.area.total() << " gates.\n";
-  std::cout << "Transformed spec: " << best.transform.spec.additive_op_count()
-            << " additions (from " << best.kernel.additive_op_count()
-            << " kernel additions), " << best.transform.fragmented_op_count
-            << " operations fragmented, budget " << best.transform.n_bits
+  std::cout << "Transformed spec: " << best.transform->spec.additive_op_count()
+            << " additions (from " << best.kernel->additive_op_count()
+            << " kernel additions), " << best.transform->fragmented_op_count
+            << " operations fragmented, budget " << best.transform->n_bits
             << " chained bits/cycle.\n";
   return 0;
 }

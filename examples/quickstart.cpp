@@ -1,8 +1,8 @@
 // Quickstart: the motivational example of the paper, end to end.
 //
 //   1. Build a behavioural specification with the SpecBuilder API.
-//   2. Run the optimized flow (kernel extraction -> cycle estimation ->
-//      fragmentation -> scheduling -> allocation).
+//   2. Run the "optimized" flow (kernel extraction -> cycle estimation ->
+//      fragmentation -> scheduling -> allocation) through hls::Session.
 //   3. Compare against the conventional baseline and print the transformed
 //      specification as VHDL.
 //
@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "ir/builder.hpp"
 #include "ir/print.hpp"
 #include "rtl/vhdl.hpp"
@@ -30,8 +30,11 @@ int main() {
   std::cout << "Specification:\n" << to_string(spec) << '\n';
 
   const unsigned latency = 3;
-  const ImplementationReport baseline = run_conventional_flow(spec, latency);
-  const OptimizedFlowResult opt = run_optimized_flow(spec, latency);
+  // A Session resolves flows by registry name and returns uniform results.
+  const Session session;
+  const ImplementationReport baseline =
+      session.run({spec, "conventional", latency}).require().report;
+  const FlowResult opt = session.run({spec, "optimized", latency}).require();
 
   std::cout << "Conventional schedule: cycle " << fixed(baseline.cycle_ns, 2)
             << " ns, execution " << fixed(baseline.execution_ns, 2)
@@ -44,9 +47,9 @@ int main() {
             << " of the cycle length at the same latency.\n\n";
 
   std::cout << "Schedule of the transformed specification:\n"
-            << to_string(opt.transform.spec, opt.schedule.schedule) << '\n';
+            << to_string(opt.transform->spec, opt.schedule->schedule) << '\n';
 
   std::cout << "Transformed specification (VHDL, like the paper's Fig. 2a):\n"
-            << emit_vhdl(opt.transform.spec, "beh2");
+            << emit_vhdl(opt.transform->spec, "beh2");
   return 0;
 }

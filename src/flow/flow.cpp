@@ -1,64 +1,37 @@
 #include "flow/flow.hpp"
 
-#include "alloc/bitlevel.hpp"
-#include "alloc/oplevel.hpp"
-#include "kernel/narrow.hpp"
-#include "sched/blc.hpp"
-#include "sched/forcedir.hpp"
-#include "sched/conventional.hpp"
+#include <utility>
+
+#include "flow/session.hpp"
 
 namespace hls {
 
-namespace {
-
-ImplementationReport make_report(std::string flow, unsigned latency,
-                                 unsigned cycle_deltas, Datapath dp,
-                                 std::size_t op_count, const FlowOptions& opt) {
-  ImplementationReport r;
-  r.flow = std::move(flow);
-  r.latency = latency;
-  r.cycle_deltas = cycle_deltas;
-  r.cycle_ns = opt.delay.cycle_ns(cycle_deltas);
-  r.execution_ns = opt.delay.execution_ns(latency, cycle_deltas);
-  r.area = area_of(dp, opt.gates);
-  r.datapath = std::move(dp);
-  r.op_count = op_count;
-  return r;
-}
-
-} // namespace
+// Deprecated shims (see flow.hpp): each builds a FlowRequest and delegates
+// to the builtin pipeline behind the registry entry of the same name. The
+// pipelines throw hls::Error on infeasible requests, preserving the old
+// contract; hls::Session is the non-throwing, diagnostic-carrying API.
 
 ImplementationReport run_conventional_flow(const Dfg& spec, unsigned latency,
                                            const FlowOptions& opt) {
-  const OpSchedule s = schedule_conventional(spec, latency);
-  Datapath dp = allocate_oplevel(spec, s);
-  return make_report("original", latency, s.cycle_deltas, std::move(dp),
-                     spec.operations().size(), opt);
+  return flows::conventional({spec, "conventional", latency, 0, opt}).report;
 }
 
 ImplementationReport run_blc_flow(const Dfg& spec, unsigned latency,
                                   const FlowOptions& opt) {
-  const Dfg kernel = is_kernel_form(spec) ? spec : extract_kernel(spec);
-  const OpSchedule s = schedule_blc(kernel, latency);
-  Datapath dp = allocate_oplevel(kernel, s);
-  return make_report("blc", latency, s.cycle_deltas, std::move(dp),
-                     kernel.operations().size(), opt);
+  return flows::blc({spec, "blc", latency, 0, opt}).report;
 }
 
 OptimizedFlowResult run_optimized_flow(const Dfg& spec, unsigned latency,
                                        const FlowOptions& opt,
                                        unsigned n_bits_override) {
+  FlowResult r =
+      flows::optimized({spec, "optimized", latency, n_bits_override, opt});
   OptimizedFlowResult out;
-  out.kernel = is_kernel_form(spec) ? spec : extract_kernel(spec, &out.kernel_stats);
-  if (opt.narrow) out.kernel = narrow_widths(out.kernel);
-  out.transform = transform_spec(out.kernel, latency, n_bits_override);
-  out.schedule = opt.scheduler == FragScheduler::ForceDirected
-                     ? schedule_transformed_forcedirected(out.transform)
-                     : schedule_transformed(out.transform);
-  Datapath dp = allocate_bitlevel(out.transform, out.schedule);
-  out.report = make_report("optimized", latency, out.transform.n_bits,
-                           std::move(dp), out.transform.spec.operations().size(),
-                           opt);
+  out.report = std::move(r.report);
+  out.kernel_stats = *r.kernel_stats;
+  out.kernel = std::move(*r.kernel);
+  out.transform = std::move(*r.transform);
+  out.schedule = std::move(*r.schedule);
   return out;
 }
 

@@ -1,18 +1,26 @@
 #pragma once
-// End-to-end synthesis flows.
+// End-to-end synthesis flow vocabulary: ImplementationReport, FlowOptions,
+// and the deprecated free-function flow API.
 //
 // Three flows mirror the three implementations the paper compares:
-//   * run_conventional_flow — the original specification through a
-//     conventional scheduler (chaining + multicycle) and classic allocation;
-//     this is "Behavioral Compiler on the original specification".
-//   * run_blc_flow — kernel extraction, then bit-level chaining with atomic
+//   * "conventional" (report label "original") — the original specification
+//     through a conventional scheduler (chaining + multicycle) and classic
+//     allocation; this is "Behavioral Compiler on the original spec".
+//   * "blc" — kernel extraction, then bit-level chaining with atomic
 //     operations (the Fig. 1 d reference point).
-//   * run_optimized_flow — the paper's method: kernel extraction (§3.1),
-//     cycle estimation (§3.2), fragmentation + transformed spec (§3.3),
+//   * "optimized" — the paper's method: kernel extraction (§3.1), cycle
+//     estimation (§3.2), fragmentation + transformed spec (§3.3),
 //     fragment-aware scheduling, bit-level allocation.
 //
 // All three produce an ImplementationReport with the same cost model so the
 // benches can print the paper's tables.
+//
+// The primary API is hls::Session in flow/session.hpp, which resolves these
+// flows (and user-registered ones) by name through a FlowRegistry, returns a
+// uniform FlowResult with structured diagnostics, and fans independent jobs
+// out over a thread pool. The run_*_flow free functions below are THIN
+// DEPRECATED SHIMS over the same pipelines, kept for one release; unlike
+// Session::run they throw hls::Error on infeasible requests.
 
 #include <optional>
 #include <string>
@@ -58,13 +66,16 @@ struct FlowOptions {
   FragScheduler scheduler = FragScheduler::List;
 };
 
+/// Deprecated: use Session::run({spec, "conventional", latency, 0, opt}).
 ImplementationReport run_conventional_flow(const Dfg& spec, unsigned latency,
                                            const FlowOptions& opt = {});
+/// Deprecated: use Session::run({spec, "blc", latency, 0, opt}).
 ImplementationReport run_blc_flow(const Dfg& spec, unsigned latency,
                                   const FlowOptions& opt = {});
 
 /// Full optimized-flow result: the report plus the intermediate artefacts
-/// (kernel, transformed spec, schedule) for inspection and examples.
+/// (kernel, transformed spec, schedule). Deprecated alongside
+/// run_optimized_flow; FlowResult in flow/session.hpp subsumes it.
 struct OptimizedFlowResult {
   ImplementationReport report;
   KernelStats kernel_stats;
@@ -73,6 +84,7 @@ struct OptimizedFlowResult {
   FragSchedule schedule;
 };
 
+/// Deprecated: use Session::run({spec, "optimized", latency, n_bits, opt}).
 OptimizedFlowResult run_optimized_flow(const Dfg& spec, unsigned latency,
                                        const FlowOptions& opt = {},
                                        unsigned n_bits_override = 0);

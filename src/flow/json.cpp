@@ -60,6 +60,63 @@ std::string to_json(const std::vector<ImplementationReport>& rs) {
   return os.str();
 }
 
+std::string to_json(const FlowDiagnostic& d) {
+  std::ostringstream os;
+  os << "{\"severity\":\"" << to_string(d.severity) << "\",\"stage\":\""
+     << json_escape(d.stage) << "\",\"message\":\"" << json_escape(d.message)
+     << "\"}";
+  return os.str();
+}
+
+std::string to_json(const FlowResult& r) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"flow\":\"" << json_escape(r.flow) << "\",";
+  os << "\"ok\":" << (r.ok ? "true" : "false");
+  if (r.ok) {
+    os << ",\"report\":" << to_json(r.report);
+  }
+  if (r.kernel_stats) {
+    os << ",\"kernel_stats\":{";
+    os << "\"ops_before\":" << r.kernel_stats->ops_before << ",";
+    os << "\"adds_after\":" << r.kernel_stats->adds_after << ",";
+    os << "\"rewritten_muls\":" << r.kernel_stats->rewritten_muls << ",";
+    os << "\"rewritten_subs\":" << r.kernel_stats->rewritten_subs << ",";
+    os << "\"rewritten_compares\":" << r.kernel_stats->rewritten_compares
+       << "}";
+  }
+  if (r.transform) {
+    os << ",\"transform\":{";
+    os << "\"n_bits\":" << r.transform->n_bits << ",";
+    os << "\"critical_time\":" << r.transform->critical_time << ",";
+    os << "\"fragmented_ops\":" << r.transform->fragmented_op_count << ",";
+    os << "\"adds\":" << r.transform->adds.size() << "}";
+  }
+  if (r.schedule) {
+    os << ",\"schedule\":{";
+    os << "\"latency\":" << r.schedule->schedule.latency << ",";
+    os << "\"fu_ops\":" << r.schedule->fu_ops.size() << "}";
+  }
+  os << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    if (i != 0) os << ",";
+    os << to_json(r.diagnostics[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_json(const std::vector<FlowResult>& rs) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (i != 0) os << ",";
+    os << to_json(rs[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
 std::string to_json(const PipelineReport& p) {
   std::ostringstream os;
   os << "{\"latency\":" << p.latency << ",\"min_ii\":" << p.min_ii

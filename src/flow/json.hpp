@@ -7,6 +7,7 @@
 
 #include "flow/flow.hpp"
 #include "flow/pipeline.hpp"
+#include "flow/session.hpp"
 
 namespace hls {
 
@@ -14,10 +15,19 @@ namespace hls {
 /// breakdown, datapath component counts).
 std::string to_json(const ImplementationReport& r);
 
-/// Several reports as a JSON array (the CLI's --json output).
+/// Several reports as a JSON array.
 std::string to_json(const std::vector<ImplementationReport>& rs);
 
 std::string to_json(const PipelineReport& p);
+
+std::string to_json(const FlowDiagnostic& d);
+
+/// One Session result as a JSON object: requested flow, ok, the report
+/// (when ok), summaries of the artefacts the flow produced, diagnostics.
+std::string to_json(const FlowResult& r);
+
+/// Several Session results as a JSON array (the CLI's --json output).
+std::string to_json(const std::vector<FlowResult>& rs);
 
 /// Minimal string escaping for JSON string values.
 std::string json_escape(const std::string& s);

@@ -1,0 +1,309 @@
+#include "flow/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "alloc/bitlevel.hpp"
+#include "alloc/oplevel.hpp"
+#include "kernel/narrow.hpp"
+#include "sched/blc.hpp"
+#include "sched/conventional.hpp"
+#include "sched/forcedir.hpp"
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace {
+
+/// Runs one flow stage, tagging any hls::Error it raises with the stage
+/// name so Session can report where the flow failed.
+template <typename F>
+auto stage(const char* name, F&& f) {
+  try {
+    return std::forward<F>(f)();
+  } catch (const FlowStageError&) {
+    throw;
+  } catch (const Error& e) {
+    throw FlowStageError(name, e.what());
+  }
+}
+
+ImplementationReport make_report(std::string flow, unsigned latency,
+                                 unsigned cycle_deltas, Datapath dp,
+                                 std::size_t op_count, const FlowOptions& opt) {
+  ImplementationReport r;
+  r.flow = std::move(flow);
+  r.latency = latency;
+  r.cycle_deltas = cycle_deltas;
+  r.cycle_ns = opt.delay.cycle_ns(cycle_deltas);
+  r.execution_ns = opt.delay.execution_ns(latency, cycle_deltas);
+  r.area = area_of(dp, opt.gates);
+  r.datapath = std::move(dp);
+  r.op_count = op_count;
+  return r;
+}
+
+void note(FlowResult& r, const char* stage_name, std::string message) {
+  r.diagnostics.push_back({DiagSeverity::Note, stage_name, std::move(message)});
+}
+
+} // namespace
+
+const char* to_string(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+  }
+  return "?";
+}
+
+// --- FlowResult --------------------------------------------------------------
+
+std::string FlowResult::error_text() const {
+  std::string out;
+  for (const FlowDiagnostic& d : diagnostics) {
+    if (d.severity != DiagSeverity::Error) continue;
+    if (!out.empty()) out += "; ";
+    out += d.stage + ": " + d.message;
+  }
+  return out;
+}
+
+const FlowResult& FlowResult::require() const& {
+  if (!ok) {
+    const std::string detail = error_text();
+    throw Error("flow '" + flow + "' failed" +
+                (detail.empty() ? "" : ": " + detail));
+  }
+  return *this;
+}
+
+FlowResult FlowResult::require() && {
+  static_cast<const FlowResult&>(*this).require();
+  return std::move(*this);
+}
+
+// --- builtin pipelines -------------------------------------------------------
+
+namespace flows {
+
+FlowResult conventional(const FlowRequest& req) {
+  FlowResult out;
+  out.flow = "conventional";
+  const OpSchedule s = stage("schedule", [&] {
+    return schedule_conventional(req.spec, req.latency);
+  });
+  Datapath dp = stage("allocate", [&] {
+    return allocate_oplevel(req.spec, s);
+  });
+  out.report = make_report("original", req.latency, s.cycle_deltas,
+                           std::move(dp), req.spec.operations().size(),
+                           req.options);
+  out.ok = true;
+  return out;
+}
+
+FlowResult blc(const FlowRequest& req) {
+  FlowResult out;
+  out.flow = "blc";
+  const Dfg kernel = stage("kernel", [&] {
+    return is_kernel_form(req.spec) ? req.spec : extract_kernel(req.spec);
+  });
+  const OpSchedule s = stage("schedule", [&] {
+    return schedule_blc(kernel, req.latency);
+  });
+  Datapath dp = stage("allocate", [&] {
+    return allocate_oplevel(kernel, s);
+  });
+  out.report = make_report("blc", req.latency, s.cycle_deltas, std::move(dp),
+                           kernel.operations().size(), req.options);
+  out.ok = true;
+  return out;
+}
+
+FlowResult optimized(const FlowRequest& req) {
+  FlowResult out;
+  out.flow = "optimized";
+  KernelStats stats;
+  const bool already_kernel = is_kernel_form(req.spec);
+  Dfg kernel = stage("kernel", [&] {
+    return already_kernel ? req.spec : extract_kernel(req.spec, &stats);
+  });
+  if (req.options.narrow) {
+    kernel = stage("kernel", [&] { return narrow_widths(kernel); });
+  }
+  if (already_kernel) {
+    note(out, "kernel", "specification already in kernel form");
+  } else {
+    note(out, "kernel",
+         strformat("%zu operations -> %zu unsigned additions",
+                   stats.ops_before, stats.adds_after));
+  }
+  out.transform = stage("transform", [&] {
+    return transform_spec(kernel, req.latency, req.n_bits_override);
+  });
+  note(out, "transform",
+       strformat("cycle budget %u chained bits%s", out.transform->n_bits,
+                 req.n_bits_override == 0 ? " (estimated)" : " (override)"));
+  out.schedule = stage("schedule", [&] {
+    return req.options.scheduler == FragScheduler::ForceDirected
+               ? schedule_transformed_forcedirected(*out.transform)
+               : schedule_transformed(*out.transform);
+  });
+  Datapath dp = stage("allocate", [&] {
+    return allocate_bitlevel(*out.transform, *out.schedule);
+  });
+  out.report = make_report("optimized", req.latency, out.transform->n_bits,
+                           std::move(dp),
+                           out.transform->spec.operations().size(),
+                           req.options);
+  out.kernel_stats = stats;
+  out.kernel = std::move(kernel);
+  out.ok = true;
+  return out;
+}
+
+} // namespace flows
+
+// --- FlowRegistry ------------------------------------------------------------
+
+FlowRegistry& FlowRegistry::global() {
+  // Leaked singleton: flows registered by user code may live in objects with
+  // static storage, so never run destructors against them at exit.
+  static FlowRegistry* r = [] {
+    auto* reg = new FlowRegistry;
+    reg->register_flow("conventional", flows::conventional);
+    reg->register_flow("original", flows::conventional);  // legacy alias
+    reg->register_flow("blc", flows::blc);
+    reg->register_flow("optimized", flows::optimized);
+    return reg;
+  }();
+  return *r;
+}
+
+void FlowRegistry::register_flow(std::string name, FlowFn fn) {
+  HLS_REQUIRE(!name.empty(), "flow name must be non-empty");
+  HLS_REQUIRE(static_cast<bool>(fn), "flow function must be callable");
+  const std::lock_guard<std::mutex> lock(mu_);
+  flows_[std::move(name)] = std::move(fn);
+}
+
+bool FlowRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return flows_.count(name) != 0;
+}
+
+FlowFn FlowRegistry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = flows_.find(name);
+  return it == flows_.end() ? FlowFn{} : it->second;
+}
+
+std::vector<std::string> FlowRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(flows_.size());
+  for (const auto& [name, fn] : flows_) out.push_back(name);
+  return out;  // std::map iterates in sorted order
+}
+
+// --- Session -----------------------------------------------------------------
+
+Session::Session(SessionOptions options)
+    : registry_(&FlowRegistry::global()), options_(options) {}
+
+Session::Session(FlowRegistry& registry, SessionOptions options)
+    : registry_(&registry), options_(options) {}
+
+FlowResult Session::run(const FlowRequest& request) const {
+  FlowResult out;
+  out.flow = request.flow;
+  const FlowFn fn = registry_->find(request.flow);
+  if (!fn) {
+    std::string known;
+    for (const std::string& n : registry_->names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    out.diagnostics.push_back(
+        {DiagSeverity::Error, "registry",
+         "unknown flow '" + request.flow + "' (registered: " + known + ")"});
+    return out;
+  }
+  if (request.latency == 0) {
+    out.diagnostics.push_back(
+        {DiagSeverity::Error, "request", "latency must be >= 1"});
+    return out;
+  }
+  try {
+    FlowResult r = fn(request);
+    r.flow = request.flow;
+    return r;
+  } catch (const FlowStageError& e) {
+    out.diagnostics.push_back({DiagSeverity::Error, e.stage(), e.what()});
+  } catch (const Error& e) {
+    out.diagnostics.push_back({DiagSeverity::Error, "flow", e.what()});
+  } catch (const std::exception& e) {
+    out.diagnostics.push_back({DiagSeverity::Error, "internal", e.what()});
+  } catch (...) {
+    // A worker thread must never see an exception (std::terminate), so even
+    // non-std::exception values thrown by user flows become diagnostics.
+    out.diagnostics.push_back(
+        {DiagSeverity::Error, "internal", "unknown exception from flow"});
+  }
+  out.ok = false;
+  return out;
+}
+
+std::vector<FlowResult> Session::run_batch(
+    const std::vector<FlowRequest>& requests) const {
+  std::vector<FlowResult> results(requests.size());
+  const unsigned workers = worker_count(requests.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      results[i] = run(requests[i]);
+    }
+    return results;
+  }
+  // Self-scheduling pool: each worker claims the next unclaimed request.
+  // run() never throws, so no exception can escape a worker.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests.size()) return;
+        results[i] = run(requests[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<FlowResult> Session::run_sweep(const Dfg& spec,
+                                           const std::string& flow,
+                                           unsigned lo, unsigned hi,
+                                           const FlowOptions& options) const {
+  HLS_REQUIRE(lo >= 1 && lo <= hi, "sweep bounds must satisfy 1 <= lo <= hi");
+  std::vector<FlowRequest> requests;
+  requests.reserve(hi - lo + 1);
+  for (unsigned lat = lo; lat <= hi; ++lat) {
+    requests.push_back({spec, flow, lat, 0, options});
+  }
+  return run_batch(requests);
+}
+
+unsigned Session::worker_count(std::size_t jobs) const {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned configured = options_.workers == 0 ? hw : options_.workers;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(configured, std::max<std::size_t>(jobs, 1)));
+}
+
+} // namespace hls

@@ -1,0 +1,170 @@
+#pragma once
+// The Session flow engine — the library's primary request/response API.
+//
+// A FlowRequest names a behavioural specification, a latency constraint (or
+// a sweep is built from many requests) and a flow by registry name; a
+// Session resolves the name through a FlowRegistry and returns a uniform
+// FlowResult: the ImplementationReport every flow produces plus the
+// intermediate artefacts (kernel, transform, schedule) for the flows that
+// have them, and structured diagnostics instead of bare throws.
+//
+//   Session session;
+//   FlowResult r = session.run({spec, "optimized", 3});
+//   if (r.ok) std::cout << r.report.cycle_ns;
+//
+// Independent jobs fan out through Session::run_batch, which executes on a
+// thread pool and is the engine under latency sweeps and multi-spec suite
+// runs. Results are positionally stable and bit-identical to sequential
+// execution regardless of the worker count (the flows are pure functions of
+// the request).
+//
+// The builtin flows are registered in FlowRegistry::global() under
+// "conventional" (alias "original"), "blc" and "optimized"; user flows can
+// be registered next to them. The older free functions in flow/flow.hpp are
+// deprecated shims over the same pipelines.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "support/error.hpp"
+
+namespace hls {
+
+/// One synthesis job: spec + flow name + constraint. Owns its specification
+/// so batches of requests are safe to execute concurrently.
+struct FlowRequest {
+  Dfg spec;
+  std::string flow = "optimized";  ///< registry name
+  unsigned latency = 0;            ///< time constraint in cycles (>= 1)
+  /// Cycle-budget override for the optimized flow (0 = §3.2 estimate).
+  unsigned n_bits_override = 0;
+  FlowOptions options;
+};
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One structured diagnostic: which stage of the flow said what.
+struct FlowDiagnostic {
+  DiagSeverity severity = DiagSeverity::Note;
+  std::string stage;    ///< "registry" | "request" | "kernel" | "transform" |
+                        ///< "schedule" | "allocate" | "flow" | "internal"
+  std::string message;
+};
+
+const char* to_string(DiagSeverity s);
+
+/// Uniform result of any flow. `report` is valid when `ok`; the artefact
+/// members are populated by flows that produce them (the optimized flow
+/// fills all four, the conventional/BLC flows none).
+struct FlowResult {
+  std::string flow;  ///< registry name the request asked for
+  bool ok = false;
+  ImplementationReport report;
+  std::optional<KernelStats> kernel_stats;
+  std::optional<Dfg> kernel;
+  std::optional<TransformResult> transform;
+  std::optional<FragSchedule> schedule;
+  std::vector<FlowDiagnostic> diagnostics;
+
+  /// All Error-severity diagnostic messages, joined with "; ".
+  std::string error_text() const;
+
+  /// Throws hls::Error with error_text() when the flow failed; otherwise
+  /// returns the result unchanged. Lets call sites that have no error
+  /// handling of their own keep the old throwing behaviour:
+  ///   const FlowResult r = session.run(req).require();
+  const FlowResult& require() const&;
+  FlowResult require() &&;
+};
+
+/// A flow: request in, result out. Builtin flows throw hls::Error (with
+/// stage information) on infeasible constraints; Session converts any such
+/// escape into Error diagnostics, so user flows may either throw or fill
+/// result.diagnostics themselves.
+using FlowFn = std::function<FlowResult(const FlowRequest&)>;
+
+/// An hls::Error that knows which flow stage raised it; Session turns it
+/// into a FlowDiagnostic with that stage.
+class FlowStageError : public Error {
+public:
+  FlowStageError(std::string stage, const std::string& message)
+      : Error(message), stage_(std::move(stage)) {}
+  const std::string& stage() const { return stage_; }
+
+private:
+  std::string stage_;
+};
+
+/// String-keyed flow registry. Thread-safe; registration replaces any
+/// previous flow of the same name.
+class FlowRegistry {
+public:
+  FlowRegistry() = default;
+
+  /// The process-wide registry, with the builtin flows pre-registered.
+  static FlowRegistry& global();
+
+  void register_flow(std::string name, FlowFn fn);
+  bool contains(const std::string& name) const;
+  /// The registered flow, or an empty function when the name is unknown.
+  FlowFn find(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<std::string, FlowFn> flows_;
+};
+
+struct SessionOptions {
+  /// Worker threads for run_batch; 0 = hardware concurrency.
+  unsigned workers = 0;
+};
+
+/// The flow engine: resolves requests against a registry and executes them,
+/// one at a time (run) or fanned out over a thread pool (run_batch).
+/// Stateless between calls; one Session can serve any number of requests.
+class Session {
+public:
+  explicit Session(SessionOptions options = {});
+  Session(FlowRegistry& registry, SessionOptions options = {});
+
+  /// Executes one request. Never throws for flow-level failures: unknown
+  /// names, bad constraints and infeasible schedules come back as a result
+  /// with ok == false and Error diagnostics.
+  FlowResult run(const FlowRequest& request) const;
+
+  /// Executes independent requests concurrently. results[i] corresponds to
+  /// requests[i] and is bit-identical to run(requests[i]).
+  std::vector<FlowResult> run_batch(const std::vector<FlowRequest>& requests) const;
+
+  /// Latency sweep lo..hi (inclusive) of one flow over one spec — a
+  /// run_batch of (hi - lo + 1) requests.
+  std::vector<FlowResult> run_sweep(const Dfg& spec, const std::string& flow,
+                                    unsigned lo, unsigned hi,
+                                    const FlowOptions& options = {}) const;
+
+  /// Worker threads run_batch would use for `jobs` jobs.
+  unsigned worker_count(std::size_t jobs) const;
+
+private:
+  FlowRegistry* registry_;
+  SessionOptions options_;
+};
+
+namespace flows {
+/// The builtin pipelines behind the registry's "conventional", "blc" and
+/// "optimized" entries. They throw FlowStageError on infeasible requests
+/// (Session::run converts that into diagnostics; the deprecated free
+/// functions in flow.hpp let it escape).
+FlowResult conventional(const FlowRequest& request);
+FlowResult blc(const FlowRequest& request);
+FlowResult optimized(const FlowRequest& request);
+} // namespace flows
+
+} // namespace hls

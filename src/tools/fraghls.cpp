@@ -3,34 +3,23 @@
 //   fraghls <spec.hls> --latency N [options]
 //
 // Reads a behavioural specification in the DSL (see examples/specs/), runs
-// the requested flows and prints schedules, reports, and optionally the
-// transformed behavioural VHDL or the structural RTL.
+// the requested flows through hls::Session and prints schedules, reports,
+// and optionally the transformed behavioural VHDL or the structural RTL.
 //
-//   --latency N        time constraint in cycles (required)
-//   --flow F           original | blc | optimized | all   (default: all)
-//   --n-bits N         override the cycle budget estimate (optimized flow)
-//   --dump-dfg         print the parsed DFG and its kernel form
-//   --dump-schedule    print the optimized schedule (Fig. 2 b style)
-//   --emit-vhdl        print the transformed behavioural VHDL (Fig. 2 a)
-//   --emit-rtl         print the structural RTL (FSM + datapath)
-//   --emit-dot         print the transformed DFG as Graphviz dot
-//   --emit-tb N        print a self-checking VHDL testbench with N vectors
-//   --sweep LO..HI     latency sweep (Fig. 4 style) instead of one latency
-//   --narrow           width-narrow the kernel before transforming
-//   --scheduler S      list | forcedirected                  (default: list)
-//   --pipeline         report the minimal initiation interval (optimized)
-//   --json             machine-readable report output
-//   --delta NS         1-bit adder delay in ns        (default 0.5)
-//   --overhead NS      register/clock overhead in ns  (default 1.4)
+// The option list lives in ONE table (kOptions) that drives both the parser
+// and the usage text, so the help cannot drift from the implementation.
 
+#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "flow/flow.hpp"
 #include "flow/json.hpp"
 #include "flow/pipeline.hpp"
+#include "flow/session.hpp"
 #include "ir/dot.hpp"
 #include "ir/print.hpp"
 #include "parser/parser.hpp"
@@ -61,15 +50,110 @@ struct Args {
   std::string scheduler = "list";
   bool pipeline = false;
   bool json = false;
+  unsigned workers = 0;
   DelayModel delay;
 };
 
-[[noreturn]] void usage(const char* msg = nullptr) {
+[[noreturn]] void usage(const char* msg = nullptr);
+
+unsigned parse_unsigned(const std::string& v) {
+  // Strict: the whole string must be digits (stoul would wrap "-1" and
+  // accept trailing garbage like "3x").
+  unsigned out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    usage(("expected a non-negative number, got '" + v + "'").c_str());
+  }
+  return out;
+}
+
+double parse_double(const std::string& v) {
+  double out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size() || out < 0) {
+    usage(("expected a non-negative number, got '" + v + "'").c_str());
+  }
+  return out;
+}
+
+/// One CLI option: flags have a null metavar; `apply` receives the value
+/// (empty for flags). The usage text is generated from this same table.
+struct OptionSpec {
+  const char* name;
+  const char* metavar;  ///< nullptr for boolean flags
+  const char* help;
+  void (*apply)(Args&, const std::string&);
+};
+
+const OptionSpec kOptions[] = {
+    {"--latency", "N", "time constraint in cycles (this or --sweep required)",
+     [](Args& a, const std::string& v) { a.latency = parse_unsigned(v); }},
+    {"--sweep", "LO..HI", "latency sweep (Fig. 4 style) instead of one latency",
+     [](Args& a, const std::string& v) {
+       const std::size_t dots = v.find("..");
+       if (dots == std::string::npos) usage("--sweep expects LO..HI");
+       a.sweep_lo = parse_unsigned(v.substr(0, dots));
+       a.sweep_hi = parse_unsigned(v.substr(dots + 2));
+       if (a.sweep_lo == 0 || a.sweep_hi < a.sweep_lo) {
+         usage("--sweep bounds must satisfy 1 <= LO <= HI");
+       }
+     }},
+    {"--flow", "F", "original | blc | optimized | all, or a registered flow "
+                    "name (default: all)",
+     [](Args& a, const std::string& v) { a.flow = v; }},
+    {"--n-bits", "N", "override the cycle budget estimate (optimized flow)",
+     [](Args& a, const std::string& v) { a.n_bits = parse_unsigned(v); }},
+    {"--dump-dfg", nullptr, "print the parsed DFG and its kernel form",
+     [](Args& a, const std::string&) { a.dump_dfg = true; }},
+    {"--dump-schedule", nullptr,
+     "print the optimized schedule (Fig. 2 b style)",
+     [](Args& a, const std::string&) { a.dump_schedule = true; }},
+    {"--emit-vhdl", nullptr,
+     "print the transformed behavioural VHDL (Fig. 2 a)",
+     [](Args& a, const std::string&) { a.emit_behavioural = true; }},
+    {"--emit-rtl", nullptr, "print the structural RTL (FSM + datapath)",
+     [](Args& a, const std::string&) { a.emit_rtl = true; }},
+    {"--emit-dot", nullptr, "print the transformed DFG as Graphviz dot",
+     [](Args& a, const std::string&) { a.emit_dot_graph = true; }},
+    {"--emit-tb", "N", "print a self-checking VHDL testbench with N vectors",
+     [](Args& a, const std::string& v) {
+       a.emit_tb_vectors = parse_unsigned(v);
+     }},
+    {"--narrow", nullptr, "width-narrow the kernel before transforming",
+     [](Args& a, const std::string&) { a.narrow = true; }},
+    {"--scheduler", "S", "list | forcedirected (default: list)",
+     [](Args& a, const std::string& v) { a.scheduler = v; }},
+    {"--pipeline", nullptr,
+     "report the minimal initiation interval (optimized)",
+     [](Args& a, const std::string&) { a.pipeline = true; }},
+    {"--json", nullptr, "machine-readable FlowResult output",
+     [](Args& a, const std::string&) { a.json = true; }},
+    {"--workers", "N", "worker threads for sweeps/batches (default: all cores)",
+     [](Args& a, const std::string& v) { a.workers = parse_unsigned(v); }},
+    {"--delta", "NS", "1-bit adder delay in ns (default 0.5)",
+     [](Args& a, const std::string& v) { a.delay.delta_ns = parse_double(v); }},
+    {"--overhead", "NS", "register/clock overhead in ns (default 1.4)",
+     [](Args& a, const std::string& v) {
+       a.delay.sequential_overhead_ns = parse_double(v);
+     }},
+};
+
+[[noreturn]] void usage(const char* msg) {
   if (msg) std::cerr << "error: " << msg << "\n\n";
-  std::cerr <<
-      "usage: fraghls <spec.hls> --latency N [--flow original|blc|optimized|all]\n"
-      "               [--n-bits N] [--dump-dfg] [--dump-schedule]\n"
-      "               [--emit-vhdl] [--emit-rtl] [--delta NS] [--overhead NS]\n";
+  std::cerr << "usage: fraghls <spec.hls> (--latency N | --sweep LO..HI) "
+               "[options]\n\noptions:\n";
+  std::size_t width = 0;
+  for (const OptionSpec& o : kOptions) {
+    std::size_t w = std::string(o.name).size();
+    if (o.metavar) w += 1 + std::string(o.metavar).size();
+    width = std::max(width, w);
+  }
+  for (const OptionSpec& o : kOptions) {
+    std::string left = o.name;
+    if (o.metavar) left += std::string(" ") + o.metavar;
+    std::cerr << "  " << left << std::string(width - left.size() + 2, ' ')
+              << o.help << '\n';
+  }
   std::exit(2);
 }
 
@@ -77,51 +161,18 @@ Args parse_args(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
-      return argv[++i];
-    };
-    if (arg == "--latency") {
-      a.latency = static_cast<unsigned>(std::stoul(value()));
-    } else if (arg == "--sweep") {
-      const std::string v = value();
-      const std::size_t dots = v.find("..");
-      if (dots == std::string::npos) usage("--sweep expects LO..HI");
-      a.sweep_lo = static_cast<unsigned>(std::stoul(v.substr(0, dots)));
-      a.sweep_hi = static_cast<unsigned>(std::stoul(v.substr(dots + 2)));
-      if (a.sweep_lo == 0 || a.sweep_hi < a.sweep_lo) {
-        usage("--sweep bounds must satisfy 1 <= LO <= HI");
+    if (arg == "--help" || arg == "-h") usage();
+    const OptionSpec* spec = nullptr;
+    for (const OptionSpec& o : kOptions) {
+      if (arg == o.name) spec = &o;
+    }
+    if (spec) {
+      std::string value;
+      if (spec->metavar) {
+        if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+        value = argv[++i];
       }
-    } else if (arg == "--flow") {
-      a.flow = value();
-    } else if (arg == "--n-bits") {
-      a.n_bits = static_cast<unsigned>(std::stoul(value()));
-    } else if (arg == "--dump-dfg") {
-      a.dump_dfg = true;
-    } else if (arg == "--dump-schedule") {
-      a.dump_schedule = true;
-    } else if (arg == "--emit-vhdl") {
-      a.emit_behavioural = true;
-    } else if (arg == "--emit-rtl") {
-      a.emit_rtl = true;
-    } else if (arg == "--emit-dot") {
-      a.emit_dot_graph = true;
-    } else if (arg == "--emit-tb") {
-      a.emit_tb_vectors = static_cast<unsigned>(std::stoul(value()));
-    } else if (arg == "--narrow") {
-      a.narrow = true;
-    } else if (arg == "--scheduler") {
-      a.scheduler = value();
-    } else if (arg == "--pipeline") {
-      a.pipeline = true;
-    } else if (arg == "--json") {
-      a.json = true;
-    } else if (arg == "--delta") {
-      a.delay.delta_ns = std::stod(value());
-    } else if (arg == "--overhead") {
-      a.delay.sequential_overhead_ns = std::stod(value());
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
+      spec->apply(a, value);
     } else if (!arg.empty() && arg[0] == '-') {
       usage(("unknown option " + arg).c_str());
     } else if (a.spec_path.empty()) {
@@ -134,9 +185,12 @@ Args parse_args(int argc, char** argv) {
   if (a.latency == 0 && a.sweep_lo == 0) {
     usage("--latency N or --sweep LO..HI is required");
   }
-  if (a.flow != "all" && a.flow != "original" && a.flow != "blc" &&
-      a.flow != "optimized") {
-    usage("--flow must be original, blc, optimized or all");
+  if (a.flow != "all" && !FlowRegistry::global().contains(a.flow)) {
+    std::string known = "all";
+    for (const std::string& n : FlowRegistry::global().names()) {
+      known += ", " + n;
+    }
+    usage(("--flow must be one of: " + known).c_str());
   }
   if (a.scheduler != "list" && a.scheduler != "forcedirected") {
     usage("--scheduler must be list or forcedirected");
@@ -155,6 +209,22 @@ void print_report(const ImplementationReport& r) {
              std::to_string(r.area.total())});
   std::cout << t;
   std::cout << "datapath: " << describe(r.datapath) << "\n\n";
+}
+
+/// Prints Error diagnostics to stderr; returns false when any are present.
+bool check(const std::vector<FlowResult>& results) {
+  bool ok = true;
+  for (const FlowResult& r : results) {
+    if (r.ok) continue;
+    ok = false;
+    for (const FlowDiagnostic& d : r.diagnostics) {
+      if (d.severity == DiagSeverity::Error) {
+        std::cerr << "error: flow '" << r.flow << "' [" << d.stage
+                  << "]: " << d.message << '\n';
+      }
+    }
+  }
+  return ok;
 }
 
 } // namespace
@@ -186,47 +256,62 @@ int main(int argc, char** argv) {
     opt.scheduler = args.scheduler == "forcedirected"
                         ? FragScheduler::ForceDirected
                         : FragScheduler::List;
-    std::vector<ImplementationReport> reports;
+    const Session session({.workers = args.workers});
 
     if (args.sweep_lo != 0) {
-      // Latency sweep: one row per latency, original vs optimized (Fig. 4).
+      // Latency sweep (Fig. 4): original vs optimized per latency, executed
+      // as one concurrent batch of 2 * (hi - lo + 1) independent jobs.
+      std::vector<FlowRequest> requests;
+      for (unsigned lat = args.sweep_lo; lat <= args.sweep_hi; ++lat) {
+        requests.push_back({spec, "original", lat, 0, opt});
+        // --n-bits is a single-latency override; a fixed budget across the
+        // sweep would make the low-latency points infeasible.
+        requests.push_back({spec, "optimized", lat, 0, opt});
+      }
+      const std::vector<FlowResult> results = session.run_batch(requests);
+      const bool all_ok = check(results);
+      if (args.json) {
+        // Failed jobs still serialize (ok:false + diagnostics) so scripted
+        // consumers see the structured error, not just the exit status.
+        std::cout << to_json(results) << '\n';
+        return all_ok ? 0 : 1;
+      }
+      if (!all_ok) return 1;
       TextTable t({"latency", "orig cycle (ns)", "opt cycle (ns)", "saved",
                    "opt exec (ns)", "opt area (gates)"});
-      for (unsigned lat = args.sweep_lo; lat <= args.sweep_hi; ++lat) {
-        const ImplementationReport orig = run_conventional_flow(spec, lat, opt);
-        const OptimizedFlowResult o = run_optimized_flow(spec, lat, opt);
-        reports.push_back(orig);
-        reports.push_back(o.report);
-        t.add_row({std::to_string(lat), fixed(orig.cycle_ns, 2),
-                   fixed(o.report.cycle_ns, 2),
-                   pct(o.report.cycle_saving_vs(orig)),
-                   fixed(o.report.execution_ns, 1),
-                   std::to_string(o.report.area.total())});
+      for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        const ImplementationReport& orig = results[i].report;
+        const ImplementationReport& o = results[i + 1].report;
+        t.add_row({std::to_string(orig.latency), fixed(orig.cycle_ns, 2),
+                   fixed(o.cycle_ns, 2), pct(o.cycle_saving_vs(orig)),
+                   fixed(o.execution_ns, 1), std::to_string(o.area.total())});
       }
-      if (args.json) {
-        std::cout << to_json(reports) << '\n';
-      } else {
-        std::cout << t;
-      }
+      std::cout << t;
       return 0;
     }
 
-    if (args.flow == "all" || args.flow == "original") {
-      reports.push_back(run_conventional_flow(spec, args.latency, opt));
-      if (!args.json) print_report(reports.back());
+    std::vector<FlowRequest> requests;
+    const std::vector<std::string> flow_names =
+        args.flow == "all"
+            ? std::vector<std::string>{"original", "blc", "optimized"}
+            : std::vector<std::string>{args.flow};
+    for (const std::string& name : flow_names) {
+      requests.push_back({spec, name, args.latency,
+                          name == "optimized" ? args.n_bits : 0, opt});
     }
-    if (args.flow == "all" || args.flow == "blc") {
-      reports.push_back(run_blc_flow(spec, args.latency, opt));
-      if (!args.json) print_report(reports.back());
-    }
-    if (args.flow == "all" || args.flow == "optimized") {
-      const OptimizedFlowResult o =
-          run_optimized_flow(spec, args.latency, opt, args.n_bits);
-      reports.push_back(o.report);
-      if (!args.json) print_report(o.report);
-      if (args.pipeline) {
+    const std::vector<FlowResult> results = session.run_batch(requests);
+
+    // Print every successful flow before reporting failures, so one
+    // infeasible flow does not hide the others' reports.
+    for (const FlowResult& r : results) {
+      if (!r.ok) continue;
+      if (!args.json) print_report(r.report);
+      if (r.flow != "optimized") continue;
+
+      // The optimized flow carries artefacts the emitters feed on.
+      if (args.pipeline && r.schedule) {
         const PipelineReport p =
-            analyze_pipelining(o.schedule, o.report.datapath, opt.delay);
+            analyze_pipelining(*r.schedule, r.report.datapath, opt.delay);
         if (args.json) {
           std::cout << to_json(p) << '\n';
         } else {
@@ -236,29 +321,33 @@ int main(int argc, char** argv) {
                     << strformat("%.2f", p.speedup()) << "\n\n";
         }
       }
-      if (args.dump_dfg) {
-        std::cout << "kernel form:\n" << to_string(o.kernel) << '\n';
+      if (args.dump_dfg && r.kernel) {
+        std::cout << "kernel form:\n" << to_string(*r.kernel) << '\n';
       }
-      if (args.dump_schedule) {
-        std::cout << to_string(o.transform.spec, o.schedule.schedule) << '\n';
-      }
-      if (args.emit_behavioural) {
-        std::cout << emit_vhdl(o.transform.spec, "beh_opt") << '\n';
-      }
-      if (args.emit_rtl) {
-        std::cout << emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath)
+      if (args.dump_schedule && r.transform && r.schedule) {
+        std::cout << to_string(r.transform->spec, r.schedule->schedule)
                   << '\n';
       }
-      if (args.emit_dot_graph) {
-        std::cout << emit_dot(o.transform.spec) << '\n';
+      if (args.emit_behavioural && r.transform) {
+        std::cout << emit_vhdl(r.transform->spec, "beh_opt") << '\n';
       }
-      if (args.emit_tb_vectors > 0) {
-        std::cout << emit_testbench(o.transform, args.emit_tb_vectors, 1) << '\n';
+      if (args.emit_rtl && r.transform && r.schedule) {
+        std::cout << emit_rtl_vhdl(*r.transform, *r.schedule,
+                                   r.report.datapath)
+                  << '\n';
+      }
+      if (args.emit_dot_graph && r.transform) {
+        std::cout << emit_dot(r.transform->spec) << '\n';
+      }
+      if (args.emit_tb_vectors > 0 && r.transform) {
+        std::cout << emit_testbench(*r.transform, args.emit_tb_vectors, 1)
+                  << '\n';
       }
     }
     if (args.json) {
-      std::cout << to_json(reports) << '\n';
+      std::cout << to_json(results) << '\n';
     }
+    if (!check(results)) return 1;
   } catch (const ParseError& e) {
     std::cerr << args.spec_path << ":" << e.what() << '\n';
     return 1;

@@ -65,8 +65,52 @@ TEST(Cli, JsonOutputIsParseableShape) {
   const std::string spec = write_spec("chain", kChain);
   const CliResult r = run_cli(spec + " --latency 3 --flow optimized --json");
   EXPECT_EQ(r.status, 0) << r.output;
-  EXPECT_NE(r.output.find("[{\"flow\":\"optimized\""), std::string::npos);
+  // --json serializes FlowResult: flow + ok + report + artefact summaries.
+  EXPECT_NE(r.output.find("[{\"flow\":\"optimized\",\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"report\":{"), std::string::npos);
   EXPECT_NE(r.output.find("\"cycle_deltas\":6"), std::string::npos);
+  EXPECT_NE(r.output.find("\"transform\":{"), std::string::npos);
+  EXPECT_NE(r.output.find("\"diagnostics\":["), std::string::npos);
+}
+
+TEST(Cli, JsonSweepEmitsOneResultPerJob) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(spec + " --sweep 2..4 --json");
+  EXPECT_EQ(r.status, 0) << r.output;
+  // 3 latencies x (original + optimized) = 6 results; only the FlowResult
+  // wrapper object carries the "ok" key.
+  std::size_t count = 0;
+  for (std::size_t at = r.output.find("\"ok\":true");
+       at != std::string::npos; at = r.output.find("\"ok\":true", at + 1)) {
+    count++;
+  }
+  EXPECT_EQ(count, 6u);
+  EXPECT_NE(r.output.find("\"flow\":\"original\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"flow\":\"optimized\""), std::string::npos);
+}
+
+TEST(Cli, UsageListsEveryOption) {
+  // The usage text is generated from the same table as the parser, so every
+  // supported option (the ones the old hand-written help dropped included)
+  // must appear.
+  const CliResult r = run_cli("--help");
+  EXPECT_NE(r.status, 0);
+  for (const char* opt :
+       {"--latency", "--sweep", "--flow", "--n-bits", "--dump-dfg",
+        "--dump-schedule", "--emit-vhdl", "--emit-rtl", "--emit-dot",
+        "--emit-tb", "--narrow", "--scheduler", "--pipeline", "--json",
+        "--workers", "--delta", "--overhead"}) {
+    EXPECT_NE(r.output.find(opt), std::string::npos) << opt;
+  }
+}
+
+TEST(Cli, UnknownFlowListsRegisteredNames) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(spec + " --latency 3 --flow typo");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("conventional"), std::string::npos);
+  EXPECT_NE(r.output.find("optimized"), std::string::npos);
 }
 
 TEST(Cli, SweepMode) {

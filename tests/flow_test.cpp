@@ -5,19 +5,27 @@
 
 #include <random>
 
-#include "flow/flow.hpp"
+#include "flow/json.hpp"
+#include "flow/session.hpp"
 #include "ir/eval.hpp"
 #include "suites/suites.hpp"
 
 namespace hls {
 namespace {
 
+/// Routes every request of this file through one shared Session, failing
+/// loudly (throw via require) on any flow error.
+FlowResult run(const FlowRequest& req) {
+  static const Session session;
+  return session.run(req).require();
+}
+
 TEST(Flows, TableIShape) {
   // Table I: conventional (lat 3), BLC (lat 1), optimized (lat 3).
   const Dfg d = motivational();
-  const ImplementationReport orig = run_conventional_flow(d, 3);
-  const ImplementationReport blc = run_blc_flow(d, 1);
-  const OptimizedFlowResult opt = run_optimized_flow(d, 3);
+  const ImplementationReport orig = run({d, "conventional", 3}).report;
+  const ImplementationReport blc = run({d, "blc", 1}).report;
+  const FlowResult opt = run({d, "optimized", 3});
 
   // Cycle lengths in deltas: 16 / 18 / 6.
   EXPECT_EQ(orig.cycle_deltas, 16u);
@@ -38,8 +46,8 @@ TEST(Flows, TableIShape) {
 TEST(Flows, Fig3HeadlineNumbers) {
   // Fig. 3 h): 62 % cycle reduction at the same latency.
   const Dfg d = fig3_dfg();
-  const ImplementationReport orig = run_conventional_flow(d, 3);
-  const OptimizedFlowResult opt = run_optimized_flow(d, 3);
+  const ImplementationReport orig = run({d, "conventional", 3}).report;
+  const FlowResult opt = run({d, "optimized", 3});
   EXPECT_EQ(opt.report.cycle_deltas, 3u);
   const double saved = opt.report.cycle_saving_vs(orig);
   EXPECT_GT(saved, 0.35);  // paper: 62 % on their ns scale
@@ -47,7 +55,7 @@ TEST(Flows, Fig3HeadlineNumbers) {
 }
 
 TEST(Flows, ReportFieldsAreConsistent) {
-  const ImplementationReport r = run_conventional_flow(diffeq(), 6);
+  const ImplementationReport r = run({diffeq(), "conventional", 6}).report;
   EXPECT_EQ(r.flow, "original");
   EXPECT_DOUBLE_EQ(r.execution_ns, r.latency * r.cycle_ns);
   EXPECT_EQ(r.area.total(), r.area.fu_gates + r.area.reg_gates +
@@ -61,8 +69,8 @@ TEST(Flows, CurvesDivergeWithLatency) {
   // cycle keeps shrinking with the latency, so the curves diverge.
   const Dfg d = diffeq();
   auto cycles_at = [&d](unsigned lat) {
-    const ImplementationReport orig = run_conventional_flow(d, lat);
-    const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+    const ImplementationReport orig = run({d, "conventional", lat}).report;
+    const FlowResult opt = run({d, "optimized", lat});
     return std::make_pair(orig.cycle_ns, opt.report.cycle_ns);
   };
   const auto [o5, p5] = cycles_at(5);
@@ -77,9 +85,9 @@ TEST(Flows, OptimizedNeverMissesLatency) {
   for (const SuiteEntry& s : all_suites()) {
     const Dfg d = s.build();
     for (unsigned lat : s.latencies) {
-      const OptimizedFlowResult o = run_optimized_flow(d, lat);
+      const FlowResult o = run({d, "optimized", lat});
       EXPECT_EQ(o.report.latency, lat) << s.name;
-      EXPECT_EQ(o.schedule.schedule.latency, lat) << s.name;
+      EXPECT_EQ(o.schedule->schedule.latency, lat) << s.name;
     }
   }
 }
@@ -92,8 +100,8 @@ TEST(Flows, CycleSavingsInPaperBandAcrossSuites) {
   for (const SuiteEntry& s : all_suites()) {
     const Dfg d = s.build();
     for (unsigned lat : s.latencies) {
-      const ImplementationReport orig = run_conventional_flow(d, lat);
-      const OptimizedFlowResult opt = run_optimized_flow(d, lat);
+      const ImplementationReport orig = run({d, "conventional", lat}).report;
+      const FlowResult opt = run({d, "optimized", lat});
       const double saved = opt.report.cycle_saving_vs(orig);
       EXPECT_GT(saved, 0.0) << s.name << " lat " << lat;
       total += saved;
@@ -111,13 +119,13 @@ TEST(Flows, FullPipelineEquivalenceOnAllSuites) {
   for (const SuiteEntry& s : all_suites()) {
     const Dfg original = s.build();
     for (unsigned lat : s.latencies) {
-      const OptimizedFlowResult o = run_optimized_flow(original, lat);
+      const FlowResult o = run({original, "optimized", lat});
       for (int trial = 0; trial < 40; ++trial) {
         InputValues in;
         for (NodeId id : original.inputs()) {
           in[original.node(id).name] = rng();
         }
-        EXPECT_EQ(evaluate(original, in), evaluate(o.transform.spec, in))
+        EXPECT_EQ(evaluate(original, in), evaluate(o.transform->spec, in))
             << s.name << " lat " << lat << " trial " << trial;
       }
     }
@@ -125,24 +133,39 @@ TEST(Flows, FullPipelineEquivalenceOnAllSuites) {
 }
 
 TEST(Flows, KernelStatsReportRewrites) {
-  const OptimizedFlowResult o = run_optimized_flow(diffeq(), 6);
-  EXPECT_EQ(o.kernel_stats.rewritten_muls, 5u);
-  EXPECT_EQ(o.kernel_stats.rewritten_subs, 2u);
-  EXPECT_EQ(o.kernel_stats.rewritten_compares, 1u);
-  EXPECT_EQ(o.kernel_stats.ops_before, 10u);
+  const FlowResult o = run({diffeq(), "optimized", 6});
+  EXPECT_EQ(o.kernel_stats->rewritten_muls, 5u);
+  EXPECT_EQ(o.kernel_stats->rewritten_subs, 2u);
+  EXPECT_EQ(o.kernel_stats->rewritten_compares, 1u);
+  EXPECT_EQ(o.kernel_stats->ops_before, 10u);
+}
+
+TEST(Flows, DeprecatedShimsMatchSession) {
+  // The old free functions are shims over the Session pipelines; until they
+  // are removed they must produce bit-identical reports.
+  const Dfg d = motivational();
+  EXPECT_EQ(to_json(run_conventional_flow(d, 3)),
+            to_json(run({d, "conventional", 3}).report));
+  EXPECT_EQ(to_json(run_blc_flow(d, 1)), to_json(run({d, "blc", 1}).report));
+  const OptimizedFlowResult shim = run_optimized_flow(d, 3);
+  const FlowResult via_session = run({d, "optimized", 3});
+  EXPECT_EQ(to_json(shim.report), to_json(via_session.report));
+  EXPECT_EQ(shim.transform.n_bits, via_session.transform->n_bits);
+  // And they keep the old throwing contract on infeasible requests.
+  EXPECT_THROW(run_optimized_flow(d, 3, {}, 5), Error);
 }
 
 TEST(Flows, BlcFlowAcceptsOriginalSpecs) {
   // BLC extracts the kernel internally when needed.
-  const ImplementationReport r = run_blc_flow(fir2(), 3);
+  const ImplementationReport r = run({fir2(), "blc", 3}).report;
   EXPECT_EQ(r.flow, "blc");
   EXPECT_GT(r.cycle_deltas, 0u);
 }
 
 TEST(Flows, NBitsOverrideControlsBudget) {
   const Dfg d = motivational();
-  const OptimizedFlowResult tight = run_optimized_flow(d, 3);
-  const OptimizedFlowResult loose = run_optimized_flow(d, 3, {}, 18);
+  const FlowResult tight = run({d, "optimized", 3});
+  const FlowResult loose = run({d, "optimized", 3, 18});
   EXPECT_EQ(tight.report.cycle_deltas, 6u);
   EXPECT_EQ(loose.report.cycle_deltas, 18u);
   EXPECT_GT(loose.report.cycle_ns, tight.report.cycle_ns);
@@ -155,14 +178,14 @@ TEST(Flows, NarrowOptionPreservesSemanticsAndNeverGrowsArea) {
     const unsigned lat = s.latencies.front();
     FlowOptions narrow_opt;
     narrow_opt.narrow = true;
-    const OptimizedFlowResult plain = run_optimized_flow(d, lat);
-    const OptimizedFlowResult thin = run_optimized_flow(d, lat, narrow_opt);
+    const FlowResult plain = run({d, "optimized", lat});
+    const FlowResult thin = run({d, "optimized", lat, 0, narrow_opt});
     EXPECT_LE(thin.report.area.total(), plain.report.area.total() * 11 / 10)
         << s.name;
     for (int i = 0; i < 20; ++i) {
       InputValues in;
       for (NodeId id : d.inputs()) in[d.node(id).name] = rng();
-      EXPECT_EQ(evaluate(thin.transform.spec, in), evaluate(d, in)) << s.name;
+      EXPECT_EQ(evaluate(thin.transform->spec, in), evaluate(d, in)) << s.name;
     }
   }
 }
@@ -170,9 +193,9 @@ TEST(Flows, NarrowOptionPreservesSemanticsAndNeverGrowsArea) {
 TEST(Flows, ForceDirectedSchedulerOption) {
   FlowOptions fd;
   fd.scheduler = FragScheduler::ForceDirected;
-  const OptimizedFlowResult o = run_optimized_flow(fig3_dfg(), 3, fd);
+  const FlowResult o = run({fig3_dfg(), "optimized", 3, 0, fd});
   EXPECT_EQ(o.report.cycle_deltas, 3u);
-  EXPECT_EQ(o.schedule.schedule.latency, 3u);
+  EXPECT_EQ(o.schedule->schedule.latency, 3u);
 }
 
 TEST(Suites, OperationProfiles) {

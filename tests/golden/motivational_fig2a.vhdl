@@ -1,0 +1,40 @@
+entity example_opt is
+port (clk: in std_logic;
+  A: in std_logic_vector(15 downto 0);
+  B: in std_logic_vector(15 downto 0);
+  D: in std_logic_vector(15 downto 0);
+  F: in std_logic_vector(15 downto 0);
+  G: out std_logic_vector(15 downto 0));
+end example_opt;
+
+architecture beh2 of example_opt is
+begin
+main: process
+  variable C_5_downto_0: std_logic_vector(6 downto 0);
+  variable C_11_downto_6: std_logic_vector(6 downto 0);
+  variable C_15_downto_12: std_logic_vector(3 downto 0);
+  variable n7: std_logic_vector(15 downto 0);
+  variable E_4_downto_0: std_logic_vector(5 downto 0);
+  variable E_10_downto_5: std_logic_vector(6 downto 0);
+  variable E_15_downto_11: std_logic_vector(4 downto 0);
+  variable n11: std_logic_vector(15 downto 0);
+  variable G_3_downto_0: std_logic_vector(4 downto 0);
+  variable G_9_downto_4: std_logic_vector(6 downto 0);
+  variable G_15_downto_10: std_logic_vector(5 downto 0);
+  variable n15: std_logic_vector(15 downto 0);
+begin
+  C_5_downto_0 := ("0" & A(5 downto 0)) + ("0" & B(5 downto 0));
+  C_11_downto_6 := ("0" & A(11 downto 6)) + ("0" & B(11 downto 6)) + C_5_downto_0(6);
+  C_15_downto_12 := A(15 downto 12) + B(15 downto 12) + C_11_downto_6(6);
+  n7 := C_15_downto_12 & C_11_downto_6(5 downto 0) & C_5_downto_0(5 downto 0);
+  E_4_downto_0 := ("0" & n7(4 downto 0)) + ("0" & D(4 downto 0));
+  E_10_downto_5 := ("0" & n7(10 downto 5)) + ("0" & D(10 downto 5)) + E_4_downto_0(5);
+  E_15_downto_11 := n7(15 downto 11) + D(15 downto 11) + E_10_downto_5(6);
+  n11 := E_15_downto_11 & E_10_downto_5(5 downto 0) & E_4_downto_0(4 downto 0);
+  G_3_downto_0 := ("0" & n11(3 downto 0)) + ("0" & F(3 downto 0));
+  G_9_downto_4 := ("0" & n11(9 downto 4)) + ("0" & F(9 downto 4)) + G_3_downto_0(4);
+  G_15_downto_10 := n11(15 downto 10) + F(15 downto 10) + G_9_downto_4(6);
+  n15 := G_15_downto_10 & G_9_downto_4(5 downto 0) & G_3_downto_0(3 downto 0);
+  G <= n15;
+end process main;
+end beh2;

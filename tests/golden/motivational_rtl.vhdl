@@ -1,0 +1,67 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity example_opt_rtl is
+port (clk: in std_logic;
+      rst: in std_logic;
+      A: in std_logic_vector(15 downto 0);
+      B: in std_logic_vector(15 downto 0);
+      D: in std_logic_vector(15 downto 0);
+      F: in std_logic_vector(15 downto 0);
+      G: out std_logic_vector(15 downto 0);
+      done: out std_logic);
+end example_opt_rtl;
+
+architecture rtl of example_opt_rtl is
+  signal state: natural range 0 to 2 := 0;
+  signal r0: std_logic_vector(1 downto 0);
+  signal r1: std_logic_vector(1 downto 0);
+  signal r2: std_logic_vector(0 downto 0);
+  signal G_r: std_logic_vector(15 downto 0);
+begin
+  G <= G_r;
+  done <= '1' when state = 2 else '0';
+
+  main: process(clk)
+    variable v_C_5_downto_0: std_logic_vector(6 downto 0);
+    variable v_C_11_downto_6: std_logic_vector(6 downto 0);
+    variable v_C_15_downto_12: std_logic_vector(3 downto 0);
+    variable v_E_4_downto_0: std_logic_vector(5 downto 0);
+    variable v_E_10_downto_5: std_logic_vector(6 downto 0);
+    variable v_E_15_downto_11: std_logic_vector(4 downto 0);
+    variable v_G_3_downto_0: std_logic_vector(4 downto 0);
+    variable v_G_9_downto_4: std_logic_vector(6 downto 0);
+    variable v_G_15_downto_10: std_logic_vector(5 downto 0);
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state <= 0;
+      else
+        case state is
+        when 0 =>
+          v_C_5_downto_0 := std_logic_vector(unsigned(("0" & A(5 downto 0))) + unsigned(("0" & B(5 downto 0))));
+          v_E_4_downto_0 := std_logic_vector(unsigned(("0" & v_C_5_downto_0(4 downto 0))) + unsigned(("0" & D(4 downto 0))));
+          v_G_3_downto_0 := std_logic_vector(unsigned(("0" & v_E_4_downto_0(3 downto 0))) + unsigned(("0" & F(3 downto 0))));
+          r0(1 downto 0) <= v_C_5_downto_0(6 downto 5);
+          r1(1 downto 0) <= v_E_4_downto_0(5 downto 4);
+          r2(0 downto 0) <= v_G_3_downto_0(4 downto 4);
+          state <= 1;
+        when 1 =>
+          v_C_11_downto_6 := std_logic_vector(unsigned(("0" & A(11 downto 6))) + unsigned(("0" & B(11 downto 6))) + unsigned(("000000" & r0(1 downto 1))));
+          v_E_10_downto_5 := std_logic_vector(unsigned(("0" & v_C_11_downto_6(4 downto 0) & r0(0 downto 0))) + unsigned(("0" & D(10 downto 5))) + unsigned(("000000" & r1(1 downto 1))));
+          v_G_9_downto_4 := std_logic_vector(unsigned(("0" & v_E_10_downto_5(4 downto 0) & r1(0 downto 0))) + unsigned(("0" & F(9 downto 4))) + unsigned(("000000" & r2(0 downto 0))));
+          r0(1 downto 0) <= v_C_11_downto_6(6 downto 5);
+          r1(1 downto 0) <= v_E_10_downto_5(6 downto 5);
+          r2(0 downto 0) <= v_G_9_downto_4(6 downto 6);
+          state <= 2;
+        when 2 =>
+          v_C_15_downto_12 := std_logic_vector(unsigned(A(15 downto 12)) + unsigned(B(15 downto 12)) + unsigned(("000" & r0(1 downto 1))));
+          v_E_15_downto_11 := std_logic_vector(unsigned((v_C_15_downto_12(3 downto 0) & r0(0 downto 0))) + unsigned(D(15 downto 11)) + unsigned(("0000" & r1(1 downto 1))));
+          v_G_15_downto_10 := std_logic_vector(unsigned((v_E_15_downto_11(4 downto 0) & r1(0 downto 0))) + unsigned(F(15 downto 10)) + unsigned(("00000" & r2(0 downto 0))));
+          state <= 0;
+        end case;
+      end if;
+    end if;
+  end process main;
+end rtl;

@@ -4,7 +4,7 @@
 
 #include <random>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "flow/json.hpp"
 #include "flow/pipeline.hpp"
 #include "ir/builder.hpp"
@@ -13,11 +13,18 @@
 namespace hls {
 namespace {
 
+/// Routes every request of this file through one shared Session, failing
+/// loudly (throw via require) on any flow error.
+FlowResult run(const FlowRequest& req) {
+  static const Session session;
+  return session.run(req).require();
+}
+
 TEST(Pipeline, FullyBusyDatapathCannotOverlap) {
   // Motivational example: each dedicated 6-bit adder computes one fragment
   // in every cycle, so no iteration overlap is possible: min II = latency.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+  const FlowResult o = run({motivational(), "optimized", 3});
+  const PipelineReport p = analyze_pipelining(*o.schedule, o.report.datapath);
   EXPECT_EQ(p.min_ii, 3u);
   EXPECT_DOUBLE_EQ(p.speedup(), 1.0);
 }
@@ -29,32 +36,32 @@ TEST(Pipeline, SparseScheduleOverlaps) {
   const Val x = b.in("x", 12), y = b.in("y", 12);
   b.out("o", x + y);
   const Dfg d = std::move(b).take();
-  const OptimizedFlowResult o = run_optimized_flow(d, 2);
-  const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+  const FlowResult o = run({d, "optimized", 2});
+  const PipelineReport p = analyze_pipelining(*o.schedule, o.report.datapath);
   EXPECT_LE(p.min_ii, 2u);
   EXPECT_GE(p.speedup(), 1.0);
 }
 
 TEST(Pipeline, IiLatencyAlwaysFeasible) {
   for (const SuiteEntry& s : all_suites()) {
-    const OptimizedFlowResult o =
-        run_optimized_flow(s.build(), s.latencies.front());
-    EXPECT_TRUE(pipeline_feasible(o.schedule, o.report.datapath,
-                                  o.schedule.schedule.latency))
+    const FlowResult o =
+        run({s.build(), "optimized", s.latencies.front()});
+    EXPECT_TRUE(pipeline_feasible(*o.schedule, o.report.datapath,
+                                  o.schedule->schedule.latency))
         << s.name;
-    const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+    const PipelineReport p = analyze_pipelining(*o.schedule, o.report.datapath);
     EXPECT_GE(p.min_ii, 1u) << s.name;
-    EXPECT_LE(p.min_ii, o.schedule.schedule.latency) << s.name;
+    EXPECT_LE(p.min_ii, o.schedule->schedule.latency) << s.name;
   }
 }
 
 TEST(Pipeline, FeasibilityIsMonotoneInIi) {
   // If II is feasible, II+1 must be too (more slack, same reservations) —
   // checked on a mid-sized suite.
-  const OptimizedFlowResult o = run_optimized_flow(fir8(), 6);
+  const FlowResult o = run({fir8(), "optimized", 6});
   bool seen_feasible = false;
   for (unsigned ii = 1; ii <= 6; ++ii) {
-    const bool f = pipeline_feasible(o.schedule, o.report.datapath, ii);
+    const bool f = pipeline_feasible(*o.schedule, o.report.datapath, ii);
     if (seen_feasible) EXPECT_TRUE(f) << "ii=" << ii;
     seen_feasible = seen_feasible || f;
   }
@@ -75,15 +82,15 @@ TEST(Pipeline, VerifiedExecutionAtMinIi) {
   // nothing and every iteration computes the evaluator's outputs.
   for (const SuiteEntry& s : {all_suites()[0], all_suites()[3], all_suites()[5]}) {
     const Dfg d = s.build();
-    const OptimizedFlowResult o = run_optimized_flow(d, s.latencies.front());
-    const PipelineReport p = analyze_pipelining(o.schedule, o.report.datapath);
+    const FlowResult o = run({d, "optimized", s.latencies.front()});
+    const PipelineReport p = analyze_pipelining(*o.schedule, o.report.datapath);
     std::mt19937_64 rng(9);
     std::vector<InputValues> iterations(4);
     for (InputValues& in : iterations) {
       for (NodeId id : d.inputs()) in[d.node(id).name] = rng();
     }
     const std::vector<OutputValues> out = verify_pipelined_execution(
-        o.transform, o.schedule, o.report.datapath, iterations, p.min_ii);
+        *o.transform, *o.schedule, o.report.datapath, iterations, p.min_ii);
     ASSERT_EQ(out.size(), 4u) << s.name;
     for (std::size_t i = 0; i < 4; ++i) {
       EXPECT_EQ(out[i], evaluate(d, iterations[i])) << s.name;
@@ -93,7 +100,7 @@ TEST(Pipeline, VerifiedExecutionAtMinIi) {
 
 TEST(Pipeline, VerifiedExecutionRejectsTooSmallIi) {
   // The motivational datapath is busy every cycle: II=1 must collide.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = run({motivational(), "optimized", 3});
   std::vector<InputValues> iterations(2);
   std::mt19937_64 rng(4);
   for (InputValues& in : iterations) {
@@ -103,13 +110,14 @@ TEST(Pipeline, VerifiedExecutionRejectsTooSmallIi) {
   }
   iterations[0] = {{"A", 1}, {"B", 2}, {"D", 3}, {"F", 4}};
   iterations[1] = {{"A", 5}, {"B", 6}, {"D", 7}, {"F", 8}};
-  EXPECT_THROW(verify_pipelined_execution(o.transform, o.schedule,
+  EXPECT_THROW(verify_pipelined_execution(
+        *o.transform, *o.schedule,
                                           o.report.datapath, iterations, 1),
                Error);
 }
 
 TEST(Json, ReportRoundTripFields) {
-  const ImplementationReport r = run_conventional_flow(motivational(), 3);
+  const ImplementationReport r = run({motivational(), "conventional", 3}).report;
   const std::string j = to_json(r);
   EXPECT_NE(j.find("\"flow\":\"original\""), std::string::npos);
   EXPECT_NE(j.find("\"latency\":3"), std::string::npos);
@@ -120,7 +128,7 @@ TEST(Json, ReportRoundTripFields) {
 
 TEST(Json, ArrayAndEscaping) {
   const std::vector<ImplementationReport> rs = {
-      run_conventional_flow(motivational(), 3)};
+      run({motivational(), "conventional", 3}).report};
   const std::string j = to_json(rs);
   EXPECT_EQ(j.front(), '[');
   EXPECT_EQ(j.back(), ']');
