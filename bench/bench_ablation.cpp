@@ -15,7 +15,7 @@
 
 #include "flow/session.hpp"
 #include "alloc/bitlevel.hpp"
-#include "sched/forcedir.hpp"
+#include "sched/core.hpp"
 #include "kernel/narrow.hpp"
 #include "alloc/oplevel.hpp"
 #include "sched/conventional.hpp"
@@ -131,8 +131,8 @@ int main() {
     const Dfg kernel = extract_kernel(s.build());
     const unsigned lat = s.latencies.front();
     const TransformResult t = transform_spec(kernel, lat);
-    const FragSchedule ls = schedule_transformed(t);
-    const FragSchedule fd = schedule_transformed_forcedirected(t);
+    const FragSchedule ls = run_scheduler("list", t);
+    const FragSchedule fd = run_scheduler("forcedirected", t);
     auto peak_bits = [&](const FragSchedule& fs) {
       std::vector<unsigned> bits(lat, 0);
       for (const auto& f : fs.fu_ops) bits[f.cycle] += f.bits.width;

@@ -1,13 +1,18 @@
 // Microbenchmarks (google-benchmark): cost of the presynthesis
 // transformation itself. The paper reports "negligible increments in the
 // design time"; these benches quantify kernel extraction, window
-// computation, fragmentation and scheduling per suite.
+// computation, fragmentation and scheduling per suite — and, on the
+// synthetic stress kernels, the speedup of the incremental bit-slot
+// feasibility oracle over full per-candidate re-simulation (the acceptance
+// target is >= 3x for force-directed scheduling on the largest kernel).
 
 #include <benchmark/benchmark.h>
 
 #include "flow/session.hpp"
 #include "frag/bit_windows.hpp"
 #include "kernel/extract.hpp"
+#include "sched/core.hpp"
+#include "sched/forcedir.hpp"
 #include "sched/fragsched.hpp"
 #include "suites/suites.hpp"
 #include "timing/critical_path.hpp"
@@ -73,6 +78,62 @@ void BM_WholeOptimizedFlow(benchmark::State& state) {
   state.SetLabel(s.name);
 }
 BENCHMARK(BM_WholeOptimizedFlow)->DenseRange(0, 8);
+
+// --- Scheduling-oracle comparison on the synthetic stress kernels --------
+// Same strategy, two feasibility oracles: the incremental engine
+// (SchedulerOptions default) versus full re-simulation per candidate (the
+// pre-refactor behaviour). The ratio of the *FullResim to the plain
+// benchmark is the oracle speedup; the largest kernel is synth-mesh8x8.
+
+const SuiteEntry& synth(std::size_t i) {
+  static const std::vector<SuiteEntry>& suites = synthetic_suites();
+  return suites[i % suites.size()];
+}
+
+TransformResult synth_transform(std::size_t i) {
+  const SuiteEntry& s = synth(i);
+  return transform_spec(s.build(), s.latencies.front());
+}
+
+void BM_ForceDirected(benchmark::State& state) {
+  const TransformResult t = synth_transform(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_transformed_forcedirected(t));
+  }
+  state.SetLabel(synth(state.range(0)).name);
+}
+BENCHMARK(BM_ForceDirected)->DenseRange(0, 3);
+
+void BM_ForceDirectedFullResim(benchmark::State& state) {
+  const TransformResult t = synth_transform(state.range(0));
+  SchedulerOptions full;
+  full.feasibility = SchedulerOptions::Feasibility::FullResim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_transformed_forcedirected(t, full));
+  }
+  state.SetLabel(synth(state.range(0)).name);
+}
+BENCHMARK(BM_ForceDirectedFullResim)->DenseRange(0, 3);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const TransformResult t = synth_transform(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_transformed(t));
+  }
+  state.SetLabel(synth(state.range(0)).name);
+}
+BENCHMARK(BM_ListScheduler)->DenseRange(0, 3);
+
+void BM_ListSchedulerFullResim(benchmark::State& state) {
+  const TransformResult t = synth_transform(state.range(0));
+  SchedulerOptions full;
+  full.feasibility = SchedulerOptions::Feasibility::FullResim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_transformed(t, full));
+  }
+  state.SetLabel(synth(state.range(0)).name);
+}
+BENCHMARK(BM_ListSchedulerFullResim)->DenseRange(0, 3);
 
 // A 16-point latency sweep through the Session thread pool (0 = all cores),
 // the batch shape the acceptance criteria pin.

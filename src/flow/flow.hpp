@@ -1,6 +1,5 @@
 #pragma once
-// End-to-end synthesis flow vocabulary: ImplementationReport, FlowOptions,
-// and the deprecated free-function flow API.
+// End-to-end synthesis flow vocabulary: ImplementationReport and FlowOptions.
 //
 // Three flows mirror the three implementations the paper compares:
 //   * "conventional" (report label "original") — the original specification
@@ -15,21 +14,16 @@
 // All three produce an ImplementationReport with the same cost model so the
 // benches can print the paper's tables.
 //
-// The primary API is hls::Session in flow/session.hpp, which resolves these
-// flows (and user-registered ones) by name through a FlowRegistry, returns a
+// The API is hls::Session in flow/session.hpp, which resolves these flows
+// (and user-registered ones) by name through a FlowRegistry, returns a
 // uniform FlowResult with structured diagnostics, and fans independent jobs
-// out over a thread pool. The run_*_flow free functions below are THIN
-// DEPRECATED SHIMS over the same pipelines, kept for one release; unlike
-// Session::run they throw hls::Error on infeasible requests.
+// out over a thread pool. (The run_*_flow free-function shims that predated
+// Session have been removed.)
 
-#include <optional>
 #include <string>
 
-#include "frag/transform.hpp"
 #include "ir/dfg.hpp"
-#include "kernel/extract.hpp"
 #include "rtl/area.hpp"
-#include "sched/fragsched.hpp"
 #include "timing/delay_model.hpp"
 
 namespace hls {
@@ -54,39 +48,12 @@ struct ImplementationReport {
   }
 };
 
-enum class FragScheduler { List, ForceDirected };
-
 struct FlowOptions {
   DelayModel delay;
   GateModel gates;
   /// Apply value-range width narrowing (kernel/narrow.hpp) between kernel
   /// extraction and the transformation. Off by default (paper-faithful).
   bool narrow = false;
-  /// Fragment scheduler for the optimized flow.
-  FragScheduler scheduler = FragScheduler::List;
 };
-
-/// Deprecated: use Session::run({spec, "conventional", latency, 0, opt}).
-ImplementationReport run_conventional_flow(const Dfg& spec, unsigned latency,
-                                           const FlowOptions& opt = {});
-/// Deprecated: use Session::run({spec, "blc", latency, 0, opt}).
-ImplementationReport run_blc_flow(const Dfg& spec, unsigned latency,
-                                  const FlowOptions& opt = {});
-
-/// Full optimized-flow result: the report plus the intermediate artefacts
-/// (kernel, transformed spec, schedule). Deprecated alongside
-/// run_optimized_flow; FlowResult in flow/session.hpp subsumes it.
-struct OptimizedFlowResult {
-  ImplementationReport report;
-  KernelStats kernel_stats;
-  Dfg kernel;
-  TransformResult transform;
-  FragSchedule schedule;
-};
-
-/// Deprecated: use Session::run({spec, "optimized", latency, n_bits, opt}).
-OptimizedFlowResult run_optimized_flow(const Dfg& spec, unsigned latency,
-                                       const FlowOptions& opt = {},
-                                       unsigned n_bits_override = 0);
 
 } // namespace hls

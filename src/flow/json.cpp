@@ -64,7 +64,12 @@ std::string to_json(const FlowDiagnostic& d) {
   std::ostringstream os;
   os << "{\"severity\":\"" << to_string(d.severity) << "\",\"stage\":\""
      << json_escape(d.stage) << "\",\"message\":\"" << json_escape(d.message)
-     << "\"}";
+     << "\"";
+  // Structured location fields, present only when the error located itself.
+  if (d.context.has_node()) os << ",\"node\":" << d.context.node;
+  if (d.context.has_bit()) os << ",\"bit\":" << d.context.bit;
+  if (d.context.has_cycle()) os << ",\"cycle\":" << d.context.cycle;
+  os << "}";
   return os.str();
 }
 
@@ -72,6 +77,9 @@ std::string to_json(const FlowResult& r) {
   std::ostringstream os;
   os << "{";
   os << "\"flow\":\"" << json_escape(r.flow) << "\",";
+  if (!r.scheduler.empty()) {
+    os << "\"scheduler\":\"" << json_escape(r.scheduler) << "\",";
+  }
   os << "\"ok\":" << (r.ok ? "true" : "false");
   if (r.ok) {
     os << ",\"report\":" << to_json(r.report);

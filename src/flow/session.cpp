@@ -7,10 +7,11 @@
 
 #include "alloc/bitlevel.hpp"
 #include "alloc/oplevel.hpp"
+#include "kernel/extract.hpp"
 #include "kernel/narrow.hpp"
 #include "sched/blc.hpp"
 #include "sched/conventional.hpp"
-#include "sched/forcedir.hpp"
+#include "sched/core.hpp"
 #include "support/strings.hpp"
 
 namespace hls {
@@ -26,7 +27,7 @@ auto stage(const char* name, F&& f) {
   } catch (const FlowStageError&) {
     throw;
   } catch (const Error& e) {
-    throw FlowStageError(name, e.what());
+    throw FlowStageError(name, e.what(), e.context());
   }
 }
 
@@ -148,11 +149,14 @@ FlowResult optimized(const FlowRequest& req) {
   note(out, "transform",
        strformat("cycle budget %u chained bits%s", out.transform->n_bits,
                  req.n_bits_override == 0 ? " (estimated)" : " (override)"));
+  out.scheduler = req.scheduler;
   out.schedule = stage("schedule", [&] {
-    return req.options.scheduler == FragScheduler::ForceDirected
-               ? schedule_transformed_forcedirected(*out.transform)
-               : schedule_transformed(*out.transform);
+    return run_scheduler(req.scheduler, *out.transform);
   });
+  note(out, "schedule",
+       strformat("scheduler '%s' placed %zu fragments in %zu adder ops",
+                 req.scheduler.c_str(), out.transform->adds.size(),
+                 out.schedule->fu_ops.size()));
   Datapath dp = stage("allocate", [&] {
     return allocate_bitlevel(*out.transform, *out.schedule);
   });
@@ -221,16 +225,17 @@ Session::Session(FlowRegistry& registry, SessionOptions options)
 FlowResult Session::run(const FlowRequest& request) const {
   FlowResult out;
   out.flow = request.flow;
+  // Failure results echo the requested strategy so scripted consumers can
+  // group ok:false rows by scheduler; successful flows overwrite it with
+  // what they actually resolved (empty for flows that never schedule
+  // fragments).
+  out.scheduler = request.scheduler;
   const FlowFn fn = registry_->find(request.flow);
   if (!fn) {
-    std::string known;
-    for (const std::string& n : registry_->names()) {
-      if (!known.empty()) known += ", ";
-      known += n;
-    }
     out.diagnostics.push_back(
         {DiagSeverity::Error, "registry",
-         "unknown flow '" + request.flow + "' (registered: " + known + ")"});
+         "unknown flow '" + request.flow +
+             "' (registered: " + join(registry_->names(), ", ") + ")"});
     return out;
   }
   if (request.latency == 0) {
@@ -243,9 +248,11 @@ FlowResult Session::run(const FlowRequest& request) const {
     r.flow = request.flow;
     return r;
   } catch (const FlowStageError& e) {
-    out.diagnostics.push_back({DiagSeverity::Error, e.stage(), e.what()});
+    out.diagnostics.push_back(
+        {DiagSeverity::Error, e.stage(), e.what(), e.context()});
   } catch (const Error& e) {
-    out.diagnostics.push_back({DiagSeverity::Error, "flow", e.what()});
+    out.diagnostics.push_back(
+        {DiagSeverity::Error, "flow", e.what(), e.context()});
   } catch (const std::exception& e) {
     out.diagnostics.push_back({DiagSeverity::Error, "internal", e.what()});
   } catch (...) {
@@ -289,12 +296,13 @@ std::vector<FlowResult> Session::run_batch(
 std::vector<FlowResult> Session::run_sweep(const Dfg& spec,
                                            const std::string& flow,
                                            unsigned lo, unsigned hi,
-                                           const FlowOptions& options) const {
+                                           const FlowOptions& options,
+                                           const std::string& scheduler) const {
   HLS_REQUIRE(lo >= 1 && lo <= hi, "sweep bounds must satisfy 1 <= lo <= hi");
   std::vector<FlowRequest> requests;
   requests.reserve(hi - lo + 1);
   for (unsigned lat = lo; lat <= hi; ++lat) {
-    requests.push_back({spec, flow, lat, 0, options});
+    requests.push_back({spec, flow, lat, 0, options, scheduler});
   }
   return run_batch(requests);
 }

@@ -20,8 +20,9 @@
 //
 // The builtin flows are registered in FlowRegistry::global() under
 // "conventional" (alias "original"), "blc" and "optimized"; user flows can
-// be registered next to them. The older free functions in flow/flow.hpp are
-// deprecated shims over the same pipelines.
+// be registered next to them. Flows that fragment-schedule resolve
+// FlowRequest::scheduler through SchedulerRegistry::global() the same way
+// ("list", "forcedirected", or user-registered strategies).
 
 #include <functional>
 #include <optional>
@@ -31,6 +32,9 @@
 #include <vector>
 
 #include "flow/flow.hpp"
+#include "frag/transform.hpp"
+#include "kernel/extract.hpp"
+#include "sched/fragsched.hpp"
 #include "support/error.hpp"
 
 namespace hls {
@@ -44,16 +48,23 @@ struct FlowRequest {
   /// Cycle-budget override for the optimized flow (0 = §3.2 estimate).
   unsigned n_bits_override = 0;
   FlowOptions options;
+  /// Fragment-scheduling strategy for flows that fragment-schedule,
+  /// resolved by name through SchedulerRegistry::global() ("list",
+  /// "forcedirected", or user-registered).
+  std::string scheduler = "list";
 };
 
 enum class DiagSeverity { Note, Warning, Error };
 
-/// One structured diagnostic: which stage of the flow said what.
+/// One structured diagnostic: which stage of the flow said what. `context`
+/// carries the offending node/bit/cycle as fields when the underlying
+/// hls::Error located the violation (the bit-slot simulator always does).
 struct FlowDiagnostic {
   DiagSeverity severity = DiagSeverity::Note;
   std::string stage;    ///< "registry" | "request" | "kernel" | "transform" |
                         ///< "schedule" | "allocate" | "flow" | "internal"
   std::string message;
+  ErrorContext context;
 };
 
 const char* to_string(DiagSeverity s);
@@ -62,7 +73,11 @@ const char* to_string(DiagSeverity s);
 /// members are populated by flows that produce them (the optimized flow
 /// fills all four, the conventional/BLC flows none).
 struct FlowResult {
-  std::string flow;  ///< registry name the request asked for
+  std::string flow;       ///< registry name the request asked for
+  /// Scheduling strategy used: set by flows that fragment-schedule;
+  /// empty on successful flows that never scheduled fragments. Failed
+  /// runs echo the requested strategy.
+  std::string scheduler;
   bool ok = false;
   ImplementationReport report;
   std::optional<KernelStats> kernel_stats;
@@ -89,11 +104,12 @@ struct FlowResult {
 using FlowFn = std::function<FlowResult(const FlowRequest&)>;
 
 /// An hls::Error that knows which flow stage raised it; Session turns it
-/// into a FlowDiagnostic with that stage.
+/// into a FlowDiagnostic with that stage (and the original ErrorContext).
 class FlowStageError : public Error {
 public:
-  FlowStageError(std::string stage, const std::string& message)
-      : Error(message), stage_(std::move(stage)) {}
+  FlowStageError(std::string stage, const std::string& message,
+                 ErrorContext context = {})
+      : Error(message, context), stage_(std::move(stage)) {}
   const std::string& stage() const { return stage_; }
 
 private:
@@ -147,7 +163,8 @@ public:
   /// run_batch of (hi - lo + 1) requests.
   std::vector<FlowResult> run_sweep(const Dfg& spec, const std::string& flow,
                                     unsigned lo, unsigned hi,
-                                    const FlowOptions& options = {}) const;
+                                    const FlowOptions& options = {},
+                                    const std::string& scheduler = "list") const;
 
   /// Worker threads run_batch would use for `jobs` jobs.
   unsigned worker_count(std::size_t jobs) const;

@@ -6,15 +6,14 @@
 
 namespace hls {
 
+// NOTE: the per-OpKind availability recurrence below is mirrored by
+// IncrementalBitSim::recompute() (sched/incremental.cpp), which repropagates
+// it through a changed cone instead of a full pass. Any change to the
+// timing model here MUST be made there too; the engine's debug cross-check
+// and tests/incremental_test.cpp enforce the equality.
+
 namespace {
-
-constexpr BitAvail kStartOfTime{0, 0};
-constexpr BitAvail kUnavailable{kUnassignedCycle, 0};
-
-bool later(const BitAvail& a, const BitAvail& b) {
-  return a.cycle != b.cycle ? a.cycle > b.cycle : a.slot > b.slot;
-}
-
+constexpr BitAvail kUnavailable = kBitUnavailable;
 } // namespace
 
 BitCycles make_unassigned(const Dfg& kernel) {
@@ -65,14 +64,16 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
             carry = self[b - 1];
             if (carry.cycle == kUnassignedCycle) {
               throw Error(strformat(
-                  "bit %u of add %%%u is scheduled but bit %u is not", b, idx,
-                  b - 1));
+                            "bit %u of add %%%u is scheduled but bit %u is not",
+                            b, idx, b - 1),
+                          ErrorContext{idx, b, c});
             }
             if (carry.cycle > c) {
               throw Error(strformat(
-                  "carry chain of add %%%u runs backwards: bit %u in cycle "
-                  "%u, bit %u in cycle %u",
-                  idx, b - 1, carry.cycle, b, c));
+                            "carry chain of add %%%u runs backwards: bit %u in "
+                            "cycle %u, bit %u in cycle %u",
+                            idx, b - 1, carry.cycle, b, c),
+                          ErrorContext{idx, b, c});
             }
           } else if (n.has_carry_in()) {
             carry = operand_avail(n.operands[2], 0);
@@ -83,14 +84,17 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
                {operand_avail(n.operands[0], b), operand_avail(n.operands[1], b),
                 carry}) {
             if (in.cycle == kUnassignedCycle) {
-              throw Error(strformat(
-                  "add %%%u bit %u consumes an unscheduled value", idx, b));
+              throw Error(
+                  strformat("add %%%u bit %u consumes an unscheduled value",
+                            idx, b),
+                  ErrorContext{idx, b, c});
             }
             if (in.cycle > c) {
               throw Error(strformat(
-                  "add %%%u bit %u (cycle %u) consumes a bit computed in "
-                  "cycle %u",
-                  idx, b, c, in.cycle));
+                            "add %%%u bit %u (cycle %u) consumes a bit "
+                            "computed in cycle %u",
+                            idx, b, c, in.cycle),
+                          ErrorContext{idx, b, in.cycle});
             }
             if (in.cycle == c) slot = std::max(slot, in.slot);
           }
@@ -130,7 +134,8 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
       }
       default:
         throw Error("simulate_bit_schedule: non-kernel node '" +
-                    std::string(op_name(n.kind)) + "'");
+                        std::string(op_name(n.kind)) + "'",
+                    ErrorContext{idx, ErrorContext::kNone, ErrorContext::kNone});
     }
   }
   return sim;

@@ -28,6 +28,18 @@ struct BitAvail {
 inline constexpr unsigned kUnassignedCycle = 0xFFFFFFFFu;
 using BitCycles = std::vector<std::vector<unsigned>>;
 
+/// Availability of primary inputs/constants (and of slice bits beyond an
+/// operand's width, which read as constant 0).
+inline constexpr BitAvail kStartOfTime{0, 0};
+/// Availability of a bit that cannot be computed yet (unassigned Add bits
+/// and everything glue-transitively downstream of them).
+inline constexpr BitAvail kBitUnavailable{kUnassignedCycle, 0};
+
+/// Strict "later than" over (cycle, slot) pairs.
+inline bool later(const BitAvail& a, const BitAvail& b) {
+  return a.cycle != b.cycle ? a.cycle > b.cycle : a.slot > b.slot;
+}
+
 struct BitSim {
   std::vector<std::vector<BitAvail>> avail;  ///< per node, per bit
   unsigned max_slot = 0;  ///< deepest in-cycle chain anywhere in the schedule

@@ -1,0 +1,172 @@
+#pragma once
+// SchedulerCore — the shared substrate of every fragment-scheduling strategy
+// — and the string-keyed SchedulerRegistry that names them.
+//
+// The core/strategy split: SchedulerCore owns everything the paper's central
+// loop needs regardless of *how* placements are chosen — the mobility
+// windows of every fragment, the carry-chain and data-dependency structure,
+// the probability-weighted distribution graph, merged-row load bookkeeping,
+// the exact bit-slot feasibility oracle (incremental by default, full
+// re-simulation for baselines), and the final assembly + validation of a
+// FragSchedule. A strategy ("list", "forcedirected", or user-registered) is
+// only the selection policy: it decides which (fragment, cycle) to try next
+// and calls try_place / undo_last; the core guarantees that whatever the
+// strategy commits is bit-exactly feasible.
+//
+// Strategies are registered by name in SchedulerRegistry::global() and
+// resolved by FlowRequest::scheduler, `fraghls --scheduler`, the benches and
+// run_scheduler(), mirroring the FlowRegistry pattern of flow/session.hpp.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frag/transform.hpp"
+#include "sched/fragsched.hpp"
+#include "sched/incremental.hpp"
+
+namespace hls {
+
+struct SchedulerOptions {
+  enum class Feasibility {
+    Incremental,  ///< IncrementalBitSim cone repropagation (the default)
+    FullResim,    ///< full simulate_bit_schedule per candidate (baseline)
+  };
+  Feasibility feasibility = Feasibility::Incremental;
+  /// Cross-check every incremental mutation against the full simulator.
+  /// This is the single source of the build-type default (a bare
+  /// IncrementalBitSim constructs with cross-checking off).
+#ifdef NDEBUG
+  bool cross_check = false;
+#else
+  bool cross_check = true;
+#endif
+};
+
+class SchedulerCore {
+public:
+  explicit SchedulerCore(const TransformResult& t, SchedulerOptions options = {});
+
+  const TransformResult& transform() const { return *t_; }
+  const SchedulerOptions& options() const { return options_; }
+  /// Number of fragments (TransformResult::adds entries) to place.
+  std::size_t size() const { return placed_.size(); }
+  std::size_t placed_count() const { return journal_.size(); }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  /// Carry-chain neighbours: the previous / next fragment of the same
+  /// original operation, or npos at the chain ends.
+  std::size_t prev_fragment(std::size_t k) const { return prev_[k]; }
+  std::size_t next_fragment(std::size_t k) const { return next_[k]; }
+  /// Fragments producing operand bits of fragment `k` (through glue and
+  /// concats, carry-in included) — the precedence a list scheduler obeys.
+  const std::vector<std::size_t>& producers(std::size_t k) const {
+    return producers_[k];
+  }
+
+  // Mobility windows, initialized to every fragment's [asap, alap]. A
+  // strategy may tighten them (force-directed carry-chain implication);
+  // vectors are replaced wholesale so candidates can be evaluated on copies.
+  unsigned window_lo(std::size_t k) const { return lo_[k]; }
+  unsigned window_hi(std::size_t k) const { return hi_[k]; }
+  const std::vector<unsigned>& lo_bounds() const { return lo_; }
+  const std::vector<unsigned>& hi_bounds() const { return hi_; }
+  void set_window_bounds(std::vector<unsigned> lo, std::vector<unsigned> hi);
+
+  bool placed(std::size_t k) const { return placed_[k]; }
+  unsigned cycle_of(std::size_t k) const { return cycle_of_[k]; }
+  /// Adder bits fragment `k` occupies (its mass in the distribution graph).
+  unsigned width_of(std::size_t k) const { return t_->adds[k].bits.width; }
+
+  /// Probability-weighted distribution graph in adder bits per cycle: every
+  /// fragment spreads width/|window| over its current window.
+  std::vector<double> distribution() const;
+
+  /// Marginal merged-row cost of putting fragment `k` into cycle `c`: free
+  /// when an already placed, bit-adjacent fragment of the same original op
+  /// sits in the same cycle (they chain into one wider adder).
+  unsigned marginal(std::size_t k, unsigned c) const;
+  /// Merged-row count committed to cycle `c` so far.
+  unsigned load(unsigned c) const { return load_[c]; }
+
+  /// Places fragment `k` in cycle `c` when the exact bit-slot feasibility
+  /// oracle accepts it (in-cycle chaining within the n_bits budget, no
+  /// precedence violation against committed placements): commits the
+  /// placement and its bookkeeping and returns true. Returns false with all
+  /// state unchanged otherwise. Windows are NOT touched — tightening is
+  /// strategy policy.
+  bool try_place(std::size_t k, unsigned c);
+
+  /// Reverts the most recent successful try_place (LIFO), for strategies
+  /// that search.
+  void undo_last();
+
+  /// Assembles the final FragSchedule once every fragment is placed:
+  /// per-fragment rows, bit-exact validation, and merging of adjacent
+  /// same-cycle fragments of one original op into one adder op.
+  FragSchedule finish() const;
+
+private:
+  struct Commit {
+    std::size_t fragment;
+    unsigned cycle;
+    unsigned marginal;  ///< load delta charged at commit time
+  };
+
+  const TransformResult* t_;
+  SchedulerOptions options_;
+  std::vector<unsigned> lo_, hi_;
+  std::vector<bool> placed_;
+  std::vector<unsigned> cycle_of_;
+  std::vector<std::size_t> prev_, next_;
+  std::vector<std::vector<std::size_t>> producers_;
+  std::vector<unsigned> load_;
+  /// Placed fragments per original op: (bit range, cycle).
+  std::map<std::uint32_t, std::vector<std::pair<BitRange, unsigned>>> by_orig_;
+  std::vector<Commit> journal_;
+  std::optional<IncrementalBitSim> engine_;  ///< Feasibility::Incremental
+  BitCycles assign_;                         ///< Feasibility::FullResim
+};
+
+/// A scheduling strategy: TransformResult in, complete FragSchedule out.
+using SchedulerFn =
+    std::function<FragSchedule(const TransformResult&, const SchedulerOptions&)>;
+
+/// String-keyed strategy registry ("list", "forcedirected" builtin).
+/// Thread-safe; registration replaces any previous strategy of the name.
+class SchedulerRegistry {
+public:
+  SchedulerRegistry() = default;
+
+  /// The process-wide registry, with the builtin strategies pre-registered.
+  static SchedulerRegistry& global();
+
+  void register_scheduler(std::string name, SchedulerFn fn);
+  bool contains(const std::string& name) const;
+  /// The registered strategy, or an empty function when the name is unknown.
+  SchedulerFn find(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<std::string, SchedulerFn> schedulers_;
+};
+
+/// Resolves `name` in the global registry and runs it over `t`. Throws
+/// hls::Error listing the registered names when `name` is unknown.
+FragSchedule run_scheduler(const std::string& name, const TransformResult& t,
+                           const SchedulerOptions& options = {});
+
+// Options-taking overloads of the builtin strategies (fragsched.hpp and
+// forcedir.hpp declare the default-options forms).
+FragSchedule schedule_transformed(const TransformResult& t,
+                                  const SchedulerOptions& options);
+FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
+                                                const SchedulerOptions& options);
+
+} // namespace hls

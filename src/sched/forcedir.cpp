@@ -1,156 +1,98 @@
 #include "sched/forcedir.hpp"
 
-#include <algorithm>
-#include <map>
 #include <set>
+#include <vector>
 
-#include "sched/bitsim.hpp"
+#include "sched/core.hpp"
 
 namespace hls {
 
 namespace {
 
-struct FdState {
-  const TransformResult& t;
-  std::vector<unsigned> lo, hi;       ///< current windows per t.adds index
-  std::vector<bool> placed;
-  std::vector<unsigned> cycle_of;
-  std::vector<std::size_t> prev_frag; ///< same-op carry predecessor (or npos)
-  std::vector<std::size_t> next_frag;
-  BitCycles assign;
-
-  explicit FdState(const TransformResult& tr)
-      : t(tr), assign(make_unassigned(tr.spec)) {
-    const std::size_t n = t.adds.size();
-    lo.resize(n);
-    hi.resize(n);
-    placed.assign(n, false);
-    cycle_of.assign(n, 0);
-    prev_frag.assign(n, SIZE_MAX);
-    next_frag.assign(n, SIZE_MAX);
-    std::map<std::uint32_t, std::size_t> last_of_orig;
-    for (std::size_t k = 0; k < n; ++k) {
-      lo[k] = t.adds[k].asap;
-      hi[k] = t.adds[k].alap;
-      auto it = last_of_orig.find(t.adds[k].orig.index);
-      if (it != last_of_orig.end()) {
-        prev_frag[k] = it->second;
-        next_frag[it->second] = k;
-      }
-      last_of_orig[t.adds[k].orig.index] = k;
-    }
+/// Window tightening implied by placing fragment `k` at cycle `c`: the carry
+/// chain forces every earlier fragment of the op to <= c and every later
+/// one to >= c. Returns false if some neighbour's window would empty.
+bool tighten(const SchedulerCore& core, std::size_t k, unsigned c,
+             std::vector<unsigned>& lo2, std::vector<unsigned>& hi2) {
+  lo2 = core.lo_bounds();
+  hi2 = core.hi_bounds();
+  lo2[k] = hi2[k] = c;
+  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
+       p = core.prev_fragment(p)) {
+    hi2[p] = std::min(hi2[p], c);
+    if (lo2[p] > hi2[p]) return false;
   }
-
-  unsigned width_of(std::size_t k) const {
-    return t.adds[k].bits.width;  // adder bits this fragment occupies
+  for (std::size_t s = core.next_fragment(k); s != SchedulerCore::npos;
+       s = core.next_fragment(s)) {
+    lo2[s] = std::max(lo2[s], c);
+    if (lo2[s] > hi2[s]) return false;
   }
+  return true;
+}
 
-  /// Probability-weighted distribution graph in adder bits per cycle.
-  std::vector<double> distribution() const {
-    std::vector<double> dg(t.latency, 0.0);
-    for (std::size_t k = 0; k < t.adds.size(); ++k) {
-      const double mass =
-          static_cast<double>(width_of(k)) / (hi[k] - lo[k] + 1);
-      for (unsigned c = lo[k]; c <= hi[k]; ++c) dg[c] += mass;
-    }
-    return dg;
+/// Paulin-style self force of hypothetical windows against the current
+/// distribution graph. Only the fragment and its carry chain change
+/// windows, so only those indices contribute.
+double force_of(const SchedulerCore& core, const std::vector<double>& dg,
+                std::size_t k, const std::vector<unsigned>& lo2,
+                const std::vector<unsigned>& hi2) {
+  double force = 0;
+  auto contribution = [&](std::size_t i) {
+    const unsigned lo = core.window_lo(i), hi = core.window_hi(i);
+    if (lo2[i] == lo && hi2[i] == hi) return;
+    const double mass_new =
+        static_cast<double>(core.width_of(i)) / (hi2[i] - lo2[i] + 1);
+    const double mass_old =
+        static_cast<double>(core.width_of(i)) / (hi - lo + 1);
+    for (unsigned c = lo2[i]; c <= hi2[i]; ++c) force += dg[c] * mass_new;
+    for (unsigned c = lo; c <= hi; ++c) force -= dg[c] * mass_old;
+  };
+  contribution(k);
+  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
+       p = core.prev_fragment(p)) {
+    contribution(p);
   }
-
-  /// Window tightening implied by placing fragment k at cycle c: the carry
-  /// chain forces every earlier fragment of the op to <= c and every later
-  /// one to >= c. Returns false if some neighbour's window would empty.
-  bool tighten(std::size_t k, unsigned c, std::vector<unsigned>& lo2,
-               std::vector<unsigned>& hi2) const {
-    lo2 = lo;
-    hi2 = hi;
-    lo2[k] = hi2[k] = c;
-    for (std::size_t p = prev_frag[k]; p != SIZE_MAX; p = prev_frag[p]) {
-      hi2[p] = std::min(hi2[p], c);
-      if (lo2[p] > hi2[p]) return false;
-    }
-    for (std::size_t s = next_frag[k]; s != SIZE_MAX; s = next_frag[s]) {
-      lo2[s] = std::max(lo2[s], c);
-      if (lo2[s] > hi2[s]) return false;
-    }
-    return true;
+  for (std::size_t q = core.next_fragment(k); q != SchedulerCore::npos;
+       q = core.next_fragment(q)) {
+    contribution(q);
   }
-
-  /// Paulin-style self force of hypothetical windows against the current
-  /// distribution graph. Only the fragment and its carry chain change
-  /// windows, so only those indices contribute.
-  double force_of(const std::vector<double>& dg, std::size_t k,
-                  const std::vector<unsigned>& lo2,
-                  const std::vector<unsigned>& hi2) const {
-    double force = 0;
-    auto contribution = [&](std::size_t i) {
-      if (lo2[i] == lo[i] && hi2[i] == hi[i]) return;
-      const double mass_new =
-          static_cast<double>(width_of(i)) / (hi2[i] - lo2[i] + 1);
-      const double mass_old =
-          static_cast<double>(width_of(i)) / (hi[i] - lo[i] + 1);
-      for (unsigned c = lo2[i]; c <= hi2[i]; ++c) force += dg[c] * mass_new;
-      for (unsigned c = lo[i]; c <= hi[i]; ++c) force -= dg[c] * mass_old;
-    };
-    contribution(k);
-    for (std::size_t p = prev_frag[k]; p != SIZE_MAX; p = prev_frag[p]) {
-      contribution(p);
-    }
-    for (std::size_t q = next_frag[k]; q != SIZE_MAX; q = next_frag[q]) {
-      contribution(q);
-    }
-    return force;
-  }
-
-  /// Exact chaining feasibility of placing k at c, relative to fragments
-  /// already committed (unplaced fragments are invisible to the simulator).
-  bool feasible(std::size_t k, unsigned c) {
-    const Node& n = t.spec.node(t.adds[k].node);
-    for (unsigned b = 0; b < n.width; ++b) assign[t.adds[k].node.index][b] = c;
-    bool ok = false;
-    try {
-      ok = simulate_bit_schedule(t.spec, assign).max_slot <= t.n_bits;
-    } catch (const Error&) {
-      ok = false;
-    }
-    if (!ok) {
-      for (unsigned b = 0; b < n.width; ++b) {
-        assign[t.adds[k].node.index][b] = kUnassignedCycle;
-      }
-    }
-    return ok;
-  }
-};
+  return force;
+}
 
 } // namespace
 
-FragSchedule schedule_transformed_forcedirected(const TransformResult& t) {
-  FdState st(t);
-  const std::size_t n = t.adds.size();
+FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
+                                                const SchedulerOptions& options) {
+  SchedulerCore core(t, options);
+  const std::size_t n = core.size();
 
   for (std::size_t committed = 0; committed < n; ++committed) {
-    const std::vector<double> dg = st.distribution();
+    const std::vector<double> dg = core.distribution();
 
     // Select the minimum-force candidate by force alone, then verify exact
     // chaining feasibility; infeasible picks are banned and selection
-    // retried, so the expensive simulator runs only a handful of times.
+    // retried, so the feasibility oracle runs only a handful of times.
     // Bans reset after every commit: a placement infeasible now (operand
     // fragments not yet placed) may become feasible later.
     std::set<std::pair<std::size_t, unsigned>> banned;
     for (;;) {
       double best_force = 0;
-      std::size_t best_k = SIZE_MAX;
+      std::size_t best_k = SchedulerCore::npos;
       unsigned best_c = 0;
       std::vector<unsigned> best_lo, best_hi;
       for (std::size_t k = 0; k < n; ++k) {
-        if (st.placed[k]) continue;
-        // The simulator needs carry producers placed first.
-        if (st.prev_frag[k] != SIZE_MAX && !st.placed[st.prev_frag[k]]) continue;
-        for (unsigned c = st.lo[k]; c <= st.hi[k]; ++c) {
+        if (core.placed(k)) continue;
+        // The feasibility oracle needs carry producers placed first.
+        if (core.prev_fragment(k) != SchedulerCore::npos &&
+            !core.placed(core.prev_fragment(k))) {
+          continue;
+        }
+        for (unsigned c = core.window_lo(k); c <= core.window_hi(k); ++c) {
           if (banned.count({k, c})) continue;
           std::vector<unsigned> lo2, hi2;
-          if (!st.tighten(k, c, lo2, hi2)) continue;
-          const double f = st.force_of(dg, k, lo2, hi2);
-          if (best_k == SIZE_MAX || f < best_force) {
+          if (!tighten(core, k, c, lo2, hi2)) continue;
+          const double f = force_of(core, dg, k, lo2, hi2);
+          if (best_k == SchedulerCore::npos || f < best_force) {
             best_force = f;
             best_k = k;
             best_c = c;
@@ -159,50 +101,23 @@ FragSchedule schedule_transformed_forcedirected(const TransformResult& t) {
           }
         }
       }
-      if (best_k == SIZE_MAX) {
+      if (best_k == SchedulerCore::npos) {
         // Stuck: fall back to the list scheduler, which always succeeds.
-        return schedule_transformed(t);
+        return schedule_transformed(t, options);
       }
-      if (!st.feasible(best_k, best_c)) {
+      if (!core.try_place(best_k, best_c)) {
         banned.insert({best_k, best_c});
         continue;
       }
-      // feasible() committed the bit assignment already.
-      st.lo = std::move(best_lo);
-      st.hi = std::move(best_hi);
-      st.placed[best_k] = true;
-      st.cycle_of[best_k] = best_c;
+      core.set_window_bounds(std::move(best_lo), std::move(best_hi));
       break;
     }
   }
+  return core.finish();
+}
 
-  FragSchedule out;
-  out.schedule.latency = t.latency;
-  out.schedule.cycle_deltas = t.n_bits;
-  for (std::size_t k = 0; k < n; ++k) {
-    out.schedule.rows.push_back(
-        ScheduleRow{t.adds[k].node, st.cycle_of[k],
-                    BitRange::whole(t.spec.node(t.adds[k].node).width)});
-  }
-  validate_schedule(t.spec, out.schedule);
-
-  std::map<std::uint32_t, std::size_t> last_fu_of_orig;
-  for (std::size_t k = 0; k < n; ++k) {
-    const TransformedAdd& a = t.adds[k];
-    const unsigned c = st.cycle_of[k];
-    auto it = last_fu_of_orig.find(a.orig.index);
-    if (it != last_fu_of_orig.end()) {
-      FragSchedule::FuOp& prev = out.fu_ops[it->second];
-      if (prev.cycle == c && prev.bits.abuts_below(a.bits)) {
-        prev.bits = BitRange{prev.bits.lo, prev.bits.width + a.bits.width};
-        prev.nodes.push_back(a.node);
-        continue;
-      }
-    }
-    out.fu_ops.push_back(FragSchedule::FuOp{a.orig, a.bits, c, {a.node}});
-    last_fu_of_orig[a.orig.index] = out.fu_ops.size() - 1;
-  }
-  return out;
+FragSchedule schedule_transformed_forcedirected(const TransformResult& t) {
+  return schedule_transformed_forcedirected(t, SchedulerOptions{});
 }
 
 } // namespace hls

@@ -15,8 +15,14 @@
 // plus the implied window tightening of the fragment's carry-chain
 // neighbours (predecessor fragments may no longer end after c, successors
 // may no longer start before c). In-cycle chaining feasibility is checked
-// with the exact bit-slot simulator before commitment; the final schedule is
+// with the exact bit-slot oracle before commitment; the final schedule is
 // validated like every other one.
+//
+// Like the list scheduler, this is a *strategy* over hls::SchedulerCore
+// (sched/core.hpp): the core carries windows, carry-chain links, the
+// distribution graph and the incremental feasibility engine; this file only
+// implements the force-based selection policy (and the window tightening it
+// implies). Registered as "forcedirected" in SchedulerRegistry::global().
 
 #include "frag/transform.hpp"
 #include "sched/fragsched.hpp"

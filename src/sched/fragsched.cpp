@@ -2,83 +2,13 @@
 
 #include <algorithm>
 #include <map>
-#include <numeric>
+#include <tuple>
 
-#include "sched/bitsim.hpp"
+#include "sched/core.hpp"
 
 namespace hls {
 
 namespace {
-
-/// Collects the Add nodes an operand depends on, walking through glue and
-/// concats (conservatively: every reachable add, not only the sliced bits).
-void collect_add_deps(const Dfg& dfg, const Operand& o,
-                      std::vector<std::uint32_t>& out) {
-  const Node& p = dfg.node(o.node);
-  if (p.kind == OpKind::Add) {
-    out.push_back(o.node.index);
-    return;
-  }
-  if (is_glue(p.kind) || p.kind == OpKind::Concat) {
-    for (const Operand& q : p.operands) collect_add_deps(dfg, q, out);
-  }
-}
-
-struct Placer {
-  const TransformResult& t;
-  BitCycles assign;
-  std::vector<unsigned> load;        ///< merged-row count per cycle
-  std::vector<bool> placed;          ///< per t.adds index
-  std::vector<unsigned> cycle_of;    ///< per t.adds index
-  /// Placed fragments per original op: (bit range, cycle).
-  std::map<std::uint32_t, std::vector<std::pair<BitRange, unsigned>>> by_orig;
-
-  explicit Placer(const TransformResult& tr)
-      : t(tr),
-        assign(make_unassigned(tr.spec)),
-        load(tr.latency, 0),
-        placed(tr.adds.size(), false),
-        cycle_of(tr.adds.size(), 0) {}
-
-  /// Marginal merged-row cost of putting fragment `a` into cycle `c`: free
-  /// when an already placed, bit-adjacent fragment of the same original op
-  /// sits in the same cycle (they chain into one wider adder).
-  unsigned marginal(const TransformedAdd& a, unsigned c) const {
-    auto it = by_orig.find(a.orig.index);
-    if (it == by_orig.end()) return 1;
-    for (const auto& [bits, cyc] : it->second) {
-      if (cyc == c && (bits.abuts_below(a.bits) || a.bits.abuts_below(bits))) {
-        return 0;
-      }
-    }
-    return 1;
-  }
-
-  bool try_place(std::size_t k, unsigned c) {
-    const TransformedAdd& a = t.adds[k];
-    const Node& n = t.spec.node(a.node);
-    for (unsigned b = 0; b < n.width; ++b) assign[a.node.index][b] = c;
-    try {
-      if (simulate_bit_schedule(t.spec, assign).max_slot <= t.n_bits) {
-        return true;
-      }
-    } catch (const Error&) {
-      // Operand in a later cycle under this choice.
-    }
-    for (unsigned b = 0; b < n.width; ++b) {
-      assign[a.node.index][b] = kUnassignedCycle;
-    }
-    return false;
-  }
-
-  void commit(std::size_t k, unsigned c) {
-    const TransformedAdd& a = t.adds[k];
-    load[c] += marginal(a, c);
-    by_orig[a.orig.index].push_back({a.bits, c});
-    placed[k] = true;
-    cycle_of[k] = c;
-  }
-};
 
 /// Places every transformed Add in a cycle of its window. When `balance` is
 /// set, fragments are placed in list-scheduling order (fixed fragments
@@ -86,66 +16,48 @@ struct Placer {
 /// (marginal merged-row cost, row load, cycle index). Without balancing,
 /// every fragment goes to its ASAP cycle, which is feasible by construction
 /// of the windows. Returns false when a balanced placement gets stuck.
-bool place(const TransformResult& t, bool balance,
-           std::vector<unsigned>& cycle_of_add) {
-  const Dfg& dfg = t.spec;
-  Placer placer(t);
-
-  // Dependencies among fragments: index into t.adds per producer add node.
-  std::map<std::uint32_t, std::size_t> add_index_of_node;
-  for (std::size_t k = 0; k < t.adds.size(); ++k) {
-    add_index_of_node[t.adds[k].node.index] = k;
-  }
-  std::vector<std::vector<std::size_t>> deps(t.adds.size());
-  for (std::size_t k = 0; k < t.adds.size(); ++k) {
-    std::vector<std::uint32_t> producer_adds;
-    for (const Operand& o : dfg.node(t.adds[k].node).operands) {
-      collect_add_deps(dfg, o, producer_adds);
-    }
-    for (std::uint32_t p : producer_adds) {
-      auto it = add_index_of_node.find(p);
-      if (it != add_index_of_node.end()) deps[k].push_back(it->second);
-    }
-  }
+bool place(SchedulerCore& core, bool balance) {
+  const TransformResult& t = core.transform();
+  const std::size_t n = core.size();
 
   auto ready = [&](std::size_t k) {
-    return !placer.placed[k] &&
-           std::all_of(deps[k].begin(), deps[k].end(),
-                       [&](std::size_t d) { return placer.placed[d]; });
+    return !core.placed(k) &&
+           std::all_of(core.producers(k).begin(), core.producers(k).end(),
+                       [&](std::size_t d) { return core.placed(d); });
   };
 
-  for (std::size_t done = 0; done < t.adds.size(); ++done) {
+  for (std::size_t done = 0; done < n; ++done) {
     // Pick the ready fragment with the least freedom (list scheduling).
-    std::size_t best = t.adds.size();
-    for (std::size_t k = 0; k < t.adds.size(); ++k) {
+    std::size_t best = n;
+    for (std::size_t k = 0; k < n; ++k) {
       if (!ready(k)) continue;
-      if (best == t.adds.size()) {
+      if (best == n) {
         best = k;
         continue;
       }
       const unsigned mk = t.adds[k].alap - t.adds[k].asap;
       const unsigned mb = t.adds[best].alap - t.adds[best].asap;
-      if (std::tie(mk, t.adds[k].asap, k) < std::tie(mb, t.adds[best].asap, best)) {
+      if (std::tie(mk, t.adds[k].asap, k) <
+          std::tie(mb, t.adds[best].asap, best)) {
         best = k;
       }
     }
-    HLS_ASSERT(best < t.adds.size(), "no ready fragment: dependency cycle?");
+    HLS_ASSERT(best < n, "no ready fragment: dependency cycle?");
 
     const TransformedAdd& a = t.adds[best];
     std::vector<unsigned> candidates;
     for (unsigned c = a.asap; c <= a.alap; ++c) candidates.push_back(c);
     if (balance) {
-      std::stable_sort(candidates.begin(), candidates.end(),
-                       [&](unsigned x, unsigned y) {
-                         return std::make_pair(placer.marginal(a, x), placer.load[x]) <
-                                std::make_pair(placer.marginal(a, y), placer.load[y]);
-                       });
+      std::stable_sort(
+          candidates.begin(), candidates.end(), [&](unsigned x, unsigned y) {
+            return std::make_pair(core.marginal(best, x), core.load(x)) <
+                   std::make_pair(core.marginal(best, y), core.load(y));
+          });
     }
 
     bool ok = false;
     for (unsigned c : candidates) {
-      if (placer.try_place(best, c)) {
-        placer.commit(best, c);
+      if (core.try_place(best, c)) {
         ok = true;
         break;
       }
@@ -158,8 +70,6 @@ bool place(const TransformResult& t, bool balance,
       return false;
     }
   }
-
-  cycle_of_add = std::move(placer.cycle_of);
   return true;
 }
 
@@ -177,42 +87,17 @@ bool FragSchedule::has_unconsecutive_execution() const {
   return false;
 }
 
+FragSchedule schedule_transformed(const TransformResult& t,
+                                  const SchedulerOptions& options) {
+  SchedulerCore balanced(t, options);
+  if (place(balanced, /*balance=*/true)) return balanced.finish();
+  SchedulerCore asap(t, options);
+  place(asap, /*balance=*/false);
+  return asap.finish();
+}
+
 FragSchedule schedule_transformed(const TransformResult& t) {
-  std::vector<unsigned> cycle_of_add;
-  if (!place(t, /*balance=*/true, cycle_of_add)) {
-    place(t, /*balance=*/false, cycle_of_add);
-  }
-
-  FragSchedule out;
-  out.schedule.latency = t.latency;
-  out.schedule.cycle_deltas = t.n_bits;
-  for (std::size_t k = 0; k < t.adds.size(); ++k) {
-    const TransformedAdd& a = t.adds[k];
-    out.schedule.rows.push_back(ScheduleRow{
-        a.node, cycle_of_add[k], BitRange::whole(t.spec.node(a.node).width)});
-  }
-  validate_schedule(t.spec, out.schedule);
-
-  // Merge adjacent same-cycle fragments of one original op into one adder
-  // op. TransformResult::adds lists fragments LSB-first per op, so a single
-  // sweep suffices (fragment order, not placement order).
-  std::map<std::uint32_t, std::size_t> last_fu_of_orig;
-  for (std::size_t k = 0; k < t.adds.size(); ++k) {
-    const TransformedAdd& a = t.adds[k];
-    const unsigned c = cycle_of_add[k];
-    auto it = last_fu_of_orig.find(a.orig.index);
-    if (it != last_fu_of_orig.end()) {
-      FragSchedule::FuOp& prev = out.fu_ops[it->second];
-      if (prev.cycle == c && prev.bits.abuts_below(a.bits)) {
-        prev.bits = BitRange{prev.bits.lo, prev.bits.width + a.bits.width};
-        prev.nodes.push_back(a.node);
-        continue;
-      }
-    }
-    out.fu_ops.push_back(FragSchedule::FuOp{a.orig, a.bits, c, {a.node}});
-    last_fu_of_orig[a.orig.index] = out.fu_ops.size() - 1;
-  }
-  return out;
+  return schedule_transformed(t, SchedulerOptions{});
 }
 
 } // namespace hls

@@ -1,14 +1,22 @@
 #pragma once
-// Fragment-aware scheduler: the "conventional scheduler run on the
-// transformed specification" of the paper.
+// List fragment scheduler: the "conventional scheduler run on the
+// transformed specification" of the paper — and the FragSchedule result
+// type every scheduling strategy produces.
 //
 // Every Add of a TransformResult carries a mobility window [asap, alap].
 // The scheduler places each fragment in one cycle of its window, using the
-// exact bit-slot simulator for in-cycle chaining feasibility, and balances
+// exact bit-slot feasibility oracle for in-cycle chaining, and balances
 // the number of active fragments per cycle (that is what makes operation A
 // of Fig. 3 execute in cycles 1 and 3 — unconsecutive — in the paper's
 // schedule). Placement at every fragment's ASAP cycle is always feasible,
 // so balancing failures fall back to ASAP placement.
+//
+// This file is a *strategy* over hls::SchedulerCore (sched/core.hpp): the
+// core owns windows, dependency structure, placement commit/undo, the
+// incremental feasibility engine and final assembly/validation; this file
+// only decides which (fragment, cycle) to try next. It is registered as
+// "list" in SchedulerRegistry::global(); schedule_transformed() remains the
+// direct entry point.
 
 #include "frag/transform.hpp"
 #include "sched/schedule.hpp"

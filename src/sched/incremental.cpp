@@ -1,0 +1,176 @@
+#include "sched/incremental.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hls {
+
+namespace {
+constexpr BitAvail kUnavailable = kBitUnavailable;
+} // namespace
+
+IncrementalBitSim::IncrementalBitSim(const Dfg& kernel, unsigned budget)
+    : dfg_(&kernel),
+      budget_(budget),
+      assign_(make_unassigned(kernel)),
+      users_(kernel.build_users()) {
+  // The all-unassigned baseline never violates precedence, so the full
+  // simulator both seeds the availability state and vets the DFG shape.
+  const BitSim sim = simulate_bit_schedule(kernel, assign_);
+  avail_ = sim.avail;
+  max_slot_ = sim.max_slot;
+}
+
+// Mirror of simulate_bit_schedule()'s per-OpKind recurrence (see the note
+// in sched/bitsim.cpp): any timing-model change there must land here too.
+bool IncrementalBitSim::recompute(std::uint32_t idx, Frame& frame,
+                                  unsigned& new_max, bool& changed) {
+  const Node& n = dfg_->node(NodeId{idx});
+  std::vector<BitAvail>& self = avail_[idx];
+
+  auto operand_avail = [this](const Operand& o, unsigned rel) -> BitAvail {
+    if (rel >= o.bits.width) return kStartOfTime;
+    return avail_[o.node.index][o.bits.lo + rel];
+  };
+  auto write = [&](unsigned b, const BitAvail& v) {
+    if (self[b] == v) return;
+    frame.touched.push_back({idx, b, self[b]});
+    self[b] = v;
+    changed = true;
+  };
+
+  switch (n.kind) {
+    case OpKind::Input:
+    case OpKind::Const:
+      break;  // constant availability; never in any cone
+    case OpKind::Output:
+      for (unsigned b = 0; b < n.width; ++b) {
+        write(b, operand_avail(n.operands[0], b));
+      }
+      break;
+    case OpKind::Add: {
+      for (unsigned b = 0; b < n.width; ++b) {
+        const unsigned c = assign_[idx][b];
+        if (c == kUnassignedCycle) continue;  // stays kUnavailable
+
+        BitAvail carry = kStartOfTime;
+        if (b > 0) {
+          carry = self[b - 1];  // already recomputed this pass
+          if (carry.cycle == kUnassignedCycle || carry.cycle > c) return false;
+        } else if (n.has_carry_in()) {
+          carry = operand_avail(n.operands[2], 0);
+        }
+        unsigned slot = 0;
+        for (const BitAvail& in :
+             {operand_avail(n.operands[0], b), operand_avail(n.operands[1], b),
+              carry}) {
+          if (in.cycle == kUnassignedCycle || in.cycle > c) return false;
+          if (in.cycle == c) slot = std::max(slot, in.slot);
+        }
+        const unsigned cost = n.add_bit_is_free(b) ? 0u : 1u;
+        write(b, BitAvail{c, slot + cost});
+        new_max = std::max(new_max, slot + cost);
+        if (new_max > budget_) return false;  // over budget: reject early
+      }
+      break;
+    }
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not: {
+      for (unsigned b = 0; b < n.width; ++b) {
+        BitAvail v = kStartOfTime;
+        bool unavailable = false;
+        for (const Operand& o : n.operands) {
+          const BitAvail in = operand_avail(o, b);
+          if (in.cycle == kUnassignedCycle) unavailable = true;
+          if (later(in, v)) v = in;
+        }
+        write(b, unavailable ? kUnavailable : v);
+      }
+      break;
+    }
+    case OpKind::Concat: {
+      unsigned base = 0;
+      for (const Operand& o : n.operands) {
+        for (unsigned b = 0; b < o.bits.width; ++b) {
+          write(base + b, operand_avail(o, b));
+        }
+        base += o.bits.width;
+      }
+      break;
+    }
+    default:
+      return false;  // non-kernel node: the full simulator would throw
+  }
+  return true;
+}
+
+bool IncrementalBitSim::try_place(NodeId add, unsigned cycle) {
+  const Node& n = dfg_->node(add);
+  HLS_REQUIRE(n.kind == OpKind::Add, "try_place target must be an Add");
+  HLS_REQUIRE(cycle != kUnassignedCycle, "try_place cycle is invalid");
+  std::vector<unsigned>& a = assign_[add.index];
+  for (unsigned b = 0; b < n.width; ++b) {
+    HLS_REQUIRE(a[b] == kUnassignedCycle, "fragment is already placed");
+  }
+  std::fill(a.begin(), a.end(), cycle);
+
+  Frame frame{add.index, max_slot_, {}};
+  unsigned new_max = max_slot_;
+  bool ok = true;
+  // Topological worklist: operands always precede users, so popping the
+  // smallest index recomputes every touched node exactly once.
+  std::set<std::uint32_t> worklist{add.index};
+  while (!worklist.empty()) {
+    const std::uint32_t idx = *worklist.begin();
+    worklist.erase(worklist.begin());
+    bool changed = false;
+    if (!recompute(idx, frame, new_max, changed)) {
+      ok = false;
+      break;
+    }
+    if (changed) {
+      for (NodeId u : users_[idx]) worklist.insert(u.index);
+    }
+  }
+
+  if (!ok) {
+    rollback(frame);
+    std::fill(a.begin(), a.end(), kUnassignedCycle);
+    return false;
+  }
+  max_slot_ = new_max;
+  frames_.push_back(std::move(frame));
+  if (cross_check_) verify_against_full();
+  return true;
+}
+
+void IncrementalBitSim::undo() {
+  HLS_REQUIRE(!frames_.empty(), "undo without a matching try_place");
+  const Frame frame = std::move(frames_.back());
+  frames_.pop_back();
+  rollback(frame);
+  std::vector<unsigned>& a = assign_[frame.placed];
+  std::fill(a.begin(), a.end(), kUnassignedCycle);
+  if (cross_check_) verify_against_full();
+}
+
+void IncrementalBitSim::rollback(const Frame& frame) {
+  // Reverse order restores bits journalled twice (impossible today, cheap
+  // insurance anyway) to their oldest value.
+  for (auto it = frame.touched.rbegin(); it != frame.touched.rend(); ++it) {
+    avail_[it->node][it->bit] = it->old;
+  }
+  max_slot_ = frame.old_max_slot;
+}
+
+void IncrementalBitSim::verify_against_full() const {
+  const BitSim sim = simulate_bit_schedule(*dfg_, assign_);
+  HLS_ASSERT(sim.max_slot == max_slot_,
+             "incremental max_slot diverged from the full simulator");
+  HLS_ASSERT(sim.avail == avail_,
+             "incremental availability diverged from the full simulator");
+}
+
+} // namespace hls

@@ -1,0 +1,101 @@
+#pragma once
+// Incremental bit-slot simulation — the O(touched-bits) feasibility oracle
+// behind SchedulerCore.
+//
+// simulate_bit_schedule() recomputes every bit of every node from scratch;
+// the fragment schedulers used to call it once per *candidate* placement,
+// which made force-directed scheduling quadratic-times-simulation. This
+// engine keeps the per-bit BitAvail state of the current partial schedule
+// and applies a tentative (fragment, cycle) placement by repropagating
+// availability only through the affected cone: the placed Add itself, then
+// — worklist-driven, in topological order — every consumer whose bits
+// actually changed (carry-chain successors, glue, concats, downstream
+// adds). Placements that violate precedence (a bit consumed before it is
+// computed, a carry chain running backwards) or exceed the per-cycle slot
+// budget are rolled back from a journal in O(touched bits); accepted
+// placements stack and can be undone LIFO, which is what lets search
+// strategies explore.
+//
+// When cross-checking is enabled (SchedulerCore turns it on by default in
+// debug builds; see SchedulerOptions) every successful mutation is verified
+// against the full simulator bit-for-bit.
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "sched/bitsim.hpp"
+
+namespace hls {
+
+class IncrementalBitSim {
+public:
+  /// Builds the all-unassigned state over `kernel`. `budget` is the
+  /// per-cycle chained-slot limit try_place checks against (a schedule's
+  /// cycle_deltas). The DFG must stay alive and unchanged for the lifetime
+  /// of the engine.
+  IncrementalBitSim(const Dfg& kernel, unsigned budget);
+
+  /// Tentatively assigns every result bit of `add` (which must be an
+  /// unassigned Add) to `cycle` and repropagates availability through the
+  /// affected cone. Keeps the placement and returns true when the schedule
+  /// stays consistent and max_slot() <= budget; restores the exact previous
+  /// state and returns false otherwise.
+  bool try_place(NodeId add, unsigned cycle);
+
+  /// Undoes the most recent successful try_place (LIFO).
+  void undo();
+
+  /// Number of placements currently committed (the undo stack depth).
+  std::size_t depth() const { return frames_.size(); }
+
+  unsigned budget() const { return budget_; }
+  /// Deepest in-cycle chain anywhere in the current partial schedule.
+  unsigned max_slot() const { return max_slot_; }
+
+  const BitCycles& assignment() const { return assign_; }
+  const BitAvail& at(NodeId id, unsigned bit) const {
+    return avail_[id.index][bit];
+  }
+  const std::vector<std::vector<BitAvail>>& avail() const { return avail_; }
+
+  /// When on, every successful try_place/undo re-runs the full simulator
+  /// and asserts bit-for-bit agreement. Off by default on a bare engine;
+  /// SchedulerOptions::cross_check (sched/core.hpp) holds the build-type
+  /// default the schedulers apply.
+  void set_cross_check(bool on) { cross_check_ = on; }
+  bool cross_check() const { return cross_check_; }
+
+private:
+  struct Touch {
+    std::uint32_t node;
+    unsigned bit;
+    BitAvail old;
+  };
+  struct Frame {
+    std::uint32_t placed;          ///< node whose bits were assigned
+    unsigned old_max_slot;
+    std::vector<Touch> touched;    ///< avail values overwritten, in order
+  };
+
+  /// Recomputes node `idx` from its operands' current availability,
+  /// journalling overwritten bits into `frame` and raising `changed` when
+  /// any bit moved (the caller then enqueues the node's users). Returns
+  /// false on a precedence or budget violation (caller must roll back).
+  bool recompute(std::uint32_t idx, Frame& frame, unsigned& new_max,
+                 bool& changed);
+
+  void rollback(const Frame& frame);
+  void verify_against_full() const;
+
+  const Dfg* dfg_;
+  unsigned budget_;
+  unsigned max_slot_ = 0;
+  BitCycles assign_;
+  std::vector<std::vector<BitAvail>> avail_;
+  std::vector<std::vector<NodeId>> users_;
+  std::vector<Frame> frames_;
+  bool cross_check_ = false;
+};
+
+} // namespace hls

@@ -37,6 +37,14 @@ Dfg ar_lattice();     ///< fourth-order AR lattice (variable-operand muls)
 Dfg fir8();           ///< eight-tap constant FIR with balanced adder tree
 Dfg dct4();           ///< four-point DCT-II butterfly
 
+// Synthetic stress kernels (suites/synthetic.cpp): seeded random adder DFGs
+// far larger than the paper's circuits, already in kernel form. Pure
+// functions of their parameters — bit-reproducible across runs.
+Dfg synthetic_chain(unsigned n_adds, unsigned width, std::uint64_t seed);
+Dfg synthetic_tree(unsigned leaves, unsigned width, std::uint64_t seed);
+Dfg synthetic_mesh(unsigned rows, unsigned cols, unsigned width,
+                   std::uint64_t seed);
+
 /// Registry for benches and property sweeps.
 struct SuiteEntry {
   std::string name;
@@ -46,6 +54,10 @@ struct SuiteEntry {
 const std::vector<SuiteEntry>& classical_suites();  ///< Table II circuits
 const std::vector<SuiteEntry>& adpcm_suites();      ///< Table III circuits
 const std::vector<SuiteEntry>& extended_suites();   ///< beyond-paper circuits
+const std::vector<SuiteEntry>& synthetic_suites();  ///< stress kernels
 std::vector<SuiteEntry> all_suites();               ///< paper circuits only
+/// Every suite the registry-wide property tests and sweeps run over:
+/// paper + extended + synthetic.
+std::vector<SuiteEntry> registry_suites();
 
 } // namespace hls

@@ -1,0 +1,123 @@
+// Synthetic stress kernels — seeded random adder DFGs far larger than the
+// paper's circuits, so schedulers, sweeps and benches can be exercised at
+// scale. Three shapes:
+//
+//   * chain — a long serial accumulation (worst-case carry/precedence depth);
+//   * tree  — a balanced reduction of random leaves (maximal parallelism);
+//   * mesh  — a rows x cols grid where every cell adds its left and upper
+//     neighbours (the dense mix of both, quadratic fan-out of dependencies).
+//
+// All operations are unsigned Adds over jittered widths, so every generated
+// spec is already in kernel form and goes straight to fragmentation. The
+// generators are pure functions of their parameters (std::mt19937_64 with a
+// fixed seed), so suite entries are bit-reproducible across runs and
+// platforms — goldens and benches may rely on them.
+
+#include <random>
+
+#include "ir/builder.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+
+namespace {
+
+/// Width jitter: base +/- up to base/4, at least 2 bits.
+unsigned jitter(std::mt19937_64& rng, unsigned base) {
+  const unsigned span = std::max(1u, base / 4);
+  const unsigned w = base - span + static_cast<unsigned>(rng() % (2 * span + 1));
+  return std::max(2u, w);
+}
+
+} // namespace
+
+Dfg synthetic_chain(unsigned n_adds, unsigned width, std::uint64_t seed) {
+  HLS_REQUIRE(n_adds >= 1, "chain needs at least one addition");
+  HLS_REQUIRE(width >= 1, "base width must be positive");
+  std::mt19937_64 rng(seed);
+  SpecBuilder b("synth_chain");
+  Val acc = b.in("x0", jitter(rng, width));
+  for (unsigned i = 1; i <= n_adds; ++i) {
+    const Val next = b.in("x" + std::to_string(i), jitter(rng, width));
+    acc = b.add(acc, next, std::max(acc.width(), next.width()));
+  }
+  b.out("y", acc);
+  return std::move(b).take();
+}
+
+Dfg synthetic_tree(unsigned leaves, unsigned width, std::uint64_t seed) {
+  HLS_REQUIRE(leaves >= 2, "tree needs at least two leaves");
+  HLS_REQUIRE(width >= 1, "base width must be positive");
+  std::mt19937_64 rng(seed);
+  SpecBuilder b("synth_tree");
+  std::vector<Val> level;
+  level.reserve(leaves);
+  for (unsigned i = 0; i < leaves; ++i) {
+    level.push_back(b.in("x" + std::to_string(i), jitter(rng, width)));
+  }
+  while (level.size() > 1) {
+    std::vector<Val> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const unsigned w = std::max(level[i].width(), level[i + 1].width());
+      // Growing the width by one bit per level keeps carries meaningful
+      // without overflowing small operands into pure truncation.
+      next.push_back(b.add(level[i], level[i + 1], w + rng() % 2));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  b.out("y", level.front());
+  return std::move(b).take();
+}
+
+Dfg synthetic_mesh(unsigned rows, unsigned cols, unsigned width,
+                   std::uint64_t seed) {
+  HLS_REQUIRE(rows >= 1 && cols >= 1, "mesh needs at least one cell");
+  HLS_REQUIRE(width >= 1, "base width must be positive");
+  std::mt19937_64 rng(seed);
+  SpecBuilder b("synth_mesh");
+  std::vector<std::vector<Val>> cell(rows, std::vector<Val>(cols));
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      const Val in =
+          b.in("x" + std::to_string(r) + "_" + std::to_string(c),
+               jitter(rng, width));
+      if (r == 0 && c == 0) {
+        cell[r][c] = in;
+      } else if (r == 0) {
+        cell[r][c] = b.add(cell[r][c - 1], in, cell[r][c - 1].width());
+      } else if (c == 0) {
+        cell[r][c] = b.add(cell[r - 1][c], in, cell[r - 1][c].width());
+      } else {
+        const Val diag = b.add(cell[r][c - 1], cell[r - 1][c],
+                               std::max(cell[r][c - 1].width(),
+                                        cell[r - 1][c].width()));
+        cell[r][c] = b.add(diag, in, diag.width());
+      }
+    }
+  }
+  b.out("y", cell[rows - 1][cols - 1]);
+  // A second output keeps the mesh's last row live end to end.
+  b.out("z", cell[rows - 1][0]);
+  return std::move(b).take();
+}
+
+const std::vector<SuiteEntry>& synthetic_suites() {
+  static const std::vector<SuiteEntry> suites = {
+      {"synth-chain32", [] { return synthetic_chain(32, 14, 0xC0FFEE); }, {4, 8}},
+      {"synth-tree64", [] { return synthetic_tree(64, 10, 0x7E57); }, {3, 5}},
+      {"synth-mesh6x6", [] { return synthetic_mesh(6, 6, 10, 0x3A11); }, {6}},
+      {"synth-mesh8x8", [] { return synthetic_mesh(8, 8, 12, 0x8888); }, {8}},
+  };
+  return suites;
+}
+
+std::vector<SuiteEntry> registry_suites() {
+  std::vector<SuiteEntry> out = all_suites();
+  for (const SuiteEntry& s : extended_suites()) out.push_back(s);
+  for (const SuiteEntry& s : synthetic_suites()) out.push_back(s);
+  return out;
+}
+
+} // namespace hls

@@ -5,16 +5,43 @@
 // HLS_ASSERT, which throws in all build types (an HLS flow must never
 // silently produce a wrong netlist).
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace hls {
 
+/// Structured location of an error inside a specification or schedule, so
+/// diagnostics can carry "which node, which bit, which cycle" as fields
+/// rather than only prose. Every member is optional; kNone marks absence.
+struct ErrorContext {
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  std::uint32_t node = kNone;   ///< NodeId::index of the offending node
+  std::uint32_t bit = kNone;    ///< result bit within that node
+  std::uint32_t cycle = kNone;  ///< schedule cycle involved
+
+  bool has_node() const { return node != kNone; }
+  bool has_bit() const { return bit != kNone; }
+  bool has_cycle() const { return cycle != kNone; }
+  bool empty() const { return !has_node() && !has_bit() && !has_cycle(); }
+
+  friend bool operator==(const ErrorContext&, const ErrorContext&) = default;
+};
+
 /// Exception thrown on any contract violation at a library API boundary
 /// (malformed specification, out-of-range slice, unschedulable constraint...).
+/// May carry an ErrorContext locating the violation; FlowResult diagnostics
+/// preserve it as structured fields.
 class Error : public std::runtime_error {
 public:
   explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+  Error(std::string message, ErrorContext context)
+      : std::runtime_error(std::move(message)), context_(context) {}
+
+  const ErrorContext& context() const { return context_; }
+
+private:
+  ErrorContext context_;
 };
 
 namespace detail {

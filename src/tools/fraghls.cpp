@@ -26,6 +26,7 @@
 #include "rtl/rtl_emit.hpp"
 #include "rtl/testbench.hpp"
 #include "rtl/vhdl.hpp"
+#include "sched/core.hpp"
 #include "sched/schedule.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -121,7 +122,9 @@ const OptionSpec kOptions[] = {
      }},
     {"--narrow", nullptr, "width-narrow the kernel before transforming",
      [](Args& a, const std::string&) { a.narrow = true; }},
-    {"--scheduler", "S", "list | forcedirected (default: list)",
+    {"--scheduler", "S",
+     "fragment scheduler by registry name: list | forcedirected | a "
+     "registered strategy (default: list)",
      [](Args& a, const std::string& v) { a.scheduler = v; }},
     {"--pipeline", nullptr,
      "report the minimal initiation interval (optimized)",
@@ -186,14 +189,14 @@ Args parse_args(int argc, char** argv) {
     usage("--latency N or --sweep LO..HI is required");
   }
   if (a.flow != "all" && !FlowRegistry::global().contains(a.flow)) {
-    std::string known = "all";
-    for (const std::string& n : FlowRegistry::global().names()) {
-      known += ", " + n;
-    }
-    usage(("--flow must be one of: " + known).c_str());
+    usage(("--flow must be one of: all, " +
+           join(FlowRegistry::global().names(), ", "))
+              .c_str());
   }
-  if (a.scheduler != "list" && a.scheduler != "forcedirected") {
-    usage("--scheduler must be list or forcedirected");
+  if (!SchedulerRegistry::global().contains(a.scheduler)) {
+    usage(("--scheduler must be one of: " +
+           join(SchedulerRegistry::global().names(), ", "))
+              .c_str());
   }
   return a;
 }
@@ -253,9 +256,6 @@ int main(int argc, char** argv) {
     FlowOptions opt;
     opt.delay = args.delay;
     opt.narrow = args.narrow;
-    opt.scheduler = args.scheduler == "forcedirected"
-                        ? FragScheduler::ForceDirected
-                        : FragScheduler::List;
     const Session session({.workers = args.workers});
 
     if (args.sweep_lo != 0) {
@@ -263,10 +263,10 @@ int main(int argc, char** argv) {
       // as one concurrent batch of 2 * (hi - lo + 1) independent jobs.
       std::vector<FlowRequest> requests;
       for (unsigned lat = args.sweep_lo; lat <= args.sweep_hi; ++lat) {
-        requests.push_back({spec, "original", lat, 0, opt});
+        requests.push_back({spec, "original", lat, 0, opt, args.scheduler});
         // --n-bits is a single-latency override; a fixed budget across the
         // sweep would make the low-latency points infeasible.
-        requests.push_back({spec, "optimized", lat, 0, opt});
+        requests.push_back({spec, "optimized", lat, 0, opt, args.scheduler});
       }
       const std::vector<FlowResult> results = session.run_batch(requests);
       const bool all_ok = check(results);
@@ -297,7 +297,8 @@ int main(int argc, char** argv) {
             : std::vector<std::string>{args.flow};
     for (const std::string& name : flow_names) {
       requests.push_back({spec, name, args.latency,
-                          name == "optimized" ? args.n_bits : 0, opt});
+                          name == "optimized" ? args.n_bits : 0, opt,
+                          args.scheduler});
     }
     const std::vector<FlowResult> results = session.run_batch(requests);
 

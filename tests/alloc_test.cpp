@@ -6,7 +6,7 @@
 #include "alloc/bitlevel.hpp"
 #include "alloc/oplevel.hpp"
 #include "ir/builder.hpp"
-#include "flow/flow.hpp"
+#include "testutil.hpp"
 #include "sched/blc.hpp"
 #include "sched/conventional.hpp"
 #include "suites/suites.hpp"
@@ -95,7 +95,7 @@ TEST(OpLevel, MulticycleOpHoldsItsFu) {
 TEST(BitLevel, MotivationalMatchesTableI) {
   // The paper's optimized implementation: 3 adders of 6 bits, 5 stored bits
   // (C5, E4, and the three fragment carries).
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   const Datapath& dp = o.report.datapath;
   ASSERT_EQ(dp.fus.size(), 3u);
   for (const FuInstance& f : dp.fus) {
@@ -112,7 +112,7 @@ TEST(BitLevel, FragmentsOfOneOpShareOneAdder) {
   // Dedicated binding: each original addition's fragments use one adder
   // across cycles (paper: "every adder is dedicated to calculate just one
   // addition").
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   for (const FuInstance& f : o.report.datapath.fus) {
     ASSERT_FALSE(f.bound.empty());
     const NodeId orig = f.bound.front().second;
@@ -121,7 +121,7 @@ TEST(BitLevel, FragmentsOfOneOpShareOneAdder) {
 }
 
 TEST(BitLevel, CarryRegistersAreOneBitRuns) {
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   // No register instance may exceed 2 bits (data bit + adjacent carry).
   for (const RegInstance& r : o.report.datapath.regs) {
     EXPECT_LE(r.width, 2u);
@@ -135,7 +135,7 @@ TEST(BitLevel, WideAddStoresOnlyCarryBetweenCycles) {
   const Val x = b.in("x", 12), y = b.in("y", 12);
   b.out("o", x + y);
   const Dfg d = std::move(b).take();
-  const OptimizedFlowResult o = run_optimized_flow(d, 2);
+  const FlowResult o = testutil::run_optimized(d, 2);
   EXPECT_EQ(o.report.datapath.total_register_bits(), 1u);
   ASSERT_EQ(o.report.datapath.fus.size(), 1u);
   EXPECT_EQ(o.report.datapath.fus[0].width, 6u);
@@ -143,7 +143,7 @@ TEST(BitLevel, WideAddStoresOnlyCarryBetweenCycles) {
 
 TEST(BitLevel, RegistersSharedAcrossDisjointBoundaries) {
   // Values live across boundary 0 only and boundary 1 only can share.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   unsigned reg_bits = o.report.datapath.total_register_bits();
   // 5 bits live at each boundary, shared registers keep the total at 5
   // (not 10).
@@ -151,7 +151,7 @@ TEST(BitLevel, RegistersSharedAcrossDisjointBoundaries) {
 }
 
 TEST(BitLevel, ControlSignalsCountSelectsAndEnables) {
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   const Datapath& dp = o.report.datapath;
   unsigned expected = static_cast<unsigned>(dp.regs.size());
   for (const MuxInstance& m : dp.muxes) {

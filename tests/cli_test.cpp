@@ -65,13 +65,29 @@ TEST(Cli, JsonOutputIsParseableShape) {
   const std::string spec = write_spec("chain", kChain);
   const CliResult r = run_cli(spec + " --latency 3 --flow optimized --json");
   EXPECT_EQ(r.status, 0) << r.output;
-  // --json serializes FlowResult: flow + ok + report + artefact summaries.
-  EXPECT_NE(r.output.find("[{\"flow\":\"optimized\",\"ok\":true"),
-            std::string::npos);
+  // --json serializes FlowResult: flow + scheduler + ok + report +
+  // artefact summaries.
+  EXPECT_NE(
+      r.output.find(
+          "[{\"flow\":\"optimized\",\"scheduler\":\"list\",\"ok\":true"),
+      std::string::npos);
   EXPECT_NE(r.output.find("\"report\":{"), std::string::npos);
   EXPECT_NE(r.output.find("\"cycle_deltas\":6"), std::string::npos);
   EXPECT_NE(r.output.find("\"transform\":{"), std::string::npos);
   EXPECT_NE(r.output.find("\"diagnostics\":["), std::string::npos);
+}
+
+TEST(Cli, SchedulerOptionSelectsStrategy) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(
+      spec + " --latency 3 --flow optimized --scheduler forcedirected --json");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("\"scheduler\":\"forcedirected\""),
+            std::string::npos);
+  // Unknown names are rejected up front, listing the registry contents.
+  const CliResult bad = run_cli(spec + " --latency 3 --scheduler bogus");
+  EXPECT_NE(bad.status, 0);
+  EXPECT_NE(bad.output.find("--scheduler must be one of"), std::string::npos);
 }
 
 TEST(Cli, JsonSweepEmitsOneResultPerJob) {

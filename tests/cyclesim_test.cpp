@@ -5,7 +5,7 @@
 
 #include <random>
 
-#include "flow/flow.hpp"
+#include "testutil.hpp"
 #include "ir/builder.hpp"
 #include "rtl/cycle_sim.hpp"
 #include "rtl/rtl_emit.hpp"
@@ -16,11 +16,11 @@ namespace {
 
 TEST(CycleSim, MotivationalMatchesEvaluator) {
   const Dfg d = motivational();
-  const OptimizedFlowResult o = run_optimized_flow(d, 3);
+  const FlowResult o = testutil::run_optimized(d, 3);
   std::mt19937_64 rng(5);
   for (int i = 0; i < 300; ++i) {
     const InputValues in{{"A", rng()}, {"B", rng()}, {"D", rng()}, {"F", rng()}};
-    EXPECT_EQ(simulate_datapath(o.transform, o.schedule,
+    EXPECT_EQ(simulate_datapath(*o.transform, *o.schedule,
                                 o.report.datapath, in),
               evaluate(d, in));
   }
@@ -34,13 +34,13 @@ TEST(CycleSim, AllSuitesAllLatenciesMatchEvaluator) {
   for (const SuiteEntry& s : all_suites()) {
     const Dfg original = s.build();
     for (unsigned lat : s.latencies) {
-      const OptimizedFlowResult o = run_optimized_flow(original, lat);
+      const FlowResult o = testutil::run_optimized(original, lat);
       for (int trial = 0; trial < 25; ++trial) {
         InputValues in;
         for (NodeId id : original.inputs()) {
           in[original.node(id).name] = rng();
         }
-        EXPECT_EQ(simulate_datapath(o.transform, o.schedule,
+        EXPECT_EQ(simulate_datapath(*o.transform, *o.schedule,
                                     o.report.datapath, in),
                   evaluate(original, in))
             << s.name << " lat " << lat;
@@ -50,26 +50,26 @@ TEST(CycleSim, AllSuitesAllLatenciesMatchEvaluator) {
 }
 
 TEST(CycleSim, MissingInputThrows) {
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   EXPECT_THROW(
-      simulate_datapath(o.transform, o.schedule, o.report.datapath, {{"A", 1}}),
+      simulate_datapath(*o.transform, *o.schedule, o.report.datapath, {{"A", 1}}),
       Error);
 }
 
 TEST(CycleSim, DetectsDroppedRegisterRun) {
   // Failure injection: delete one stored run; a cross-cycle read must be
   // caught (the motivational example stores C5, E4 and three carries).
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   ASSERT_FALSE(o.report.datapath.stored.empty());
   Datapath broken = o.report.datapath;
   broken.stored.erase(broken.stored.begin());
   const InputValues in{{"A", 11}, {"B", 22}, {"D", 33}, {"F", 44}};
-  EXPECT_THROW(simulate_datapath(o.transform, o.schedule, broken, in), Error);
+  EXPECT_THROW(simulate_datapath(*o.transform, *o.schedule, broken, in), Error);
 }
 
 TEST(CycleSim, DetectsTruncatedLiveness) {
   // Failure injection: shorten a run's live span below its real last use.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   Datapath broken = o.report.datapath;
   bool shortened = false;
   for (StoredRun& r : broken.stored) {
@@ -81,19 +81,19 @@ TEST(CycleSim, DetectsTruncatedLiveness) {
   }
   ASSERT_TRUE(shortened);
   const InputValues in{{"A", 3}, {"B", 5}, {"D", 7}, {"F", 9}};
-  EXPECT_THROW(simulate_datapath(o.transform, o.schedule, broken, in), Error);
+  EXPECT_THROW(simulate_datapath(*o.transform, *o.schedule, broken, in), Error);
 }
 
 TEST(CycleSim, DetectsScheduleTamperedAfterAllocation) {
   // Move a fragment to a later cycle than its consumers: the read-before-
   // compute check fires.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  FragSchedule tampered = o.schedule;
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  FragSchedule tampered = *o.schedule;
   // Row 0 is C's first fragment (cycle 0); push it to the last cycle.
   tampered.schedule.rows[0].cycle = 2;
   const InputValues in{{"A", 1}, {"B", 2}, {"D", 3}, {"F", 4}};
   EXPECT_THROW(
-      simulate_datapath(o.transform, tampered, o.report.datapath, in), Error);
+      simulate_datapath(*o.transform, tampered, o.report.datapath, in), Error);
 }
 
 TEST(CycleSim, WideCarryChainAcrossManyCycles) {
@@ -102,19 +102,19 @@ TEST(CycleSim, WideCarryChainAcrossManyCycles) {
   const Val x = b.in("x", 48), y = b.in("y", 48);
   b.out("o", x + y);
   const Dfg d = std::move(b).take();
-  const OptimizedFlowResult o = run_optimized_flow(d, 8);
+  const FlowResult o = testutil::run_optimized(d, 8);
   std::mt19937_64 rng(13);
   for (int i = 0; i < 200; ++i) {
     const InputValues in{{"x", rng()}, {"y", rng()}};
-    EXPECT_EQ(simulate_datapath(o.transform, o.schedule, o.report.datapath, in),
+    EXPECT_EQ(simulate_datapath(*o.transform, *o.schedule, o.report.datapath, in),
               evaluate(d, in));
   }
 }
 
 TEST(RtlEmit, StructuralShape) {
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   const std::string v =
-      emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath);
+      emit_rtl_vhdl(*o.transform, *o.schedule, o.report.datapath);
   EXPECT_NE(v.find("entity example_opt_rtl is"), std::string::npos);
   EXPECT_NE(v.find("use ieee.numeric_std.all;"), std::string::npos);
   EXPECT_NE(v.find("signal state: natural range 0 to 2"), std::string::npos);
@@ -131,9 +131,9 @@ TEST(RtlEmit, StructuralShape) {
 TEST(RtlEmit, ReadsRegistersForCrossCycleValues) {
   // The second fragment of C consumes the stored carry: some expression in
   // a later state must reference a register slice.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
   const std::string v =
-      emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath);
+      emit_rtl_vhdl(*o.transform, *o.schedule, o.report.datapath);
   const std::size_t when1 = v.find("when 1 =>");
   ASSERT_NE(when1, std::string::npos);
   const std::size_t next = v.find("when 2 =>");
@@ -145,10 +145,10 @@ TEST(RtlEmit, ReadsRegistersForCrossCycleValues) {
 
 TEST(RtlEmit, WorksForEverySuite) {
   for (const SuiteEntry& s : all_suites()) {
-    const OptimizedFlowResult o =
-        run_optimized_flow(s.build(), s.latencies.front());
+    const FlowResult o =
+        testutil::run_optimized(s.build(), s.latencies.front());
     const std::string v =
-        emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath);
+        emit_rtl_vhdl(*o.transform, *o.schedule, o.report.datapath);
     EXPECT_NE(v.find("architecture rtl"), std::string::npos) << s.name;
     EXPECT_NE(v.find("end rtl;"), std::string::npos) << s.name;
   }

@@ -8,6 +8,7 @@
 #include "flow/json.hpp"
 #include "flow/session.hpp"
 #include "ir/eval.hpp"
+#include "sched/core.hpp"
 #include "suites/suites.hpp"
 
 namespace hls {
@@ -140,19 +141,48 @@ TEST(Flows, KernelStatsReportRewrites) {
   EXPECT_EQ(o.kernel_stats->ops_before, 10u);
 }
 
-TEST(Flows, DeprecatedShimsMatchSession) {
-  // The old free functions are shims over the Session pipelines; until they
-  // are removed they must produce bit-identical reports.
-  const Dfg d = motivational();
-  EXPECT_EQ(to_json(run_conventional_flow(d, 3)),
-            to_json(run({d, "conventional", 3}).report));
-  EXPECT_EQ(to_json(run_blc_flow(d, 1)), to_json(run({d, "blc", 1}).report));
-  const OptimizedFlowResult shim = run_optimized_flow(d, 3);
-  const FlowResult via_session = run({d, "optimized", 3});
-  EXPECT_EQ(to_json(shim.report), to_json(via_session.report));
-  EXPECT_EQ(shim.transform.n_bits, via_session.transform->n_bits);
-  // And they keep the old throwing contract on infeasible requests.
-  EXPECT_THROW(run_optimized_flow(d, 3, {}, 5), Error);
+TEST(Flows, SchedulerIsSurfacedInResultAndJson) {
+  // The resolved strategy is a first-class part of the result: a field on
+  // FlowResult, a note diagnostic, and a JSON key.
+  const FlowResult r = run({motivational(), "optimized", 3});
+  EXPECT_EQ(r.scheduler, "list");
+  EXPECT_NE(to_json(r).find("\"scheduler\":\"list\""), std::string::npos);
+  bool noted = false;
+  for (const FlowDiagnostic& d : r.diagnostics) {
+    if (d.stage == "schedule" &&
+        d.message.find("scheduler 'list'") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+  // Flows that never fragment-schedule leave the field empty (and JSON
+  // omits it).
+  const FlowResult blc = run({motivational(), "blc", 1});
+  EXPECT_TRUE(blc.scheduler.empty());
+  EXPECT_EQ(to_json(blc).find("\"scheduler\""), std::string::npos);
+}
+
+TEST(Flows, UnknownSchedulerIsAStructuredError) {
+  const Session session;
+  const FlowResult r =
+      session.run({motivational(), "optimized", 3, 0, {}, "annealing"});
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.diagnostics.empty());
+  const FlowDiagnostic& d = r.diagnostics.back();
+  EXPECT_EQ(d.severity, DiagSeverity::Error);
+  EXPECT_EQ(d.stage, "schedule");
+  EXPECT_NE(d.message.find("unknown scheduler 'annealing'"), std::string::npos);
+  EXPECT_NE(d.message.find("forcedirected"), std::string::npos);  // lists names
+}
+
+TEST(Flows, InfeasibleBudgetFailsViaDiagnosticsNotThrow) {
+  // n_bits override 5 cannot hold the motivational kernel at latency 3 (the
+  // old shims threw here); Session reports it as Error diagnostics.
+  const Session session;
+  const FlowResult r = session.run({motivational(), "optimized", 3, 5});
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error_text().empty());
+  EXPECT_THROW(r.require(), Error);
 }
 
 TEST(Flows, BlcFlowAcceptsOriginalSpecs) {
@@ -190,12 +220,31 @@ TEST(Flows, NarrowOptionPreservesSemanticsAndNeverGrowsArea) {
   }
 }
 
-TEST(Flows, ForceDirectedSchedulerOption) {
-  FlowOptions fd;
-  fd.scheduler = FragScheduler::ForceDirected;
-  const FlowResult o = run({fig3_dfg(), "optimized", 3, 0, fd});
+TEST(Flows, ForceDirectedSchedulerViaRequestKnob) {
+  const FlowResult o = run({fig3_dfg(), "optimized", 3, 0, {}, "forcedirected"});
+  EXPECT_EQ(o.scheduler, "forcedirected");
   EXPECT_EQ(o.report.cycle_deltas, 3u);
   EXPECT_EQ(o.schedule->schedule.latency, 3u);
+}
+
+TEST(Flows, UserRegisteredSchedulerIsResolvedByName) {
+  // A custom strategy registers next to the builtins and is picked up by
+  // name, exactly like user flows in the FlowRegistry.
+  SchedulerRegistry::global().register_scheduler(
+      "asap-test", [](const TransformResult& t, const SchedulerOptions&) {
+        SchedulerCore core(t);
+        for (std::size_t done = 0; done < core.size(); ++done) {
+          for (std::size_t k = 0; k < core.size(); ++k) {
+            if (core.placed(k)) continue;
+            if (core.try_place(k, t.adds[k].asap)) break;
+          }
+        }
+        return core.finish();
+      });
+  const FlowResult o = run({motivational(), "optimized", 3, 0, {}, "asap-test"});
+  EXPECT_EQ(o.scheduler, "asap-test");
+  EXPECT_EQ(o.report.latency, 3u);
+  EXPECT_TRUE(SchedulerRegistry::global().contains("asap-test"));
 }
 
 TEST(Suites, OperationProfiles) {

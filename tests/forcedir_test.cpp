@@ -6,7 +6,7 @@
 #include <random>
 
 #include "alloc/bitlevel.hpp"
-#include "flow/flow.hpp"
+#include "kernel/extract.hpp"
 #include "ir/builder.hpp"
 #include "rtl/cycle_sim.hpp"
 #include "sched/forcedir.hpp"

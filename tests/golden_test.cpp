@@ -9,10 +9,12 @@
 #include <fstream>
 #include <sstream>
 
-#include "flow/flow.hpp"
 #include "rtl/rtl_emit.hpp"
 #include "rtl/vhdl.hpp"
+#include "sched/core.hpp"
+#include "sched/forcedir.hpp"
 #include "suites/suites.hpp"
+#include "testutil.hpp"
 
 namespace hls {
 namespace {
@@ -36,16 +38,32 @@ std::string read_golden(const std::string& name) {
 TEST(Golden, MotivationalFig2aVhdl) {
   const std::string expected = read_golden("motivational_fig2a.vhdl");
   ASSERT_FALSE(expected.empty()) << "golden file not found";
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  EXPECT_EQ(emit_vhdl(o.transform.spec, "beh2"), expected);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  EXPECT_EQ(emit_vhdl(o.transform->spec, "beh2"), expected);
 }
 
 TEST(Golden, MotivationalStructuralRtl) {
   const std::string expected = read_golden("motivational_rtl.vhdl");
   ASSERT_FALSE(expected.empty()) << "golden file not found";
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  EXPECT_EQ(emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath),
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  EXPECT_EQ(emit_rtl_vhdl(*o.transform, *o.schedule, o.report.datapath),
             expected);
+}
+
+TEST(Golden, Fig3ForceDirectedSchedule) {
+  // The force-directed schedule of fig3 is pinned byte-for-byte (the list
+  // scheduler has golden coverage through the motivational files above), so
+  // refactors of the core/strategy split cannot silently perturb it.
+  const std::string expected = read_golden("fig3_forcedir.schedule");
+  ASSERT_FALSE(expected.empty()) << "golden file not found";
+  const TransformResult t = transform_spec(fig3_dfg(), 3);
+  const FragSchedule fs = schedule_transformed_forcedirected(t);
+  EXPECT_EQ(to_string(t.spec, fs.schedule), expected);
+  // Both feasibility oracles must reproduce the same golden bytes.
+  SchedulerOptions full;
+  full.feasibility = SchedulerOptions::Feasibility::FullResim;
+  const FragSchedule ref = schedule_transformed_forcedirected(t, full);
+  EXPECT_EQ(to_string(t.spec, ref.schedule), expected);
 }
 
 TEST(Golden, Fig2aContainsThePapersShapes) {

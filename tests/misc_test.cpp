@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "flow/flow.hpp"
+#include "testutil.hpp"
 #include "ir/builder.hpp"
 #include "ir/eval.hpp"
 #include "ir/print.hpp"
@@ -109,8 +109,8 @@ TEST(Schedule, RowQueries) {
 }
 
 TEST(Print, ScheduleRendering) {
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const std::string s = to_string(o.transform.spec, o.schedule.schedule);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  const std::string s = to_string(o.transform->spec, o.schedule->schedule);
   EXPECT_NE(s.find("3 cycles x 6 deltas"), std::string::npos);
   EXPECT_NE(s.find("cycle 1:"), std::string::npos);
   EXPECT_NE(s.find("C(5 downto 0)"), std::string::npos);
@@ -172,7 +172,8 @@ TEST(Flows, DelayModelScalesReports) {
   FlowOptions opt;
   opt.delay.delta_ns = 1.0;
   opt.delay.sequential_overhead_ns = 0.0;
-  const ImplementationReport r = run_conventional_flow(motivational(), 3, opt);
+  const ImplementationReport r =
+      testutil::run_flow({motivational(), "conventional", 3, 0, opt}).report;
   EXPECT_DOUBLE_EQ(r.cycle_ns, 16.0);
   EXPECT_DOUBLE_EQ(r.execution_ns, 48.0);
 }

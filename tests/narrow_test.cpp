@@ -4,7 +4,7 @@
 
 #include <random>
 
-#include "flow/flow.hpp"
+#include "testutil.hpp"
 #include "ir/builder.hpp"
 #include "ir/eval.hpp"
 #include "kernel/extract.hpp"
@@ -134,12 +134,12 @@ TEST(Narrow, FullFlowStillWorksAfterNarrowing) {
   for (const SuiteEntry& s : classical_suites()) {
     const Dfg original = s.build();
     const Dfg narrowed = narrow_widths(extract_kernel(original));
-    const OptimizedFlowResult o =
-        run_optimized_flow(narrowed, s.latencies.front());
+    const FlowResult o =
+        testutil::run_optimized(narrowed, s.latencies.front());
     for (int i = 0; i < 20; ++i) {
       InputValues in;
       for (NodeId id : original.inputs()) in[original.node(id).name] = rng();
-      EXPECT_EQ(evaluate(o.transform.spec, in), evaluate(original, in))
+      EXPECT_EQ(evaluate(o.transform->spec, in), evaluate(original, in))
           << s.name;
     }
   }

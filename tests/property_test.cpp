@@ -6,7 +6,7 @@
 #include <random>
 
 #include "alloc/bitlevel.hpp"
-#include "flow/flow.hpp"
+#include "testutil.hpp"
 #include "ir/builder.hpp"
 #include "ir/dot.hpp"
 #include "ir/print.hpp"
@@ -80,17 +80,17 @@ TEST(PipelineProperty, RandomSpecsSurviveTheWholeFlow) {
   for (unsigned trial = 0; trial < 60; ++trial) {
     const Dfg original = random_spec(rng, 4 + rng() % 10);
     const unsigned latency = 1 + rng() % 8;
-    OptimizedFlowResult o;
+    FlowResult o;
     try {
-      o = run_optimized_flow(original, latency);
+      o = testutil::run_optimized(original, latency);
     } catch (const Error& e) {
       FAIL() << "flow failed on trial " << trial << ": " << e.what();
     }
     for (int i = 0; i < 25; ++i) {
       const InputValues in = random_inputs(original, rng);
       const OutputValues expect = evaluate(original, in);
-      EXPECT_EQ(evaluate(o.transform.spec, in), expect) << "trial " << trial;
-      EXPECT_EQ(simulate_datapath(o.transform, o.schedule, o.report.datapath, in),
+      EXPECT_EQ(evaluate(o.transform->spec, in), expect) << "trial " << trial;
+      EXPECT_EQ(simulate_datapath(*o.transform, *o.schedule, o.report.datapath, in),
                 expect)
           << "trial " << trial;
     }
@@ -138,12 +138,12 @@ TEST(EmitterProperty, EmittersNeverCrashOnRandomSpecs) {
   std::mt19937_64 rng(0xD00D);
   for (unsigned trial = 0; trial < 25; ++trial) {
     const Dfg original = random_spec(rng, 3 + rng() % 8);
-    const OptimizedFlowResult o = run_optimized_flow(original, 1 + rng() % 5);
-    EXPECT_FALSE(emit_vhdl(o.transform.spec).empty());
-    EXPECT_FALSE(emit_dot(o.transform.spec).empty());
+    const FlowResult o = testutil::run_optimized(original, 1 + rng() % 5);
+    EXPECT_FALSE(emit_vhdl(o.transform->spec).empty());
+    EXPECT_FALSE(emit_dot(o.transform->spec).empty());
     EXPECT_FALSE(
-        emit_rtl_vhdl(o.transform, o.schedule, o.report.datapath).empty());
-    EXPECT_FALSE(to_string(o.transform.spec).empty());
+        emit_rtl_vhdl(*o.transform, *o.schedule, o.report.datapath).empty());
+    EXPECT_FALSE(to_string(o.transform->spec).empty());
   }
 }
 
@@ -154,8 +154,8 @@ TEST(Dot, RendersStructure) {
   EXPECT_NE(dot.find("palegreen"), std::string::npos);      // adds
   EXPECT_NE(dot.find("->"), std::string::npos);
   // Carry edges of a transformed spec are dashed red.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const std::string dot2 = emit_dot(o.transform.spec);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  const std::string dot2 = emit_dot(o.transform->spec);
   EXPECT_NE(dot2.find("style=dashed"), std::string::npos);
   EXPECT_NE(dot2.find("color=red"), std::string::npos);
 }
@@ -207,10 +207,10 @@ TEST(ExtendedSuites, ProfilesAndEquivalence) {
   for (const SuiteEntry& s : extended_suites()) {
     const Dfg d = s.build();
     d.verify();
-    const OptimizedFlowResult o = run_optimized_flow(d, s.latencies.front());
+    const FlowResult o = testutil::run_optimized(d, s.latencies.front());
     for (int i = 0; i < 20; ++i) {
       const InputValues in = random_inputs(d, rng);
-      EXPECT_EQ(simulate_datapath(o.transform, o.schedule, o.report.datapath, in),
+      EXPECT_EQ(simulate_datapath(*o.transform, *o.schedule, o.report.datapath, in),
                 evaluate(d, in))
           << s.name;
     }

@@ -7,7 +7,7 @@
 
 #include "ir/builder.hpp"
 #include "ir/eval.hpp"
-#include "flow/flow.hpp"
+#include "testutil.hpp"
 #include "rtl/area.hpp"
 #include "rtl/vhdl.hpp"
 #include "suites/suites.hpp"
@@ -77,8 +77,8 @@ TEST(Vhdl, EmitsEntityPortsAndProcess) {
 
 TEST(Vhdl, TransformedSpecUsesSlicedOperandsAndCarries) {
   // Fig. 2 a) shape: zero-padded slices and carry-in additions.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const std::string v = emit_vhdl(o.transform.spec, "beh2");
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  const std::string v = emit_vhdl(o.transform->spec, "beh2");
   EXPECT_NE(v.find("architecture beh2"), std::string::npos);
   // A 6-bit slice of A zero-extended into a 7-bit addition.
   EXPECT_NE(v.find("(\"0\" & A(5 downto 0))"), std::string::npos);
@@ -113,8 +113,8 @@ TEST(Vhdl, OperatorsRenderWithVhdlSpelling) {
 TEST(Vhdl, NamesAreSanitizedAndUnique) {
   // Fragment names contain "(15 downto 12)" style text that must flatten to
   // identifiers; duplicates get suffixes.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const std::string v = emit_vhdl(o.transform.spec);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  const std::string v = emit_vhdl(o.transform->spec);
   EXPECT_EQ(v.find("downto 0)("), std::string::npos);  // no nested slices
   // Declared variable names must be identifier-shaped (spot check one).
   EXPECT_NE(v.find("variable G_3_downto_0"), std::string::npos);
@@ -130,8 +130,8 @@ namespace hls {
 namespace {
 
 TEST(Testbench, SelfCheckingShape) {
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const std::string tb = emit_testbench(o.transform, 3, 42);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  const std::string tb = emit_testbench(*o.transform, 3, 42);
   EXPECT_NE(tb.find("entity example_opt_rtl_tb is"), std::string::npos);
   EXPECT_NE(tb.find("dut: entity work.example_opt_rtl"), std::string::npos);
   EXPECT_NE(tb.find("clk <= not clk after 5 ns;"), std::string::npos);
@@ -149,14 +149,14 @@ TEST(Testbench, SelfCheckingShape) {
 TEST(Testbench, GoldenValuesMatchEvaluator) {
   // The generated expected literal must equal the evaluator's result for
   // the same seeded stimulus.
-  const OptimizedFlowResult o = run_optimized_flow(motivational(), 3);
-  const std::string tb = emit_testbench(o.transform, 1, 7);
+  const FlowResult o = testutil::run_optimized(motivational(), 3);
+  const std::string tb = emit_testbench(*o.transform, 1, 7);
   std::mt19937_64 rng(7);
   InputValues in;
-  for (NodeId id : o.transform.spec.inputs()) {
-    in[o.transform.spec.node(id).name] = rng();
+  for (NodeId id : o.transform->spec.inputs()) {
+    in[o.transform->spec.node(id).name] = rng();
   }
-  const std::uint64_t g = evaluate(o.transform.spec, in).at("G");
+  const std::uint64_t g = evaluate(o.transform->spec, in).at("G");
   std::string bits;
   for (unsigned b = 16; b-- > 0;) bits += ((g >> b) & 1) ? '1' : '0';
   EXPECT_NE(tb.find("assert G = \"" + bits + "\""), std::string::npos);
@@ -164,9 +164,9 @@ TEST(Testbench, GoldenValuesMatchEvaluator) {
 
 TEST(Testbench, EmitsForEverySuite) {
   for (const SuiteEntry& s : all_suites()) {
-    const OptimizedFlowResult o =
-        run_optimized_flow(s.build(), s.latencies.front());
-    const std::string tb = emit_testbench(o.transform, 2, 1);
+    const FlowResult o =
+        testutil::run_optimized(s.build(), s.latencies.front());
+    const std::string tb = emit_testbench(*o.transform, 2, 1);
     EXPECT_NE(tb.find("end tb;"), std::string::npos) << s.name;
   }
 }

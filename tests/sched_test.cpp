@@ -95,6 +95,27 @@ TEST(BitSim, RejectsBackwardsCarryChain) {
   EXPECT_THROW(simulate_bit_schedule(d, assign), Error);
 }
 
+TEST(BitSim, ErrorsCarryStructuredContext) {
+  // Simulator errors locate themselves as node/bit/cycle fields, which
+  // FlowResult diagnostics carry through to JSON.
+  const Dfg d = motivational();
+  BitCycles assign = make_unassigned(d);
+  for (unsigned b = 0; b < 16; ++b) {
+    assign[kC.index][b] = 2;  // C later than its consumer E
+    assign[kE.index][b] = 1;
+    assign[kG.index][b] = 2;
+  }
+  try {
+    simulate_bit_schedule(d, assign);
+    FAIL() << "expected hls::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.context().node, kE.index);  // E reads a future value
+    EXPECT_EQ(e.context().bit, 0u);
+    EXPECT_EQ(e.context().cycle, 2u);       // the producer's (later) cycle
+    EXPECT_FALSE(e.context().empty());
+  }
+}
+
 TEST(BitSim, PartialSchedulesAreAllowed) {
   const Dfg d = motivational();
   BitCycles assign = make_unassigned(d);
