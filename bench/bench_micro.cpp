@@ -1,12 +1,31 @@
-// Microbenchmarks (google-benchmark): cost of the presynthesis
-// transformation itself. The paper reports "negligible increments in the
-// design time"; these benches quantify kernel extraction, window
-// computation, fragmentation and scheduling per suite — and, on the
-// synthetic stress kernels, the speedup of the incremental bit-slot
-// feasibility oracle over full per-candidate re-simulation (the acceptance
-// target is >= 3x for force-directed scheduling on the largest kernel).
+// Microbenchmarks: cost of the presynthesis transformation itself. The
+// paper reports "negligible increments in the design time"; these benches
+// quantify kernel extraction, window computation, fragmentation and
+// scheduling per suite — and, on the synthetic stress kernels, the speedup
+// of the incremental bit-slot feasibility oracle over full per-candidate
+// re-simulation.
+//
+// Two modes:
+//
+//   bench_micro --json [FILE]
+//     The tracked baseline suite: every synthetic kernel x {list,
+//     forcedirected} x {incremental, full-resim} oracle, each measurement
+//     the median of 3 repetitions (std::chrono, no google-benchmark
+//     dependency), emitted in the committed BENCH_micro.json schema
+//     (see PERFORMANCE.md). CI diffs a fresh run against the committed
+//     baseline and fails on >25% regression of any tracked speedup.
+//
+//   bench_micro [google-benchmark flags]
+//     The full exploratory google-benchmark suite (only when the build
+//     found google-benchmark; the --json mode always works).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "flow/session.hpp"
 #include "frag/bit_windows.hpp"
@@ -20,6 +39,94 @@
 namespace {
 
 using namespace hls;
+
+// --- tracked JSON baseline mode ------------------------------------------
+
+/// ns/op of one scheduler run: repeats until >= 50 ms of sampling has
+/// accumulated (the noise floor the CI gate relies on; slow benchmarks
+/// exceed it with their first iteration) and divides. One warm-up run
+/// precedes the timing.
+double measure_ns(const std::string& scheduler, const TransformResult& t,
+                  const SchedulerOptions& options) {
+  (void)run_scheduler(scheduler, t, options);  // warm-up
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::size_t iters = 0;
+  double elapsed_ns = 0;
+  do {
+    (void)run_scheduler(scheduler, t, options);
+    ++iters;
+    elapsed_ns = std::chrono::duration<double, std::nano>(clock::now() - t0)
+                     .count();
+  } while (elapsed_ns < 50e6);
+  return elapsed_ns / static_cast<double>(iters);
+}
+
+/// Median of three independent measurements — the noise tolerance the CI
+/// regression gate relies on.
+double median_of_3_ns(const std::string& scheduler, const TransformResult& t,
+                      const SchedulerOptions& options) {
+  double a = measure_ns(scheduler, t, options);
+  double b = measure_ns(scheduler, t, options);
+  double c = measure_ns(scheduler, t, options);
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+int run_json_baseline(const char* path) {
+  SchedulerOptions incremental;
+  incremental.cross_check = false;
+  SchedulerOptions full = incremental;
+  full.feasibility = SchedulerOptions::Feasibility::FullResim;
+
+  std::string out = "{\n  \"schema\": \"fraghls-bench-micro-v1\",\n"
+                    "  \"note\": \"ns_per_op is machine-dependent; the CI "
+                    "regression gate tracks speedup_vs_full_resim\",\n"
+                    "  \"entries\": [\n";
+  bool first = true;
+  for (const SuiteEntry& s : synthetic_suites()) {
+    const TransformResult t = transform_spec(s.build(), s.latencies.front());
+    for (const char* scheduler : {"list", "forcedirected"}) {
+      std::fprintf(stderr, "bench %s/%s...\n", s.name.c_str(), scheduler);
+      const double inc_ns = median_of_3_ns(scheduler, t, incremental);
+      const double full_ns = median_of_3_ns(scheduler, t, full);
+      char row[512];
+      std::snprintf(row, sizeof row,
+                    "    {\"suite\": \"%s\", \"scheduler\": \"%s\", "
+                    "\"ns_per_op\": %.0f, \"full_resim_ns_per_op\": %.0f, "
+                    "\"speedup_vs_full_resim\": %.2f}",
+                    s.name.c_str(), scheduler, inc_ns, full_ns,
+                    full_ns / inc_ns);
+      if (!first) out += ",\n";
+      first = false;
+      out += row;
+    }
+  }
+  out += "\n  ]\n}\n";
+
+  if (path != nullptr) {
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write '%s'\n", path);
+      return 1;
+    }
+    file << out;
+  } else {
+    std::cout << out;
+  }
+  return 0;
+}
+
+} // namespace
+
+// --- exploratory google-benchmark suite ----------------------------------
+
+#ifdef FRAGHLS_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+
+namespace {
 
 const SuiteEntry& suite(std::size_t i) {
   static const std::vector<SuiteEntry> suites = all_suites();
@@ -148,5 +255,27 @@ void BM_SweepBatch16(benchmark::State& state) {
 BENCHMARK(BM_SweepBatch16)->Arg(1)->Arg(4)->Arg(0);
 
 } // namespace
+#endif  // FRAGHLS_HAVE_GBENCH
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      // A following flag is not the output FILE.
+      const char* file =
+          i + 1 < argc && argv[i + 1][0] != '-' ? argv[i + 1] : nullptr;
+      return run_json_baseline(file);
+    }
+  }
+#ifdef FRAGHLS_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "bench_micro was built without google-benchmark; only "
+               "`bench_micro --json [FILE]` is available.\n");
+  return 2;
+#endif
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff a fresh `bench_micro --json` run against the committed baseline.
+
+Usage: bench_diff.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Fails (exit 1) when any tracked entry regresses by more than the tolerance.
+The tracked metric is `speedup_vs_full_resim` — a same-machine ratio, so it
+transfers between the committing developer's machine and the CI runner,
+unlike raw ns/op. Both sides are already medians of 3 repetitions
+(bench_micro does that internally), which is the noise tolerance this gate
+relies on. ns/op columns are printed for context only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "fraghls-bench-micro-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(e["suite"], e["scheduler"]): e for e in doc["entries"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    fresh = load_entries(args.fresh)
+
+    failures = []
+    print(f"{'suite':<16} {'scheduler':<14} {'base x':>8} {'fresh x':>8} "
+          f"{'delta':>8}  ns/op(base)  ns/op(fresh)")
+    for key, b in sorted(base.items()):
+        f = fresh.get(key)
+        if f is None:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        bx, fx = b["speedup_vs_full_resim"], f["speedup_vs_full_resim"]
+        delta = fx / bx - 1.0
+        flag = ""
+        if fx < bx * (1.0 - args.tolerance):
+            failures.append(
+                f"{key[0]}/{key[1]}: speedup {bx:.2f}x -> {fx:.2f}x "
+                f"({delta:+.0%}, tolerance -{args.tolerance:.0%})")
+            flag = "  << REGRESSION"
+        print(f"{key[0]:<16} {key[1]:<14} {bx:>7.2f}x {fx:>7.2f}x "
+              f"{delta:>+7.0%}  {b['ns_per_op']:>11.0f}  "
+              f"{f['ns_per_op']:>12.0f}{flag}")
+
+    for key in sorted(set(fresh) - set(base)):
+        failures.append(
+            f"{key[0]}/{key[1]}: present in fresh run but not in the "
+            "committed baseline — regenerate BENCH_micro.json "
+            "(see PERFORMANCE.md)")
+
+    if failures:
+        print("\nFAIL: bench regression beyond tolerance:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nOK: no tracked entry regressed beyond "
+          f"{args.tolerance:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

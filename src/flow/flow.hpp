@@ -54,6 +54,10 @@ struct FlowOptions {
   /// Apply value-range width narrowing (kernel/narrow.hpp) between kernel
   /// extraction and the transformation. Off by default (paper-faithful).
   bool narrow = false;
+  /// Collect per-stage wall-clock times into FlowResult::timings (plus Note
+  /// diagnostics), and run an explicit schedule re-verification stage so
+  /// its cost is visible. Off by default so results stay byte-stable.
+  bool timing = false;
 };
 
 } // namespace hls

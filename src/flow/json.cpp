@@ -105,6 +105,15 @@ std::string to_json(const FlowResult& r) {
     os << "\"latency\":" << r.schedule->schedule.latency << ",";
     os << "\"fu_ops\":" << r.schedule->fu_ops.size() << "}";
   }
+  if (!r.timings.empty()) {
+    os << ",\"timings\":[";
+    for (std::size_t i = 0; i < r.timings.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"stage\":\"" << json_escape(r.timings[i].stage)
+         << "\",\"ms\":" << strformat("%.4f", r.timings[i].ms) << "}";
+    }
+    os << "]";
+  }
   os << ",\"diagnostics\":[";
   for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
     if (i != 0) os << ",";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "sched/blc.hpp"
 #include "sched/conventional.hpp"
 #include "sched/core.hpp"
+#include "sched/schedule.hpp"
 #include "support/strings.hpp"
 
 namespace hls {
@@ -29,6 +31,24 @@ auto stage(const char* name, F&& f) {
   } catch (const Error& e) {
     throw FlowStageError(name, e.what(), e.context());
   }
+}
+
+/// stage() plus wall-clock collection when the request opted in
+/// (FlowOptions::timing): the duration lands in FlowResult::timings and as
+/// a Note diagnostic of the same stage name.
+template <typename F>
+auto timed_stage(FlowResult& out, const FlowRequest& req, const char* name,
+                 F&& f) {
+  if (!req.options.timing) return stage(name, std::forward<F>(f));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = stage(name, std::forward<F>(f));
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  out.timings.push_back({name, ms});
+  out.diagnostics.push_back(timing_note(name, ms));
+  return result;
 }
 
 ImplementationReport make_report(std::string flow, unsigned latency,
@@ -51,6 +71,11 @@ void note(FlowResult& r, const char* stage_name, std::string message) {
 }
 
 } // namespace
+
+FlowDiagnostic timing_note(std::string stage, double ms) {
+  return {DiagSeverity::Note, std::move(stage),
+          strformat("stage wall-clock %.3f ms", ms)};
+}
 
 const char* to_string(DiagSeverity s) {
   switch (s) {
@@ -94,10 +119,10 @@ namespace flows {
 FlowResult conventional(const FlowRequest& req) {
   FlowResult out;
   out.flow = "conventional";
-  const OpSchedule s = stage("schedule", [&] {
+  const OpSchedule s = timed_stage(out, req, "schedule", [&] {
     return schedule_conventional(req.spec, req.latency);
   });
-  Datapath dp = stage("allocate", [&] {
+  Datapath dp = timed_stage(out, req, "allocate", [&] {
     return allocate_oplevel(req.spec, s);
   });
   out.report = make_report("original", req.latency, s.cycle_deltas,
@@ -110,13 +135,13 @@ FlowResult conventional(const FlowRequest& req) {
 FlowResult blc(const FlowRequest& req) {
   FlowResult out;
   out.flow = "blc";
-  const Dfg kernel = stage("kernel", [&] {
+  const Dfg kernel = timed_stage(out, req, "kernel", [&] {
     return is_kernel_form(req.spec) ? req.spec : extract_kernel(req.spec);
   });
-  const OpSchedule s = stage("schedule", [&] {
+  const OpSchedule s = timed_stage(out, req, "schedule", [&] {
     return schedule_blc(kernel, req.latency);
   });
-  Datapath dp = stage("allocate", [&] {
+  Datapath dp = timed_stage(out, req, "allocate", [&] {
     return allocate_oplevel(kernel, s);
   });
   out.report = make_report("blc", req.latency, s.cycle_deltas, std::move(dp),
@@ -130,11 +155,13 @@ FlowResult optimized(const FlowRequest& req) {
   out.flow = "optimized";
   KernelStats stats;
   const bool already_kernel = is_kernel_form(req.spec);
-  Dfg kernel = stage("kernel", [&] {
+  Dfg kernel = timed_stage(out, req, "kernel", [&] {
     return already_kernel ? req.spec : extract_kernel(req.spec, &stats);
   });
   if (req.options.narrow) {
-    kernel = stage("kernel", [&] { return narrow_widths(kernel); });
+    kernel = timed_stage(out, req, "narrow", [&] {
+      return narrow_widths(kernel);
+    });
   }
   if (already_kernel) {
     note(out, "kernel", "specification already in kernel form");
@@ -143,23 +170,32 @@ FlowResult optimized(const FlowRequest& req) {
          strformat("%zu operations -> %zu unsigned additions",
                    stats.ops_before, stats.adds_after));
   }
-  out.transform = stage("transform", [&] {
+  out.transform = timed_stage(out, req, "transform", [&] {
     return transform_spec(kernel, req.latency, req.n_bits_override);
   });
   note(out, "transform",
        strformat("cycle budget %u chained bits%s", out.transform->n_bits,
                  req.n_bits_override == 0 ? " (estimated)" : " (override)"));
   out.scheduler = req.scheduler;
-  out.schedule = stage("schedule", [&] {
+  out.schedule = timed_stage(out, req, "schedule", [&] {
     return run_scheduler(req.scheduler, *out.transform);
   });
   note(out, "schedule",
        strformat("scheduler '%s' placed %zu fragments in %zu adder ops",
                  req.scheduler.c_str(), out.transform->adds.size(),
                  out.schedule->fu_ops.size()));
-  Datapath dp = stage("allocate", [&] {
+  Datapath dp = timed_stage(out, req, "allocate", [&] {
     return allocate_bitlevel(*out.transform, *out.schedule);
   });
+  if (req.options.timing) {
+    // An explicit re-verification pass, so `--timing` reports what the
+    // bit-exact validation of the final schedule costs. Idempotent: the
+    // scheduler already validated the schedule it returned.
+    timed_stage(out, req, "verify", [&] {
+      validate_schedule(out.transform->spec, out.schedule->schedule);
+      return 0;
+    });
+  }
   out.report = make_report("optimized", req.latency, out.transform->n_bits,
                            std::move(dp),
                            out.transform->spec.operations().size(),

@@ -61,13 +61,25 @@ enum class DiagSeverity { Note, Warning, Error };
 /// hls::Error located the violation (the bit-slot simulator always does).
 struct FlowDiagnostic {
   DiagSeverity severity = DiagSeverity::Note;
-  std::string stage;    ///< "registry" | "request" | "kernel" | "transform" |
-                        ///< "schedule" | "allocate" | "flow" | "internal"
+  std::string stage;    ///< "registry" | "request" | "kernel" | "narrow" |
+                        ///< "transform" | "schedule" | "allocate" |
+                        ///< "verify" | "flow" | "internal"
   std::string message;
   ErrorContext context;
 };
 
 const char* to_string(DiagSeverity s);
+
+/// Wall-clock of one flow stage (FlowOptions::timing): "kernel", "narrow",
+/// "transform", "schedule", "allocate", "verify" — the CLI adds "parse".
+struct StageTiming {
+  std::string stage;
+  double ms = 0;
+};
+
+/// The Note diagnostic mirroring one StageTiming — one formatter shared by
+/// the flow stages and the CLI's parse stage so the wording cannot drift.
+FlowDiagnostic timing_note(std::string stage, double ms);
 
 /// Uniform result of any flow. `report` is valid when `ok`; the artefact
 /// members are populated by flows that produce them (the optimized flow
@@ -85,6 +97,9 @@ struct FlowResult {
   std::optional<TransformResult> transform;
   std::optional<FragSchedule> schedule;
   std::vector<FlowDiagnostic> diagnostics;
+  /// Per-stage wall-clock, populated when FlowOptions::timing is set (also
+  /// mirrored as Note diagnostics and serialized by to_json).
+  std::vector<StageTiming> timings;
 
   /// All Error-severity diagnostic messages, joined with "; ".
   std::string error_text() const;

@@ -150,16 +150,6 @@ std::vector<NodeId> Dfg::operations() const {
   return out;
 }
 
-std::vector<std::vector<NodeId>> Dfg::build_users() const {
-  std::vector<std::vector<NodeId>> users(nodes_.size());
-  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
-    for (const Operand& o : nodes_[i].operands) {
-      users[o.node.index].push_back(NodeId{i});
-    }
-  }
-  return users;
-}
-
 std::optional<NodeId> Dfg::find_port(const std::string& name) const {
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
     const Node& n = nodes_[i];

@@ -116,8 +116,8 @@ public:
   /// Ids of all non-structural, non-glue computation nodes (the operations a
   /// scheduler must place).
   std::vector<NodeId> operations() const;
-  /// Consumers of each node, indexed by NodeId::index.
-  std::vector<std::vector<NodeId>> build_users() const;
+  // Fanout queries live in DfgIndex (ir/dfg_index.hpp), which precomputes
+  // the user adjacency in flat CSR form once per kernel.
   /// Looks up an Input or Output node by port name.
   std::optional<NodeId> find_port(const std::string& name) const;
 

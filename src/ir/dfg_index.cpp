@@ -1,0 +1,41 @@
+#include "ir/dfg_index.hpp"
+
+namespace hls {
+
+DfgIndex::DfgIndex(const Dfg& dfg) : node_count_(dfg.size()) {
+  const std::size_t n = dfg.size();
+  bit_offset_.resize(n + 1);
+  std::uint32_t bits = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bit_offset_[i] = bits;
+    bits += dfg.node(NodeId{i}).width;
+  }
+  bit_offset_[n] = bits;
+
+  // CSR fanout in two passes: count, then fill. Operands reference earlier
+  // nodes only (topological order), so every users() span is non-decreasing
+  // by construction when filled in node order. Consecutive duplicate
+  // operands of one user (A + A) collapse to a single edge.
+  edge_offsets_.assign(n + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t prev = UINT32_MAX;
+    for (const Operand& o : dfg.node(NodeId{i}).operands) {
+      if (o.node.index == prev) continue;
+      prev = o.node.index;
+      ++edge_offsets_[o.node.index + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) edge_offsets_[i] += edge_offsets_[i - 1];
+  edge_targets_.resize(edge_offsets_[n]);
+  std::vector<std::uint32_t> fill(edge_offsets_.begin(), edge_offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t prev = UINT32_MAX;
+    for (const Operand& o : dfg.node(NodeId{i}).operands) {
+      if (o.node.index == prev) continue;
+      prev = o.node.index;
+      edge_targets_[fill[o.node.index]++] = i;
+    }
+  }
+}
+
+} // namespace hls

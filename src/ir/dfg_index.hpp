@@ -1,0 +1,74 @@
+#pragma once
+// Flat CSR/SoA index over a Dfg — the cache-friendly backbone of the timing
+// engine.
+//
+// A Dfg stores nodes as objects with heap-allocated operand vectors; walking
+// fanout or addressing per-bit state through it means pointer chasing. The
+// DfgIndex precomputes, once per kernel:
+//
+//   * the user (fanout) adjacency in CSR form: edge_offsets()/edge_targets()
+//     give every node's consumers as one contiguous span of node indices, in
+//     increasing order, with no per-node allocation;
+//   * a flattened bit space: bit_offset(i) is the first index of node i's
+//     result bits inside one dense array of total_bits() entries, so per-bit
+//     state (availability cycles/slots, cycle assignments) lives in flat
+//     SoA arrays indexed by bit_offset(node) + b instead of nested vectors.
+//
+// The index is a pure function of the graph's shape. Build it once and share
+// it between every consumer of the same kernel (BitCycles, BitSim,
+// IncrementalBitSim, SchedulerCore, validate_schedule); the Dfg must outlive
+// nothing here — the index copies what it needs.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace hls {
+
+class DfgIndex {
+public:
+  DfgIndex() = default;
+  explicit DfgIndex(const Dfg& dfg);
+
+  std::size_t node_count() const { return node_count_; }
+  /// Size of the flattened bit space (sum of all node widths).
+  std::uint32_t total_bits() const {
+    return bit_offset_.empty() ? 0 : bit_offset_.back();
+  }
+
+  /// First flat-bit index of node `node`'s result bits.
+  std::uint32_t bit_offset(std::uint32_t node) const {
+    return bit_offset_[node];
+  }
+  /// Flat-bit index of bit `bit` of node `id`.
+  std::uint32_t flat_bit(NodeId id, unsigned bit) const {
+    return bit_offset_[id.index] + bit;
+  }
+  /// The per-node offsets, size node_count() + 1 (CSR-style bounds).
+  const std::vector<std::uint32_t>& bit_offsets() const { return bit_offset_; }
+
+  /// Consumers of node `node`, in non-decreasing node order. Consecutive
+  /// duplicate operands (A + A) are collapsed; a user reading one producer
+  /// through non-adjacent operands may appear twice — consumers that seed
+  /// worklists from these spans are idempotent, so that is harmless.
+  std::span<const std::uint32_t> users(std::uint32_t node) const {
+    return {edge_targets_.data() + edge_offsets_[node],
+            edge_targets_.data() + edge_offsets_[node + 1]};
+  }
+  const std::vector<std::uint32_t>& edge_offsets() const {
+    return edge_offsets_;
+  }
+  const std::vector<std::uint32_t>& edge_targets() const {
+    return edge_targets_;
+  }
+
+private:
+  std::size_t node_count_ = 0;
+  std::vector<std::uint32_t> bit_offset_;    ///< size n+1
+  std::vector<std::uint32_t> edge_offsets_;  ///< size n+1
+  std::vector<std::uint32_t> edge_targets_;  ///< one per (producer, user) pair
+};
+
+} // namespace hls

@@ -1,7 +1,5 @@
 #include "rtl/cycle_sim.hpp"
 
-#include <map>
-
 #include "support/strings.hpp"
 
 namespace hls {
@@ -29,11 +27,24 @@ public:
         }
         values_[i] = truncate(it->second, n.width);
         cycle_of_[i] = 0;  // ports are stable from the start
-        port_or_const_[i] = true;
       } else if (n.kind == OpKind::Const) {
         values_[i] = truncate(n.value, n.width);
-        port_or_const_[i] = true;
       }
+    }
+
+    // CSR bucket of stored runs by node: the storage-coverage check runs
+    // once per cross-cycle bit read, so it must not rescan every run of the
+    // whole register plan each time.
+    run_offsets_.assign(dfg_.size() + 1, 0);
+    for (const StoredRun& run : dp_.stored) ++run_offsets_[run.node.index + 1];
+    for (std::size_t i = 1; i <= dfg_.size(); ++i) {
+      run_offsets_[i] += run_offsets_[i - 1];
+    }
+    run_of_node_.resize(dp_.stored.size());
+    std::vector<std::uint32_t> fill(run_offsets_.begin(),
+                                    run_offsets_.end() - 1);
+    for (std::uint32_t r = 0; r < dp_.stored.size(); ++r) {
+      run_of_node_[fill[dp_.stored[r].node.index]++] = r;
     }
   }
 
@@ -124,9 +135,11 @@ private:
   }
 
   bool stored_covers(NodeId node, unsigned bit, unsigned use_cycle) const {
-    for (const StoredRun& run : dp_.stored) {
-      if (run.node == node && run.bits.contains(bit) &&
-          run.produced <= use_cycle - 1 && run.last_use >= use_cycle) {
+    for (std::uint32_t i = run_offsets_[node.index];
+         i < run_offsets_[node.index + 1]; ++i) {
+      const StoredRun& run = dp_.stored[run_of_node_[i]];
+      if (run.bits.contains(bit) && run.produced <= use_cycle - 1 &&
+          run.last_use >= use_cycle) {
         return true;
       }
     }
@@ -147,7 +160,8 @@ private:
   unsigned latency_;
   std::vector<std::uint64_t> values_;
   std::vector<unsigned> cycle_of_;
-  std::map<std::uint32_t, bool> port_or_const_;
+  std::vector<std::uint32_t> run_offsets_;   ///< CSR: runs of each node
+  std::vector<std::uint32_t> run_of_node_;   ///< indices into dp_.stored
 };
 
 } // namespace

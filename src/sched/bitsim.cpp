@@ -12,56 +12,64 @@ namespace hls {
 // timing model here MUST be made there too; the engine's debug cross-check
 // and tests/incremental_test.cpp enforce the equality.
 
-namespace {
-constexpr BitAvail kUnavailable = kBitUnavailable;
-} // namespace
-
 BitCycles make_unassigned(const Dfg& kernel) {
-  BitCycles assign(kernel.size());
+  // Only the bit offsets are needed here; skip the DfgIndex CSR fanout
+  // build (this runs once per BLC flow job and per one-arg validation).
+  std::vector<std::uint32_t> offsets(kernel.size() + 1);
+  std::uint32_t bits = 0;
   for (std::uint32_t i = 0; i < kernel.size(); ++i) {
-    if (kernel.node(NodeId{i}).kind == OpKind::Add) {
-      assign[i].assign(kernel.node(NodeId{i}).width, kUnassignedCycle);
-    }
+    offsets[i] = bits;
+    bits += kernel.node(NodeId{i}).width;
   }
-  return assign;
+  offsets[kernel.size()] = bits;
+  return BitCycles(std::move(offsets));
 }
 
 BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
+  HLS_REQUIRE(assign.node_count() == kernel.size(),
+              "assignment shape does not match the kernel");
   BitSim sim;
-  sim.avail.resize(kernel.size());
+  sim.bit_offset = assign.bit_offsets();
+  sim.cycle.assign(sim.bit_offset.back(), kUnassignedCycle);
+  sim.slot.assign(sim.bit_offset.back(), 0);
 
   // Relative bit of an operand slice; bits beyond the slice are constant 0,
   // available from the start of time.
   auto operand_avail = [&sim](const Operand& o, unsigned rel) -> BitAvail {
     if (rel >= o.bits.width) return kStartOfTime;
-    return sim.avail[o.node.index][o.bits.lo + rel];
+    const std::uint32_t f = sim.bit_offset[o.node.index] + o.bits.lo + rel;
+    return {sim.cycle[f], sim.slot[f]};
   };
 
   for (std::uint32_t idx = 0; idx < kernel.size(); ++idx) {
     const Node& n = kernel.node(NodeId{idx});
-    std::vector<BitAvail>& self = sim.avail[idx];
-    self.assign(n.width, kUnavailable);
+    const std::uint32_t self = sim.bit_offset[idx];
+    auto write = [&](unsigned b, const BitAvail& v) {
+      sim.cycle[self + b] = v.cycle;
+      sim.slot[self + b] = v.slot;
+    };
 
     switch (n.kind) {
       case OpKind::Input:
       case OpKind::Const:
-        self.assign(n.width, kStartOfTime);
+        for (unsigned b = 0; b < n.width; ++b) write(b, kStartOfTime);
         break;
       case OpKind::Output:
         for (unsigned b = 0; b < n.width; ++b) {
-          self[b] = operand_avail(n.operands[0], b);
+          write(b, operand_avail(n.operands[0], b));
         }
         break;
       case OpKind::Add: {
+        const std::span<const unsigned> cycles = assign[idx];
         for (unsigned b = 0; b < n.width; ++b) {
-          const unsigned c = assign[idx][b];
+          const unsigned c = cycles[b];
           if (c == kUnassignedCycle) continue;  // partial schedules are fine
 
           // Carry into this bit: the previous result bit, or the carry-in
           // operand for bit 0.
           BitAvail carry = kStartOfTime;
           if (b > 0) {
-            carry = self[b - 1];
+            carry = {sim.cycle[self + b - 1], sim.slot[self + b - 1]};
             if (carry.cycle == kUnassignedCycle) {
               throw Error(strformat(
                             "bit %u of add %%%u is scheduled but bit %u is not",
@@ -101,7 +109,7 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
           // Bits beyond both operand slices forward the carry for free; real
           // sum bits cost one full-adder slot.
           const unsigned cost = n.add_bit_is_free(b) ? 0u : 1u;
-          self[b] = BitAvail{c, slot + cost};
+          write(b, BitAvail{c, slot + cost});
           sim.max_slot = std::max(sim.max_slot, slot + cost);
         }
         break;
@@ -118,7 +126,7 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
             if (in.cycle == kUnassignedCycle) unavailable = true;
             if (later(in, v)) v = in;
           }
-          self[b] = unavailable ? kUnavailable : v;
+          write(b, unavailable ? kBitUnavailable : v);
         }
         break;
       }
@@ -126,7 +134,7 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
         unsigned base = 0;
         for (const Operand& o : n.operands) {
           for (unsigned b = 0; b < o.bits.width; ++b) {
-            self[base + b] = operand_avail(o, b);
+            write(base + b, operand_avail(o, b));
           }
           base += o.bits.width;
         }

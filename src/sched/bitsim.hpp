@@ -7,10 +7,17 @@
 // values produced in the same cycle chain combinationally at their slot.
 // Glue and concats are transparent. This is the engine behind schedule
 // validation and the in-cycle feasibility checks of the schedulers.
+//
+// All per-bit state lives in flat SoA arrays over the DfgIndex bit space
+// (ir/dfg_index.hpp): bit b of node i is entry bit_offset(i) + b of one
+// dense array, so a full simulation pass is sequential arithmetic over a
+// few contiguous buffers instead of a walk over nested vectors.
 
+#include <span>
 #include <vector>
 
 #include "ir/dfg.hpp"
+#include "ir/dfg_index.hpp"
 
 namespace hls {
 
@@ -22,11 +29,9 @@ struct BitAvail {
   friend bool operator==(const BitAvail&, const BitAvail&) = default;
 };
 
-/// Per-bit cycle assignment of Add results. assign[node][bit] is the cycle;
 /// kUnassigned marks bits not scheduled yet (their consumers may not be
-/// simulated). Non-Add nodes use empty vectors.
+/// simulated).
 inline constexpr unsigned kUnassignedCycle = 0xFFFFFFFFu;
-using BitCycles = std::vector<std::vector<unsigned>>;
 
 /// Availability of primary inputs/constants (and of slice bits beyond an
 /// operand's width, which read as constant 0).
@@ -40,11 +45,57 @@ inline bool later(const BitAvail& a, const BitAvail& b) {
   return a.cycle != b.cycle ? a.cycle > b.cycle : a.slot > b.slot;
 }
 
+/// Per-bit cycle assignment of Add results: one flat array over the DfgIndex
+/// bit space. assign[node][bit] spans address it per node; bits of non-Add
+/// nodes exist in the space but are never read or written (they stay
+/// kUnassignedCycle).
+class BitCycles {
+public:
+  BitCycles() = default;
+  /// The all-unassigned assignment over `index`'s bit space.
+  explicit BitCycles(const DfgIndex& index) : BitCycles(index.bit_offsets()) {}
+  /// The all-unassigned assignment over a bare offset table (size n+1, as
+  /// DfgIndex::bit_offsets builds it) — for callers that need no fanout.
+  explicit BitCycles(std::vector<std::uint32_t> offsets)
+      : offset_(std::move(offsets)),
+        cycle_(offset_.empty() ? 0 : offset_.back(), kUnassignedCycle) {}
+
+  std::size_t node_count() const {
+    return offset_.empty() ? 0 : offset_.size() - 1;
+  }
+
+  std::span<unsigned> operator[](std::uint32_t node) {
+    return {cycle_.data() + offset_[node], cycle_.data() + offset_[node + 1]};
+  }
+  std::span<const unsigned> operator[](std::uint32_t node) const {
+    return {cycle_.data() + offset_[node], cycle_.data() + offset_[node + 1]};
+  }
+
+  /// The per-node offsets into flat(), size node_count() + 1.
+  const std::vector<std::uint32_t>& bit_offsets() const { return offset_; }
+  /// The dense per-bit cycle array.
+  const std::vector<unsigned>& flat() const { return cycle_; }
+  std::vector<unsigned>& flat() { return cycle_; }
+
+  friend bool operator==(const BitCycles&, const BitCycles&) = default;
+
+private:
+  std::vector<std::uint32_t> offset_;
+  std::vector<unsigned> cycle_;
+};
+
+/// Result of a full simulation pass: per-bit availability as flat SoA
+/// (cycle[] / slot[] over the same bit space as the assignment).
 struct BitSim {
-  std::vector<std::vector<BitAvail>> avail;  ///< per node, per bit
+  std::vector<std::uint32_t> bit_offset;  ///< size n+1, DfgIndex bit space
+  std::vector<unsigned> cycle;            ///< per flat bit
+  std::vector<unsigned> slot;             ///< per flat bit
   unsigned max_slot = 0;  ///< deepest in-cycle chain anywhere in the schedule
 
-  const BitAvail& at(NodeId id, unsigned bit) const { return avail[id.index][bit]; }
+  BitAvail at(NodeId id, unsigned bit) const {
+    const std::uint32_t f = bit_offset[id.index] + bit;
+    return {cycle[f], slot[f]};
+  }
 };
 
 /// Simulates the assignment. Throws hls::Error if an Add consumes a bit
@@ -53,7 +104,9 @@ struct BitSim {
 /// against any budget — callers compare against their cycle length.
 BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign);
 
-/// Builds the all-unassigned assignment shape for `kernel`.
+/// Builds the all-unassigned assignment shape for `kernel`. Derives a
+/// throwaway DfgIndex; callers that already hold one should construct
+/// BitCycles from it directly.
 BitCycles make_unassigned(const Dfg& kernel);
 
 } // namespace hls

@@ -25,7 +25,10 @@ void collect_add_deps(const Dfg& dfg, const Operand& o,
 } // namespace
 
 SchedulerCore::SchedulerCore(const TransformResult& t, SchedulerOptions options)
-    : t_(&t), options_(options), load_(t.latency, 0) {
+    : t_(&t),
+      options_(options),
+      index_(std::make_shared<const DfgIndex>(t.spec)),
+      load_(t.latency, 0) {
   const std::size_t n = t.adds.size();
   lo_.resize(n);
   hi_.resize(n);
@@ -60,10 +63,10 @@ SchedulerCore::SchedulerCore(const TransformResult& t, SchedulerOptions options)
   }
 
   if (options_.feasibility == SchedulerOptions::Feasibility::Incremental) {
-    engine_.emplace(t.spec, t.n_bits);
+    engine_.emplace(t.spec, index_, t.n_bits);
     engine_->set_cross_check(options_.cross_check);
   } else {
-    assign_ = make_unassigned(t.spec);
+    assign_ = BitCycles(*index_);
   }
 }
 
@@ -162,7 +165,7 @@ FragSchedule SchedulerCore::finish() const {
         ScheduleRow{t.adds[k].node, cycle_of_[k],
                     BitRange::whole(t.spec.node(t.adds[k].node).width)});
   }
-  validate_schedule(t.spec, out.schedule);
+  validate_schedule(t.spec, *index_, out.schedule);
 
   // Merge adjacent same-cycle fragments of one original op into one adder
   // op. TransformResult::adds lists fragments LSB-first per op, so a single

@@ -20,12 +20,14 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "frag/transform.hpp"
+#include "ir/dfg_index.hpp"
 #include "sched/fragsched.hpp"
 #include "sched/incremental.hpp"
 
@@ -53,6 +55,9 @@ public:
 
   const TransformResult& transform() const { return *t_; }
   const SchedulerOptions& options() const { return options_; }
+  /// The flat CSR/SoA index over transform().spec, built once here and
+  /// shared with the feasibility oracle and final validation.
+  const DfgIndex& index() const { return *index_; }
   /// Number of fragments (TransformResult::adds entries) to place.
   std::size_t size() const { return placed_.size(); }
   std::size_t placed_count() const { return journal_.size(); }
@@ -119,6 +124,7 @@ private:
 
   const TransformResult* t_;
   SchedulerOptions options_;
+  std::shared_ptr<const DfgIndex> index_;  ///< flat index over t_->spec
   std::vector<unsigned> lo_, hi_;
   std::vector<bool> placed_;
   std::vector<unsigned> cycle_of_;

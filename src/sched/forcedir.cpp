@@ -1,5 +1,6 @@
 #include "sched/forcedir.hpp"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -9,54 +10,71 @@ namespace hls {
 
 namespace {
 
-/// Window tightening implied by placing fragment `k` at cycle `c`: the carry
-/// chain forces every earlier fragment of the op to <= c and every later
-/// one to >= c. Returns false if some neighbour's window would empty.
-bool tighten(const SchedulerCore& core, std::size_t k, unsigned c,
-             std::vector<unsigned>& lo2, std::vector<unsigned>& hi2) {
+// Placing fragment `k` at cycle `c` implies, through the carry chain, that
+// every earlier fragment of the op moves to <= c and every later one to
+// >= c. Candidate evaluation is the innermost loop of the scheduler, so
+// the implied windows are never materialized per candidate: feasibility and
+// force are computed straight from the chain (the winning candidate's
+// bounds are rebuilt once per commit in tighten_bounds). The arithmetic and
+// its order are exactly those of the historical vector-copying
+// implementation, keeping every schedule bit-identical.
+
+/// False if some carry-chain neighbour's window would empty.
+bool tighten_feasible(const SchedulerCore& core, std::size_t k, unsigned c) {
+  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
+       p = core.prev_fragment(p)) {
+    if (core.window_lo(p) > std::min(core.window_hi(p), c)) return false;
+  }
+  for (std::size_t s = core.next_fragment(k); s != SchedulerCore::npos;
+       s = core.next_fragment(s)) {
+    if (std::max(core.window_lo(s), c) > core.window_hi(s)) return false;
+  }
+  return true;
+}
+
+/// Paulin-style self force of the implied windows against the current
+/// distribution graph. Only the fragment and its carry chain change
+/// windows, so only those indices contribute.
+double force_of(const SchedulerCore& core, const std::vector<double>& dg,
+                std::size_t k, unsigned c) {
+  double force = 0;
+  auto contribution = [&](std::size_t i, unsigned nlo, unsigned nhi) {
+    const unsigned lo = core.window_lo(i), hi = core.window_hi(i);
+    if (nlo == lo && nhi == hi) return;
+    const double mass_new =
+        static_cast<double>(core.width_of(i)) / (nhi - nlo + 1);
+    const double mass_old =
+        static_cast<double>(core.width_of(i)) / (hi - lo + 1);
+    for (unsigned cc = nlo; cc <= nhi; ++cc) force += dg[cc] * mass_new;
+    for (unsigned cc = lo; cc <= hi; ++cc) force -= dg[cc] * mass_old;
+  };
+  contribution(k, c, c);
+  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
+       p = core.prev_fragment(p)) {
+    contribution(p, core.window_lo(p), std::min(core.window_hi(p), c));
+  }
+  for (std::size_t q = core.next_fragment(k); q != SchedulerCore::npos;
+       q = core.next_fragment(q)) {
+    contribution(q, std::max(core.window_lo(q), c), core.window_hi(q));
+  }
+  return force;
+}
+
+/// Materializes the committed placement's implied windows — once per
+/// commit, not per candidate.
+void tighten_bounds(const SchedulerCore& core, std::size_t k, unsigned c,
+                    std::vector<unsigned>& lo2, std::vector<unsigned>& hi2) {
   lo2 = core.lo_bounds();
   hi2 = core.hi_bounds();
   lo2[k] = hi2[k] = c;
   for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
        p = core.prev_fragment(p)) {
     hi2[p] = std::min(hi2[p], c);
-    if (lo2[p] > hi2[p]) return false;
   }
   for (std::size_t s = core.next_fragment(k); s != SchedulerCore::npos;
        s = core.next_fragment(s)) {
     lo2[s] = std::max(lo2[s], c);
-    if (lo2[s] > hi2[s]) return false;
   }
-  return true;
-}
-
-/// Paulin-style self force of hypothetical windows against the current
-/// distribution graph. Only the fragment and its carry chain change
-/// windows, so only those indices contribute.
-double force_of(const SchedulerCore& core, const std::vector<double>& dg,
-                std::size_t k, const std::vector<unsigned>& lo2,
-                const std::vector<unsigned>& hi2) {
-  double force = 0;
-  auto contribution = [&](std::size_t i) {
-    const unsigned lo = core.window_lo(i), hi = core.window_hi(i);
-    if (lo2[i] == lo && hi2[i] == hi) return;
-    const double mass_new =
-        static_cast<double>(core.width_of(i)) / (hi2[i] - lo2[i] + 1);
-    const double mass_old =
-        static_cast<double>(core.width_of(i)) / (hi - lo + 1);
-    for (unsigned c = lo2[i]; c <= hi2[i]; ++c) force += dg[c] * mass_new;
-    for (unsigned c = lo; c <= hi; ++c) force -= dg[c] * mass_old;
-  };
-  contribution(k);
-  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
-       p = core.prev_fragment(p)) {
-    contribution(p);
-  }
-  for (std::size_t q = core.next_fragment(k); q != SchedulerCore::npos;
-       q = core.next_fragment(q)) {
-    contribution(q);
-  }
-  return force;
 }
 
 } // namespace
@@ -79,7 +97,6 @@ FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
       double best_force = 0;
       std::size_t best_k = SchedulerCore::npos;
       unsigned best_c = 0;
-      std::vector<unsigned> best_lo, best_hi;
       for (std::size_t k = 0; k < n; ++k) {
         if (core.placed(k)) continue;
         // The feasibility oracle needs carry producers placed first.
@@ -89,15 +106,12 @@ FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
         }
         for (unsigned c = core.window_lo(k); c <= core.window_hi(k); ++c) {
           if (banned.count({k, c})) continue;
-          std::vector<unsigned> lo2, hi2;
-          if (!tighten(core, k, c, lo2, hi2)) continue;
-          const double f = force_of(core, dg, k, lo2, hi2);
+          if (!tighten_feasible(core, k, c)) continue;
+          const double f = force_of(core, dg, k, c);
           if (best_k == SchedulerCore::npos || f < best_force) {
             best_force = f;
             best_k = k;
             best_c = c;
-            best_lo = std::move(lo2);
-            best_hi = std::move(hi2);
           }
         }
       }
@@ -109,7 +123,9 @@ FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
         banned.insert({best_k, best_c});
         continue;
       }
-      core.set_window_bounds(std::move(best_lo), std::move(best_hi));
+      std::vector<unsigned> lo2, hi2;
+      tighten_bounds(core, best_k, best_c, lo2, hi2);
+      core.set_window_bounds(std::move(lo2), std::move(hi2));
       break;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <queue>
 #include <tuple>
 
 #include "sched/core.hpp"
@@ -16,36 +17,40 @@ namespace {
 /// (marginal merged-row cost, row load, cycle index). Without balancing,
 /// every fragment goes to its ASAP cycle, which is feasible by construction
 /// of the windows. Returns false when a balanced placement gets stuck.
+///
+/// Readiness (all producer fragments placed) is tracked by counters fed
+/// from the inverse dependency lists, and selection pops a min-heap keyed
+/// (mobility, asap, index) — the same fragment order the historical
+/// all-fragments rescan produced, without the O(n^2) sweep. Placements in
+/// this loop are never undone, so a fragment becomes ready exactly once.
 bool place(SchedulerCore& core, bool balance) {
   const TransformResult& t = core.transform();
   const std::size_t n = core.size();
 
-  auto ready = [&](std::size_t k) {
-    return !core.placed(k) &&
-           std::all_of(core.producers(k).begin(), core.producers(k).end(),
-                       [&](std::size_t d) { return core.placed(d); });
-  };
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    pending[k] = core.producers(k).size();
+    for (std::size_t d : core.producers(k)) dependents[d].push_back(k);
+  }
 
+  using Key = std::tuple<unsigned, unsigned, std::size_t>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ready;
+  auto key_of = [&](std::size_t k) {
+    return Key{t.adds[k].alap - t.adds[k].asap, t.adds[k].asap, k};
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pending[k] == 0) ready.push(key_of(k));
+  }
+
+  std::vector<unsigned> candidates;
   for (std::size_t done = 0; done < n; ++done) {
-    // Pick the ready fragment with the least freedom (list scheduling).
-    std::size_t best = n;
-    for (std::size_t k = 0; k < n; ++k) {
-      if (!ready(k)) continue;
-      if (best == n) {
-        best = k;
-        continue;
-      }
-      const unsigned mk = t.adds[k].alap - t.adds[k].asap;
-      const unsigned mb = t.adds[best].alap - t.adds[best].asap;
-      if (std::tie(mk, t.adds[k].asap, k) <
-          std::tie(mb, t.adds[best].asap, best)) {
-        best = k;
-      }
-    }
-    HLS_ASSERT(best < n, "no ready fragment: dependency cycle?");
+    HLS_ASSERT(!ready.empty(), "no ready fragment: dependency cycle?");
+    const std::size_t best = std::get<2>(ready.top());
+    ready.pop();
 
     const TransformedAdd& a = t.adds[best];
-    std::vector<unsigned> candidates;
+    candidates.clear();
     for (unsigned c = a.asap; c <= a.alap; ++c) candidates.push_back(c);
     if (balance) {
       std::stable_sort(
@@ -68,6 +73,9 @@ bool place(SchedulerCore& core, bool balance) {
                     "computation and simulator disagree");
       }
       return false;
+    }
+    for (std::size_t u : dependents[best]) {
+      if (--pending[u] == 0) ready.push(key_of(u));
     }
   }
   return true;

@@ -1,41 +1,51 @@
 #include "sched/incremental.hpp"
 
 #include <algorithm>
-#include <set>
+#include <bit>
 
 namespace hls {
 
-namespace {
-constexpr BitAvail kUnavailable = kBitUnavailable;
-} // namespace
-
 IncrementalBitSim::IncrementalBitSim(const Dfg& kernel, unsigned budget)
+    : IncrementalBitSim(kernel, std::make_shared<const DfgIndex>(kernel),
+                        budget) {}
+
+IncrementalBitSim::IncrementalBitSim(const Dfg& kernel,
+                                     std::shared_ptr<const DfgIndex> index,
+                                     unsigned budget)
     : dfg_(&kernel),
+      index_(std::move(index)),
       budget_(budget),
-      assign_(make_unassigned(kernel)),
-      users_(kernel.build_users()) {
+      assign_(*index_) {
   // The all-unassigned baseline never violates precedence, so the full
   // simulator both seeds the availability state and vets the DFG shape.
   const BitSim sim = simulate_bit_schedule(kernel, assign_);
-  avail_ = sim.avail;
+  cycle_ = sim.cycle;
+  slot_ = sim.slot;
   max_slot_ = sim.max_slot;
+  dirty_.assign((kernel.size() + 63) / 64, 0);
+  // One cone rarely touches more than the bit space; pre-sizing the arena
+  // makes steady-state try_place/undo allocation-free from the start.
+  journal_.reserve(index_->total_bits());
 }
 
 // Mirror of simulate_bit_schedule()'s per-OpKind recurrence (see the note
 // in sched/bitsim.cpp): any timing-model change there must land here too.
-bool IncrementalBitSim::recompute(std::uint32_t idx, Frame& frame,
-                                  unsigned& new_max, bool& changed) {
+bool IncrementalBitSim::recompute(std::uint32_t idx, unsigned& new_max,
+                                  bool& changed) {
   const Node& n = dfg_->node(NodeId{idx});
-  std::vector<BitAvail>& self = avail_[idx];
+  const std::uint32_t self = index_->bit_offset(idx);
 
   auto operand_avail = [this](const Operand& o, unsigned rel) -> BitAvail {
     if (rel >= o.bits.width) return kStartOfTime;
-    return avail_[o.node.index][o.bits.lo + rel];
+    const std::uint32_t f = index_->bit_offset(o.node.index) + o.bits.lo + rel;
+    return {cycle_[f], slot_[f]};
   };
   auto write = [&](unsigned b, const BitAvail& v) {
-    if (self[b] == v) return;
-    frame.touched.push_back({idx, b, self[b]});
-    self[b] = v;
+    const std::uint32_t f = self + b;
+    if (cycle_[f] == v.cycle && slot_[f] == v.slot) return;
+    journal_.push_back({f, cycle_[f], slot_[f]});
+    cycle_[f] = v.cycle;
+    slot_[f] = v.slot;
     changed = true;
   };
 
@@ -49,13 +59,15 @@ bool IncrementalBitSim::recompute(std::uint32_t idx, Frame& frame,
       }
       break;
     case OpKind::Add: {
+      const std::span<const unsigned> cycles = assign_[idx];
       for (unsigned b = 0; b < n.width; ++b) {
-        const unsigned c = assign_[idx][b];
-        if (c == kUnassignedCycle) continue;  // stays kUnavailable
+        const unsigned c = cycles[b];
+        if (c == kUnassignedCycle) continue;  // stays unavailable
 
         BitAvail carry = kStartOfTime;
         if (b > 0) {
-          carry = self[b - 1];  // already recomputed this pass
+          // Already recomputed this pass.
+          carry = {cycle_[self + b - 1], slot_[self + b - 1]};
           if (carry.cycle == kUnassignedCycle || carry.cycle > c) return false;
         } else if (n.has_carry_in()) {
           carry = operand_avail(n.operands[2], 0);
@@ -86,7 +98,7 @@ bool IncrementalBitSim::recompute(std::uint32_t idx, Frame& frame,
           if (in.cycle == kUnassignedCycle) unavailable = true;
           if (later(in, v)) v = in;
         }
-        write(b, unavailable ? kUnavailable : v);
+        write(b, unavailable ? kBitUnavailable : v);
       }
       break;
     }
@@ -110,66 +122,92 @@ bool IncrementalBitSim::try_place(NodeId add, unsigned cycle) {
   const Node& n = dfg_->node(add);
   HLS_REQUIRE(n.kind == OpKind::Add, "try_place target must be an Add");
   HLS_REQUIRE(cycle != kUnassignedCycle, "try_place cycle is invalid");
-  std::vector<unsigned>& a = assign_[add.index];
+  const std::span<unsigned> a = assign_[add.index];
   for (unsigned b = 0; b < n.width; ++b) {
     HLS_REQUIRE(a[b] == kUnassignedCycle, "fragment is already placed");
   }
-  std::fill(a.begin(), a.end(), cycle);
+  const std::size_t jbegin = journal_.size();
+  const std::uint32_t abase = index_->bit_offset(add.index);
+  for (unsigned b = 0; b < n.width; ++b) {
+    journal_.push_back({kAssignBit | (abase + b), kUnassignedCycle, 0});
+    a[b] = cycle;
+  }
 
-  Frame frame{add.index, max_slot_, {}};
   unsigned new_max = max_slot_;
   bool ok = true;
-  // Topological worklist: operands always precede users, so popping the
-  // smallest index recomputes every touched node exactly once.
-  std::set<std::uint32_t> worklist{add.index};
-  while (!worklist.empty()) {
-    const std::uint32_t idx = *worklist.begin();
-    worklist.erase(worklist.begin());
+  // Topological worklist as a bitmap: operands always precede users, so the
+  // smallest set index is always safe to recompute, and — because a node's
+  // users have strictly larger indices — the pop-min scan never moves
+  // backwards. One monotone pass over the words drains the whole cone.
+  std::size_t w = add.index >> 6;
+  std::size_t hi_w = w;
+  dirty_[w] |= std::uint64_t{1} << (add.index & 63);
+  while (w <= hi_w) {
+    const std::uint64_t word = dirty_[w];
+    if (word == 0) {
+      ++w;
+      continue;
+    }
+    const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+    dirty_[w] = word & (word - 1);
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>((w << 6) | bit);
     bool changed = false;
-    if (!recompute(idx, frame, new_max, changed)) {
+    if (!recompute(idx, new_max, changed)) {
       ok = false;
       break;
     }
     if (changed) {
-      for (NodeId u : users_[idx]) worklist.insert(u.index);
+      for (const std::uint32_t u : index_->users(idx)) {
+        const std::size_t uw = u >> 6;
+        dirty_[uw] |= std::uint64_t{1} << (u & 63);
+        if (uw > hi_w) hi_w = uw;
+      }
     }
   }
 
   if (!ok) {
-    rollback(frame);
-    std::fill(a.begin(), a.end(), kUnassignedCycle);
+    // Drain whatever the aborted scan left pending, then replay the journal
+    // — availability and assignment writes together, one pass.
+    for (std::size_t i = w; i <= hi_w; ++i) dirty_[i] = 0;
+    rollback(jbegin);
     return false;
   }
+  frames_.push_back({max_slot_, static_cast<std::uint32_t>(jbegin)});
   max_slot_ = new_max;
-  frames_.push_back(std::move(frame));
   if (cross_check_) verify_against_full();
   return true;
 }
 
 void IncrementalBitSim::undo() {
   HLS_REQUIRE(!frames_.empty(), "undo without a matching try_place");
-  const Frame frame = std::move(frames_.back());
+  const Frame frame = frames_.back();
   frames_.pop_back();
-  rollback(frame);
-  std::vector<unsigned>& a = assign_[frame.placed];
-  std::fill(a.begin(), a.end(), kUnassignedCycle);
+  rollback(frame.journal_begin);
+  max_slot_ = frame.old_max_slot;
   if (cross_check_) verify_against_full();
 }
 
-void IncrementalBitSim::rollback(const Frame& frame) {
+void IncrementalBitSim::rollback(std::size_t begin) {
   // Reverse order restores bits journalled twice (impossible today, cheap
   // insurance anyway) to their oldest value.
-  for (auto it = frame.touched.rbegin(); it != frame.touched.rend(); ++it) {
-    avail_[it->node][it->bit] = it->old;
+  for (std::size_t i = journal_.size(); i-- > begin;) {
+    const Touch& t = journal_[i];
+    if (t.key & kAssignBit) {
+      assign_.flat()[t.key & ~kAssignBit] = t.old_cycle;
+    } else {
+      cycle_[t.key] = t.old_cycle;
+      slot_[t.key] = t.old_slot;
+    }
   }
-  max_slot_ = frame.old_max_slot;
+  journal_.resize(begin);
 }
 
 void IncrementalBitSim::verify_against_full() const {
   const BitSim sim = simulate_bit_schedule(*dfg_, assign_);
   HLS_ASSERT(sim.max_slot == max_slot_,
              "incremental max_slot diverged from the full simulator");
-  HLS_ASSERT(sim.avail == avail_,
+  HLS_ASSERT(sim.cycle == cycle_ && sim.slot == slot_,
              "incremental availability diverged from the full simulator");
 }
 

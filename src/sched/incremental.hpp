@@ -16,14 +16,32 @@
 // placements stack and can be undone LIFO, which is what lets search
 // strategies explore.
 //
+// Data layout (this is the hot path of every scheduler):
+//   * availability is flat SoA — cycle_[]/slot_[] over the DfgIndex bit
+//     space, indexed by bit_offset(node) + b;
+//   * fanout is the DfgIndex CSR, walked as contiguous spans;
+//   * the topological worklist is a bitmap over node indices: pop-min is a
+//     monotone find-first-set scan (users always have larger indices than
+//     their producers), push is one OR — no node allocations;
+//   * the journal is one arena shared by all frames. A frame records only
+//     its [begin, end) span; try_place appends, reject/undo replays the
+//     span in reverse and truncates. Assignment writes are journalled
+//     alongside availability touches, so rejection is a single rollback.
+// try_place/undo is amortized allocation-free: the only heap traffic is
+// the arena's geometric growth while committed frames accumulate past the
+// initial reserve, and capacity is never given back.
+//
 // When cross-checking is enabled (SchedulerCore turns it on by default in
 // debug builds; see SchedulerOptions) every successful mutation is verified
 // against the full simulator bit-for-bit.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ir/dfg.hpp"
+#include "ir/dfg_index.hpp"
 #include "sched/bitsim.hpp"
 
 namespace hls {
@@ -33,8 +51,11 @@ public:
   /// Builds the all-unassigned state over `kernel`. `budget` is the
   /// per-cycle chained-slot limit try_place checks against (a schedule's
   /// cycle_deltas). The DFG must stay alive and unchanged for the lifetime
-  /// of the engine.
+  /// of the engine. This overload derives its own DfgIndex; pass a shared
+  /// one to amortize it across consumers of the same kernel.
   IncrementalBitSim(const Dfg& kernel, unsigned budget);
+  IncrementalBitSim(const Dfg& kernel, std::shared_ptr<const DfgIndex> index,
+                    unsigned budget);
 
   /// Tentatively assigns every result bit of `add` (which must be an
   /// unassigned Add) to `cycle` and repropagates availability through the
@@ -53,11 +74,15 @@ public:
   /// Deepest in-cycle chain anywhere in the current partial schedule.
   unsigned max_slot() const { return max_slot_; }
 
+  const DfgIndex& index() const { return *index_; }
   const BitCycles& assignment() const { return assign_; }
-  const BitAvail& at(NodeId id, unsigned bit) const {
-    return avail_[id.index][bit];
+  BitAvail at(NodeId id, unsigned bit) const {
+    const std::uint32_t f = index_->flat_bit(id, bit);
+    return {cycle_[f], slot_[f]};
   }
-  const std::vector<std::vector<BitAvail>>& avail() const { return avail_; }
+  /// Flat SoA availability state, indexed by DfgIndex flat bits.
+  const std::vector<unsigned>& avail_cycles() const { return cycle_; }
+  const std::vector<unsigned>& avail_slots() const { return slot_; }
 
   /// When on, every successful try_place/undo re-runs the full simulator
   /// and asserts bit-for-bit agreement. Off by default on a bare engine;
@@ -67,33 +92,39 @@ public:
   bool cross_check() const { return cross_check_; }
 
 private:
+  /// One overwritten value. `key` is the flat-bit index, with the top bit
+  /// distinguishing the availability arrays (0) from the assignment (1).
   struct Touch {
-    std::uint32_t node;
-    unsigned bit;
-    BitAvail old;
+    std::uint32_t key;
+    unsigned old_cycle;
+    unsigned old_slot;
   };
+  static constexpr std::uint32_t kAssignBit = 0x80000000u;
+
   struct Frame {
-    std::uint32_t placed;          ///< node whose bits were assigned
     unsigned old_max_slot;
-    std::vector<Touch> touched;    ///< avail values overwritten, in order
+    std::uint32_t journal_begin; ///< start of this frame's journal span
   };
 
   /// Recomputes node `idx` from its operands' current availability,
-  /// journalling overwritten bits into `frame` and raising `changed` when
-  /// any bit moved (the caller then enqueues the node's users). Returns
-  /// false on a precedence or budget violation (caller must roll back).
-  bool recompute(std::uint32_t idx, Frame& frame, unsigned& new_max,
-                 bool& changed);
+  /// journalling overwritten bits and raising `changed` when any bit moved
+  /// (the caller then enqueues the node's users). Returns false on a
+  /// precedence or budget violation (caller must roll back).
+  bool recompute(std::uint32_t idx, unsigned& new_max, bool& changed);
 
-  void rollback(const Frame& frame);
+  /// Replays journal entries [begin, end) in reverse and truncates the
+  /// arena back to `begin`.
+  void rollback(std::size_t begin);
   void verify_against_full() const;
 
   const Dfg* dfg_;
+  std::shared_ptr<const DfgIndex> index_;
   unsigned budget_;
   unsigned max_slot_ = 0;
   BitCycles assign_;
-  std::vector<std::vector<BitAvail>> avail_;
-  std::vector<std::vector<NodeId>> users_;
+  std::vector<unsigned> cycle_, slot_;  ///< flat SoA availability
+  std::vector<std::uint64_t> dirty_;    ///< worklist bitmap, one bit per node
+  std::vector<Touch> journal_;          ///< shared arena, frames hold spans
   std::vector<Frame> frames_;
   bool cross_check_ = false;
 };

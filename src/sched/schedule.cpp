@@ -52,12 +52,11 @@ std::string to_string(const Dfg& dfg, const Schedule& s) {
   return os.str();
 }
 
-void validate_schedule(const Dfg& dfg, const Schedule& s) {
+namespace {
+
+void validate_with(const Dfg& dfg, BitCycles assign, const Schedule& s) {
   HLS_REQUIRE(s.latency > 0 && s.cycle_deltas > 0,
               "schedule must have positive latency and cycle length");
-
-  // Rows -> per-bit cycle assignment, checking exact coverage.
-  BitCycles assign = make_unassigned(dfg);
   for (const ScheduleRow& r : s.rows) {
     const Node& n = dfg.node(r.op);
     if (n.kind != OpKind::Add) {
@@ -94,6 +93,19 @@ void validate_schedule(const Dfg& dfg, const Schedule& s) {
         "in-cycle chain depth %u exceeds the cycle length of %u deltas",
         sim.max_slot, s.cycle_deltas));
   }
+}
+
+} // namespace
+
+void validate_schedule(const Dfg& dfg, const Schedule& s) {
+  // Rows -> per-bit cycle assignment, checking exact coverage; only the bit
+  // offsets are needed, so no DfgIndex CSR build on this path.
+  validate_with(dfg, make_unassigned(dfg), s);
+}
+
+void validate_schedule(const Dfg& dfg, const DfgIndex& index,
+                       const Schedule& s) {
+  validate_with(dfg, BitCycles(index), s);
 }
 
 } // namespace hls

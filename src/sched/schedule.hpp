@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ir/dfg.hpp"
+#include "ir/dfg_index.hpp"
 
 namespace hls {
 
@@ -46,7 +47,11 @@ std::string to_string(const Dfg& dfg, const Schedule& s);
 ///   * within every cycle, the chained ripple depth (computed by exact
 ///     bit-slot simulation, glue transparent, carries included) fits in
 ///     cycle_deltas.
-/// Throws hls::Error with a diagnostic on the first violation.
+/// Throws hls::Error with a diagnostic on the first violation. The first
+/// overload derives a throwaway DfgIndex; callers that already hold one
+/// (SchedulerCore::finish) pass it to skip the rebuild.
 void validate_schedule(const Dfg& dfg, const Schedule& s);
+void validate_schedule(const Dfg& dfg, const DfgIndex& index,
+                       const Schedule& s);
 
 } // namespace hls

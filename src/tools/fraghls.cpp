@@ -10,6 +10,7 @@
 // and the usage text, so the help cannot drift from the implementation.
 
 #include <charconv>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -50,6 +51,7 @@ struct Args {
   bool narrow = false;
   std::string scheduler = "list";
   bool pipeline = false;
+  bool timing = false;
   bool json = false;
   unsigned workers = 0;
   DelayModel delay;
@@ -129,6 +131,10 @@ const OptionSpec kOptions[] = {
     {"--pipeline", nullptr,
      "report the minimal initiation interval (optimized)",
      [](Args& a, const std::string&) { a.pipeline = true; }},
+    {"--timing", nullptr,
+     "report per-stage wall-clock (parse/kernel/transform/schedule/"
+     "allocate/verify)",
+     [](Args& a, const std::string&) { a.timing = true; }},
     {"--json", nullptr, "machine-readable FlowResult output",
      [](Args& a, const std::string&) { a.json = true; }},
     {"--workers", "N", "worker threads for sweeps/batches (default: all cores)",
@@ -214,6 +220,17 @@ void print_report(const ImplementationReport& r) {
   std::cout << "datapath: " << describe(r.datapath) << "\n\n";
 }
 
+/// Prepends the CLI-side parse wall-clock to every result's timings (and a
+/// matching note diagnostic), so `--timing --json` carries the full
+/// parse/kernel/.../verify breakdown, not only the flow-side stages.
+void add_parse_timing(std::vector<FlowResult>& results, double parse_ms) {
+  for (FlowResult& r : results) {
+    r.timings.insert(r.timings.begin(), {"parse", parse_ms});
+    r.diagnostics.insert(r.diagnostics.begin(),
+                         timing_note("parse", parse_ms));
+  }
+}
+
 /// Prints Error diagnostics to stderr; returns false when any are present.
 bool check(const std::vector<FlowResult>& results) {
   bool ok = true;
@@ -244,10 +261,16 @@ int main(int argc, char** argv) {
   buffer << file.rdbuf();
 
   try {
+    const auto parse_t0 = std::chrono::steady_clock::now();
     const Dfg spec = parse_spec(buffer.str());
+    const double parse_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - parse_t0)
+            .count();
     if (!args.json) {
-      std::cout << "parsed '" << spec.name() << "': " << summarize(spec)
-                << "\n\n";
+      std::cout << "parsed '" << spec.name() << "': " << summarize(spec);
+      if (args.timing) std::cout << strformat(" (%.3f ms)", parse_ms);
+      std::cout << "\n\n";
     }
     if (args.dump_dfg) {
       std::cout << to_string(spec) << '\n';
@@ -256,6 +279,7 @@ int main(int argc, char** argv) {
     FlowOptions opt;
     opt.delay = args.delay;
     opt.narrow = args.narrow;
+    opt.timing = args.timing;
     const Session session({.workers = args.workers});
 
     if (args.sweep_lo != 0) {
@@ -268,7 +292,8 @@ int main(int argc, char** argv) {
         // sweep would make the low-latency points infeasible.
         requests.push_back({spec, "optimized", lat, 0, opt, args.scheduler});
       }
-      const std::vector<FlowResult> results = session.run_batch(requests);
+      std::vector<FlowResult> results = session.run_batch(requests);
+      if (args.timing) add_parse_timing(results, parse_ms);
       const bool all_ok = check(results);
       if (args.json) {
         // Failed jobs still serialize (ok:false + diagnostics) so scripted
@@ -287,6 +312,16 @@ int main(int argc, char** argv) {
                    fixed(o.execution_ns, 1), std::to_string(o.area.total())});
       }
       std::cout << t;
+      if (args.timing) {
+        TextTable tt({"flow", "latency", "stage", "wall-clock (ms)"});
+        for (const FlowResult& r : results) {
+          for (const StageTiming& st : r.timings) {
+            tt.add_row({r.flow, std::to_string(r.report.latency), st.stage,
+                        fixed(st.ms, 3)});
+          }
+        }
+        std::cout << '\n' << tt;
+      }
       return 0;
     }
 
@@ -300,13 +335,21 @@ int main(int argc, char** argv) {
                           name == "optimized" ? args.n_bits : 0, opt,
                           args.scheduler});
     }
-    const std::vector<FlowResult> results = session.run_batch(requests);
+    std::vector<FlowResult> results = session.run_batch(requests);
+    if (args.timing) add_parse_timing(results, parse_ms);
 
     // Print every successful flow before reporting failures, so one
     // infeasible flow does not hide the others' reports.
     for (const FlowResult& r : results) {
       if (!r.ok) continue;
       if (!args.json) print_report(r.report);
+      if (args.timing && !args.json && !r.timings.empty()) {
+        TextTable t({"flow", "stage", "wall-clock (ms)"});
+        for (const StageTiming& st : r.timings) {
+          t.add_row({r.flow, st.stage, fixed(st.ms, 3)});
+        }
+        std::cout << t << '\n';
+      }
       if (r.flow != "optimized") continue;
 
       // The optimized flow carries artefacts the emitters feed on.

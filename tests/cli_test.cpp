@@ -129,6 +129,26 @@ TEST(Cli, UnknownFlowListsRegisteredNames) {
   EXPECT_NE(r.output.find("optimized"), std::string::npos);
 }
 
+TEST(Cli, TimingReportsStageWallClock) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult table =
+      run_cli(spec + " --latency 3 --flow optimized --timing");
+  EXPECT_EQ(table.status, 0) << table.output;
+  EXPECT_NE(table.output.find("wall-clock (ms)"), std::string::npos);
+  for (const char* stage : {"transform", "schedule", "allocate", "verify"}) {
+    EXPECT_NE(table.output.find(stage), std::string::npos) << stage;
+  }
+  const CliResult json =
+      run_cli(spec + " --latency 3 --flow optimized --timing --json");
+  EXPECT_EQ(json.status, 0) << json.output;
+  EXPECT_NE(json.output.find("\"timings\":["), std::string::npos);
+  EXPECT_NE(json.output.find("\"stage\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.output.find("\"stage\":\"verify\""), std::string::npos);
+  // Without --timing the JSON stays byte-stable: no timings key at all.
+  const CliResult plain = run_cli(spec + " --latency 3 --flow optimized --json");
+  EXPECT_EQ(plain.output.find("\"timings\""), std::string::npos);
+}
+
 TEST(Cli, SweepMode) {
   const std::string spec = write_spec("chain", kChain);
   const CliResult r = run_cli(spec + " --sweep 2..4");

@@ -1,0 +1,109 @@
+// Property test of the flat-layout timing engine against the legacy
+// reference semantics: on every registry suite, under randomized
+// place/undo sequences and at two slot budgets (the §3.2 estimate and a
+// deliberately tight one that forces rejections), IncrementalBitSim must
+// agree with simulate_bit_schedule() on
+//   * the accept/reject decision of every candidate placement (the full
+//     simulator accepts iff it neither throws nor exceeds the budget),
+//   * the full availability state (cycle and slot of every bit) and
+//     max_slot after every accepted mutation and every undo.
+// This is the oracle the PR's data-layout rewrite is measured against: the
+// flat SoA/CSR engine must be a pure re-layout, not a re-semantics.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "frag/transform.hpp"
+#include "kernel/extract.hpp"
+#include "sched/incremental.hpp"
+#include "suites/suites.hpp"
+
+namespace hls {
+namespace {
+
+/// Reference accept/reject: apply the candidate to a copy of the
+/// assignment and run the full simulator.
+bool reference_accepts(const Dfg& spec, const BitCycles& assign, NodeId add,
+                       unsigned cycle, unsigned budget) {
+  BitCycles candidate = assign;
+  const std::span<unsigned> bits = candidate[add.index];
+  for (unsigned& b : bits) b = cycle;
+  try {
+    return simulate_bit_schedule(spec, candidate).max_slot <= budget;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+void expect_matches_reference(const Dfg& spec, const IncrementalBitSim& sim,
+                              const std::string& what) {
+  const BitSim full = simulate_bit_schedule(spec, sim.assignment());
+  ASSERT_EQ(full.max_slot, sim.max_slot()) << what;
+  ASSERT_EQ(full.cycle, sim.avail_cycles()) << what;
+  ASSERT_EQ(full.slot, sim.avail_slots()) << what;
+}
+
+void run_property(unsigned budget_divisor, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (const SuiteEntry& s : registry_suites()) {
+    const Dfg built = s.build();
+    const Dfg kernel = is_kernel_form(built) ? built : extract_kernel(built);
+    const TransformResult t = transform_spec(kernel, s.latencies.front());
+    const unsigned budget = std::max(1u, t.n_bits / budget_divisor);
+
+    IncrementalBitSim sim(t.spec, budget);
+    sim.set_cross_check(false);  // this test IS the cross-check
+    expect_matches_reference(t.spec, sim, s.name + " initial");
+
+    std::vector<std::size_t> placed_stack;
+    unsigned mutations = 0;
+    const unsigned mutation_cap = 120;  // bounds runtime on the big kernels
+    while (mutations < mutation_cap) {
+      ++mutations;
+      if (!placed_stack.empty() && rng() % 6 == 0) {
+        sim.undo();
+        placed_stack.pop_back();
+        expect_matches_reference(t.spec, sim, s.name + " after undo");
+        continue;
+      }
+      const std::size_t k = rng() % t.adds.size();
+      const TransformedAdd& a = t.adds[k];
+      const bool already_placed =
+          sim.assignment()[a.node.index][0] != kUnassignedCycle;
+      if (already_placed) continue;
+      // Mostly in-window cycles, occasionally out-of-window ones so the
+      // tight budget and precedence rejections both fire.
+      const unsigned c = rng() % 4 == 0
+                             ? static_cast<unsigned>(rng() % t.latency)
+                             : a.asap + rng() % (a.alap - a.asap + 1);
+      const bool expect = reference_accepts(t.spec, sim.assignment(), a.node,
+                                            c, budget);
+      const bool got = sim.try_place(a.node, c);
+      ASSERT_EQ(got, expect)
+          << s.name << " fragment " << k << " cycle " << c << " budget "
+          << budget;
+      if (got) {
+        placed_stack.push_back(k);
+        expect_matches_reference(t.spec, sim, s.name + " after commit");
+      }
+    }
+    while (!placed_stack.empty()) {
+      sim.undo();
+      placed_stack.pop_back();
+    }
+    expect_matches_reference(t.spec, sim, s.name + " after full unwind");
+    EXPECT_EQ(sim.max_slot(), 0u) << s.name;
+  }
+}
+
+TEST(FlatSim, MatchesLegacySimulatorAtEstimatedBudget) {
+  run_property(/*budget_divisor=*/1, 0xF1A7);
+}
+
+TEST(FlatSim, MatchesLegacySimulatorAtTightBudget) {
+  run_property(/*budget_divisor=*/2, 0x71D7);
+}
+
+} // namespace
+} // namespace hls

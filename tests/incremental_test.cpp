@@ -22,7 +22,8 @@ void expect_matches_full(const Dfg& spec, const IncrementalBitSim& sim,
                          const std::string& what) {
   const BitSim full = simulate_bit_schedule(spec, sim.assignment());
   EXPECT_EQ(full.max_slot, sim.max_slot()) << what;
-  EXPECT_EQ(full.avail, sim.avail()) << what;
+  EXPECT_EQ(full.cycle, sim.avail_cycles()) << what;
+  EXPECT_EQ(full.slot, sim.avail_slots()) << what;
 }
 
 TEST(IncrementalBitSim, MatchesFullSimulatorOnEveryRegistrySuite) {
@@ -59,7 +60,8 @@ TEST(IncrementalBitSim, MatchesFullSimulatorOnEveryRegistrySuite) {
       const std::size_t k = unplaced[pick];
       const TransformedAdd& a = t.adds[k];
       const unsigned c = a.asap + rng() % (a.alap - a.asap + 1);
-      const auto avail_before = sim.avail();
+      const auto cycles_before = sim.avail_cycles();
+      const auto slots_before = sim.avail_slots();
       const unsigned max_before = sim.max_slot();
       if (sim.try_place(a.node, c)) {
         placed_stack.push_back(k);
@@ -67,7 +69,10 @@ TEST(IncrementalBitSim, MatchesFullSimulatorOnEveryRegistrySuite) {
         unplaced.pop_back();
         expect_matches_full(t.spec, sim, s.name + " after commit");
       } else {
-        EXPECT_EQ(avail_before, sim.avail()) << s.name << " rejected leak";
+        EXPECT_EQ(cycles_before, sim.avail_cycles())
+            << s.name << " rejected leak";
+        EXPECT_EQ(slots_before, sim.avail_slots())
+            << s.name << " rejected leak";
         EXPECT_EQ(max_before, sim.max_slot()) << s.name << " rejected leak";
       }
       ++mutations;

@@ -4,6 +4,7 @@
 
 #include "ir/builder.hpp"
 #include "ir/dfg.hpp"
+#include "ir/dfg_index.hpp"
 #include "ir/eval.hpp"
 #include "ir/print.hpp"
 
@@ -90,10 +91,39 @@ TEST(Dfg, ConcatWidthMustMatchParts) {
 
 TEST(Dfg, UsersAndPortLookup) {
   const Dfg d = motivational();
-  const auto users = d.build_users();
+  const DfgIndex index(d);
   const NodeId a = *d.find_port("A");
-  ASSERT_EQ(users[a.index].size(), 1u);  // A feeds only C
+  ASSERT_EQ(index.users(a.index).size(), 1u);  // A feeds only C
   EXPECT_FALSE(d.find_port("missing").has_value());
+}
+
+TEST(DfgIndex, FlatBitSpaceAndCsrFanout) {
+  const Dfg d = motivational();
+  const DfgIndex index(d);
+  ASSERT_EQ(index.node_count(), d.size());
+  // Bit offsets partition the flat space by node width, in node order.
+  std::uint32_t expect = 0;
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(index.bit_offset(i), expect);
+    expect += d.node(NodeId{i}).width;
+  }
+  EXPECT_EQ(index.total_bits(), expect);
+  // CSR fanout agrees with a naive operand sweep modelling the documented
+  // contract (only *consecutive* duplicate operands collapse); spans are
+  // sorted.
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    std::vector<std::uint32_t> naive;
+    for (std::uint32_t u = 0; u < d.size(); ++u) {
+      std::uint32_t prev = UINT32_MAX;
+      for (const Operand& o : d.node(NodeId{u}).operands) {
+        if (o.node.index == i && prev != i) naive.push_back(u);
+        prev = o.node.index;
+      }
+    }
+    const auto span = index.users(i);
+    ASSERT_EQ(std::vector<std::uint32_t>(span.begin(), span.end()), naive)
+        << "node " << i;
+  }
 }
 
 TEST(Eval, MotivationalSum) {
