@@ -8,8 +8,8 @@
 //  C. Baseline strength: conventional baseline with integer multicycle
 //     enabled (stronger than the paper's BC runs) — how much of the reported
 //     saving survives against the stronger baseline.
-//  D. Adder style: ripple vs carry-lookahead delay model (the conclusion's
-//     claim that faster adders also profit).
+//  D. Adder style: the "paper-ripple" vs "cla" technology targets (the
+//     conclusion's claim that faster adders also profit).
 
 #include <iostream>
 
@@ -22,6 +22,7 @@
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "suites/suites.hpp"
+#include "timing/target.hpp"
 
 using namespace hls;
 
@@ -83,7 +84,8 @@ int main() {
         session.run({d, "original", lat}).require().report;
     const OpSchedule mc = schedule_conventional(
         d, lat, ConventionalOptions{.allow_multicycle = true});
-    const double mc_cycle = DelayModel{}.cycle_ns(mc.cycle_deltas);
+    const double mc_cycle =
+        resolve_target(kDefaultTargetName).delay.cycle_ns(mc.cycle_deltas);
     const FlowResult opt = session.run({d, "optimized", lat}).require();
     tc.add_row({s.name, std::to_string(lat), fixed(weak.cycle_ns, 2),
                 fixed(mc_cycle, 2), fixed(opt.report.cycle_ns, 2),
@@ -94,32 +96,23 @@ int main() {
   std::cout << tc << '\n';
 
   // --- D: adder style ---------------------------------------------------------
-  std::cout << "=== Ablation D: ripple vs carry-lookahead delay model ===\n";
-  TextTable td({"Style", "Orig cycle (ns)", "Opt cycle (ns)", "Saved"});
-  for (const AdderStyle style : {AdderStyle::Ripple, AdderStyle::CarryLookahead}) {
-    FlowOptions opt_flags;
-    opt_flags.delay.style = style;
-    // The bit-level flow's delta counts model ripple chaining; under a CLA
-    // library the baseline op depth shrinks, compressing but not erasing
-    // the win (conclusion of the paper).
+  std::cout << "=== Ablation D: ripple vs carry-lookahead target ===\n";
+  TextTable td({"Target", "Orig cycle (ns)", "Opt cycle (ns)", "Saved"});
+  for (const char* target : {kDefaultTargetName, "cla"}) {
+    // One registry-resolved target drives estimation, fragmentation and the
+    // report on both sides: under a CLA library the baseline op depth
+    // shrinks, compressing but not erasing the win (conclusion of the
+    // paper). No hand-rolled delta math needed anymore.
     const Dfg d = motivational();
     const ImplementationReport orig =
-        session.run({d, "original", 3, 0, opt_flags}).require().report;
-    // CLA baseline: each op takes adder_depth(16) deltas instead of 16.
-    const double orig_ns =
-        style == AdderStyle::Ripple
-            ? orig.cycle_ns
-            : opt_flags.delay.cycle_ns(opt_flags.delay.adder_depth(16));
+        session.run({d, "original", 3, 0, {}, "list", target})
+            .require()
+            .report;
     const FlowResult o =
-        session.run({d, "optimized", 3, 0, opt_flags}).require();
-    const double opt_ns =
-        style == AdderStyle::Ripple
-            ? o.report.cycle_ns
-            : opt_flags.delay.cycle_ns(
-                  opt_flags.delay.adder_depth(o.report.cycle_deltas));
-    td.add_row({style == AdderStyle::Ripple ? "ripple" : "carry-lookahead",
-                fixed(orig_ns, 2), fixed(opt_ns, 2),
-                pct(1.0 - opt_ns / orig_ns)});
+        session.run({d, "optimized", 3, 0, {}, "list", target}).require();
+    td.add_row({target, fixed(orig.cycle_ns, 2), fixed(o.report.cycle_ns, 2),
+                pct(1.0 - o.report.cycle_ns / orig.cycle_ns)});
+    if (o.report.cycle_ns >= orig.cycle_ns) ok = false;  // must still win
   }
   std::cout << td << '\n';
 
@@ -140,7 +133,7 @@ int main() {
     };
     const Datapath dls = allocate_bitlevel(t, ls);
     const Datapath dfd = allocate_bitlevel(t, fd);
-    const GateModel gm;
+    const GateModel gm = resolve_target(kDefaultTargetName).gates;
     te.add_row({s.name, std::to_string(lat), std::to_string(peak_bits(ls)),
                 std::to_string(peak_bits(fd)),
                 std::to_string(area_of(dls, gm).fu_gates),

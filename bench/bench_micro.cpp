@@ -15,6 +15,12 @@
 //     (see PERFORMANCE.md). CI diffs a fresh run against the committed
 //     baseline and fails on >25% regression of any tracked speedup.
 //
+//   bench_micro --target-sweep
+//     The technology-target comparison (PERFORMANCE.md's target-sweep
+//     table): the motivational and synth-mesh8x8 suites through the
+//     optimized flow under every builtin target, printed as a markdown
+//     table. Like --json, needs no google-benchmark.
+//
 //   bench_micro [google-benchmark flags]
 //     The full exploratory google-benchmark suite (only when the build
 //     found google-benchmark; the --json mode always works).
@@ -35,6 +41,7 @@
 #include "sched/fragsched.hpp"
 #include "suites/suites.hpp"
 #include "timing/critical_path.hpp"
+#include "timing/target.hpp"
 
 namespace {
 
@@ -117,6 +124,59 @@ int run_json_baseline(const char* path) {
     std::cout << out;
   }
   return 0;
+}
+
+// --- target-sweep mode ----------------------------------------------------
+
+/// Ripple vs faster-adder targets on one small and one large kernel: the
+/// markdown table PERFORMANCE.md embeds. Both the original baseline and the
+/// optimized flow resolve the same registry target, so each row is one
+/// consistent technology experiment.
+int run_target_sweep() {
+  const Session session;
+  std::vector<SuiteEntry> picks;
+  for (const SuiteEntry& s : registry_suites()) {
+    if (s.name == "motivational" || s.name == "synth-mesh8x8") {
+      picks.push_back(s);
+    }
+  }
+  if (picks.size() != 2) {
+    std::fprintf(stderr, "target-sweep suites missing from the registry\n");
+    return 1;
+  }
+
+  std::printf(
+      "| suite | target | n_bits | cycle (deltas) | orig cycle (ns) | "
+      "opt cycle (ns) | saved | frag ops | opt area (gates) |\n"
+      "|---|---|---|---|---|---|---|---|---|\n");
+  bool ok = true;
+  for (const SuiteEntry& s : picks) {
+    const Dfg d = s.build();
+    const unsigned lat = s.latencies.front();
+    for (const std::string& target : TargetRegistry::global().names()) {
+      const FlowResult orig =
+          session.run({d, "original", lat, 0, {}, "list", target});
+      const FlowResult opt =
+          session.run({d, "optimized", lat, 0, {}, "list", target});
+      if (!orig.ok || !opt.ok) {
+        std::fprintf(stderr, "flow failed: %s\n",
+                     (orig.ok ? opt : orig).error_text().c_str());
+        ok = false;
+        continue;
+      }
+      std::printf("| %s | %s | %u | %u | %.2f | %.2f | %.0f%% | %u | %u |\n",
+                  s.name.c_str(), target.c_str(), opt.transform->n_bits,
+                  opt.report.cycle_deltas, orig.report.cycle_ns,
+                  opt.report.cycle_ns,
+                  100.0 * opt.report.cycle_saving_vs(orig.report),
+                  opt.transform->fragmented_op_count,
+                  opt.report.area.total());
+      // The paper's conclusion, as a shape check: fragmentation must keep
+      // paying off under every registered target.
+      if (opt.report.cycle_ns >= orig.report.cycle_ns) ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 } // namespace
@@ -264,6 +324,9 @@ int main(int argc, char** argv) {
       const char* file =
           i + 1 < argc && argv[i + 1][0] != '-' ? argv[i + 1] : nullptr;
       return run_json_baseline(file);
+    }
+    if (std::strcmp(argv[i], "--target-sweep") == 0) {
+      return run_target_sweep();
     }
   }
 #ifdef FRAGHLS_HAVE_GBENCH

@@ -47,6 +47,23 @@ int main() {
 
   const FlowResult& best = opt_sweep[best_point];
   const unsigned best_lat = best.report.latency;
+
+  // Re-synthesize the chosen operating point under every registered
+  // technology target (one run_sweep call: targets are a sweep axis too).
+  std::cout << "Technology targets at latency " << best_lat << ":\n";
+  TextTable tt({"target", "cycle", "exec", "area", "budget (bits)"});
+  const std::vector<std::string> targets = TargetRegistry::global().names();
+  const std::vector<FlowResult> per_target = session.run_sweep(
+      filter, "optimized", best_lat, best_lat, {}, "list", targets);
+  for (const FlowResult& r : per_target) {
+    const FlowResult& ok = r.require();
+    tt.add_row({ok.report.target, fixed(ok.report.cycle_ns, 2),
+                fixed(ok.report.execution_ns, 1),
+                std::to_string(ok.report.area.total()),
+                std::to_string(ok.transform->n_bits)});
+  }
+  std::cout << tt << '\n';
+
   std::cout << "Fastest optimized design point: latency " << best_lat << ", "
             << fixed(best.report.execution_ns, 1) << " ns per iteration ("
             << fixed(1000.0 / best.report.execution_ns, 1) << " MHz sample rate), "

@@ -30,6 +30,7 @@ namespace hls {
 
 struct ImplementationReport {
   std::string flow;            ///< "original" | "blc" | "optimized"
+  std::string target;          ///< resolved technology target (registry name)
   unsigned latency = 0;
   unsigned cycle_deltas = 0;   ///< clock length in deltas
   double cycle_ns = 0;
@@ -49,8 +50,9 @@ struct ImplementationReport {
 };
 
 struct FlowOptions {
-  DelayModel delay;
-  GateModel gates;
+  // The technology (delay + gate models) is no longer an inline knob here:
+  // it is a registry-resolved hls::Target named by FlowRequest::target,
+  // exactly like flows and schedulers (timing/target.hpp).
   /// Apply value-range width narrowing (kernel/narrow.hpp) between kernel
   /// extraction and the transformation. Off by default (paper-faithful).
   bool narrow = false;

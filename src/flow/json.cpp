@@ -29,6 +29,9 @@ std::string to_json(const ImplementationReport& r) {
   std::ostringstream os;
   os << "{";
   os << "\"flow\":\"" << json_escape(r.flow) << "\",";
+  if (!r.target.empty()) {
+    os << "\"target\":\"" << json_escape(r.target) << "\",";
+  }
   os << "\"latency\":" << r.latency << ",";
   os << "\"cycle_deltas\":" << r.cycle_deltas << ",";
   os << "\"cycle_ns\":" << strformat("%.4f", r.cycle_ns) << ",";
@@ -79,6 +82,9 @@ std::string to_json(const FlowResult& r) {
   os << "\"flow\":\"" << json_escape(r.flow) << "\",";
   if (!r.scheduler.empty()) {
     os << "\"scheduler\":\"" << json_escape(r.scheduler) << "\",";
+  }
+  if (!r.target.empty()) {
+    os << "\"target\":\"" << json_escape(r.target) << "\",";
   }
   os << "\"ok\":" << (r.ok ? "true" : "false");
   if (r.ok) {

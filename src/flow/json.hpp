@@ -11,8 +11,8 @@
 
 namespace hls {
 
-/// One report as a JSON object (flow, latency, cycle/execution times, area
-/// breakdown, datapath component counts).
+/// One report as a JSON object (flow, resolved target, latency,
+/// cycle/execution times, area breakdown, datapath component counts).
 std::string to_json(const ImplementationReport& r);
 
 /// Several reports as a JSON array.

@@ -51,16 +51,17 @@ auto timed_stage(FlowResult& out, const FlowRequest& req, const char* name,
   return result;
 }
 
-ImplementationReport make_report(std::string flow, unsigned latency,
-                                 unsigned cycle_deltas, Datapath dp,
-                                 std::size_t op_count, const FlowOptions& opt) {
+ImplementationReport make_report(std::string flow, const Target& target,
+                                 unsigned latency, unsigned cycle_deltas,
+                                 Datapath dp, std::size_t op_count) {
   ImplementationReport r;
   r.flow = std::move(flow);
+  r.target = target.name;
   r.latency = latency;
   r.cycle_deltas = cycle_deltas;
-  r.cycle_ns = opt.delay.cycle_ns(cycle_deltas);
-  r.execution_ns = opt.delay.execution_ns(latency, cycle_deltas);
-  r.area = area_of(dp, opt.gates);
+  r.cycle_ns = target.delay.cycle_ns(cycle_deltas);
+  r.execution_ns = target.delay.execution_ns(latency, cycle_deltas);
+  r.area = area_of(dp, target.gates);
   r.datapath = std::move(dp);
   r.op_count = op_count;
   return r;
@@ -68,6 +69,24 @@ ImplementationReport make_report(std::string flow, unsigned latency,
 
 void note(FlowResult& r, const char* stage_name, std::string message) {
   r.diagnostics.push_back({DiagSeverity::Note, stage_name, std::move(message)});
+}
+
+/// Resolves the request's target for a builtin flow, recording the resolved
+/// name on the result and a note diagnostic. Unknown names throw a
+/// "registry"-stage error (Session::run pre-validates, so this only fires
+/// when flows:: functions are called directly).
+Target resolve_target_stage(FlowResult& out, const FlowRequest& req) {
+  try {
+    Target t = resolve_target(req.target);
+    out.target = t.name;
+    note(out, "flow",
+         strformat("target '%s': %s adders, delta %.3g ns, overhead %.3g ns",
+                   t.name.c_str(), to_string(t.delay.style), t.delay.delta_ns,
+                   t.delay.sequential_overhead_ns));
+    return t;
+  } catch (const Error& e) {
+    throw FlowStageError("registry", e.what(), e.context());
+  }
 }
 
 } // namespace
@@ -119,15 +138,17 @@ namespace flows {
 FlowResult conventional(const FlowRequest& req) {
   FlowResult out;
   out.flow = "conventional";
+  const Target target = resolve_target_stage(out, req);
   const OpSchedule s = timed_stage(out, req, "schedule", [&] {
-    return schedule_conventional(req.spec, req.latency);
+    ConventionalOptions copt;
+    copt.delay = target.delay;
+    return schedule_conventional(req.spec, req.latency, copt);
   });
   Datapath dp = timed_stage(out, req, "allocate", [&] {
     return allocate_oplevel(req.spec, s);
   });
-  out.report = make_report("original", req.latency, s.cycle_deltas,
-                           std::move(dp), req.spec.operations().size(),
-                           req.options);
+  out.report = make_report("original", target, req.latency, s.cycle_deltas,
+                           std::move(dp), req.spec.operations().size());
   out.ok = true;
   return out;
 }
@@ -135,17 +156,18 @@ FlowResult conventional(const FlowRequest& req) {
 FlowResult blc(const FlowRequest& req) {
   FlowResult out;
   out.flow = "blc";
+  const Target target = resolve_target_stage(out, req);
   const Dfg kernel = timed_stage(out, req, "kernel", [&] {
     return is_kernel_form(req.spec) ? req.spec : extract_kernel(req.spec);
   });
   const OpSchedule s = timed_stage(out, req, "schedule", [&] {
-    return schedule_blc(kernel, req.latency);
+    return schedule_blc(kernel, req.latency, target.delay);
   });
   Datapath dp = timed_stage(out, req, "allocate", [&] {
     return allocate_oplevel(kernel, s);
   });
-  out.report = make_report("blc", req.latency, s.cycle_deltas, std::move(dp),
-                           kernel.operations().size(), req.options);
+  out.report = make_report("blc", target, req.latency, s.cycle_deltas,
+                           std::move(dp), kernel.operations().size());
   out.ok = true;
   return out;
 }
@@ -153,6 +175,7 @@ FlowResult blc(const FlowRequest& req) {
 FlowResult optimized(const FlowRequest& req) {
   FlowResult out;
   out.flow = "optimized";
+  const Target target = resolve_target_stage(out, req);
   KernelStats stats;
   const bool already_kernel = is_kernel_form(req.spec);
   Dfg kernel = timed_stage(out, req, "kernel", [&] {
@@ -171,7 +194,8 @@ FlowResult optimized(const FlowRequest& req) {
                    stats.ops_before, stats.adds_after));
   }
   out.transform = timed_stage(out, req, "transform", [&] {
-    return transform_spec(kernel, req.latency, req.n_bits_override);
+    return transform_spec(kernel, req.latency, req.n_bits_override,
+                          target.delay);
   });
   note(out, "transform",
        strformat("cycle budget %u chained bits%s", out.transform->n_bits,
@@ -196,10 +220,14 @@ FlowResult optimized(const FlowRequest& req) {
       return 0;
     });
   }
-  out.report = make_report("optimized", req.latency, out.transform->n_bits,
+  // The schedule fabric stays in chained-bit slots; the clock the report
+  // prices is the delta depth of the per-cycle chained window under the
+  // target's adder style (identity for ripple; the composite-window
+  // best-case bound for sublinear styles — see DelayModel::adder_depth).
+  out.report = make_report("optimized", target, req.latency,
+                           target.delay.adder_depth(out.transform->n_bits),
                            std::move(dp),
-                           out.transform->spec.operations().size(),
-                           req.options);
+                           out.transform->spec.operations().size());
   out.kernel_stats = stats;
   out.kernel = std::move(kernel);
   out.ok = true;
@@ -250,6 +278,33 @@ std::vector<std::string> FlowRegistry::names() const {
   return out;  // std::map iterates in sorted order
 }
 
+// --- request validation ------------------------------------------------------
+
+std::vector<FlowDiagnostic> validate_request(const FlowRequest& request,
+                                             const FlowRegistry& registry) {
+  std::vector<FlowDiagnostic> out;
+  const auto unknown = [&out](const char* what, const std::string& name,
+                              const std::vector<std::string>& known) {
+    out.push_back({DiagSeverity::Error, "registry",
+                   std::string("unknown ") + what + " '" + name +
+                       "' (registered: " + join(known, ", ") + ")"});
+  };
+  if (!registry.contains(request.flow)) {
+    unknown("flow", request.flow, registry.names());
+  }
+  if (request.latency == 0) {
+    out.push_back({DiagSeverity::Error, "request", "latency must be >= 1"});
+  }
+  if (!SchedulerRegistry::global().contains(request.scheduler)) {
+    unknown("scheduler", request.scheduler,
+            SchedulerRegistry::global().names());
+  }
+  if (!TargetRegistry::global().contains(request.target)) {
+    unknown("target", request.target, TargetRegistry::global().names());
+  }
+  return out;
+}
+
 // --- Session -----------------------------------------------------------------
 
 Session::Session(SessionOptions options)
@@ -261,27 +316,25 @@ Session::Session(FlowRegistry& registry, SessionOptions options)
 FlowResult Session::run(const FlowRequest& request) const {
   FlowResult out;
   out.flow = request.flow;
-  // Failure results echo the requested strategy so scripted consumers can
-  // group ok:false rows by scheduler; successful flows overwrite it with
-  // what they actually resolved (empty for flows that never schedule
-  // fragments).
+  // Failure results echo the requested strategy and target so scripted
+  // consumers can group ok:false rows; successful flows overwrite them with
+  // what they actually resolved (scheduler stays empty for flows that never
+  // schedule fragments).
   out.scheduler = request.scheduler;
+  out.target = request.target;
+  // One validation path for every malformed-request class (unknown flow /
+  // scheduler / target, zero latency); all problems are reported at once.
+  std::vector<FlowDiagnostic> problems = validate_request(request, *registry_);
+  if (!problems.empty()) {
+    out.diagnostics = std::move(problems);
+    return out;
+  }
   const FlowFn fn = registry_->find(request.flow);
-  if (!fn) {
-    out.diagnostics.push_back(
-        {DiagSeverity::Error, "registry",
-         "unknown flow '" + request.flow +
-             "' (registered: " + join(registry_->names(), ", ") + ")"});
-    return out;
-  }
-  if (request.latency == 0) {
-    out.diagnostics.push_back(
-        {DiagSeverity::Error, "request", "latency must be >= 1"});
-    return out;
-  }
   try {
     FlowResult r = fn(request);
     r.flow = request.flow;
+    // User flows that never consult the technology still echo the request.
+    if (r.target.empty()) r.target = request.target;
     return r;
   } catch (const FlowStageError& e) {
     out.diagnostics.push_back(
@@ -329,16 +382,19 @@ std::vector<FlowResult> Session::run_batch(
   return results;
 }
 
-std::vector<FlowResult> Session::run_sweep(const Dfg& spec,
-                                           const std::string& flow,
-                                           unsigned lo, unsigned hi,
-                                           const FlowOptions& options,
-                                           const std::string& scheduler) const {
+std::vector<FlowResult> Session::run_sweep(
+    const Dfg& spec, const std::string& flow, unsigned lo, unsigned hi,
+    const FlowOptions& options, const std::string& scheduler,
+    const std::vector<std::string>& targets) const {
   HLS_REQUIRE(lo >= 1 && lo <= hi, "sweep bounds must satisfy 1 <= lo <= hi");
+  const std::vector<std::string> target_names =
+      targets.empty() ? std::vector<std::string>{kDefaultTargetName} : targets;
   std::vector<FlowRequest> requests;
-  requests.reserve(hi - lo + 1);
-  for (unsigned lat = lo; lat <= hi; ++lat) {
-    requests.push_back({spec, flow, lat, 0, options, scheduler});
+  requests.reserve(target_names.size() * (hi - lo + 1));
+  for (const std::string& target : target_names) {
+    for (unsigned lat = lo; lat <= hi; ++lat) {
+      requests.push_back({spec, flow, lat, 0, options, scheduler, target});
+    }
   }
   return run_batch(requests);
 }

@@ -36,6 +36,7 @@
 #include "kernel/extract.hpp"
 #include "sched/fragsched.hpp"
 #include "support/error.hpp"
+#include "timing/target.hpp"
 
 namespace hls {
 
@@ -52,6 +53,11 @@ struct FlowRequest {
   /// resolved by name through SchedulerRegistry::global() ("list",
   /// "forcedirected", or user-registered).
   std::string scheduler = "list";
+  /// Technology target, resolved by name through TargetRegistry::global()
+  /// ("paper-ripple", "cla", "fast-logic", or user-registered). One target
+  /// drives §3.2 cycle estimation, the fragment budget, allocation area
+  /// and the ns numbers of the report.
+  std::string target = kDefaultTargetName;
 };
 
 enum class DiagSeverity { Note, Warning, Error };
@@ -90,6 +96,9 @@ struct FlowResult {
   /// empty on successful flows that never scheduled fragments. Failed
   /// runs echo the requested strategy.
   std::string scheduler;
+  /// Technology target the run resolved (every builtin flow consults one);
+  /// failed runs and flows that leave it empty echo the requested name.
+  std::string target;
   bool ok = false;
   ImplementationReport report;
   std::optional<KernelStats> kernel_stats;
@@ -175,11 +184,14 @@ public:
   std::vector<FlowResult> run_batch(const std::vector<FlowRequest>& requests) const;
 
   /// Latency sweep lo..hi (inclusive) of one flow over one spec — a
-  /// run_batch of (hi - lo + 1) requests.
-  std::vector<FlowResult> run_sweep(const Dfg& spec, const std::string& flow,
-                                    unsigned lo, unsigned hi,
-                                    const FlowOptions& options = {},
-                                    const std::string& scheduler = "list") const;
+  /// run_batch of (hi - lo + 1) requests per target. `targets` extends the
+  /// sweep across technology targets (registry names); empty means the
+  /// default target only. Results are target-major: all latencies of
+  /// targets[0], then all latencies of targets[1], ...
+  std::vector<FlowResult> run_sweep(
+      const Dfg& spec, const std::string& flow, unsigned lo, unsigned hi,
+      const FlowOptions& options = {}, const std::string& scheduler = "list",
+      const std::vector<std::string>& targets = {}) const;
 
   /// Worker threads run_batch would use for `jobs` jobs.
   unsigned worker_count(std::size_t jobs) const;
@@ -188,6 +200,15 @@ private:
   FlowRegistry* registry_;
   SessionOptions options_;
 };
+
+/// The one request-validation path (Session::run and anything else that
+/// wants the same checks): unknown flow, latency == 0, unknown scheduler
+/// and unknown target all come back as Error diagnostics — registry-name
+/// problems under stage "registry" with the registered names listed,
+/// constraint problems under stage "request". Empty means the request is
+/// well-formed.
+std::vector<FlowDiagnostic> validate_request(const FlowRequest& request,
+                                             const FlowRegistry& registry);
 
 namespace flows {
 /// The builtin pipelines behind the registry's "conventional", "blc" and

@@ -16,6 +16,13 @@
 //
 // The cycle projections of these slots are what the fragmentation pairing
 // consumes; a bit whose ASAP and ALAP cycles coincide is pre-scheduled.
+//
+// Slots are *structural* chained-bit units, independent of the technology
+// target: the target's adder style enters only through the n_bits budget it
+// estimated (timing/critical_path.hpp estimate_cycle_budget) and through
+// the delta interpretation of the per-cycle window at report time
+// (DelayModel::adder_depth). Under the default ripple target a slot is
+// exactly one delta, the paper's model.
 
 #include "ir/dfg.hpp"
 #include "timing/arrival.hpp"

@@ -151,7 +151,8 @@ TransformResult Materializer::run(unsigned latency, unsigned n_bits,
 } // namespace
 
 TransformResult transform_spec(const Dfg& kernel_in, unsigned latency,
-                               unsigned n_bits_override) {
+                               unsigned n_bits_override,
+                               const DelayModel& delay) {
   // Label adds that directly drive output ports with the port name, so the
   // fragments come out as "G(3 downto 0)" in dumps and emitted VHDL, the
   // way the paper's Fig. 2 a) writes them.
@@ -170,7 +171,7 @@ TransformResult transform_spec(const Dfg& kernel_in, unsigned latency,
                                      max_arrival(bit_arrival_times(kernel)));
   const unsigned n_bits =
       n_bits_override != 0 ? n_bits_override
-                           : estimate_cycle_duration(critical, latency);
+                           : estimate_cycle_budget(critical, latency, delay);
   const BitWindows windows = BitWindows::compute(kernel, latency, n_bits);
   const std::vector<Fragment> fragments = fragment_operations(kernel, windows);
   Materializer m(kernel, fragments);

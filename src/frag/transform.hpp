@@ -21,6 +21,7 @@
 
 #include "frag/fragment.hpp"
 #include "ir/dfg.hpp"
+#include "timing/delay_model.hpp"
 
 namespace hls {
 
@@ -45,9 +46,16 @@ struct TransformResult {
 };
 
 /// Transforms a kernel-form specification for the given latency. The cycle
-/// budget defaults to the §3.2 estimate ceil(critical_path / latency); pass
+/// budget defaults to the target-aware §3.2 estimate
+/// (estimate_cycle_budget: ceil(critical_path / latency) under ripple,
+/// widened to the same-depth step under sublinear adder styles); pass
 /// `n_bits_override` to explore other budgets (used by the ablation bench).
+/// `delay` is the technology's delay model (defaults to the paper's ripple
+/// model, which reproduces the historical behaviour bit-identically);
+/// fragment widths and windows stay in chained-bit units regardless — the
+/// delay model only moves the budget.
 TransformResult transform_spec(const Dfg& kernel, unsigned latency,
-                               unsigned n_bits_override = 0);
+                               unsigned n_bits_override = 0,
+                               const DelayModel& delay = {});
 
 } // namespace hls

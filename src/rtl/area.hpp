@@ -10,6 +10,11 @@
 //   * controllers 60/32 gates at 3/1 states    -> fsm(s, sig) = 18 + 14*s + sig
 // Absolute numbers are testbed-specific; the model's job is to preserve the
 // paper's relative comparisons (who is bigger, by roughly what factor).
+//
+// The fitted constants are data members (defaulting to the Table I fit), so
+// a technology Target (timing/target.hpp) can carry its own coefficients —
+// e.g. the "cla" target prices its prefix network through a larger
+// adder_gates_per_bit — without this header knowing any target by name.
 
 #include <string>
 
@@ -19,24 +24,47 @@
 namespace hls {
 
 struct GateModel {
-  unsigned adder(unsigned w) const { return 10 * w + 2; }
+  // Fitted coefficients (defaults reproduce the Table I calibration).
+  unsigned adder_gates_per_bit = 10;   ///< full-adder cell + carry logic
+  unsigned adder_gates_base = 2;
+  unsigned invert_gates_per_bit = 1;   ///< operand inverter row (subtractor)
+  unsigned mul_fa_gates = 9;           ///< gates per full adder in the array
+  unsigned cmp_gates_per_bit = 3;
+  unsigned cmp_gates_base = 2;
+  unsigned mux2_gates_per_bit = 3;     ///< the 2:1 select row of min/max
+  unsigned reg_gates_per_bit = 5;
+  unsigned reg_gates_base = 6;
+  unsigned fsm_gates_base = 18;
+  unsigned fsm_gates_per_state = 14;
+
+  unsigned adder(unsigned w) const {
+    return adder_gates_per_bit * w + adder_gates_base;
+  }
   /// Adder plus an inverter row on one operand.
-  unsigned subtractor(unsigned w) const { return 11 * w + 2; }
+  unsigned subtractor(unsigned w) const {
+    return adder(w) + invert_gates_per_bit * w;
+  }
   /// Ripple-carry array multiplier: m*n AND terms + (m-1) rows of n full
-  /// adders at ~9 gates each.
+  /// adders.
   unsigned multiplier(unsigned m, unsigned n) const {
     if (m == 0 || n == 0) return 0;
-    return m * n + 9 * (m > 0 ? (m - 1) * n : 0);
+    return m * n + mul_fa_gates * (m - 1) * n;
   }
-  unsigned comparator(unsigned w) const { return 3 * w + 2; }
+  unsigned comparator(unsigned w) const {
+    return cmp_gates_per_bit * w + cmp_gates_base;
+  }
   /// Comparator plus a 2:1 mux.
-  unsigned minmax(unsigned w) const { return comparator(w) + 3 * w; }
-  unsigned register_(unsigned w) const { return 5 * w + 6; }
+  unsigned minmax(unsigned w) const {
+    return comparator(w) + mux2_gates_per_bit * w;
+  }
+  unsigned register_(unsigned w) const {
+    return reg_gates_per_bit * w + reg_gates_base;
+  }
   unsigned mux(unsigned inputs, unsigned w) const {
     return inputs < 2 ? 0 : (inputs + 1) * w;
   }
   unsigned controller(unsigned states, unsigned control_signals) const {
-    return 18 + 14 * states + control_signals;
+    return fsm_gates_base + fsm_gates_per_state * states + control_signals;
   }
 
   unsigned fu(const FuInstance& f) const;

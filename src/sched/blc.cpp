@@ -50,7 +50,8 @@ bool blc_fits(const Dfg& kernel, unsigned latency, unsigned cycle_deltas,
   return true;
 }
 
-OpSchedule schedule_blc(const Dfg& kernel, unsigned latency) {
+OpSchedule schedule_blc(const Dfg& kernel, unsigned latency,
+                        const DelayModel& delay) {
   HLS_REQUIRE(latency > 0, "latency must be positive");
 
   // The cycle length can never beat ceil(critical / latency) nor the widest
@@ -81,7 +82,9 @@ OpSchedule schedule_blc(const Dfg& kernel, unsigned latency) {
 
   OpSchedule s;
   s.latency = latency;
-  s.cycle_deltas = hi;
+  // `hi` is the minimal chained-bit window; report its delta depth under
+  // the target's adder style (identity for ripple).
+  s.cycle_deltas = delay.adder_depth(hi);
   for (std::uint32_t idx = 0; idx < kernel.size(); ++idx) {
     if (kernel.node(NodeId{idx}).kind != OpKind::Add) continue;
     s.spans.push_back(OpSpan{NodeId{idx}, cycles[idx], cycles[idx]});

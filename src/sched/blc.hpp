@@ -17,7 +17,14 @@ namespace hls {
 
 /// Returns an op-granular schedule (every op occupies exactly one cycle).
 /// Throws hls::Error if `kernel` is not kernel-form.
-OpSchedule schedule_blc(const Dfg& kernel, unsigned latency);
+///
+/// The placement search runs in chained-bit slots (structural, style
+/// independent); the reported cycle_deltas is the delta interpretation of
+/// the winning per-cycle chained window under `delay`
+/// (DelayModel::adder_depth — identity for the default ripple model, the
+/// composite-adder view for sublinear styles).
+OpSchedule schedule_blc(const Dfg& kernel, unsigned latency,
+                        const DelayModel& delay = {});
 
 /// Fixed-cycle-length probe; returns the per-op cycle assignment when
 /// feasible. Exposed for tests.

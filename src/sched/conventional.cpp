@@ -7,26 +7,30 @@
 
 namespace hls {
 
-unsigned conventional_depth(const Node& n) {
+unsigned conventional_depth(const Node& n, const DelayModel& delay) {
   switch (n.kind) {
     case OpKind::Add:
     case OpKind::Sub:
     case OpKind::Neg:
-      return n.width;
+      return delay.adder_depth(n.width);
     case OpKind::Mul:
-      // Ripple-carry array multiplier: carry chain of m + n full adders.
-      return n.operands[0].bits.width + n.operands[1].bits.width;
+      // Array multiplier: carry chain of m + n full adders (the final row
+      // settles like one (m + n)-bit addition under the target's style).
+      return delay.adder_depth(n.operands[0].bits.width +
+                               n.operands[1].bits.width);
     case OpKind::Lt:
     case OpKind::Le:
     case OpKind::Gt:
     case OpKind::Ge:
     case OpKind::Eq:
     case OpKind::Ne:
-      return std::max(n.operands[0].bits.width, n.operands[1].bits.width) + 1;
+      return delay.adder_depth(std::max(n.operands[0].bits.width,
+                                        n.operands[1].bits.width)) +
+             1;
     case OpKind::Max:
     case OpKind::Min:
       // Magnitude comparison followed by a mux level.
-      return n.width + 2;
+      return delay.adder_depth(n.width) + 2;
     default:
       return 0;  // IO, constants, glue, concat: wiring
   }
@@ -54,7 +58,7 @@ std::optional<std::vector<Placement>> place_ops(const Dfg& spec,
     for (const Operand& o : n.operands) {
       ready = std::max(ready, p[o.node.index].avail);
     }
-    const unsigned d = conventional_depth(n);
+    const unsigned d = conventional_depth(n, opt.delay);
     if (d == 0) {
       p[idx] = {ready, ready};
       continue;
@@ -80,13 +84,14 @@ std::optional<std::vector<Placement>> place_ops(const Dfg& spec,
 }
 
 OpSchedule build_schedule(const Dfg& spec, unsigned latency, unsigned L,
-                          const std::vector<Placement>& p) {
+                          const std::vector<Placement>& p,
+                          const ConventionalOptions& opt) {
   OpSchedule s;
   s.latency = latency;
   s.cycle_deltas = L;
   for (std::uint32_t idx = 0; idx < spec.size(); ++idx) {
     const Node& n = spec.node(NodeId{idx});
-    const unsigned d = conventional_depth(n);
+    const unsigned d = conventional_depth(n, opt.delay);
     if (d == 0) continue;
     const unsigned first = p[idx].start / L;
     // Last delta actually computing is start + d - 1.
@@ -110,7 +115,7 @@ OpSchedule schedule_conventional(const Dfg& spec, unsigned latency,
   // Upper bound: chaining everything serially fits in one cycle of the
   // summed depths.
   unsigned hi = 1;
-  for (const Node& n : spec.nodes()) hi += conventional_depth(n);
+  for (const Node& n : spec.nodes()) hi += conventional_depth(n, opt.delay);
   if (!conventional_fits(spec, latency, hi, opt)) {
     throw Error("conventional scheduler: no feasible cycle length found");
   }
@@ -126,7 +131,7 @@ OpSchedule schedule_conventional(const Dfg& spec, unsigned latency,
   }
   const auto placement = place_ops(spec, latency, hi, opt);
   HLS_ASSERT(placement.has_value(), "binary search converged on infeasible L");
-  return build_schedule(spec, latency, hi, *placement);
+  return build_schedule(spec, latency, hi, *placement, opt);
 }
 
 } // namespace hls

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ir/dfg.hpp"
+#include "timing/delay_model.hpp"
 
 namespace hls {
 
@@ -33,11 +34,15 @@ struct OpSchedule {
   std::vector<OpSpan> spans;
 };
 
-/// Ripple depth (deltas) of one operation under the conventional FU library:
-/// adds/subs ripple their width, an m x n array multiplier ripples m + n,
-/// comparisons ripple max(wa, wb) + 1, min/max add a mux level, glue and
-/// structure are free.
-unsigned conventional_depth(const Node& n);
+/// Delta depth of one operation under the conventional FU library and the
+/// given technology delay model: an add/sub carry chain of the op's width
+/// costs DelayModel::adder_depth(width) (its full width under ripple, the
+/// paper's model), an m x n array multiplier's chain ripples like an
+/// (m + n)-bit addition, comparisons cost a width-long chain plus one
+/// level, min/max add a mux level, glue and structure are free. The
+/// default-constructed DelayModel reproduces the historical pure-ripple
+/// depths exactly.
+unsigned conventional_depth(const Node& n, const DelayModel& delay = {});
 
 struct ConventionalOptions {
   /// Allow integer multicycle operations. Off by default: the paper's
@@ -46,6 +51,9 @@ struct ConventionalOptions {
   /// at every latency in Table II), and Fig. 4's flat "original" curve
   /// depends on that. The ablation bench turns it on.
   bool allow_multicycle = false;
+  /// Technology delay model driving conventional_depth (FlowRequest::target
+  /// resolves to it); defaults to the paper's ripple library.
+  DelayModel delay;
 };
 
 /// Schedules `spec` (original or kernel form) in `latency` cycles; returns

@@ -171,4 +171,19 @@ unsigned estimate_cycle_duration(const Dfg& dfg, unsigned latency) {
   return estimate_cycle_duration(critical_path(dfg).time, latency);
 }
 
+unsigned estimate_cycle_budget(unsigned critical_path_bits, unsigned latency,
+                               const DelayModel& delay) {
+  const unsigned floor_bits =
+      estimate_cycle_duration(critical_path_bits, latency);
+  // Widen within the same adder_depth step (free bits under sublinear
+  // styles; a no-op under ripple, where depth(m + 1) = m + 1 > depth(m)).
+  // Capped at the whole critical path: a budget beyond it buys nothing.
+  const unsigned depth = delay.adder_depth(floor_bits);
+  unsigned bits = floor_bits;
+  while (bits < critical_path_bits && delay.adder_depth(bits + 1) <= depth) {
+    ++bits;
+  }
+  return bits;
+}
+
 } // namespace hls

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ir/dfg.hpp"
+#include "timing/delay_model.hpp"
 
 namespace hls {
 
@@ -34,6 +35,20 @@ CriticalPathResult critical_path(const Dfg& dfg);
 /// Throws hls::Error when latency == 0.
 unsigned estimate_cycle_duration(const Dfg& dfg, unsigned latency);
 unsigned estimate_cycle_duration(unsigned critical_path_time, unsigned latency);
+
+/// Target-aware §3.2 estimate: the per-cycle *chained-bit* budget under the
+/// given delay model. Structurally a cycle must still hold
+/// ceil(critical_path_bits / latency) chained bits; under ripple adders
+/// (1 delta per chained bit) that is the whole answer and this returns
+/// exactly estimate_cycle_duration. Under styles whose delta depth grows
+/// sublinearly in the window width (DelayModel::adder_depth, e.g.
+/// carry-lookahead's ~2+log2(w)), widening the window within the same
+/// depth step is free in time, so the budget is widened to the largest
+/// chained width of equal adder_depth — fewer fragments for the same
+/// clock, which is how fragmentation keeps paying off with faster adders
+/// (the paper's conclusion).
+unsigned estimate_cycle_budget(unsigned critical_path_bits, unsigned latency,
+                               const DelayModel& delay);
 
 /// Verbatim transcription of the paper's path-walk pseudocode, for one
 /// explicit path given input-side-first. `truncated_lsbs[i]` is the number

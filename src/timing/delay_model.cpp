@@ -10,11 +10,19 @@ unsigned DelayModel::adder_depth(unsigned width) const {
     case AdderStyle::Ripple:
       return width;
     case AdderStyle::CarryLookahead:
-      // Two levels of PG logic plus ceil(log2(width)) prefix stages, in
+      // Two levels of PG logic plus floor(log2(width)) prefix stages, in
       // units of one full-adder delay (coarse but monotone).
       return 2 + static_cast<unsigned>(std::bit_width(width) - 1);
   }
   return width;
+}
+
+const char* to_string(AdderStyle s) {
+  switch (s) {
+    case AdderStyle::Ripple: return "ripple";
+    case AdderStyle::CarryLookahead: return "carry-lookahead";
+  }
+  return "?";
 }
 
 } // namespace hls

@@ -36,8 +36,22 @@ struct DelayModel {
   }
 
   /// Chained-delay contribution (in delta units) of one w-bit addition whose
-  /// operands are all ready, under the configured adder style.
+  /// operands are all ready, under the configured adder style. This is also
+  /// the delta interpretation of a per-cycle chained window of `width`
+  /// result bits — the *composite-window abstraction* the reports use
+  /// (inherited from the ablation bench that predates hls::Target): the
+  /// register-to-register window is pure combinational addition, and the
+  /// model assumes downstream logic synthesis flattens it into one prefix
+  /// structure of the window's width. That is a best-case bound for
+  /// sublinear styles — the allocator as emitted keeps one adder per
+  /// original operation, and serial carry-lookahead adders would sum their
+  /// depths instead — so treat non-ripple cycle_ns as the technology's
+  /// optimistic floor, not a netlist measurement. Ripple is exact either
+  /// way (1 delta per chained bit, bit-serially overlapped).
   unsigned adder_depth(unsigned width) const;
 };
+
+/// "ripple" | "carry-lookahead" (target notes and reports).
+const char* to_string(AdderStyle s);
 
 } // namespace hls

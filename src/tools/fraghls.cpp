@@ -13,8 +13,10 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flow/flow.hpp"
@@ -31,6 +33,7 @@
 #include "sched/schedule.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "timing/target.hpp"
 
 using namespace hls;
 
@@ -50,12 +53,71 @@ struct Args {
   unsigned emit_tb_vectors = 0;
   bool narrow = false;
   std::string scheduler = "list";
+  std::string target = kDefaultTargetName;
   bool pipeline = false;
   bool timing = false;
   bool json = false;
   unsigned workers = 0;
-  DelayModel delay;
+  /// --delta / --overhead derive a modified copy of --target's delay model,
+  /// registered as "<target>+cli" (the user-registration idiom, from the
+  /// command line).
+  std::optional<double> delta_override;
+  std::optional<double> overhead_override;
+  bool list_registries = false;  ///< any --list-* flag was given
 };
+
+/// The three name registries the CLI fronts, as one table: drives the
+/// --list-flows / --list-schedulers / --list-targets modes AND the registry
+/// summary in the usage text, so neither can drift from the registries.
+struct RegistryListing {
+  const char* kind;  ///< "flows" | "schedulers" | "targets"
+  bool selected = false;
+  /// (name, description) rows; empty description for kinds without one.
+  std::vector<std::pair<std::string, std::string>> (*entries)();
+};
+
+std::vector<std::pair<std::string, std::string>> names_only(
+    std::vector<std::string> names) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(names.size());
+  for (std::string& n : names) out.push_back({std::move(n), ""});
+  return out;
+}
+
+RegistryListing kRegistries[] = {
+    {"flows", false,
+     [] { return names_only(FlowRegistry::global().names()); }},
+    {"schedulers", false,
+     [] { return names_only(SchedulerRegistry::global().names()); }},
+    {"targets", false, [] {
+       std::vector<std::pair<std::string, std::string>> out;
+       for (const std::string& n : TargetRegistry::global().names()) {
+         out.push_back({n, resolve_target(n).description});
+       }
+       return out;
+     }},
+};
+
+/// Sorted names of one registry kind, joined for help/error text.
+std::string registry_names(const char* kind) {
+  for (const RegistryListing& r : kRegistries) {
+    if (std::string(r.kind) == kind) {
+      std::vector<std::string> names;
+      for (const auto& [name, desc] : r.entries()) names.push_back(name);
+      return join(names, ", ");
+    }
+  }
+  return "";
+}
+
+void print_registry(std::ostream& os, const RegistryListing& r) {
+  os << r.kind << ":\n";
+  for (const auto& [name, desc] : r.entries()) {
+    os << "  " << name;
+    if (!desc.empty()) os << "  - " << desc;
+    os << '\n';
+  }
+}
 
 [[noreturn]] void usage(const char* msg = nullptr);
 
@@ -125,9 +187,24 @@ const OptionSpec kOptions[] = {
     {"--narrow", nullptr, "width-narrow the kernel before transforming",
      [](Args& a, const std::string&) { a.narrow = true; }},
     {"--scheduler", "S",
-     "fragment scheduler by registry name: list | forcedirected | a "
-     "registered strategy (default: list)",
+     "fragment scheduler by registry name (--list-schedulers; default: list)",
      [](Args& a, const std::string& v) { a.scheduler = v; }},
+    {"--target", "T",
+     "technology target by registry name (--list-targets; default: "
+     "paper-ripple)",
+     [](Args& a, const std::string& v) { a.target = v; }},
+    {"--list-flows", nullptr, "list the flow registry and exit",
+     [](Args& a, const std::string&) {
+       a.list_registries = kRegistries[0].selected = true;
+     }},
+    {"--list-schedulers", nullptr, "list the scheduler registry and exit",
+     [](Args& a, const std::string&) {
+       a.list_registries = kRegistries[1].selected = true;
+     }},
+    {"--list-targets", nullptr, "list the target registry and exit",
+     [](Args& a, const std::string&) {
+       a.list_registries = kRegistries[2].selected = true;
+     }},
     {"--pipeline", nullptr,
      "report the minimal initiation interval (optimized)",
      [](Args& a, const std::string&) { a.pipeline = true; }},
@@ -139,11 +216,15 @@ const OptionSpec kOptions[] = {
      [](Args& a, const std::string&) { a.json = true; }},
     {"--workers", "N", "worker threads for sweeps/batches (default: all cores)",
      [](Args& a, const std::string& v) { a.workers = parse_unsigned(v); }},
-    {"--delta", "NS", "1-bit adder delay in ns (default 0.5)",
-     [](Args& a, const std::string& v) { a.delay.delta_ns = parse_double(v); }},
-    {"--overhead", "NS", "register/clock overhead in ns (default 1.4)",
+    {"--delta", "NS",
+     "override the target's 1-bit adder delay in ns (registers a derived "
+     "'<target>+cli' target)",
+     [](Args& a, const std::string& v) { a.delta_override = parse_double(v); }},
+    {"--overhead", "NS",
+     "override the target's register/clock overhead in ns (same derived "
+     "target)",
      [](Args& a, const std::string& v) {
-       a.delay.sequential_overhead_ns = parse_double(v);
+       a.overhead_override = parse_double(v);
      }},
 };
 
@@ -162,6 +243,14 @@ const OptionSpec kOptions[] = {
     if (o.metavar) left += std::string(" ") + o.metavar;
     std::cerr << "  " << left << std::string(width - left.size() + 2, ' ')
               << o.help << '\n';
+  }
+  // Printed from the live registries (the same table as --list-*), so the
+  // help cannot drift from what is actually registered.
+  std::cerr << "\nregistries:\n";
+  for (const RegistryListing& r : kRegistries) {
+    std::cerr << "  " << r.kind << ":"
+              << std::string(12 - std::string(r.kind).size(), ' ')
+              << registry_names(r.kind) << '\n';
   }
   std::exit(2);
 }
@@ -190,29 +279,38 @@ Args parse_args(int argc, char** argv) {
       usage("more than one spec file given");
     }
   }
+  if (a.list_registries) {
+    // Self-description mode: print the selected registries and exit
+    // successfully; no spec or constraint is required.
+    for (const RegistryListing& r : kRegistries) {
+      if (r.selected) print_registry(std::cout, r);
+    }
+    std::exit(0);
+  }
   if (a.spec_path.empty()) usage("no spec file given");
   if (a.latency == 0 && a.sweep_lo == 0) {
     usage("--latency N or --sweep LO..HI is required");
   }
   if (a.flow != "all" && !FlowRegistry::global().contains(a.flow)) {
-    usage(("--flow must be one of: all, " +
-           join(FlowRegistry::global().names(), ", "))
-              .c_str());
+    usage(("--flow must be one of: all, " + registry_names("flows")).c_str());
   }
   if (!SchedulerRegistry::global().contains(a.scheduler)) {
-    usage(("--scheduler must be one of: " +
-           join(SchedulerRegistry::global().names(), ", "))
+    usage(("--scheduler must be one of: " + registry_names("schedulers"))
               .c_str());
+  }
+  if (!TargetRegistry::global().contains(a.target)) {
+    usage(("--target must be one of: " + registry_names("targets")).c_str());
   }
   return a;
 }
 
 void print_report(const ImplementationReport& r) {
-  TextTable t({"flow", "latency", "cycle (deltas)", "cycle (ns)", "exec (ns)",
-               "FU", "regs", "muxes", "ctrl", "total gates"});
-  t.add_row({r.flow, std::to_string(r.latency), std::to_string(r.cycle_deltas),
-             fixed(r.cycle_ns, 2), fixed(r.execution_ns, 2),
-             std::to_string(r.area.fu_gates), std::to_string(r.area.reg_gates),
+  TextTable t({"flow", "target", "latency", "cycle (deltas)", "cycle (ns)",
+               "exec (ns)", "FU", "regs", "muxes", "ctrl", "total gates"});
+  t.add_row({r.flow, r.target, std::to_string(r.latency),
+             std::to_string(r.cycle_deltas), fixed(r.cycle_ns, 2),
+             fixed(r.execution_ns, 2), std::to_string(r.area.fu_gates),
+             std::to_string(r.area.reg_gates),
              std::to_string(r.area.mux_gates),
              std::to_string(r.area.controller_gates),
              std::to_string(r.area.total())});
@@ -250,7 +348,22 @@ bool check(const std::vector<FlowResult>& results) {
 } // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+  Args args = parse_args(argc, argv);
+
+  // --delta / --overhead derive a modified target and register it next to
+  // the builtins — the same registration path user code uses.
+  if (args.delta_override || args.overhead_override) {
+    Target derived = resolve_target(args.target);
+    derived.name = args.target + "+cli";
+    derived.description = "CLI-derived from '" + args.target + "'";
+    if (args.delta_override) derived.delay.delta_ns = *args.delta_override;
+    if (args.overhead_override) {
+      derived.delay.sequential_overhead_ns = *args.overhead_override;
+    }
+    TargetRegistry::global().register_target(derived);
+    args.target = derived.name;
+  }
+  const Target target = resolve_target(args.target);
 
   std::ifstream file(args.spec_path);
   if (!file) {
@@ -277,7 +390,6 @@ int main(int argc, char** argv) {
     }
 
     FlowOptions opt;
-    opt.delay = args.delay;
     opt.narrow = args.narrow;
     opt.timing = args.timing;
     const Session session({.workers = args.workers});
@@ -287,10 +399,12 @@ int main(int argc, char** argv) {
       // as one concurrent batch of 2 * (hi - lo + 1) independent jobs.
       std::vector<FlowRequest> requests;
       for (unsigned lat = args.sweep_lo; lat <= args.sweep_hi; ++lat) {
-        requests.push_back({spec, "original", lat, 0, opt, args.scheduler});
+        requests.push_back(
+            {spec, "original", lat, 0, opt, args.scheduler, args.target});
         // --n-bits is a single-latency override; a fixed budget across the
         // sweep would make the low-latency points infeasible.
-        requests.push_back({spec, "optimized", lat, 0, opt, args.scheduler});
+        requests.push_back(
+            {spec, "optimized", lat, 0, opt, args.scheduler, args.target});
       }
       std::vector<FlowResult> results = session.run_batch(requests);
       if (args.timing) add_parse_timing(results, parse_ms);
@@ -333,7 +447,7 @@ int main(int argc, char** argv) {
     for (const std::string& name : flow_names) {
       requests.push_back({spec, name, args.latency,
                           name == "optimized" ? args.n_bits : 0, opt,
-                          args.scheduler});
+                          args.scheduler, args.target});
     }
     std::vector<FlowResult> results = session.run_batch(requests);
     if (args.timing) add_parse_timing(results, parse_ms);
@@ -355,7 +469,7 @@ int main(int argc, char** argv) {
       // The optimized flow carries artefacts the emitters feed on.
       if (args.pipeline && r.schedule) {
         const PipelineReport p =
-            analyze_pipelining(*r.schedule, r.report.datapath, opt.delay);
+            analyze_pipelining(*r.schedule, r.report.datapath, target.delay);
         if (args.json) {
           std::cout << to_json(p) << '\n';
         } else {

@@ -65,12 +65,11 @@ TEST(Cli, JsonOutputIsParseableShape) {
   const std::string spec = write_spec("chain", kChain);
   const CliResult r = run_cli(spec + " --latency 3 --flow optimized --json");
   EXPECT_EQ(r.status, 0) << r.output;
-  // --json serializes FlowResult: flow + scheduler + ok + report +
+  // --json serializes FlowResult: flow + scheduler + target + ok + report +
   // artefact summaries.
-  EXPECT_NE(
-      r.output.find(
-          "[{\"flow\":\"optimized\",\"scheduler\":\"list\",\"ok\":true"),
-      std::string::npos);
+  EXPECT_NE(r.output.find("[{\"flow\":\"optimized\",\"scheduler\":\"list\","
+                          "\"target\":\"paper-ripple\",\"ok\":true"),
+            std::string::npos);
   EXPECT_NE(r.output.find("\"report\":{"), std::string::npos);
   EXPECT_NE(r.output.find("\"cycle_deltas\":6"), std::string::npos);
   EXPECT_NE(r.output.find("\"transform\":{"), std::string::npos);
@@ -115,10 +114,66 @@ TEST(Cli, UsageListsEveryOption) {
   for (const char* opt :
        {"--latency", "--sweep", "--flow", "--n-bits", "--dump-dfg",
         "--dump-schedule", "--emit-vhdl", "--emit-rtl", "--emit-dot",
-        "--emit-tb", "--narrow", "--scheduler", "--pipeline", "--json",
+        "--emit-tb", "--narrow", "--scheduler", "--target", "--list-flows",
+        "--list-schedulers", "--list-targets", "--pipeline", "--json",
         "--workers", "--delta", "--overhead"}) {
     EXPECT_NE(r.output.find(opt), std::string::npos) << opt;
   }
+  // The registry summary is generated from the live registries.
+  for (const char* name :
+       {"registries:", "optimized", "forcedirected", "paper-ripple", "cla"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, ListRegistriesAreSelfDescribing) {
+  // The three --list-* modes need no spec file and exit 0; all three come
+  // from one shared listing helper.
+  const CliResult targets = run_cli("--list-targets");
+  EXPECT_EQ(targets.status, 0) << targets.output;
+  for (const char* expect : {"targets:", "paper-ripple", "cla", "fast-logic",
+                             "carry-lookahead"}) {
+    EXPECT_NE(targets.output.find(expect), std::string::npos) << expect;
+  }
+  const CliResult both = run_cli("--list-flows --list-schedulers");
+  EXPECT_EQ(both.status, 0) << both.output;
+  for (const char* expect :
+       {"flows:", "optimized", "blc", "schedulers:", "forcedirected"}) {
+    EXPECT_NE(both.output.find(expect), std::string::npos) << expect;
+  }
+}
+
+TEST(Cli, TargetOptionResolvesThroughRegistry) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult cla =
+      run_cli(spec + " --latency 3 --flow optimized --target cla --json");
+  EXPECT_EQ(cla.status, 0) << cla.output;
+  EXPECT_NE(cla.output.find("\"target\":\"cla\""), std::string::npos);
+  const CliResult ripple =
+      run_cli(spec + " --latency 3 --flow optimized --json");
+  // The target changes the estimated budget, cycle and ns numbers: cla
+  // chains 7 bits into a 4-delta cycle where ripple chains 6 into 6.
+  EXPECT_NE(cla.output.find("\"cycle_deltas\":4"), std::string::npos);
+  EXPECT_NE(cla.output.find("\"n_bits\":7"), std::string::npos);
+  EXPECT_NE(ripple.output.find("\"cycle_deltas\":6"), std::string::npos);
+  EXPECT_NE(ripple.output.find("\"n_bits\":6"), std::string::npos);
+  // Unknown names are rejected up front, listing the registry contents.
+  const CliResult bad = run_cli(spec + " --latency 3 --target bogus");
+  EXPECT_NE(bad.status, 0);
+  EXPECT_NE(bad.output.find("--target must be one of"), std::string::npos);
+  EXPECT_NE(bad.output.find("paper-ripple"), std::string::npos);
+}
+
+TEST(Cli, DelayOverridesRegisterDerivedTarget) {
+  // --delta/--overhead derive "<target>+cli" through the registry, so the
+  // derived name shows up in the JSON like any other target.
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(
+      spec + " --latency 3 --flow optimized --delta 1.0 --overhead 0 --json");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("\"target\":\"paper-ripple+cli\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"cycle_ns\":6.0000"), std::string::npos);
 }
 
 TEST(Cli, UnknownFlowListsRegisteredNames) {

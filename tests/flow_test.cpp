@@ -163,6 +163,9 @@ TEST(Flows, SchedulerIsSurfacedInResultAndJson) {
 }
 
 TEST(Flows, UnknownSchedulerIsAStructuredError) {
+  // Since the request-validation consolidation, unknown schedulers are
+  // rejected by the same pre-flight path as unknown flows and targets:
+  // stage "registry", with the registered names listed.
   const Session session;
   const FlowResult r =
       session.run({motivational(), "optimized", 3, 0, {}, "annealing"});
@@ -170,9 +173,37 @@ TEST(Flows, UnknownSchedulerIsAStructuredError) {
   ASSERT_FALSE(r.diagnostics.empty());
   const FlowDiagnostic& d = r.diagnostics.back();
   EXPECT_EQ(d.severity, DiagSeverity::Error);
-  EXPECT_EQ(d.stage, "schedule");
+  EXPECT_EQ(d.stage, "registry");
   EXPECT_NE(d.message.find("unknown scheduler 'annealing'"), std::string::npos);
   EXPECT_NE(d.message.find("forcedirected"), std::string::npos);  // lists names
+}
+
+TEST(Flows, ValidateRequestReportsEveryProblemAtOnce) {
+  // One malformed request, four problems, one code path: unknown flow,
+  // zero latency, unknown scheduler, unknown target.
+  FlowRequest req{motivational(), "no-such-flow", 0, 0, {}, "no-such-sched",
+                  "no-such-target"};
+  const std::vector<FlowDiagnostic> problems =
+      validate_request(req, FlowRegistry::global());
+  ASSERT_EQ(problems.size(), 4u);
+  for (const FlowDiagnostic& d : problems) {
+    EXPECT_EQ(d.severity, DiagSeverity::Error);
+  }
+  EXPECT_EQ(problems[0].stage, "registry");  // flow
+  EXPECT_EQ(problems[1].stage, "request");   // latency
+  EXPECT_EQ(problems[2].stage, "registry");  // scheduler
+  EXPECT_EQ(problems[3].stage, "registry");  // target
+  EXPECT_NE(problems[3].message.find("unknown target 'no-such-target'"),
+            std::string::npos);
+  EXPECT_NE(problems[3].message.find(kDefaultTargetName), std::string::npos);
+  // A well-formed request validates clean.
+  EXPECT_TRUE(
+      validate_request({motivational(), "optimized", 3}, FlowRegistry::global())
+          .empty());
+  // Session::run surfaces all of them on one result.
+  const FlowResult r = Session().run(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.diagnostics.size(), 4u);
 }
 
 TEST(Flows, InfeasibleBudgetFailsViaDiagnosticsNotThrow) {

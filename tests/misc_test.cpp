@@ -168,12 +168,19 @@ TEST(Blc, SharesCycleWhenChainFits) {
   EXPECT_EQ(cycles[4], 0u);  // overlapped in the same cycle
 }
 
-TEST(Flows, DelayModelScalesReports) {
-  FlowOptions opt;
-  opt.delay.delta_ns = 1.0;
-  opt.delay.sequential_overhead_ns = 0.0;
+TEST(Flows, RegisteredTargetDelayScalesReports) {
+  // The old FlowOptions::delay knob, re-expressed as a user-registered
+  // target: same numbers, but now resolved by name like flows/schedulers.
+  Target t = resolve_target(kDefaultTargetName);
+  t.name = "unit-delta-test";
+  t.delay.delta_ns = 1.0;
+  t.delay.sequential_overhead_ns = 0.0;
+  TargetRegistry::global().register_target(t);
   const ImplementationReport r =
-      testutil::run_flow({motivational(), "conventional", 3, 0, opt}).report;
+      testutil::run_flow(
+          {motivational(), "conventional", 3, 0, {}, "list", "unit-delta-test"})
+          .report;
+  EXPECT_EQ(r.target, "unit-delta-test");
   EXPECT_DOUBLE_EQ(r.cycle_ns, 16.0);
   EXPECT_DOUBLE_EQ(r.execution_ns, 48.0);
 }

@@ -194,6 +194,15 @@ TEST(Conventional, DepthModel) {
   EXPECT_EQ(conventional_depth(d.node(s.node())), 16u);
   EXPECT_EQ(conventional_depth(d.node(c.node())), 17u);
   EXPECT_EQ(conventional_depth(d.node(m.node())), 18u);
+
+  // Under a carry-lookahead delay model the chains compress to their
+  // adder_depth; the comparator/mux levels stay on top.
+  DelayModel cla;
+  cla.style = AdderStyle::CarryLookahead;
+  EXPECT_EQ(conventional_depth(d.node(p.node()), cla), 6u);  // depth(28)
+  EXPECT_EQ(conventional_depth(d.node(s.node()), cla), 6u);  // depth(16)
+  EXPECT_EQ(conventional_depth(d.node(c.node()), cla), 7u);  // depth(16)+1
+  EXPECT_EQ(conventional_depth(d.node(m.node()), cla), 8u);  // depth(16)+2
 }
 
 TEST(Conventional, MotivationalLatency3IsTableIRow) {

@@ -286,6 +286,52 @@ TEST(SessionJson, FailedResultSerializesDiagnostics) {
   EXPECT_NE(j.find("\"stage\":\"registry\""), std::string::npos);
 }
 
+TEST(SessionJson, TimingsBlockRoundTripsWhenRequested) {
+  // FlowOptions::timing populates FlowResult::timings; the JSON carries one
+  // {stage, ms} object per stage, in stage order, with the same values.
+  const Session session;
+  FlowOptions opt;
+  opt.timing = true;
+  const FlowResult r =
+      session.run({motivational(), "optimized", 3, 0, opt}).require();
+  ASSERT_FALSE(r.timings.empty());
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"timings\":["), std::string::npos);
+  std::size_t cursor = j.find("\"timings\":[");
+  for (const StageTiming& st : r.timings) {
+    const std::string entry = "{\"stage\":\"" + st.stage + "\",\"ms\":";
+    cursor = j.find(entry, cursor);
+    EXPECT_NE(cursor, std::string::npos) << st.stage;
+  }
+  for (const char* stage :
+       {"kernel", "transform", "schedule", "allocate", "verify"}) {
+    EXPECT_NE(j.find("{\"stage\":\"" + std::string(stage) + "\""),
+              std::string::npos)
+        << stage;
+  }
+  // Without the option the block is absent entirely (byte-stable output).
+  const std::string plain =
+      to_json(session.run({motivational(), "optimized", 3}).require());
+  EXPECT_EQ(plain.find("\"timings\""), std::string::npos);
+}
+
+TEST(SessionBatch, TargetAxisSweepsNextToLatencies) {
+  // run_sweep's target axis: 2 targets x 3 latencies, target-major, every
+  // result carrying its resolved target name.
+  const Session session;
+  const std::vector<FlowResult> rs =
+      session.run_sweep(fir2(), "optimized", 3, 5, {}, "list",
+                        {std::string(kDefaultTargetName), "cla"});
+  ASSERT_EQ(rs.size(), 6u);
+  for (unsigned i = 0; i < 6; ++i) {
+    EXPECT_TRUE(rs[i].ok) << i;
+    EXPECT_EQ(rs[i].report.target, i < 3 ? kDefaultTargetName : "cla") << i;
+    EXPECT_EQ(rs[i].report.latency, 3 + (i % 3)) << i;
+  }
+  // Same latency, different technology: the cla rows price differently.
+  EXPECT_NE(rs[0].report.cycle_ns, rs[3].report.cycle_ns);
+}
+
 TEST(SessionJson, ArrayOfResults) {
   const Session session;
   const std::string j = to_json(session.run_sweep(fir2(), "optimized", 3, 4));

@@ -203,6 +203,41 @@ TEST(DelayModel, AdderDepthStyles) {
   EXPECT_EQ(m.adder_depth(16), 6u);  // 2 + log2(16)
   EXPECT_LT(m.adder_depth(16), 16u);
   EXPECT_EQ(m.adder_depth(0), 0u);
+  EXPECT_STREQ(to_string(AdderStyle::Ripple), "ripple");
+  EXPECT_STREQ(to_string(AdderStyle::CarryLookahead), "carry-lookahead");
+}
+
+TEST(CriticalPath, TargetAwareBudgetIsRippleIdentity) {
+  // Under the ripple model the target-aware budget IS the §3.2 estimate —
+  // the invariant that keeps the default target bit-identical to the paper.
+  const DelayModel ripple;
+  for (unsigned critical : {1u, 9u, 18u, 48u, 100u}) {
+    for (unsigned latency : {1u, 3u, 7u}) {
+      EXPECT_EQ(estimate_cycle_budget(critical, latency, ripple),
+                estimate_cycle_duration(critical, latency))
+          << critical << "/" << latency;
+    }
+  }
+}
+
+TEST(CriticalPath, TargetAwareBudgetWidensWithinDepthStep) {
+  // Carry-lookahead: ceil(18/3) = 6 bits has depth 2+log2 = 4; widths 7
+  // share that depth, 8 does not — so the budget widens to 7 for free.
+  DelayModel cla;
+  cla.style = AdderStyle::CarryLookahead;
+  EXPECT_EQ(estimate_cycle_budget(18, 3, cla), 7u);
+  EXPECT_EQ(cla.adder_depth(7), cla.adder_depth(6));
+  EXPECT_GT(cla.adder_depth(8), cla.adder_depth(7));
+  // The widening never exceeds the whole critical path (depth(3) == depth(2)
+  // would allow 3 bits, but a 2-delta path has nothing more to chain)...
+  EXPECT_EQ(estimate_cycle_budget(2, 1, cla), 2u);
+  // ...and never shrinks below the structural floor.
+  for (unsigned critical : {5u, 18u, 48u}) {
+    for (unsigned latency : {1u, 2u, 5u}) {
+      EXPECT_GE(estimate_cycle_budget(critical, latency, cla),
+                estimate_cycle_duration(critical, latency));
+    }
+  }
 }
 
 } // namespace
