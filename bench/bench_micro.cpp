@@ -21,6 +21,16 @@
 //     optimized flow under every builtin target, printed as a markdown
 //     table. Like --json, needs no google-benchmark.
 //
+//   bench_micro --explore
+//     The cached-sweep vs naive-sweep comparison (PERFORMANCE.md's
+//     exploration table): a latency x target sweep per suite, once through
+//     Session::run_sweep (naive, every point from scratch) and once
+//     through hls::Explorer (shared ArtifactCache + §3.2 bound pruning).
+//     Exits non-zero if the explorer stops beating the naive sweep by at
+//     least 1.5x on synth-mesh8x8. The tracked >= 2x ratio also lands in
+//     the --json baseline as the "synth-mesh8x8-explore" entry, so the CI
+//     gate watches it continuously.
+//
 //   bench_micro [google-benchmark flags]
 //     The full exploratory google-benchmark suite (only when the build
 //     found google-benchmark; the --json mode always works).
@@ -33,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "dse/explorer.hpp"
 #include "flow/session.hpp"
 #include "frag/bit_windows.hpp"
 #include "kernel/extract.hpp"
@@ -69,17 +80,99 @@ double measure_ns(const std::string& scheduler, const TransformResult& t,
   return elapsed_ns / static_cast<double>(iters);
 }
 
-/// Median of three independent measurements — the noise tolerance the CI
-/// regression gate relies on.
-double median_of_3_ns(const std::string& scheduler, const TransformResult& t,
-                      const SchedulerOptions& options) {
-  double a = measure_ns(scheduler, t, options);
-  double b = measure_ns(scheduler, t, options);
-  double c = measure_ns(scheduler, t, options);
+/// Median of three values — the noise tolerance the CI regression gate
+/// relies on, shared by every tracked measurement in this file.
+double median3(double a, double b, double c) {
   if (a > b) std::swap(a, b);
   if (b > c) std::swap(b, c);
   if (a > b) std::swap(a, b);
   return b;
+}
+
+/// Median of three independent measurements.
+double median_of_3_ns(const std::string& scheduler, const TransformResult& t,
+                      const SchedulerOptions& options) {
+  return median3(measure_ns(scheduler, t, options),
+                 measure_ns(scheduler, t, options),
+                 measure_ns(scheduler, t, options));
+}
+
+// --- cached-sweep vs naive-sweep (dse/ ArtifactCache + Explorer) ----------
+
+/// One latency x target sweep, both ways. Single-worker on both sides so
+/// the ratio measures the cache + pruning, not pool scheduling.
+struct ExploreBench {
+  double naive_ms = 0;
+  double explorer_ms = 0;
+  std::size_t naive_points = 0;
+  std::size_t explorer_points = 0;
+  std::size_t pruned = 0;
+  double hit_rate = 0;
+  double speedup() const { return naive_ms / explorer_ms; }
+};
+
+ExploreBench measure_explore(const Dfg& spec, unsigned lo, unsigned hi) {
+  const std::vector<std::string> targets{"paper-ripple", "cla", "fast-logic"};
+  using clock = std::chrono::steady_clock;
+  const auto median3_ms = [](auto&& f) {
+    double m[3];
+    for (double& v : m) {
+      const auto t0 = clock::now();
+      f();
+      v = std::chrono::duration<double, std::milli>(clock::now() - t0)
+              .count();
+    }
+    return median3(m[0], m[1], m[2]);
+  };
+
+  ExploreBench out;
+  const Session session({.workers = 1});
+  out.naive_ms = median3_ms([&] {
+    out.naive_points =
+        session.run_sweep(spec, "optimized", lo, hi, {}, "list", targets)
+            .size();
+  });
+  ExploreRequest req;
+  req.spec = spec;
+  req.targets = targets;
+  req.latency_lo = lo;
+  req.latency_hi = hi;
+  req.workers = 1;
+  out.explorer_ms = median3_ms([&] {
+    // A fresh cache per run (Explorer creates its own): this measures a
+    // cold cached sweep, not a warm replay.
+    const ExploreResult r = Explorer().run(req);
+    out.explorer_points = r.evaluated;
+    out.pruned = r.pruned.size();
+    out.hit_rate = r.cache_stats.total().hit_rate();
+  });
+  return out;
+}
+
+int run_explore_bench() {
+  std::printf(
+      "| suite | latency x target grid | naive points | naive ms | "
+      "explorer points (pruned) | explorer ms | speedup | cache hit rate "
+      "|\n|---|---|---|---|---|---|---|---|\n");
+  bool ok = true;
+  for (const SuiteEntry& s : registry_suites()) {
+    if (s.name != "motivational" && s.name != "synth-mesh8x8") continue;
+    const unsigned lo = s.latencies.front();
+    const unsigned hi = lo + 28;
+    const ExploreBench b = measure_explore(s.build(), lo, hi);
+    std::printf("| %s | %u..%u x 3 | %zu | %.1f | %zu (%zu) | %.1f | "
+                "%.1fx | %.0f%% |\n",
+                s.name.c_str(), lo, hi, b.naive_points, b.naive_ms,
+                b.explorer_points, b.pruned, b.explorer_ms, b.speedup(),
+                100.0 * b.hit_rate);
+    // The acceptance shape: the cached+pruned sweep must beat the naive
+    // sweep clearly on the big kernel. 1.5x is a loose absolute floor,
+    // robust to runner noise; the tight gate is the synth-mesh8x8-explore
+    // entry of BENCH_micro.json, which scripts/bench_diff.py holds within
+    // 25% of the committed ratio.
+    if (s.name == "synth-mesh8x8" && b.speedup() < 1.5) ok = false;
+  }
+  return ok ? 0 : 1;
 }
 
 int run_json_baseline(const char* path) {
@@ -90,7 +183,10 @@ int run_json_baseline(const char* path) {
 
   std::string out = "{\n  \"schema\": \"fraghls-bench-micro-v1\",\n"
                     "  \"note\": \"ns_per_op is machine-dependent; the CI "
-                    "regression gate tracks speedup_vs_full_resim\",\n"
+                    "regression gate tracks speedup_vs_full_resim. The "
+                    "*-explore entry compares one cached+pruned Explorer "
+                    "sweep (ns_per_op) against the naive per-point "
+                    "Session::run_sweep (full_resim_ns_per_op)\",\n"
                     "  \"entries\": [\n";
   bool first = true;
   for (const SuiteEntry& s : synthetic_suites()) {
@@ -110,6 +206,26 @@ int run_json_baseline(const char* path) {
       first = false;
       out += row;
     }
+  }
+  // The cached-sweep entry: the dse/ Explorer's latency x target sweep on
+  // synth-mesh8x8 vs the naive per-point Session::run_sweep, in the same
+  // schema (ns_per_op = one explorer sweep, full_resim_ns_per_op = one
+  // naive sweep of the same grid) so the CI gate tracks the cached-sweep
+  // speedup exactly like the oracle entries.
+  for (const SuiteEntry& s : synthetic_suites()) {
+    if (s.name != "synth-mesh8x8") continue;
+    std::fprintf(stderr, "bench %s/explore...\n", s.name.c_str());
+    const ExploreBench b = measure_explore(s.build(), s.latencies.front(),
+                                           s.latencies.front() + 28);
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "    {\"suite\": \"%s-explore\", \"scheduler\": \"list\", "
+                  "\"ns_per_op\": %.0f, \"full_resim_ns_per_op\": %.0f, "
+                  "\"speedup_vs_full_resim\": %.2f}",
+                  s.name.c_str(), b.explorer_ms * 1e6, b.naive_ms * 1e6,
+                  b.speedup());
+    out += ",\n";
+    out += row;
   }
   out += "\n  ]\n}\n";
 
@@ -327,6 +443,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--target-sweep") == 0) {
       return run_target_sweep();
+    }
+    if (std::strcmp(argv[i], "--explore") == 0) {
+      return run_explore_bench();
     }
   }
 #ifdef FRAGHLS_HAVE_GBENCH

@@ -1,77 +1,83 @@
-// Design-space exploration of the fifth-order elliptic wave filter: sweep
-// the latency constraint, synthesize original and optimized implementations
-// at each point, and report the Pareto view (execution time vs area) a
-// designer would use to pick an operating point.
+// Design-space exploration of the fifth-order elliptic wave filter —
+// through hls::Explorer, the dse/ frontier engine. One request spans the
+// whole grid a designer would consider (original vs optimized flow, every
+// registered technology target, latency 3..15); the explorer fans the
+// evaluations over a shared ArtifactCache, prunes latency points whose
+// §3.2 timing bound is already dominated, and returns the live Pareto
+// frontier over (latency, cycle, execution time, area).
 //
 // Build & run:   ./build/examples/filter_explorer
 
 #include <iostream>
 
-#include "flow/session.hpp"
+#include "dse/explorer.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "suites/suites.hpp"
+#include "timing/target.hpp"
 
 using namespace hls;
 
 int main() {
-  const Dfg filter = elliptic();
-  std::cout << "Fifth-order elliptic wave filter, one iteration per frame.\n";
-  std::cout << "Sweep: latency 3..15 cycles, both specifications.\n\n";
+  ExploreRequest req;
+  req.spec = elliptic();
+  req.flows = {"original", "optimized"};
+  req.targets = TargetRegistry::global().names();
+  req.latency_lo = 3;
+  req.latency_hi = 15;
+  // Rank the frontier purely by execution time (the default weights rank
+  // by cycle length, so zero that out explicitly).
+  req.weights.cycle_ns = 0;
+  req.weights.execution_ns = 1;
 
-  TextTable t({"lat", "orig cycle", "orig exec", "orig area", "opt cycle",
-               "opt exec", "opt area", "saved"});
-  // Both series, every latency, as two concurrent Session sweeps.
-  const Session session;
-  const std::vector<FlowResult> orig_sweep =
-      session.run_sweep(filter, "original", 3, 15);
-  const std::vector<FlowResult> opt_sweep =
-      session.run_sweep(filter, "optimized", 3, 15);
+  std::cout << "Fifth-order elliptic wave filter, one iteration per frame.\n"
+            << "Grid: latency 3..15 x {original, optimized} x "
+            << req.targets.size() << " targets.\n\n";
 
-  double best_exec = 1e30;
-  std::size_t best_point = 0;
-  for (std::size_t i = 0; i < orig_sweep.size(); ++i) {
-    const ImplementationReport& orig = orig_sweep[i].require().report;
-    const FlowResult& opt = opt_sweep[i].require();
-    t.add_row({std::to_string(orig.latency), fixed(orig.cycle_ns, 2),
-               fixed(orig.execution_ns, 1), std::to_string(orig.area.total()),
-               fixed(opt.report.cycle_ns, 2), fixed(opt.report.execution_ns, 1),
-               std::to_string(opt.report.area.total()),
-               pct(opt.report.cycle_saving_vs(orig))});
-    if (opt.report.execution_ns < best_exec) {
-      best_exec = opt.report.execution_ns;
-      best_point = i;
-    }
+  const ExploreResult r = Explorer().run(req);
+  if (!r.ok) {
+    std::cerr << "exploration failed: " << r.error_text() << '\n';
+    return 1;
   }
-  std::cout << t << '\n';
 
-  const FlowResult& best = opt_sweep[best_point];
-  const unsigned best_lat = best.report.latency;
+  std::cout << "evaluated " << r.evaluated << " points (" << r.failed
+            << " failed, " << r.pruned.size()
+            << " pruned as dominated); cache served "
+            << r.cache_stats.total().hits << " stage artefacts ("
+            << pct(r.cache_stats.total().hit_rate()) << " hit rate)\n\n";
 
-  // Re-synthesize the chosen operating point under every registered
-  // technology target (one run_sweep call: targets are a sweep axis too).
-  std::cout << "Technology targets at latency " << best_lat << ":\n";
-  TextTable tt({"target", "cycle", "exec", "area", "budget (bits)"});
-  const std::vector<std::string> targets = TargetRegistry::global().names();
-  const std::vector<FlowResult> per_target = session.run_sweep(
-      filter, "optimized", best_lat, best_lat, {}, "list", targets);
-  for (const FlowResult& r : per_target) {
-    const FlowResult& ok = r.require();
-    tt.add_row({ok.report.target, fixed(ok.report.cycle_ns, 2),
-                fixed(ok.report.execution_ns, 1),
-                std::to_string(ok.report.area.total()),
-                std::to_string(ok.transform->n_bits)});
+  TextTable t({"flow", "target", "lat", "cycle (ns)", "exec (ns)",
+               "area (gates)", ""});
+  for (const std::size_t i : r.frontier) {
+    const ExplorePoint& p = r.points[i];
+    t.add_row({p.flow, p.target, std::to_string(p.latency),
+               fixed(p.objectives.cycle_ns, 2),
+               fixed(p.objectives.execution_ns, 1),
+               std::to_string(p.objectives.area_gates),
+               r.best && *r.best == i ? "<- fastest" : ""});
   }
-  std::cout << tt << '\n';
+  std::cout << "Pareto frontier (" << r.frontier.size() << " points):\n" << t
+            << '\n';
 
-  std::cout << "Fastest optimized design point: latency " << best_lat << ", "
-            << fixed(best.report.execution_ns, 1) << " ns per iteration ("
-            << fixed(1000.0 / best.report.execution_ns, 1) << " MHz sample rate), "
-            << best.report.area.total() << " gates.\n";
-  std::cout << "Transformed spec: " << best.transform->spec.additive_op_count()
-            << " additions (from " << best.kernel->additive_op_count()
-            << " kernel additions), " << best.transform->fragmented_op_count
-            << " operations fragmented, budget " << best.transform->n_bits
-            << " chained bits/cycle.\n";
+  if (!r.best) {
+    std::cerr << "no feasible design point on the grid\n";
+    return 1;
+  }
+  // The chosen operating point still carries the full FlowResult, with
+  // every artefact an uncached Session::run would have produced.
+  const ExplorePoint& best = r.points[*r.best];
+  std::cout << "Fastest design point: " << best.flow << " flow on '"
+            << best.target << "', latency " << best.latency << ", "
+            << fixed(best.objectives.execution_ns, 1) << " ns per iteration ("
+            << fixed(1000.0 / best.objectives.execution_ns, 1)
+            << " MHz sample rate), " << best.objectives.area_gates
+            << " gates.\n";
+  if (best.result.transform) {
+    std::cout << "Transformed spec: "
+              << best.result.transform->spec.additive_op_count()
+              << " additions, " << best.result.transform->fragmented_op_count
+              << " operations fragmented, budget "
+              << best.result.transform->n_bits << " chained bits/cycle.\n";
+  }
   return 0;
 }

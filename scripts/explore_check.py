@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a `fraghls --explore --json` document: schema + frontier dominance.
+
+Usage: explore_check.py [EXPLORE.json]    (reads stdin when no file given)
+
+Checks, failing (exit 1) on the first violation class found:
+  * schema is "fraghls-explore-v1" and the required keys are present;
+  * frontier indices are valid, point at ok points, and agree with each
+    point's own "frontier" flag;
+  * no frontier point is dominated by any evaluated ok point, and every ok
+    non-frontier point is dominated by some frontier point (dominance over
+    latency, cycle_ns, execution_ns, area_gates — all minimized);
+  * "best" (when present) is a frontier index;
+  * every pruned point carries a reason, and "dominated-bound" prunes carry
+    the bound that was dominated.
+
+This re-derives dominance independently of the C++ implementation, so the
+CI smoke catches a frontier regression even if the library's own notion of
+dominance drifts.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("schema", "ok", "spec", "axes", "evaluated", "failed",
+                 "points", "frontier", "pruned", "cache")
+
+
+def objectives(point):
+    return (point["latency"], point["cycle_ns"], point["execution_ns"],
+            point["area_gates"])
+
+
+def dominates(a, b):
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b))
+
+
+def fail(msg):
+    sys.exit(f"explore_check: FAIL: {msg}")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else None
+    with (open(path) if path else sys.stdin) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "fraghls-explore-v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            fail(f"missing key {key!r}")
+    if not doc["ok"]:
+        fail("document reports ok=false: " + json.dumps(doc["diagnostics"]))
+
+    points = doc["points"]
+    if len(points) != doc["evaluated"]:
+        fail(f"evaluated={doc['evaluated']} but {len(points)} points")
+    if sum(1 for p in points if not p["ok"]) != doc["failed"]:
+        fail("failed count disagrees with per-point ok flags")
+
+    frontier = doc["frontier"]
+    front_set = set(frontier)
+    if len(front_set) != len(frontier):
+        fail("duplicate frontier indices")
+    for i in frontier:
+        if not 0 <= i < len(points):
+            fail(f"frontier index {i} out of range")
+        if not points[i]["ok"]:
+            fail(f"frontier index {i} points at a failed point")
+    for i, p in enumerate(points):
+        if p["ok"] and p["frontier"] != (i in front_set):
+            fail(f"point {i} frontier flag disagrees with the index list")
+    if "best" in doc and doc["best"] not in front_set:
+        fail(f"best={doc['best']} is not a frontier index")
+
+    ok_points = [(i, objectives(p)) for i, p in enumerate(points) if p["ok"]]
+    for i in frontier:
+        oi = objectives(points[i])
+        for j, oj in ok_points:
+            if j != i and dominates(oj, oi):
+                fail(f"frontier point {i} is dominated by evaluated point {j}")
+    for j, oj in ok_points:
+        if j in front_set:
+            continue
+        if not any(dominates(objectives(points[i]), oj) for i in frontier):
+            fail(f"non-frontier point {j} is dominated by no frontier point")
+
+    for p in doc["pruned"]:
+        if p.get("reason") not in ("dominated-bound", "budget"):
+            fail(f"pruned point has unknown reason {p.get('reason')!r}")
+        if p["reason"] == "dominated-bound" and "bound" not in p:
+            fail("dominated-bound prune without its bound")
+
+    print(f"explore_check: OK: {len(frontier)} frontier / "
+          f"{doc['evaluated']} evaluated / {len(doc['pruned'])} pruned "
+          f"points on '{doc['spec']}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+#include "dse/cache.hpp"
+
+#include <utility>
+
+#include "alloc/bitlevel.hpp"
+#include "kernel/narrow.hpp"
+#include "sched/core.hpp"
+#include "timing/critical_path.hpp"
+
+namespace hls {
+
+namespace {
+
+// Stage-parameter mixing: every composite key starts from the spec digest
+// and folds in the parameters that can change the artefact.
+
+Digest with_narrow(Digest d, bool narrow) {
+  d.mix(narrow ? 1 : 0);
+  return d;
+}
+
+Digest with_point(Digest d, bool narrow, unsigned latency, unsigned n_bits) {
+  d = with_narrow(d, narrow);
+  d.mix(latency);
+  d.mix(n_bits);
+  return d;
+}
+
+Digest with_scheduler(Digest d, const std::string& scheduler) {
+  d.mix_bytes(scheduler.data(), scheduler.size());
+  return d;
+}
+
+} // namespace
+
+CacheStats::Counter CacheStats::total() const {
+  Counter t;
+  for (const Counter* c : {&kernel, &narrow, &prep, &transform, &schedule,
+                           &datapath}) {
+    t.hits += c->hits;
+    t.misses += c->misses;
+  }
+  return t;
+}
+
+template <typename V, typename Compute>
+std::shared_ptr<const V> ArtifactCache::get_or_compute(
+    Table<V>& table, CacheStats::Counter& counter, const Key& key,
+    Compute&& compute) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = table.find(key);
+    if (it != table.end()) {
+      ++counter.hits;
+      return it->second;
+    }
+  }
+  // Compute outside the lock: stage functions are pure, so a racing worker
+  // computing the same key produces an identical value; first insert wins.
+  std::shared_ptr<const V> value =
+      std::make_shared<const V>(std::forward<Compute>(compute)());
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counter.misses;
+  const auto [it, inserted] = table.emplace(key, std::move(value));
+  return it->second;
+}
+
+std::shared_ptr<const KernelArtifact> ArtifactCache::kernel_at(
+    const Digest& d, const Dfg& spec) {
+  return get_or_compute(kernels_, stats_.kernel, key_of(d), [&] {
+    KernelArtifact art;
+    art.already_kernel = is_kernel_form(spec);
+    art.kernel = art.already_kernel ? spec : extract_kernel(spec, &art.stats);
+    return art;
+  });
+}
+
+std::shared_ptr<const Dfg> ArtifactCache::narrowed_at(const Digest& d,
+                                                      const Dfg& spec) {
+  return get_or_compute(narrowed_, stats_.narrow, key_of(d), [&] {
+    return narrow_widths(kernel_at(d, spec)->kernel);
+  });
+}
+
+std::shared_ptr<const TransformPrep> ArtifactCache::prep_at(const Digest& d,
+                                                            const Dfg& spec,
+                                                            bool narrow) {
+  const Key key = key_of(with_narrow(d, narrow));
+  return get_or_compute(preps_, stats_.prep, key, [&] {
+    return prepare_transform(narrow ? *narrowed_at(d, spec)
+                                    : kernel_at(d, spec)->kernel);
+  });
+}
+
+unsigned ArtifactCache::n_bits_at(const Digest& d, const Dfg& spec,
+                                  bool narrow, unsigned latency,
+                                  unsigned n_bits_override,
+                                  const DelayModel& delay) {
+  if (n_bits_override != 0) return n_bits_override;
+  return estimate_cycle_budget(prep_at(d, spec, narrow)->critical, latency,
+                               delay);
+}
+
+std::shared_ptr<const TransformResult> ArtifactCache::transform_at(
+    const Digest& d, const Dfg& spec, bool narrow, unsigned latency,
+    unsigned n_bits) {
+  const Key key = key_of(with_point(d, narrow, latency, n_bits));
+  return get_or_compute(transforms_, stats_.transform, key, [&] {
+    return transform_prepared(*prep_at(d, spec, narrow), latency, n_bits);
+  });
+}
+
+std::shared_ptr<const FragSchedule> ArtifactCache::schedule_at(
+    const Digest& d, const std::string& scheduler, const Dfg& spec,
+    bool narrow, unsigned latency, unsigned n_bits) {
+  const Key key =
+      key_of(with_scheduler(with_point(d, narrow, latency, n_bits), scheduler));
+  return get_or_compute(schedules_, stats_.schedule, key, [&] {
+    return run_scheduler(scheduler,
+                         *transform_at(d, spec, narrow, latency, n_bits));
+  });
+}
+
+std::shared_ptr<const KernelArtifact> ArtifactCache::kernel(const Dfg& spec) {
+  return kernel_at(digest_of(spec), spec);
+}
+
+std::shared_ptr<const Dfg> ArtifactCache::narrowed(const Dfg& spec) {
+  return narrowed_at(digest_of(spec), spec);
+}
+
+std::shared_ptr<const TransformPrep> ArtifactCache::prep(const Dfg& spec,
+                                                         bool narrow) {
+  return prep_at(digest_of(spec), spec, narrow);
+}
+
+unsigned ArtifactCache::resolved_n_bits(const Dfg& spec, bool narrow,
+                                        unsigned latency,
+                                        unsigned n_bits_override,
+                                        const DelayModel& delay) {
+  return n_bits_at(digest_of(spec), spec, narrow, latency, n_bits_override,
+                   delay);
+}
+
+std::shared_ptr<const TransformResult> ArtifactCache::transform(
+    const Dfg& spec, bool narrow, unsigned latency, unsigned n_bits_override,
+    const DelayModel& delay) {
+  const Digest d = digest_of(spec);
+  const unsigned n_bits =
+      n_bits_at(d, spec, narrow, latency, n_bits_override, delay);
+  return transform_at(d, spec, narrow, latency, n_bits);
+}
+
+std::shared_ptr<const FragSchedule> ArtifactCache::fragment_schedule(
+    const std::string& scheduler, const Dfg& spec, bool narrow,
+    unsigned latency, unsigned n_bits_override, const DelayModel& delay) {
+  const Digest d = digest_of(spec);
+  const unsigned n_bits =
+      n_bits_at(d, spec, narrow, latency, n_bits_override, delay);
+  return schedule_at(d, scheduler, spec, narrow, latency, n_bits);
+}
+
+std::shared_ptr<const Datapath> ArtifactCache::bitlevel_datapath(
+    const std::string& scheduler, const Dfg& spec, bool narrow,
+    unsigned latency, unsigned n_bits_override, const DelayModel& delay) {
+  const Digest d = digest_of(spec);
+  const unsigned n_bits =
+      n_bits_at(d, spec, narrow, latency, n_bits_override, delay);
+  const Key key =
+      key_of(with_scheduler(with_point(d, narrow, latency, n_bits), scheduler));
+  return get_or_compute(datapaths_, stats_.datapath, key, [&] {
+    return allocate_bitlevel(
+        *transform_at(d, spec, narrow, latency, n_bits),
+        *schedule_at(d, scheduler, spec, narrow, latency, n_bits));
+  });
+}
+
+CacheStats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ArtifactCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_ = {};
+  kernels_.clear();
+  narrowed_.clear();
+  preps_.clear();
+  transforms_.clear();
+  schedules_.clear();
+  datapaths_.clear();
+}
+
+} // namespace hls

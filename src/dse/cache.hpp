@@ -1,0 +1,160 @@
+#pragma once
+// ArtifactCache — content-hash-keyed memoization of per-stage artefacts,
+// the store behind design-space exploration (dse/explorer.hpp).
+//
+// Every artefact is keyed on the 128-bit content digest of the input
+// specification (ir/hash.hpp) plus the stage parameters that can change the
+// artefact — and nothing else. The load-bearing subtlety is the transform
+// key: a TransformResult depends on the technology target only through the
+// *resolved* cycle budget (frag/transform.hpp), so the cache resolves
+// n_bits first (via the memoized latency-invariant TransformPrep) and keys
+// the transform on that. Two targets that estimate the same budget — e.g.
+// "paper-ripple" and "fast-logic", which differ only in ns scaling — share
+// one transform, one schedule and one datapath; only the report pricing
+// differs.
+//
+// Cached stage graph (each layer keyed by the layers above it):
+//
+//   spec digest ──► kernel (extract_kernel + stats)     [kernel]
+//              └──► narrowed kernel                     [narrow]
+//   (digest, narrow) ──► TransformPrep                  [prep]
+//       (relabelled kernel + §3.2 critical, incl. the DfgIndex-equivalent
+//        arrival floor — the latency-invariant pieces of transform_spec)
+//   (digest, narrow, latency, n_bits) ──► Transform     [transform]
+//   (transform key, scheduler) ──► FragSchedule         [schedule]
+//       (the schedule artefact subsumes the per-transform DfgIndex the
+//        SchedulerCore builds — a hit skips that rebuild too)
+//   (schedule key) ──► Datapath                         [datapath]
+//
+// Concurrency: getters may be called from any number of run_batch workers.
+// Lookups and insertions are mutex-protected; computation runs outside the
+// lock, so two workers racing on the same key may both compute — the first
+// insertion wins, and because every stage function is pure both values are
+// identical. Each performed computation counts as one miss, so miss counts
+// can exceed the number of distinct keys under contention (hit/miss totals
+// are diagnostics, not invariants).
+//
+// Failure is never cached: a stage that throws (infeasible override budget)
+// propagates the hls::Error and leaves no entry, so replays fail with the
+// same staged diagnostics as uncached runs.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "flow/stage_cache.hpp"
+#include "ir/hash.hpp"
+
+namespace hls {
+
+/// Hit/miss accounting, per stage. Surfaced by ExploreResult (and its JSON
+/// rendering) so a sweep reports how much work the cache actually removed.
+struct CacheStats {
+  struct Counter {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /// Hits over lookups; 0 when the stage was never consulted.
+    double hit_rate() const {
+      const std::uint64_t n = hits + misses;
+      return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+    }
+  };
+  Counter kernel, narrow, prep, transform, schedule, datapath;
+
+  /// Sum over all stages.
+  Counter total() const;
+};
+
+/// The production StageCache: unbounded, thread-safe, content-addressed.
+/// One ArtifactCache typically lives for one exploration (Explorer creates
+/// one per run) or one long-lived serving Session.
+class ArtifactCache final : public StageCache {
+public:
+  ArtifactCache() = default;
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  std::shared_ptr<const KernelArtifact> kernel(const Dfg& spec) override;
+  std::shared_ptr<const Dfg> narrowed(const Dfg& spec) override;
+  std::shared_ptr<const TransformResult> transform(
+      const Dfg& spec, bool narrow, unsigned latency, unsigned n_bits_override,
+      const DelayModel& delay) override;
+  std::shared_ptr<const FragSchedule> fragment_schedule(
+      const std::string& scheduler, const Dfg& spec, bool narrow,
+      unsigned latency, unsigned n_bits_override,
+      const DelayModel& delay) override;
+  std::shared_ptr<const Datapath> bitlevel_datapath(
+      const std::string& scheduler, const Dfg& spec, bool narrow,
+      unsigned latency, unsigned n_bits_override,
+      const DelayModel& delay) override;
+
+  /// The memoized latency-invariant transform prep of `spec`'s (optionally
+  /// narrowed) kernel. Exposed beyond the StageCache interface because the
+  /// Explorer prices its §3.2 pruning bounds from prep.critical without
+  /// running any per-point stage.
+  std::shared_ptr<const TransformPrep> prep(const Dfg& spec, bool narrow);
+
+  /// The resolved per-cycle budget a request would transform under — the
+  /// same estimate_cycle_budget call transform_spec makes, over the
+  /// memoized prep. Used for pruning bounds and transform keys alike.
+  unsigned resolved_n_bits(const Dfg& spec, bool narrow, unsigned latency,
+                           unsigned n_bits_override, const DelayModel& delay);
+
+  /// Snapshot of the per-stage counters.
+  CacheStats stats() const;
+
+  /// Drops every entry (counters included).
+  void clear();
+
+private:
+  /// Composite key: a spec digest extended with stage parameters.
+  struct Key {
+    std::uint64_t a = 0, b = 0;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  template <typename V>
+  using Table = std::map<Key, std::shared_ptr<const V>>;
+
+  static Key key_of(const Digest& d) { return {d.a, d.b}; }
+
+  /// Looks `key` up in `table` (counting a hit) or computes, inserts and
+  /// returns (counting a miss; first insertion wins a race).
+  template <typename V, typename Compute>
+  std::shared_ptr<const V> get_or_compute(Table<V>& table,
+                                          CacheStats::Counter& counter,
+                                          const Key& key, Compute&& compute);
+
+  // The public getters hash the spec exactly once and delegate here; the
+  // chained stage lookups below all reuse that digest.
+  std::shared_ptr<const KernelArtifact> kernel_at(const Digest& d,
+                                                  const Dfg& spec);
+  std::shared_ptr<const Dfg> narrowed_at(const Digest& d, const Dfg& spec);
+  std::shared_ptr<const TransformPrep> prep_at(const Digest& d,
+                                               const Dfg& spec, bool narrow);
+  unsigned n_bits_at(const Digest& d, const Dfg& spec, bool narrow,
+                     unsigned latency, unsigned n_bits_override,
+                     const DelayModel& delay);
+  std::shared_ptr<const TransformResult> transform_at(const Digest& d,
+                                                      const Dfg& spec,
+                                                      bool narrow,
+                                                      unsigned latency,
+                                                      unsigned n_bits);
+  std::shared_ptr<const FragSchedule> schedule_at(const Digest& d,
+                                                  const std::string& scheduler,
+                                                  const Dfg& spec, bool narrow,
+                                                  unsigned latency,
+                                                  unsigned n_bits);
+
+  mutable std::mutex mu_;
+  CacheStats stats_;
+  Table<KernelArtifact> kernels_;
+  Table<Dfg> narrowed_;
+  Table<TransformPrep> preps_;
+  Table<TransformResult> transforms_;
+  Table<FragSchedule> schedules_;
+  Table<Datapath> datapaths_;
+};
+
+} // namespace hls

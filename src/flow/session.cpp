@@ -105,9 +105,7 @@ const char* to_string(DiagSeverity s) {
   return "?";
 }
 
-// --- FlowResult --------------------------------------------------------------
-
-std::string FlowResult::error_text() const {
+std::string error_text(const std::vector<FlowDiagnostic>& diagnostics) {
   std::string out;
   for (const FlowDiagnostic& d : diagnostics) {
     if (d.severity != DiagSeverity::Error) continue;
@@ -115,6 +113,12 @@ std::string FlowResult::error_text() const {
     out += d.stage + ": " + d.message;
   }
   return out;
+}
+
+// --- FlowResult --------------------------------------------------------------
+
+std::string FlowResult::error_text() const {
+  return hls::error_text(diagnostics);
 }
 
 const FlowResult& FlowResult::require() const& {
@@ -157,7 +161,8 @@ FlowResult blc(const FlowRequest& req) {
   FlowResult out;
   out.flow = "blc";
   const Target target = resolve_target_stage(out, req);
-  const Dfg kernel = timed_stage(out, req, "kernel", [&] {
+  const Dfg kernel = timed_stage(out, req, "kernel", [&]() -> Dfg {
+    if (req.cache) return req.cache->kernel(req.spec)->kernel;
     return is_kernel_form(req.spec) ? req.spec : extract_kernel(req.spec);
   });
   const OpSchedule s = timed_stage(out, req, "schedule", [&] {
@@ -176,14 +181,24 @@ FlowResult optimized(const FlowRequest& req) {
   FlowResult out;
   out.flow = "optimized";
   const Target target = resolve_target_stage(out, req);
+  // With a StageCache attached, every heavyweight artefact is obtained
+  // through it; the cache computes with exactly the calls of the uncached
+  // branches below, so results stay bit-identical either way (the cache
+  // contract of flow/stage_cache.hpp).
+  StageCache* const cache = req.cache.get();
   KernelStats stats;
   const bool already_kernel = is_kernel_form(req.spec);
-  Dfg kernel = timed_stage(out, req, "kernel", [&] {
+  Dfg kernel = timed_stage(out, req, "kernel", [&]() -> Dfg {
+    if (cache) {
+      const std::shared_ptr<const KernelArtifact> art = cache->kernel(req.spec);
+      stats = art->stats;
+      return art->kernel;
+    }
     return already_kernel ? req.spec : extract_kernel(req.spec, &stats);
   });
   if (req.options.narrow) {
-    kernel = timed_stage(out, req, "narrow", [&] {
-      return narrow_widths(kernel);
+    kernel = timed_stage(out, req, "narrow", [&]() -> Dfg {
+      return cache ? *cache->narrowed(req.spec) : narrow_widths(kernel);
     });
   }
   if (already_kernel) {
@@ -193,7 +208,11 @@ FlowResult optimized(const FlowRequest& req) {
          strformat("%zu operations -> %zu unsigned additions",
                    stats.ops_before, stats.adds_after));
   }
-  out.transform = timed_stage(out, req, "transform", [&] {
+  out.transform = timed_stage(out, req, "transform", [&]() -> TransformResult {
+    if (cache) {
+      return *cache->transform(req.spec, req.options.narrow, req.latency,
+                               req.n_bits_override, target.delay);
+    }
     return transform_spec(kernel, req.latency, req.n_bits_override,
                           target.delay);
   });
@@ -201,14 +220,24 @@ FlowResult optimized(const FlowRequest& req) {
        strformat("cycle budget %u chained bits%s", out.transform->n_bits,
                  req.n_bits_override == 0 ? " (estimated)" : " (override)"));
   out.scheduler = req.scheduler;
-  out.schedule = timed_stage(out, req, "schedule", [&] {
+  out.schedule = timed_stage(out, req, "schedule", [&]() -> FragSchedule {
+    if (cache) {
+      return *cache->fragment_schedule(req.scheduler, req.spec,
+                                       req.options.narrow, req.latency,
+                                       req.n_bits_override, target.delay);
+    }
     return run_scheduler(req.scheduler, *out.transform);
   });
   note(out, "schedule",
        strformat("scheduler '%s' placed %zu fragments in %zu adder ops",
                  req.scheduler.c_str(), out.transform->adds.size(),
                  out.schedule->fu_ops.size()));
-  Datapath dp = timed_stage(out, req, "allocate", [&] {
+  Datapath dp = timed_stage(out, req, "allocate", [&]() -> Datapath {
+    if (cache) {
+      return *cache->bitlevel_datapath(req.scheduler, req.spec,
+                                       req.options.narrow, req.latency,
+                                       req.n_bits_override, target.delay);
+    }
     return allocate_bitlevel(*out.transform, *out.schedule);
   });
   if (req.options.timing) {
@@ -305,6 +334,14 @@ std::vector<FlowDiagnostic> validate_request(const FlowRequest& request,
   return out;
 }
 
+std::optional<FlowDiagnostic> validate_latency_range(unsigned lo, unsigned hi) {
+  if (lo >= 1 && lo <= hi) return std::nullopt;
+  return FlowDiagnostic{
+      DiagSeverity::Error, "request",
+      strformat("latency range must satisfy 1 <= lo <= hi (got lo=%u, hi=%u)",
+                lo, hi)};
+}
+
 // --- Session -----------------------------------------------------------------
 
 Session::Session(SessionOptions options)
@@ -386,9 +423,20 @@ std::vector<FlowResult> Session::run_sweep(
     const Dfg& spec, const std::string& flow, unsigned lo, unsigned hi,
     const FlowOptions& options, const std::string& scheduler,
     const std::vector<std::string>& targets) const {
-  HLS_REQUIRE(lo >= 1 && lo <= hi, "sweep bounds must satisfy 1 <= lo <= hi");
   const std::vector<std::string> target_names =
       targets.empty() ? std::vector<std::string>{kDefaultTargetName} : targets;
+  // An empty/inverted range is a malformed request, reported the same way
+  // Session::run reports one: a single ok == false result with a
+  // "request"-stage Error diagnostic (never a throw, never a silently empty
+  // vector). ExploreRequest validation reuses validate_latency_range.
+  if (const std::optional<FlowDiagnostic> bad = validate_latency_range(lo, hi)) {
+    FlowResult out;
+    out.flow = flow;
+    out.scheduler = scheduler;
+    out.target = target_names.front();
+    out.diagnostics.push_back(*bad);
+    return {std::move(out)};
+  }
   std::vector<FlowRequest> requests;
   requests.reserve(target_names.size() * (hi - lo + 1));
   for (const std::string& target : target_names) {

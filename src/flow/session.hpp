@@ -25,6 +25,7 @@
 // ("list", "forcedirected", or user-registered strategies).
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <map>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "flow/flow.hpp"
+#include "flow/stage_cache.hpp"
 #include "frag/transform.hpp"
 #include "kernel/extract.hpp"
 #include "sched/fragsched.hpp"
@@ -58,6 +60,12 @@ struct FlowRequest {
   /// drives §3.2 cycle estimation, the fragment budget, allocation area
   /// and the ns numbers of the report.
   std::string target = kDefaultTargetName;
+  /// Optional per-stage artefact cache (flow/stage_cache.hpp). When set,
+  /// the builtin flows obtain kernel/transform/schedule/datapath artefacts
+  /// through it instead of recomputing; results stay bit-identical to
+  /// uncached runs. Shared, so one store serves a whole batch across
+  /// run_batch workers — hls::Explorer attaches an ArtifactCache here.
+  std::shared_ptr<StageCache> cache;
 };
 
 enum class DiagSeverity { Note, Warning, Error };
@@ -75,6 +83,10 @@ struct FlowDiagnostic {
 };
 
 const char* to_string(DiagSeverity s);
+
+/// All Error-severity messages of `diagnostics`, joined with "; " — the one
+/// formatter behind FlowResult::error_text and ExploreResult::error_text.
+std::string error_text(const std::vector<FlowDiagnostic>& diagnostics);
 
 /// Wall-clock of one flow stage (FlowOptions::timing): "kernel", "narrow",
 /// "transform", "schedule", "allocate", "verify" — the CLI adds "parse".
@@ -188,6 +200,10 @@ public:
   /// sweep across technology targets (registry names); empty means the
   /// default target only. Results are target-major: all latencies of
   /// targets[0], then all latencies of targets[1], ...
+  /// An empty or inverted range (lo < 1 or hi < lo) returns a single
+  /// ok == false result carrying the validate_latency_range diagnostic —
+  /// structured like every other malformed request, never a bare throw or
+  /// a silently empty vector.
   std::vector<FlowResult> run_sweep(
       const Dfg& spec, const std::string& flow, unsigned lo, unsigned hi,
       const FlowOptions& options = {}, const std::string& scheduler = "list",
@@ -209,6 +225,12 @@ private:
 /// well-formed.
 std::vector<FlowDiagnostic> validate_request(const FlowRequest& request,
                                              const FlowRegistry& registry);
+
+/// The one latency-range validation path (Session::run_sweep and
+/// ExploreRequest): lo < 1 or hi < lo comes back as an Error diagnostic
+/// under stage "request" naming both bounds; nullopt means the range is
+/// well-formed.
+std::optional<FlowDiagnostic> validate_latency_range(unsigned lo, unsigned hi);
 
 namespace flows {
 /// The builtin pipelines behind the registry's "conventional", "blc" and

@@ -1,0 +1,78 @@
+#pragma once
+// StageCache — the flow engine's hook for content-addressed memoization of
+// per-stage artefacts.
+//
+// A FlowRequest may carry a StageCache (FlowRequest::cache); the builtin
+// flows then obtain each heavyweight artefact through the cache instead of
+// recomputing it. The contract every implementation must honour:
+//
+//   each getter returns EXACTLY what the uncached stage call in
+//   flows::{optimized,blc} computes for the same inputs — bit-identical,
+//   hash collisions excepted by construction (the dse/ ArtifactCache keys
+//   on a 128-bit content digest).
+//
+// Because the stage functions are pure, a cache hit is observationally
+// identical to a recompute: FlowResults of cached runs are bit-identical to
+// uncached Session::run of the same request (the dse/ test suite pins this
+// across every registry suite). Hit/miss accounting therefore lives on the
+// cache object (dse::CacheStats), never in the FlowResult — a result must
+// not reveal whether it was served from cache.
+//
+// The production implementation is hls::ArtifactCache (dse/cache.hpp);
+// Explorer attaches one cache to every request of an exploration so a
+// latency/target/scheduler sweep re-runs only the stages whose inputs
+// actually changed.
+
+#include <memory>
+#include <string>
+
+#include "alloc/datapath.hpp"
+#include "frag/transform.hpp"
+#include "kernel/extract.hpp"
+#include "sched/fragsched.hpp"
+
+namespace hls {
+
+/// The kernel-extraction artefact: the §3.1 kernel plus the rewrite stats
+/// the optimized flow reports. `already_kernel` mirrors is_kernel_form() of
+/// the input spec (stats stay default-initialized in that case, exactly as
+/// in an uncached run).
+struct KernelArtifact {
+  Dfg kernel;
+  KernelStats stats;
+  bool already_kernel = false;
+};
+
+/// Abstract per-stage artefact store. All methods are thread-safe and may
+/// be called concurrently from Session::run_batch workers.
+class StageCache {
+public:
+  virtual ~StageCache() = default;
+
+  /// extract_kernel(spec) (or the spec itself when already kernel-form).
+  virtual std::shared_ptr<const KernelArtifact> kernel(const Dfg& spec) = 0;
+
+  /// narrow_widths(kernel(spec)->kernel) — the optional width-narrowing
+  /// stage between extraction and transformation.
+  virtual std::shared_ptr<const Dfg> narrowed(const Dfg& spec) = 0;
+
+  /// transform_spec(kernel, latency, n_bits_override, delay) over the
+  /// (optionally narrowed) kernel of `spec`. Implementations key on the
+  /// *resolved* cycle budget, so targets that estimate the same budget
+  /// share one transform.
+  virtual std::shared_ptr<const TransformResult> transform(
+      const Dfg& spec, bool narrow, unsigned latency, unsigned n_bits_override,
+      const DelayModel& delay) = 0;
+
+  /// run_scheduler(scheduler, transform(...)) — the fragment schedule.
+  virtual std::shared_ptr<const FragSchedule> fragment_schedule(
+      const std::string& scheduler, const Dfg& spec, bool narrow,
+      unsigned latency, unsigned n_bits_override, const DelayModel& delay) = 0;
+
+  /// allocate_bitlevel(transform(...), fragment_schedule(...)).
+  virtual std::shared_ptr<const Datapath> bitlevel_datapath(
+      const std::string& scheduler, const Dfg& spec, bool narrow,
+      unsigned latency, unsigned n_bits_override, const DelayModel& delay) = 0;
+};
+
+} // namespace hls

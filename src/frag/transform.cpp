@@ -150,13 +150,13 @@ TransformResult Materializer::run(unsigned latency, unsigned n_bits,
 
 } // namespace
 
-TransformResult transform_spec(const Dfg& kernel_in, unsigned latency,
-                               unsigned n_bits_override,
-                               const DelayModel& delay) {
+TransformPrep prepare_transform(const Dfg& kernel_in) {
   // Label adds that directly drive output ports with the port name, so the
   // fragments come out as "G(3 downto 0)" in dumps and emitted VHDL, the
   // way the paper's Fig. 2 a) writes them.
-  Dfg kernel = kernel_in;
+  TransformPrep prep;
+  prep.kernel = kernel_in;
+  Dfg& kernel = prep.kernel;
   for (NodeId out : kernel.outputs()) {
     const Operand& o = kernel.node(out).operands[0];
     if (kernel.node(o.node).kind == OpKind::Add &&
@@ -167,15 +167,30 @@ TransformResult transform_spec(const Dfg& kernel_in, unsigned latency,
 
   // The §3.2 walk is a path abstraction; floor it with the exact bit-level
   // arrival so the estimated budget is always feasible.
-  const unsigned critical = std::max(critical_path(kernel).time,
-                                     max_arrival(bit_arrival_times(kernel)));
+  prep.critical = std::max(critical_path(kernel).time,
+                           max_arrival(bit_arrival_times(kernel)));
+  return prep;
+}
+
+TransformResult transform_prepared(const TransformPrep& prep, unsigned latency,
+                                   unsigned n_bits) {
+  const BitWindows windows =
+      BitWindows::compute(prep.kernel, latency, n_bits);
+  const std::vector<Fragment> fragments =
+      fragment_operations(prep.kernel, windows);
+  Materializer m(prep.kernel, fragments);
+  return m.run(latency, n_bits, prep.critical);
+}
+
+TransformResult transform_spec(const Dfg& kernel_in, unsigned latency,
+                               unsigned n_bits_override,
+                               const DelayModel& delay) {
+  const TransformPrep prep = prepare_transform(kernel_in);
   const unsigned n_bits =
-      n_bits_override != 0 ? n_bits_override
-                           : estimate_cycle_budget(critical, latency, delay);
-  const BitWindows windows = BitWindows::compute(kernel, latency, n_bits);
-  const std::vector<Fragment> fragments = fragment_operations(kernel, windows);
-  Materializer m(kernel, fragments);
-  return m.run(latency, n_bits, critical);
+      n_bits_override != 0
+          ? n_bits_override
+          : estimate_cycle_budget(prep.critical, latency, delay);
+  return transform_prepared(prep, latency, n_bits);
 }
 
 } // namespace hls

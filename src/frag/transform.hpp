@@ -45,7 +45,30 @@ struct TransformResult {
   unsigned fragmented_op_count = 0;
 };
 
-/// Transforms a kernel-form specification for the given latency. The cycle
+/// The latency- and target-invariant front half of transform_spec: the
+/// kernel with output-driving Adds relabelled to their port names, plus its
+/// §3.2 critical time (the max of the path walk and the exact bit-level
+/// arrival, in chained-bit units). One TransformPrep serves every
+/// (latency, target) point of a sweep — the dse/ ArtifactCache memoizes it
+/// per kernel so only transform_prepared re-runs per point.
+struct TransformPrep {
+  Dfg kernel;            ///< relabelled copy of the input kernel
+  unsigned critical = 0; ///< §3.2 critical time in chained bits
+};
+
+/// Computes the invariant prep of a kernel-form specification.
+TransformPrep prepare_transform(const Dfg& kernel);
+
+/// The per-point back half: windows, fragmentation and materialization of
+/// the transformed specification for one latency under an already-resolved
+/// cycle budget of `n_bits` chained bits. The result depends on the delay
+/// model only through `n_bits`, so transforms are shareable between targets
+/// that resolve the same budget (e.g. "paper-ripple" and "fast-logic").
+TransformResult transform_prepared(const TransformPrep& prep, unsigned latency,
+                                   unsigned n_bits);
+
+/// Transforms a kernel-form specification for the given latency — exactly
+/// prepare_transform + estimate_cycle_budget + transform_prepared. The cycle
 /// budget defaults to the target-aware §3.2 estimate
 /// (estimate_cycle_budget: ceil(critical_path / latency) under ripple,
 /// widened to the same-depth step under sublinear adder styles); pass

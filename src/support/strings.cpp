@@ -29,6 +29,21 @@ std::string join(const std::vector<std::string>& items, const std::string& sep) 
   return out;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  for (const char c : s) {
+    if (c != sep) {
+      piece += c;
+      continue;
+    }
+    if (!piece.empty()) out.push_back(std::move(piece));
+    piece.clear();
+  }
+  if (!piece.empty()) out.push_back(std::move(piece));
+  return out;
+}
+
 std::string fixed(double v, int digits) {
   return strformat("%.*f", digits, v);
 }

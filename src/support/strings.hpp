@@ -12,6 +12,10 @@ std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Joins items with a separator: join({"a","b"}, ", ") == "a, b".
 std::string join(const std::vector<std::string>& items, const std::string& sep);
 
+/// Splits on a separator character; empty pieces are dropped, so
+/// split("a,,b", ',') == {"a", "b"} and split("", ',') == {}.
+std::vector<std::string> split(const std::string& s, char sep);
+
 /// Fixed-point rendering with `digits` decimals, trailing zeros kept
 /// ("9.40" for 9.4, digits=2). Used so report rows are column-stable.
 std::string fixed(double v, int digits);

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "dse/explorer.hpp"
 #include "flow/flow.hpp"
 #include "flow/json.hpp"
 #include "flow/pipeline.hpp"
@@ -27,6 +28,7 @@
 #include "ir/print.hpp"
 #include "parser/parser.hpp"
 #include "rtl/rtl_emit.hpp"
+#include "suites/suites.hpp"
 #include "rtl/testbench.hpp"
 #include "rtl/vhdl.hpp"
 #include "sched/core.hpp"
@@ -41,9 +43,18 @@ namespace {
 
 struct Args {
   std::string spec_path;
+  std::string suite;  ///< registry suite instead of a spec file (--suite)
   unsigned latency = 0;
   unsigned sweep_lo = 0, sweep_hi = 0;
   std::string flow = "all";
+  // Exploration mode (--explore): axes + knobs of an ExploreRequest.
+  bool explore = false;
+  std::string flows_csv, schedulers_csv, targets_csv;
+  unsigned budget = 0;
+  ObjectiveWeights weights;
+  bool objective_set = false;  ///< --objective given (resets the defaults)
+  bool csv = false;
+  bool no_prune = false;
   unsigned n_bits = 0;
   bool dump_dfg = false;
   bool dump_schedule = false;
@@ -226,6 +237,65 @@ const OptionSpec kOptions[] = {
      [](Args& a, const std::string& v) {
        a.overhead_override = parse_double(v);
      }},
+    {"--suite", "NAME",
+     "synthesize a registry suite instead of a spec file (see suite names "
+     "in the error on a typo)",
+     [](Args& a, const std::string& v) { a.suite = v; }},
+    {"--explore", nullptr,
+     "design-space exploration over flows x schedulers x targets x "
+     "latencies (needs --sweep or --latency; cached + pruned Pareto front)",
+     [](Args& a, const std::string&) { a.explore = true; }},
+    {"--flows", "LIST", "explore: comma-separated flow axis (default: "
+                        "optimized)",
+     [](Args& a, const std::string& v) { a.flows_csv = v; }},
+    {"--schedulers", "LIST",
+     "explore: comma-separated scheduler axis (default: --scheduler)",
+     [](Args& a, const std::string& v) { a.schedulers_csv = v; }},
+    {"--targets", "LIST",
+     "explore: comma-separated target axis (default: --target)",
+     [](Args& a, const std::string& v) { a.targets_csv = v; }},
+    {"--budget", "N", "explore: evaluate at most N points (0 = unlimited)",
+     [](Args& a, const std::string& v) { a.budget = parse_unsigned(v); }},
+    {"--objective", "SPEC",
+     "explore: ranking weights 'latency=0,cycle=1,exec=0,area=0' (unnamed "
+     "keys are 0; dominance is weight-free)",
+     [](Args& a, const std::string& v) {
+       // Giving --objective replaces the whole default weighting (cycle=1):
+       // naming only 'exec=1' must not silently keep ranking by cycle too.
+       if (!a.objective_set) {
+         a.weights = ObjectiveWeights{0, 0, 0, 0};
+         a.objective_set = true;
+       }
+       if (split(v, ',').empty()) {
+         usage("--objective expects KEY=WEIGHT[,KEY=WEIGHT...]");
+       }
+       for (const std::string& part : split(v, ',')) {
+         const std::size_t eq = part.find('=');
+         if (eq == std::string::npos) {
+           usage("--objective expects KEY=WEIGHT[,KEY=WEIGHT...]");
+         }
+         const std::string key = part.substr(0, eq);
+         const double w = parse_double(part.substr(eq + 1));
+         if (key == "latency") {
+           a.weights.latency = w;
+         } else if (key == "cycle") {
+           a.weights.cycle_ns = w;
+         } else if (key == "exec") {
+           a.weights.execution_ns = w;
+         } else if (key == "area") {
+           a.weights.area = w;
+         } else {
+           usage(("--objective keys are latency|cycle|exec|area, got '" +
+                  key + "'")
+                     .c_str());
+         }
+       }
+     }},
+    {"--no-prune", nullptr,
+     "explore: disable dominated-bound pruning (exhaustive grid)",
+     [](Args& a, const std::string&) { a.no_prune = true; }},
+    {"--csv", nullptr, "explore: CSV point listing instead of tables",
+     [](Args& a, const std::string&) { a.csv = true; }},
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -287,10 +357,42 @@ Args parse_args(int argc, char** argv) {
     }
     std::exit(0);
   }
-  if (a.spec_path.empty()) usage("no spec file given");
+  if (!a.suite.empty() && !a.spec_path.empty()) {
+    usage("give a spec file or --suite, not both");
+  }
+  if (a.spec_path.empty() && a.suite.empty()) {
+    usage("no spec file (or --suite) given");
+  }
   if (a.latency == 0 && a.sweep_lo == 0) {
     usage("--latency N or --sweep LO..HI is required");
   }
+  if (!a.explore &&
+      (a.csv || a.no_prune || a.budget != 0 || a.objective_set ||
+       !a.flows_csv.empty() || !a.schedulers_csv.empty() ||
+       !a.targets_csv.empty())) {
+    usage("--flows/--schedulers/--targets/--budget/--objective/--no-prune/"
+          "--csv require --explore");
+  }
+  // The converse: point-mode-only flags are rejected (not silently
+  // ignored) in explore mode — the axes are --flows, the budget override
+  // has no explore equivalent, and the emitters feed on one point.
+  if (a.explore &&
+      (a.flow != "all" || a.n_bits != 0 || a.pipeline || a.dump_dfg ||
+       a.dump_schedule || a.emit_behavioural || a.emit_rtl ||
+       a.emit_dot_graph || a.emit_tb_vectors != 0)) {
+    usage("--explore takes its flow axis from --flows and evaluates whole "
+          "grids: --flow/--n-bits/--pipeline/--dump-*/--emit-* do not apply");
+  }
+  // --delta/--overhead derive a single '<target>+cli' target from --target;
+  // with an explicit --targets axis that derivation would be silently
+  // bypassed, so the combination is rejected (name the derived target in
+  // --targets-less explore, or register a custom target in code, instead).
+  if (a.explore && !a.targets_csv.empty() &&
+      (a.delta_override || a.overhead_override)) {
+    usage("--delta/--overhead modify --target only; with --explore use them "
+          "without --targets (the derived '<target>+cli' becomes the axis)");
+  }
+  if (a.json && a.csv) usage("--json and --csv are mutually exclusive");
   if (a.flow != "all" && !FlowRegistry::global().contains(a.flow)) {
     usage(("--flow must be one of: all, " + registry_names("flows")).c_str());
   }
@@ -302,6 +404,18 @@ Args parse_args(int argc, char** argv) {
     usage(("--target must be one of: " + registry_names("targets")).c_str());
   }
   return a;
+}
+
+/// Builds the named registry suite's specification, or exits with the
+/// available names (the registry_suites() list the tests and benches use).
+Dfg suite_spec(const std::string& name) {
+  std::vector<std::string> names;
+  for (const SuiteEntry& s : registry_suites()) {
+    if (s.name == name) return s.build();
+    names.push_back(s.name);
+  }
+  usage(("unknown suite '" + name + "' (available: " + join(names, ", ") + ")")
+            .c_str());
 }
 
 void print_report(const ImplementationReport& r) {
@@ -365,22 +479,25 @@ int main(int argc, char** argv) {
   }
   const Target target = resolve_target(args.target);
 
-  std::ifstream file(args.spec_path);
-  if (!file) {
-    std::cerr << "error: cannot open '" << args.spec_path << "'\n";
-    return 1;
-  }
   std::stringstream buffer;
-  buffer << file.rdbuf();
+  if (args.suite.empty()) {
+    std::ifstream file(args.spec_path);
+    if (!file) {
+      std::cerr << "error: cannot open '" << args.spec_path << "'\n";
+      return 1;
+    }
+    buffer << file.rdbuf();
+  }
 
   try {
     const auto parse_t0 = std::chrono::steady_clock::now();
-    const Dfg spec = parse_spec(buffer.str());
+    const Dfg spec = args.suite.empty() ? parse_spec(buffer.str())
+                                        : suite_spec(args.suite);
     const double parse_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - parse_t0)
             .count();
-    if (!args.json) {
+    if (!args.json && !args.csv) {
       std::cout << "parsed '" << spec.name() << "': " << summarize(spec);
       if (args.timing) std::cout << strformat(" (%.3f ms)", parse_ms);
       std::cout << "\n\n";
@@ -393,6 +510,73 @@ int main(int argc, char** argv) {
     opt.narrow = args.narrow;
     opt.timing = args.timing;
     const Session session({.workers = args.workers});
+
+    if (args.explore) {
+      // Design-space exploration: flows x schedulers x targets x latencies
+      // through hls::Explorer (shared ArtifactCache + §3.2 bound pruning +
+      // live Pareto front). Emitter/dump flags are point-mode only.
+      ExploreRequest ereq;
+      ereq.spec = spec;
+      if (!args.flows_csv.empty()) ereq.flows = split(args.flows_csv, ',');
+      ereq.schedulers = args.schedulers_csv.empty()
+                            ? std::vector<std::string>{args.scheduler}
+                            : split(args.schedulers_csv, ',');
+      ereq.targets = args.targets_csv.empty()
+                         ? std::vector<std::string>{args.target}
+                         : split(args.targets_csv, ',');
+      ereq.latency_lo = args.sweep_lo != 0 ? args.sweep_lo : args.latency;
+      ereq.latency_hi = args.sweep_lo != 0 ? args.sweep_hi : args.latency;
+      ereq.options = opt;
+      ereq.weights = args.weights;
+      ereq.budget = args.budget;
+      ereq.prune = !args.no_prune;
+      ereq.workers = args.workers;
+      const ExploreResult er = Explorer().run(ereq);
+      if (args.json) {
+        std::cout << to_json(er) << '\n';
+      } else if (args.csv) {
+        std::cout << to_csv(er);
+      } else {
+        std::size_t budget_pruned = 0;
+        for (const PrunedPoint& p : er.pruned) {
+          if (p.reason == "budget") ++budget_pruned;
+        }
+        std::cout << "explored " << er.evaluated << " points (" << er.failed
+                  << " failed, " << er.pruned.size() - budget_pruned
+                  << " pruned as dominated, " << budget_pruned
+                  << " over budget)";
+        if (args.timing) std::cout << strformat(" in %.1f ms", er.wall_ms);
+        std::cout << "\n\n";
+        if (!er.frontier.empty()) {
+          TextTable t({"flow", "scheduler", "target", "latency", "cycle (ns)",
+                       "exec (ns)", "area (gates)", "score", ""});
+          for (const std::size_t i : er.frontier) {
+            const ExplorePoint& p = er.points[i];
+            t.add_row({p.flow, p.scheduler, p.target,
+                       std::to_string(p.latency),
+                       fixed(p.objectives.cycle_ns, 2),
+                       fixed(p.objectives.execution_ns, 1),
+                       std::to_string(p.objectives.area_gates),
+                       fixed(p.score, 2),
+                       er.best && *er.best == i ? "<- best" : ""});
+          }
+          std::cout << "Pareto frontier (" << er.frontier.size() << " of "
+                    << er.evaluated << " points):\n"
+                    << t;
+        }
+        const CacheStats::Counter total = er.cache_stats.total();
+        std::cout << "\nartifact cache: " << total.hits << " hits, "
+                  << total.misses << " misses ("
+                  << pct(total.hit_rate()) << " hit rate)\n";
+      }
+      for (const FlowDiagnostic& d : er.diagnostics) {
+        if (d.severity == DiagSeverity::Error) {
+          std::cerr << "error: explore [" << d.stage << "]: " << d.message
+                    << '\n';
+        }
+      }
+      return er.ok && !er.frontier.empty() ? 0 : 1;
+    }
 
     if (args.sweep_lo != 0) {
       // Latency sweep (Fig. 4): original vs optimized per latency, executed

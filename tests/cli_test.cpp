@@ -241,6 +241,56 @@ TEST(Cli, RejectsBadArguments) {
   EXPECT_NE(run_cli(spec + " --latency 3 --flow x").status, 0);
   EXPECT_NE(run_cli(spec + " --sweep 5..2").status, 0);
   EXPECT_NE(run_cli("missing.hls --latency 3").status, 0);
+  // Exploration flags are explore-only; --suite excludes a spec file.
+  EXPECT_NE(run_cli(spec + " --latency 3 --csv").status, 0);
+  EXPECT_NE(run_cli(spec + " --latency 3 --budget 5").status, 0);
+  EXPECT_NE(run_cli(spec + " --suite motivational --latency 3").status, 0);
+}
+
+TEST(Cli, SuiteModeSynthesizesRegistrySuites) {
+  const CliResult r = run_cli("--suite motivational --latency 3 "
+                              "--flow optimized --json");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("\"flow\":\"optimized\""), std::string::npos);
+  // Unknown suites are self-diagnosing, like every other registry name.
+  const CliResult bad = run_cli("--suite bogus --latency 3");
+  EXPECT_NE(bad.status, 0);
+  EXPECT_NE(bad.output.find("unknown suite 'bogus'"), std::string::npos);
+  EXPECT_NE(bad.output.find("synth-mesh8x8"), std::string::npos);
+}
+
+TEST(Cli, ExploreModePrintsFrontierTable) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r =
+      run_cli(spec + " --explore --sweep 2..8 --targets paper-ripple,cla");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("Pareto frontier"), std::string::npos);
+  EXPECT_NE(r.output.find("pruned as dominated"), std::string::npos);
+  EXPECT_NE(r.output.find("artifact cache:"), std::string::npos);
+  EXPECT_NE(r.output.find("<- best"), std::string::npos);
+}
+
+TEST(Cli, ExploreJsonAndCsvShapes) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult j = run_cli(spec + " --explore --sweep 2..6 --json");
+  EXPECT_EQ(j.status, 0) << j.output;
+  EXPECT_NE(j.output.find("\"schema\":\"fraghls-explore-v1\""),
+            std::string::npos);
+  EXPECT_NE(j.output.find("\"frontier\":["), std::string::npos);
+  EXPECT_NE(j.output.find("\"cache\":{"), std::string::npos);
+  const CliResult c = run_cli(spec + " --explore --sweep 2..6 --csv");
+  EXPECT_EQ(c.status, 0) << c.output;
+  EXPECT_EQ(c.output.rfind("flow,scheduler,target,latency,ok,", 0), 0u)
+      << c.output;
+  // --budget and --objective steer the same mode.
+  const CliResult b = run_cli(
+      spec + " --explore --sweep 2..9 --budget 3 --no-prune "
+             "--objective area=1,cycle=0 --json");
+  EXPECT_EQ(b.status, 0) << b.output;
+  EXPECT_NE(b.output.find("\"reason\":\"budget\""), std::string::npos);
+  const CliResult bad_obj =
+      run_cli(spec + " --explore --sweep 2..4 --objective frobs=1");
+  EXPECT_NE(bad_obj.status, 0);
 }
 
 } // namespace

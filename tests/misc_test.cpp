@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "testutil.hpp"
+#include "flow/json.hpp"
 #include "ir/builder.hpp"
 #include "ir/eval.hpp"
 #include "ir/print.hpp"
@@ -14,6 +15,90 @@
 
 namespace hls {
 namespace {
+
+// --- JSON string escaping ----------------------------------------------------
+
+/// Decodes a json_escape()d string back to bytes: the inverse of every
+/// escape the emitter produces (short escapes, \u00XX for C0/DEL). Only
+/// what the round-trip test needs — not a general JSON parser.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size();) {
+    if (s[i] != '\\') {
+      out += s[i++];
+      continue;
+    }
+    const char e = s[i + 1];
+    if (e == 'u') {
+      out += static_cast<char>(std::stoi(s.substr(i + 2, 4), nullptr, 16));
+      i += 6;
+      continue;
+    }
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      default: ADD_FAILURE() << "unexpected escape \\" << e;
+    }
+    i += 2;
+  }
+  return out;
+}
+
+TEST(JsonEscape, ControlCharactersRoundTrip) {
+  // Every C0 control byte plus DEL, quote and backslash: the escaped form
+  // must contain no raw control byte and decode back to the original.
+  std::string nasty = "\"quote\\back";
+  for (int c = 0; c < 0x20; ++c) nasty += static_cast<char>(c);
+  nasty += static_cast<char>(0x7f);
+  const std::string escaped = json_escape(nasty);
+  for (const char c : escaped) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u >= 0x20 && u != 0x7f) << "raw byte " << static_cast<int>(u);
+  }
+  EXPECT_EQ(json_unescape(escaped), nasty);
+  // The short forms are used where JSON has them.
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(json_escape("\x1b"), "\\u001b");
+  EXPECT_EQ(json_escape("\x7f"), "\\u007f");
+}
+
+TEST(JsonEscape, Utf8PassesThroughInvalidBytesAreReplaced) {
+  // Valid multi-byte UTF-8 is already a legal JSON string: verbatim.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x99\x82";
+  EXPECT_EQ(json_escape(utf8), utf8);
+  // Bytes that are not part of a valid sequence (stray continuation,
+  // truncated lead, overlong, surrogate) become U+FFFD so the output is
+  // always valid UTF-8 — lossy by design, never invalid.
+  EXPECT_EQ(json_escape("\x80"), "\\ufffd");
+  EXPECT_EQ(json_escape("a\xc3"), "a\\ufffd");            // truncated lead
+  EXPECT_EQ(json_escape("\xc0\xaf"), "\\ufffd\\ufffd");   // overlong
+  EXPECT_EQ(json_escape("\xed\xa0\x80"),
+            "\\ufffd\\ufffd\\ufffd");                     // surrogate half
+  EXPECT_EQ(json_escape("ok\xff go"), "ok\\ufffd go");
+}
+
+TEST(JsonEscape, DiagnosticMessagesStayParseable) {
+  // A diagnostic whose message carries control bytes (e.g. a spec name
+  // pasted with a stray escape sequence) must serialize to valid JSON.
+  FlowDiagnostic d;
+  d.severity = DiagSeverity::Error;
+  d.stage = "request";
+  d.message = "bad\x01name\twith\nnoise\x1b[0m";
+  const std::string j = to_json(d);
+  for (const char c : j) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(j.find("\\u0001"), std::string::npos);
+  EXPECT_NE(j.find("\\u001b"), std::string::npos);
+  EXPECT_NE(j.find("\\t"), std::string::npos);
+  EXPECT_NE(j.find("\\n"), std::string::npos);
+}
 
 TEST(OpTraits, Classification) {
   EXPECT_TRUE(is_additive(OpKind::Add));

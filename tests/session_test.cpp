@@ -241,8 +241,33 @@ TEST(SessionBatch, SweepConvenienceMatchesExplicitRequests) {
     EXPECT_EQ(to_json(sweep[i]),
               to_json(session.run({fir2(), "optimized", 3 + i})));
   }
-  EXPECT_THROW(session.run_sweep(fir2(), "optimized", 5, 4), Error);
-  EXPECT_THROW(session.run_sweep(fir2(), "optimized", 0, 4), Error);
+}
+
+TEST(SessionBatch, InvalidSweepRangeYieldsStructuredDiagnostic) {
+  // An empty/inverted range is a malformed request: one ok == false result
+  // with a "request"-stage Error naming both bounds — not a throw, not a
+  // silently empty vector. ExploreRequest reuses validate_latency_range.
+  const Session session;
+  for (const auto& [lo, hi] : {std::pair<unsigned, unsigned>{5, 4}, {0, 4}}) {
+    const std::vector<FlowResult> rs =
+        session.run_sweep(fir2(), "optimized", lo, hi);
+    ASSERT_EQ(rs.size(), 1u) << lo << ".." << hi;
+    EXPECT_FALSE(rs[0].ok);
+    EXPECT_EQ(rs[0].flow, "optimized");
+    ASSERT_FALSE(rs[0].diagnostics.empty());
+    EXPECT_EQ(rs[0].diagnostics[0].severity, DiagSeverity::Error);
+    EXPECT_EQ(rs[0].diagnostics[0].stage, "request");
+    EXPECT_NE(rs[0].diagnostics[0].message.find(
+                  "lo=" + std::to_string(lo)),
+              std::string::npos)
+        << rs[0].diagnostics[0].message;
+    EXPECT_THROW(rs[0].require(), Error);
+  }
+  // The shared validator itself: well-formed ranges pass.
+  EXPECT_FALSE(validate_latency_range(1, 1).has_value());
+  EXPECT_FALSE(validate_latency_range(3, 18).has_value());
+  ASSERT_TRUE(validate_latency_range(9, 2).has_value());
+  EXPECT_EQ(validate_latency_range(9, 2)->stage, "request");
 }
 
 // --- FlowResult JSON ---------------------------------------------------------
