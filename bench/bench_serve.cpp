@@ -1,0 +1,272 @@
+// Serving benchmarks: what the long-lived `fraghls --serve` session service
+// buys over cold per-process invocation.
+//
+// Two measurements, both std::chrono only (no google-benchmark):
+//
+//   * hot vs cold explore throughput — the same explore request fired at
+//     one warmed Server (process-wide ArtifactCache populated) versus a
+//     fresh Server per request (every artefact recomputed, the cold
+//     per-process shape minus process startup — conservative in the
+//     daemon's favour's *dis*favour). The acceptance criterion: hot
+//     sustains >= 5x the requests/sec of cold on the tracked suite.
+//
+//   * mixed-stream latency percentiles — a deterministic mix of run and
+//     explore requests over several registry suites against one Server,
+//     first pass cold, later passes hot, p50/p99 over all request
+//     wall-clocks. This is the serving-latency row of PERFORMANCE.md.
+//
+// Modes:
+//
+//   bench_serve           markdown tables (PERFORMANCE.md), exit 1 if the
+//                         tracked hot/cold ratio drops below 5x
+//   bench_serve --json [FILE]
+//                         fraghls-bench-micro-v1 entries for the
+//                         scripts/bench_diff.py gate (appended to the
+//                         BENCH_micro.json comparison in CI): the hot/cold
+//                         ratio as speedup_vs_full_resim, and the mixed
+//                         stream's p50_ms/p99_ms. Serving numbers are
+//                         noisier than scheduler microbenchmarks, so the
+//                         entries carry a per-entry "tolerance".
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "suites/suites.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace hls;
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+      .count();
+}
+
+double median3(double a, double b, double c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+bool response_ok(const std::string& response) {
+  return response.find("\"ok\":true") != std::string::npos;
+}
+
+/// The tracked explore request: a latency x target grid over one suite,
+/// exactly what a DSE client would fire repeatedly.
+std::string explore_line(const std::string& suite, unsigned lo, unsigned hi) {
+  return strformat("{\"kind\":\"explore\",\"suite\":\"%s\",\"lo\":%u,"
+                   "\"hi\":%u,\"targets\":[\"paper-ripple\",\"cla\"]}",
+                   suite.c_str(), lo, hi);
+}
+
+/// Single-worker servers throughout: explore fan-out would otherwise make
+/// the cold side scale with the runner's core count, and the tracked
+/// metric is the cache's hot/cold ratio, not the machine's parallelism.
+Server make_server() { return Server(ServeOptions{.workers = 1}); }
+
+/// Requests/sec of `line` against one warmed Server. Samples >= 50 ms.
+double hot_reqs_per_sec(const std::string& line) {
+  Server server = make_server();
+  if (!response_ok(server.handle_line(line))) return 0;  // warm-up + check
+  const auto t0 = clock_type::now();
+  std::size_t iters = 0;
+  double elapsed = 0;
+  do {
+    if (!response_ok(server.handle_line(line))) return 0;
+    ++iters;
+    elapsed = ms_since(t0);
+  } while (elapsed < 50.0);
+  return 1e3 * static_cast<double>(iters) / elapsed;
+}
+
+/// Requests/sec with a fresh Server (fresh cache) per request — the cold
+/// per-process shape. Samples >= 50 ms.
+double cold_reqs_per_sec(const std::string& line) {
+  const auto t0 = clock_type::now();
+  std::size_t iters = 0;
+  double elapsed = 0;
+  do {
+    Server server = make_server();
+    if (!response_ok(server.handle_line(line))) return 0;
+    ++iters;
+    elapsed = ms_since(t0);
+  } while (elapsed < 50.0);
+  return 1e3 * static_cast<double>(iters) / elapsed;
+}
+
+struct HotCold {
+  double hot_rps = 0;
+  double cold_rps = 0;
+  double ratio() const { return cold_rps > 0 ? hot_rps / cold_rps : 0; }
+};
+
+HotCold measure_hot_cold(const std::string& line) {
+  HotCold out;
+  out.hot_rps = median3(hot_reqs_per_sec(line), hot_reqs_per_sec(line),
+                        hot_reqs_per_sec(line));
+  out.cold_rps = median3(cold_reqs_per_sec(line), cold_reqs_per_sec(line),
+                         cold_reqs_per_sec(line));
+  return out;
+}
+
+/// The deterministic mixed request stream: run + explore requests over
+/// several suites. Pass 1 is cold (empty cache), passes 2..N are hot; the
+/// percentiles therefore cover the hot/cold mix a real serving process
+/// sees.
+std::vector<std::string> mixed_stream() {
+  std::vector<std::string> lines;
+  for (const SuiteEntry& s : registry_suites()) {
+    if (s.name != "motivational" && s.name != "fig3" && s.name != "fir2" &&
+        s.name != "diffeq" && s.name != "iir4") {
+      continue;
+    }
+    const unsigned lat = s.latencies.front();
+    lines.push_back(strformat(
+        "{\"kind\":\"run\",\"suite\":\"%s\",\"latency\":%u}", s.name.c_str(),
+        lat));
+    lines.push_back(strformat(
+        "{\"kind\":\"run\",\"suite\":\"%s\",\"latency\":%u,"
+        "\"flow\":\"blc\"}",
+        s.name.c_str(), lat + 1));
+    lines.push_back(explore_line(s.name, lat, lat + 6));
+  }
+  return lines;
+}
+
+struct Percentiles {
+  std::size_t requests = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+Percentiles measure_mixed(unsigned passes) {
+  Server server = make_server();
+  const std::vector<std::string> lines = mixed_stream();
+  std::vector<double> samples;
+  samples.reserve(lines.size() * passes);
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    for (const std::string& line : lines) {
+      const auto t0 = clock_type::now();
+      const bool ok = response_ok(server.handle_line(line));
+      samples.push_back(ms_since(t0));
+      if (!ok) return {};
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  Percentiles out;
+  out.requests = samples.size();
+  out.p50_ms = at(0.50);
+  out.p99_ms = at(0.99);
+  return out;
+}
+
+constexpr const char* kTrackedSuite = "elliptic";
+
+int run_json(const char* path) {
+  std::fprintf(stderr, "bench serve/%s hot-vs-cold...\n", kTrackedSuite);
+  unsigned lo = 0;
+  for (const SuiteEntry& s : registry_suites()) {
+    if (s.name == kTrackedSuite) lo = s.latencies.front();
+  }
+  const HotCold hc = measure_hot_cold(explore_line(kTrackedSuite, lo, lo + 9));
+  std::fprintf(stderr, "bench serve/mixed stream...\n");
+  const Percentiles mixed = measure_mixed(/*passes=*/4);
+
+  // fraghls-bench-micro-v1 rows, mapped like the *-explore entry of
+  // bench_micro: ns_per_op = one hot request, full_resim_ns_per_op = one
+  // cold request, speedup = the hot/cold requests/sec ratio. Serving is
+  // noisier than pure scheduling, hence the per-entry tolerance.
+  std::string out = "{\n  \"schema\": \"fraghls-bench-micro-v1\",\n"
+                    "  \"note\": \"serve entries: speedup_vs_full_resim is "
+                    "hot reqs per sec over cold (fresh-cache) reqs per sec; "
+                    "the mixed entry tracks p50/p99 request latency of a "
+                    "deterministic hot/cold stream\",\n"
+                    "  \"entries\": [\n";
+  out += strformat(
+      "    {\"suite\": \"serve-%s-explore\", \"scheduler\": \"list\", "
+      "\"ns_per_op\": %.0f, \"full_resim_ns_per_op\": %.0f, "
+      "\"speedup_vs_full_resim\": %.2f, \"tolerance\": 0.40},\n",
+      kTrackedSuite, hc.hot_rps > 0 ? 1e9 / hc.hot_rps : 0,
+      hc.cold_rps > 0 ? 1e9 / hc.cold_rps : 0, hc.ratio());
+  out += strformat(
+      "    {\"suite\": \"serve-mixed\", \"scheduler\": \"list\", "
+      "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"tolerance\": 0.60}\n",
+      mixed.p50_ms, mixed.p99_ms);
+  out += "  ]\n}\n";
+
+  if (path != nullptr) {
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write '%s'\n", path);
+      return 1;
+    }
+    file << out;
+  } else {
+    std::cout << out;
+  }
+  // The acceptance floor rides along in --json mode too: a serving cache
+  // that stops paying for itself should fail the bench job, not only the
+  // diff gate.
+  if (hc.ratio() < 5.0) {
+    std::fprintf(stderr, "FAIL: hot/cold ratio %.1fx < 5x on %s\n",
+                 hc.ratio(), kTrackedSuite);
+    return 1;
+  }
+  return mixed.requests > 0 ? 0 : 1;
+}
+
+int run_tables() {
+  unsigned lo = 0;
+  for (const SuiteEntry& s : registry_suites()) {
+    if (s.name == kTrackedSuite) lo = s.latencies.front();
+  }
+  const HotCold hc = measure_hot_cold(explore_line(kTrackedSuite, lo, lo + 9));
+  std::printf("| request | cold req/s (fresh cache) | hot req/s (warmed "
+              "daemon) | speedup |\n|---|---|---|---|\n");
+  std::printf("| explore %s %u..%u x 2 targets | %.1f | %.1f | %.1fx |\n\n",
+              kTrackedSuite, lo, lo + 9, hc.cold_rps, hc.hot_rps, hc.ratio());
+
+  const Percentiles mixed = measure_mixed(/*passes=*/4);
+  std::printf("| mixed stream | requests | p50 (ms) | p99 (ms) |\n"
+              "|---|---|---|---|\n");
+  std::printf("| run+explore over 5 suites, 1 cold + 3 hot passes | %zu | "
+              "%.3f | %.3f |\n",
+              mixed.requests, mixed.p50_ms, mixed.p99_ms);
+
+  if (hc.ratio() < 5.0) {
+    std::fprintf(stderr, "FAIL: hot/cold ratio %.1fx < 5x on %s\n",
+                 hc.ratio(), kTrackedSuite);
+    return 1;
+  }
+  return mixed.requests > 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const char* file =
+          i + 1 < argc && argv[i + 1][0] != '-' ? argv[i + 1] : nullptr;
+      return run_json(file);
+    }
+  }
+  return run_tables();
+}

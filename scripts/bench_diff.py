@@ -1,14 +1,31 @@
 #!/usr/bin/env python3
-"""Diff a fresh `bench_micro --json` run against the committed baseline.
+"""Diff fresh bench runs against the committed baseline.
 
-Usage: bench_diff.py BASELINE.json FRESH.json [--tolerance 0.25]
+Usage: bench_diff.py BASELINE.json FRESH.json [FRESH2.json ...]
+                     [--tolerance 0.25]
 
-Fails (exit 1) when any tracked entry regresses by more than the tolerance.
-The tracked metric is `speedup_vs_full_resim` — a same-machine ratio, so it
-transfers between the committing developer's machine and the CI runner,
-unlike raw ns/op. Both sides are already medians of 3 repetitions
-(bench_micro does that internally), which is the noise tolerance this gate
-relies on. ns/op columns are printed for context only.
+Accepts several fresh files (bench_micro --json and bench_serve --json emit
+separate documents on the same fraghls-bench-micro-v1 schema); their entries
+are merged, duplicate (suite, scheduler) keys rejected. Fails (exit 1) when
+any tracked entry regresses by more than the tolerance — an entry's own
+"tolerance" member (serve entries carry one: serving numbers are noisier
+than scheduler microbenchmarks) overrides the global --tolerance.
+
+Two entry shapes are tracked:
+
+  * speedup entries — the tracked metric is `speedup_vs_full_resim`, a
+    same-machine ratio (cached vs full recompute, or hot vs cold serving),
+    so it transfers between the committing developer's machine and the CI
+    runner, unlike raw ns/op. Regression = fresh ratio below base ratio.
+  * latency-percentile entries (`p50_ms`/`p99_ms`, no speedup member) —
+    raw ms is machine-dependent, so the tracked metric is the tail ratio
+    p99/p50 of the deterministic mixed request stream. Regression = fresh
+    tail ratio above base tail ratio (the tail got disproportionately
+    worse).
+
+Both sides are already medians of 3 repetitions (the benches do that
+internally), which is the noise tolerance this gate relies on. ns/op and ms
+columns are printed for context only.
 """
 
 import argparse
@@ -16,44 +33,71 @@ import json
 import sys
 
 
-def load_entries(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "fraghls-bench-micro-v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(e["suite"], e["scheduler"]): e for e in doc["entries"]}
+def load_entries(paths, merged=None):
+    merged = {} if merged is None else merged
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "fraghls-bench-micro-v1":
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        for e in doc["entries"]:
+            key = (e["suite"], e["scheduler"])
+            if key in merged:
+                sys.exit(f"{path}: duplicate entry {key}")
+            merged[key] = e
+    return merged
+
+
+def tail_ratio(entry):
+    p50 = entry["p50_ms"]
+    return entry["p99_ms"] / p50 if p50 > 0 else 0.0
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("fresh", nargs="+")
     ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional regression (default 0.25)")
+                    help="allowed fractional regression unless the entry "
+                         "carries its own \"tolerance\" (default 0.25)")
     args = ap.parse_args()
 
-    base = load_entries(args.baseline)
+    base = load_entries([args.baseline])
     fresh = load_entries(args.fresh)
 
     failures = []
-    print(f"{'suite':<16} {'scheduler':<14} {'base x':>8} {'fresh x':>8} "
-          f"{'delta':>8}  ns/op(base)  ns/op(fresh)")
+    print(f"{'suite':<24} {'scheduler':<14} {'base':>9} {'fresh':>9} "
+          f"{'delta':>8}  context")
     for key, b in sorted(base.items()):
         f = fresh.get(key)
         if f is None:
             failures.append(f"{key}: missing from fresh run")
             continue
-        bx, fx = b["speedup_vs_full_resim"], f["speedup_vs_full_resim"]
-        delta = fx / bx - 1.0
+        tolerance = b.get("tolerance", args.tolerance)
+        if "speedup_vs_full_resim" in b:
+            bx, fx = b["speedup_vs_full_resim"], f["speedup_vs_full_resim"]
+            delta = fx / bx - 1.0
+            regressed = fx < bx * (1.0 - tolerance)
+            context = (f"ns/op {b['ns_per_op']:.0f} -> {f['ns_per_op']:.0f}")
+            base_col, fresh_col = f"{bx:.2f}x", f"{fx:.2f}x"
+            what = "speedup"
+        else:
+            # Latency-percentile entry: the tail ratio must not *grow*.
+            bx, fx = tail_ratio(b), tail_ratio(f)
+            delta = fx / bx - 1.0 if bx > 0 else 0.0
+            regressed = bx > 0 and fx > bx * (1.0 + tolerance)
+            context = (f"p50 {b['p50_ms']:.3f}ms -> {f['p50_ms']:.3f}ms, "
+                       f"p99 {b['p99_ms']:.3f}ms -> {f['p99_ms']:.3f}ms")
+            base_col, fresh_col = f"{bx:.1f}t", f"{fx:.1f}t"
+            what = "p99/p50 tail ratio"
         flag = ""
-        if fx < bx * (1.0 - args.tolerance):
+        if regressed:
             failures.append(
-                f"{key[0]}/{key[1]}: speedup {bx:.2f}x -> {fx:.2f}x "
-                f"({delta:+.0%}, tolerance -{args.tolerance:.0%})")
+                f"{key[0]}/{key[1]}: {what} {bx:.2f} -> {fx:.2f} "
+                f"({delta:+.0%}, tolerance {tolerance:.0%})")
             flag = "  << REGRESSION"
-        print(f"{key[0]:<16} {key[1]:<14} {bx:>7.2f}x {fx:>7.2f}x "
-              f"{delta:>+7.0%}  {b['ns_per_op']:>11.0f}  "
-              f"{f['ns_per_op']:>12.0f}{flag}")
+        print(f"{key[0]:<24} {key[1]:<14} {base_col:>9} {fresh_col:>9} "
+              f"{delta:>+7.0%}  {context}{flag}")
 
     for key in sorted(set(fresh) - set(base)):
         failures.append(
@@ -66,8 +110,7 @@ def main():
         for msg in failures:
             print(f"  {msg}", file=sys.stderr)
         return 1
-    print("\nOK: no tracked entry regressed beyond "
-          f"{args.tolerance:.0%}.")
+    print("\nOK: no tracked entry regressed beyond its tolerance.")
     return 0
 
 

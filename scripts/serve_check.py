@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the `fraghls --serve` daemon over stdin/stdout.
+
+Usage: serve_check.py [path/to/fraghls]   (default ./build/src/tools/fraghls)
+
+Starts the daemon, plays a scripted request mix — good requests of every
+kind, a malformed line, an unknown suite, an over-deadline request — and
+asserts the protocol contract the tests pin in-process, but here through
+the real binary and pipes:
+
+  * one structured response line per request, every one valid JSON on the
+    fraghls-serve-v1 envelope, ids echoed;
+  * failures carry diagnostics (the malformed line names its byte offset,
+    the overrun its deadline), and the process never dies on a request;
+  * the shutdown summary's counters are exactly consistent with the mix:
+    per-kind request counts, errors, deadline_exceeded, latency count, and
+    hits + misses == lookups for every cache stage;
+  * the daemon exits 0 after the shutdown response.
+
+Exit 0 on success, 1 with a message on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def fail(msg):
+    print(f"serve_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+REQUESTS = [
+    # (line, expect_ok, expect_stage_or_None)
+    ('{"kind":"run","id":1,"suite":"motivational","latency":3}', True, None),
+    ('{"kind":"run","id":2,"suite":"no-such-suite","latency":3}', False,
+     "request"),
+    ('this line is not JSON', False, "protocol"),
+    ('{"kind":"run","id":4,"suite":"motivational","latency":3,'
+     '"deadline_ms":0.0001}', False, "deadline"),
+    ('{"kind":"sweep","id":5,"suite":"fir2","lo":3,"hi":5}', True, None),
+    ('{"kind":"explore","id":6,"suite":"diffeq","lo":4,"hi":6}', True, None),
+    ('{"kind":"stats","id":7}', True, None),
+]
+
+
+def main():
+    cli = sys.argv[1] if len(sys.argv) > 1 else "./build/src/tools/fraghls"
+    proc = subprocess.Popen([cli, "--serve"], stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True)
+
+    def ask(line):
+        proc.stdin.write(line + "\n")
+        proc.stdin.flush()
+        response = proc.stdout.readline()
+        if not response:
+            fail(f"daemon died on request: {line}")
+        try:
+            doc = json.loads(response)
+        except json.JSONDecodeError as e:
+            fail(f"unparseable response ({e}): {response[:200]}")
+        if doc.get("schema") != "fraghls-serve-v1":
+            fail(f"missing envelope schema: {response[:200]}")
+        return doc
+
+    for line, expect_ok, stage in REQUESTS:
+        doc = ask(line)
+        if doc["ok"] != expect_ok:
+            fail(f"expected ok={expect_ok} for {line}: {doc}")
+        if not expect_ok:
+            diags = doc.get("diagnostics", [])
+            if not diags:
+                fail(f"failure without diagnostics: {doc}")
+            if diags[0].get("stage") != stage:
+                fail(f"expected stage {stage!r} for {line}: {diags[0]}")
+    # The malformed line self-locates.
+    bad = ask("{nope")
+    if "at byte" not in bad["diagnostics"][0]["message"]:
+        fail(f"parse error without byte offset: {bad}")
+    # Ids echo verbatim, errors included.
+    if ask('{"kind":"nope","id":"corr-9"}').get("id") != "corr-9":
+        fail("id not echoed on an error response")
+
+    summary = ask('{"kind":"shutdown","id":99}')
+    if not summary["ok"]:
+        fail(f"shutdown not ok: {summary}")
+    reqs = summary["result"]["requests"]
+    # The scripted mix, exactly: 3 run (the unknown-suite and over-deadline
+    # requests still count as run), 1 sweep, 1 explore, 1 stats, 1 shutdown;
+    # 3 errors (unknown suite, malformed line, "{nope", unknown kind = 4).
+    expected = {"run": 3, "sweep": 1, "explore": 1, "stats": 1,
+                "shutdown": 1, "errors": 4, "deadline_exceeded": 1}
+    for key, want in expected.items():
+        if reqs.get(key) != want:
+            fail(f"requests[{key}] = {reqs.get(key)}, expected {want}")
+    # Timed kinds only: 3 run + 1 sweep + 1 explore.
+    lat = summary["result"]["latency_ms"]
+    if lat["count"] != 5:
+        fail(f"latency count {lat['count']}, expected 5")
+    if lat["p99"] < lat["p50"]:
+        fail(f"p99 {lat['p99']} < p50 {lat['p50']}")
+    # The cache ledger balances for every stage and in total.
+    for stage_name, c in summary["result"]["cache"].items():
+        if c["hits"] + c["misses"] != c["lookups"]:
+            fail(f"cache[{stage_name}]: hits {c['hits']} + misses "
+                 f"{c['misses']} != lookups {c['lookups']}")
+    if summary["result"]["cache"]["total"]["hits"] == 0:
+        fail("no cache hits across the whole mix — sharing is broken")
+
+    proc.stdin.close()
+    if proc.wait(timeout=30) != 0:
+        fail(f"daemon exit code {proc.returncode}")
+    print("serve_check: OK — protocol, structured errors, deadline, and "
+          "stats consistency all hold through the real binary")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

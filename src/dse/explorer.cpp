@@ -148,7 +148,10 @@ ExploreResult Explorer::run(const ExploreRequest& request) const {
   }
 
   // --- planning: grid in coverage order, §3.2 bound pruning, budget ------
-  const auto cache = std::make_shared<ArtifactCache>();
+  // One artefact store for every evaluation of this run — private unless
+  // the caller supplied a longer-lived (e.g. process-wide serving) cache.
+  const auto cache = request.cache ? request.cache
+                                   : std::make_shared<ArtifactCache>();
   const std::vector<unsigned> latencies =
       coverage_order(request.latency_lo, request.latency_hi);
   std::vector<Candidate> candidates;
@@ -397,8 +400,8 @@ void append_axis(std::ostringstream& os, const char* name,
 
 void append_objectives(std::ostringstream& os, const Objectives& o,
                        bool with_area) {
-  os << "\"cycle_ns\":" << strformat("%.4f", o.cycle_ns)
-     << ",\"execution_ns\":" << strformat("%.4f", o.execution_ns);
+  os << "\"cycle_ns\":" << json_number(o.cycle_ns)
+     << ",\"execution_ns\":" << json_number(o.execution_ns);
   if (with_area) os << ",\"area_gates\":" << o.area_gates;
 }
 
@@ -424,10 +427,10 @@ std::string to_json(const ExploreResult& r) {
   os << ",\"latency\":[" << r.latency_lo << "," << r.latency_hi << "]},";
   os << "\"budget\":" << r.budget << ",";
   os << "\"prune\":" << (r.prune ? "true" : "false") << ",";
-  os << "\"weights\":{\"latency\":" << strformat("%.4f", r.weights.latency)
-     << ",\"cycle_ns\":" << strformat("%.4f", r.weights.cycle_ns)
-     << ",\"execution_ns\":" << strformat("%.4f", r.weights.execution_ns)
-     << ",\"area\":" << strformat("%.4f", r.weights.area) << "},";
+  os << "\"weights\":{\"latency\":" << json_number(r.weights.latency)
+     << ",\"cycle_ns\":" << json_number(r.weights.cycle_ns)
+     << ",\"execution_ns\":" << json_number(r.weights.execution_ns)
+     << ",\"area\":" << json_number(r.weights.area) << "},";
   os << "\"evaluated\":" << r.evaluated << ",";
   os << "\"failed\":" << r.failed << ",";
   os << "\"points\":[";
@@ -444,7 +447,7 @@ std::string to_json(const ExploreResult& r) {
         os << "\"n_bits\":" << p.result.transform->n_bits << ",";
       }
       append_objectives(os, p.objectives, /*with_area=*/true);
-      os << ",\"score\":" << strformat("%.4f", p.score)
+      os << ",\"score\":" << json_number(p.score)
          << ",\"frontier\":" << (p.on_frontier ? "true" : "false");
     } else {
       os << ",\"error\":\"" << json_escape(p.result.error_text()) << "\"";
@@ -487,7 +490,7 @@ std::string to_json(const ExploreResult& r) {
   append_counter(os, "datapath", r.cache_stats.datapath);
   os << ",";
   append_counter(os, "total", r.cache_stats.total());
-  os << ",\"hit_rate\":" << strformat("%.4f", r.cache_stats.total().hit_rate());
+  os << ",\"hit_rate\":" << json_number(r.cache_stats.total().hit_rate());
   os << "},\"diagnostics\":[";
   for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
     if (i != 0) os << ",";
@@ -496,7 +499,7 @@ std::string to_json(const ExploreResult& r) {
   os << "]";
   // Wall-clock only on request (FlowOptions::timing), so default output is
   // byte-stable and golden-testable.
-  if (r.timing) os << ",\"wall_ms\":" << strformat("%.3f", r.wall_ms);
+  if (r.timing) os << ",\"wall_ms\":" << json_number(r.wall_ms, 3);
   os << "}";
   return os.str();
 }

@@ -80,6 +80,13 @@ struct ExploreRequest {
   bool prune = true;
   /// Worker threads for the evaluation batch; 0 = hardware concurrency.
   unsigned workers = 0;
+  /// Artefact store shared by every evaluation. Empty (the default) means
+  /// the Explorer creates a private cache for this run — the historical
+  /// behaviour. A long-lived caller (the serve daemon) passes its
+  /// process-wide cache here so kernels, transforms and schedules are
+  /// shared *across* requests; ExploreResult::cache_stats then snapshots
+  /// the shared counters after the run.
+  std::shared_ptr<ArtifactCache> cache;
 };
 
 /// The objective tuple of one implementation, all axes minimized.

@@ -6,80 +6,8 @@
 
 namespace hls {
 
-namespace {
-
-/// Length of the valid UTF-8 sequence starting at s[i] (per the RFC 3629
-/// table: no overlongs, no surrogates, nothing above U+10FFFF), or 0 when
-/// the bytes there are not one.
-std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
-  const auto byte = [&](std::size_t k) {
-    return static_cast<unsigned char>(s[k]);
-  };
-  const unsigned char lead = byte(i);
-  std::size_t len = 0;
-  unsigned char lo = 0x80, hi = 0xBF;  // bounds for the first continuation
-  if (lead >= 0xC2 && lead <= 0xDF) {
-    len = 2;
-  } else if (lead >= 0xE0 && lead <= 0xEF) {
-    len = 3;
-    if (lead == 0xE0) lo = 0xA0;        // overlong
-    if (lead == 0xED) hi = 0x9F;        // surrogates
-  } else if (lead >= 0xF0 && lead <= 0xF4) {
-    len = 4;
-    if (lead == 0xF0) lo = 0x90;        // overlong
-    if (lead == 0xF4) hi = 0x8F;        // above U+10FFFF
-  } else {
-    return 0;
-  }
-  if (i + len > s.size()) return 0;
-  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
-  for (std::size_t k = 2; k < len; ++k) {
-    if (byte(i + k) < 0x80 || byte(i + k) > 0xBF) return 0;
-  }
-  return len;
-}
-
-} // namespace
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size();) {
-    const unsigned char c = static_cast<unsigned char>(s[i]);
-    switch (c) {
-      case '"': out += "\\\""; ++i; continue;
-      case '\\': out += "\\\\"; ++i; continue;
-      case '\b': out += "\\b"; ++i; continue;
-      case '\f': out += "\\f"; ++i; continue;
-      case '\n': out += "\\n"; ++i; continue;
-      case '\r': out += "\\r"; ++i; continue;
-      case '\t': out += "\\t"; ++i; continue;
-    }
-    if (c < 0x20 || c == 0x7f) {
-      // Remaining C0 controls and DEL: \u escapes, so no control byte ever
-      // reaches the output stream raw.
-      out += strformat("\\u%04x", static_cast<unsigned>(c));
-      ++i;
-      continue;
-    }
-    if (c < 0x80) {
-      out += static_cast<char>(c);
-      ++i;
-      continue;
-    }
-    // Non-ASCII: valid UTF-8 sequences pass through verbatim (JSON strings
-    // are UTF-8); every byte that is not part of one becomes U+FFFD, so the
-    // emitted document is always valid UTF-8 regardless of the input.
-    if (const std::size_t len = utf8_sequence_length(s, i)) {
-      out.append(s, i, len);
-      i += len;
-    } else {
-      out += "\\ufffd";
-      ++i;
-    }
-  }
-  return out;
-}
+// json_escape lives in support/json.cpp now (the parser needs it too);
+// flow/json.hpp re-exports it via support/json.hpp.
 
 std::string to_json(const ImplementationReport& r) {
   std::ostringstream os;
@@ -90,8 +18,8 @@ std::string to_json(const ImplementationReport& r) {
   }
   os << "\"latency\":" << r.latency << ",";
   os << "\"cycle_deltas\":" << r.cycle_deltas << ",";
-  os << "\"cycle_ns\":" << strformat("%.4f", r.cycle_ns) << ",";
-  os << "\"execution_ns\":" << strformat("%.4f", r.execution_ns) << ",";
+  os << "\"cycle_ns\":" << json_number(r.cycle_ns) << ",";
+  os << "\"execution_ns\":" << json_number(r.execution_ns) << ",";
   os << "\"op_count\":" << r.op_count << ",";
   os << "\"area\":{";
   os << "\"fu\":" << r.area.fu_gates << ",";
@@ -172,7 +100,7 @@ std::string to_json(const FlowResult& r) {
     for (std::size_t i = 0; i < r.timings.size(); ++i) {
       if (i != 0) os << ",";
       os << "{\"stage\":\"" << json_escape(r.timings[i].stage)
-         << "\",\"ms\":" << strformat("%.4f", r.timings[i].ms) << "}";
+         << "\",\"ms\":" << json_number(r.timings[i].ms) << "}";
     }
     os << "]";
   }
@@ -199,9 +127,9 @@ std::string to_json(const std::vector<FlowResult>& rs) {
 std::string to_json(const PipelineReport& p) {
   std::ostringstream os;
   os << "{\"latency\":" << p.latency << ",\"min_ii\":" << p.min_ii
-     << ",\"cycle_ns\":" << strformat("%.4f", p.cycle_ns)
-     << ",\"throughput_per_us\":" << strformat("%.4f", p.throughput_per_us())
-     << ",\"speedup\":" << strformat("%.4f", p.speedup()) << "}";
+     << ",\"cycle_ns\":" << json_number(p.cycle_ns)
+     << ",\"throughput_per_us\":" << json_number(p.throughput_per_us())
+     << ",\"speedup\":" << json_number(p.speedup()) << "}";
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 #include "flow/flow.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/session.hpp"
+#include "support/json.hpp"  // json_escape / json_number (used by all emitters)
 
 namespace hls {
 
@@ -28,12 +29,5 @@ std::string to_json(const FlowResult& r);
 
 /// Several Session results as a JSON array (the CLI's --json output).
 std::string to_json(const std::vector<FlowResult>& rs);
-
-/// Escaping for JSON string values: quote/backslash, all C0 control
-/// characters and DEL (short escapes where JSON has them, \u00XX
-/// otherwise); valid UTF-8 passes through verbatim and every byte that is
-/// not part of a valid sequence becomes U+FFFD, so the output is always a
-/// valid JSON string in valid UTF-8.
-std::string json_escape(const std::string& s);
 
 } // namespace hls

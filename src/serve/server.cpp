@@ -1,0 +1,512 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dse/explorer.hpp"
+#include "flow/json.hpp"
+#include "parser/parser.hpp"
+#include "suites/suites.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "timing/target.hpp"
+
+namespace hls {
+
+namespace {
+
+/// A request-shaped failure, carried to the response envelope as one
+/// FlowDiagnostic. `stage` follows the FlowDiagnostic vocabulary plus the
+/// serve-specific "protocol" (malformed line / unknown member) and
+/// "deadline".
+[[noreturn]] void reject(std::string stage, std::string message) {
+  throw FlowStageError(std::move(stage), message);
+}
+
+/// Strictness: a request object may only carry members the handler reads —
+/// a typo like "latencies" must be an error, not a silently ignored knob.
+void check_members(const JsonValue& req,
+                   std::initializer_list<const char*> allowed) {
+  for (const JsonValue::Member& m : req.members()) {
+    if (std::find_if(allowed.begin(), allowed.end(), [&](const char* k) {
+          return m.first == k;
+        }) == allowed.end()) {
+      reject("protocol", "unknown request member \"" + json_escape(m.first) +
+                             "\"");
+    }
+  }
+}
+
+const JsonValue& require_member(const JsonValue& req, const char* key) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) {
+    reject("protocol", strformat("request requires a \"%s\" member", key));
+  }
+  return *v;
+}
+
+std::string require_string(const JsonValue& req, const char* key) {
+  const JsonValue& v = require_member(req, key);
+  if (!v.is_string()) reject("protocol", strformat("\"%s\" must be a string", key));
+  return v.as_string();
+}
+
+unsigned require_unsigned(const JsonValue& req, const char* key) {
+  const JsonValue& v = require_member(req, key);
+  if (!v.is_number()) reject("protocol", strformat("\"%s\" must be a number", key));
+  try {
+    return v.as_unsigned();
+  } catch (const Error&) {
+    reject("protocol", strformat("\"%s\" must be a non-negative integer "
+                                 "(got %s)",
+                                 key, v.number_lexeme().c_str()));
+  }
+}
+
+std::string opt_string(const JsonValue& req, const char* key,
+                       std::string fallback) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) reject("protocol", strformat("\"%s\" must be a string", key));
+  return v->as_string();
+}
+
+unsigned opt_unsigned(const JsonValue& req, const char* key,
+                      unsigned fallback) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) reject("protocol", strformat("\"%s\" must be a number", key));
+  try {
+    return v->as_unsigned();
+  } catch (const Error&) {
+    reject("protocol", strformat("\"%s\" must be a non-negative integer "
+                                 "(got %s)",
+                                 key, v->number_lexeme().c_str()));
+  }
+}
+
+bool opt_bool(const JsonValue& req, const char* key, bool fallback) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) reject("protocol", strformat("\"%s\" must be a boolean", key));
+  return v->as_bool();
+}
+
+double opt_double(const JsonValue& req, const char* key, double fallback) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) reject("protocol", strformat("\"%s\" must be a number", key));
+  return v->as_double();
+}
+
+std::vector<std::string> opt_string_list(const JsonValue& req, const char* key,
+                                         std::vector<std::string> fallback) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_array()) {
+    reject("protocol", strformat("\"%s\" must be an array of strings", key));
+  }
+  std::vector<std::string> out;
+  out.reserve(v->as_array().size());
+  for (const JsonValue& item : v->as_array()) {
+    if (!item.is_string()) {
+      reject("protocol", strformat("\"%s\" must be an array of strings", key));
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+/// The request's specification: exactly one of "suite" (a registry suite
+/// name) or "spec" (DSL source text, the same language as a spec file).
+Dfg resolve_spec(const JsonValue& req) {
+  const JsonValue* suite = req.find("suite");
+  const JsonValue* spec = req.find("spec");
+  if ((suite != nullptr) == (spec != nullptr)) {
+    reject("request", "give exactly one of \"suite\" (registry name) or "
+                      "\"spec\" (DSL text)");
+  }
+  if (suite != nullptr) {
+    if (!suite->is_string()) reject("protocol", "\"suite\" must be a string");
+    std::vector<std::string> names;
+    for (const SuiteEntry& s : registry_suites()) {
+      if (s.name == suite->as_string()) return s.build();
+      names.push_back(s.name);
+    }
+    reject("request", "unknown suite '" + suite->as_string() +
+                          "' (available: " + join(names, ", ") + ")");
+  }
+  if (!spec->is_string()) reject("protocol", "\"spec\" must be a string");
+  try {
+    return parse_spec(spec->as_string());
+  } catch (const ParseError& e) {
+    reject("parse", e.what());
+  }
+}
+
+/// One diagnostic as a single-element "diagnostics" array body.
+std::string diagnostics_body(const FlowDiagnostic& d) {
+  return "[" + to_json(d) + "]";
+}
+
+} // namespace
+
+// --- latency window ----------------------------------------------------------
+
+void Server::LatencyWindow::record(double ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(ms);
+  } else {
+    ring_[next_] = ms;
+  }
+  next_ = (next_ + 1) % kCapacity;
+  ++total_;
+}
+
+Server::LatencyWindow::Snapshot Server::LatencyWindow::snapshot() const {
+  std::vector<double> sorted;
+  std::uint64_t total = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    sorted = ring_;
+    total = total_;
+  }
+  Snapshot s;
+  s.count = total;
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  const auto at_quantile = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  s.p50 = at_quantile(0.50);
+  s.p99 = at_quantile(0.99);
+  return s;
+}
+
+// --- server ------------------------------------------------------------------
+
+Server::Server(ServeOptions options)
+    : options_(options),
+      session_(SessionOptions{.workers = options.workers}),
+      cache_(std::make_shared<ArtifactCache>(ArtifactCacheOptions{
+          .shards = options.cache_shards,
+          .max_resident_bytes = options.cache_max_bytes})) {}
+
+std::string Server::stats_json() const {
+  std::ostringstream os;
+  const auto c = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  os << "{\"requests\":{\"run\":" << c(counters_.run)
+     << ",\"sweep\":" << c(counters_.sweep)
+     << ",\"explore\":" << c(counters_.explore)
+     << ",\"stats\":" << c(counters_.stats)
+     << ",\"shutdown\":" << c(counters_.shutdown)
+     << ",\"errors\":" << c(counters_.errors)
+     << ",\"deadline_exceeded\":" << c(counters_.deadline_exceeded) << "},";
+  const LatencyWindow::Snapshot lat = latencies_.snapshot();
+  os << "\"latency_ms\":{\"count\":" << lat.count
+     << ",\"p50\":" << json_number(lat.p50, 3)
+     << ",\"p99\":" << json_number(lat.p99, 3) << "},";
+  // Per-stage cache counters. "lookups" is emitted explicitly so clients
+  // (and scripts/serve_check.py) can assert hits + misses == lookups
+  // without re-deriving it.
+  const CacheStats stats = cache_->stats();
+  os << "\"cache\":{";
+  const std::pair<const char*, const CacheStats::Counter*> rows[] = {
+      {"kernel", &stats.kernel},       {"narrow", &stats.narrow},
+      {"prep", &stats.prep},           {"transform", &stats.transform},
+      {"schedule", &stats.schedule},   {"datapath", &stats.datapath},
+  };
+  const CacheStats::Counter total = stats.total();
+  for (const auto& [name, counter] : rows) {
+    os << "\"" << name << "\":{\"hits\":" << counter->hits
+       << ",\"misses\":" << counter->misses
+       << ",\"lookups\":" << counter->hits + counter->misses
+       << ",\"evictions\":" << counter->evictions
+       << ",\"resident_bytes\":" << counter->resident_bytes << "},";
+  }
+  os << "\"total\":{\"hits\":" << total.hits << ",\"misses\":" << total.misses
+     << ",\"lookups\":" << total.hits + total.misses
+     << ",\"evictions\":" << total.evictions
+     << ",\"resident_bytes\":" << total.resident_bytes
+     << ",\"hit_rate\":" << json_number(total.hit_rate()) << "}},";
+  os << "\"cache_config\":{\"shards\":" << cache_->options().shards
+     << ",\"max_resident_bytes\":" << cache_->options().max_resident_bytes
+     << "}}";
+  return os.str();
+}
+
+std::string Server::handle_line(const std::string& line) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  std::string kind = "error";
+  std::string id_json;  // raw JSON echo of the request's "id", empty = none
+  bool ok = false;
+  std::string body_key = "diagnostics";
+  std::string body;
+  bool timed = false;  // run/sweep/explore contribute to the latency window
+
+  try {
+    const JsonValue req = parse_json(line);
+    if (!req.is_object()) {
+      reject("protocol", "a request must be a JSON object");
+    }
+    if (const JsonValue* id = req.find("id")) id_json = write_json(*id);
+    kind = require_string(req, "kind");
+    const double deadline_ms =
+        opt_double(req, "deadline_ms", options_.default_deadline_ms);
+
+    if (kind == "run") {
+      counters_.run.fetch_add(1, std::memory_order_relaxed);
+      timed = true;
+      check_members(req, {"kind", "id", "deadline_ms", "suite", "spec",
+                          "flow", "latency", "n_bits", "scheduler", "target",
+                          "narrow"});
+      FlowRequest fr;
+      fr.spec = resolve_spec(req);
+      fr.flow = opt_string(req, "flow", "optimized");
+      fr.latency = require_unsigned(req, "latency");
+      fr.n_bits_override = opt_unsigned(req, "n_bits", 0);
+      fr.scheduler = opt_string(req, "scheduler", "list");
+      fr.target = opt_string(req, "target", kDefaultTargetName);
+      fr.options.narrow = opt_bool(req, "narrow", false);
+      fr.cache = cache_;
+      const FlowResult r = session_.run(fr);
+      ok = r.ok;
+      body_key = "result";
+      body = to_json(r);
+    } else if (kind == "sweep") {
+      counters_.sweep.fetch_add(1, std::memory_order_relaxed);
+      timed = true;
+      check_members(req, {"kind", "id", "deadline_ms", "suite", "spec",
+                          "flow", "lo", "hi", "scheduler", "targets",
+                          "narrow"});
+      const Dfg spec = resolve_spec(req);
+      const std::string flow = opt_string(req, "flow", "optimized");
+      const unsigned lo = require_unsigned(req, "lo");
+      const unsigned hi = require_unsigned(req, "hi");
+      const std::string scheduler = opt_string(req, "scheduler", "list");
+      const std::vector<std::string> targets =
+          opt_string_list(req, "targets", {kDefaultTargetName});
+      FlowOptions opts;
+      opts.narrow = opt_bool(req, "narrow", false);
+      std::vector<FlowResult> results;
+      // Mirror Session::run_sweep exactly (same validation, same request
+      // order), with the process-wide cache attached to every request —
+      // that attachment is the whole point of serving, and the StageCache
+      // contract keeps the results bit-identical to the uncached sweep.
+      if (const std::optional<FlowDiagnostic> bad =
+              validate_latency_range(lo, hi)) {
+        FlowResult out;
+        out.flow = flow;
+        out.scheduler = scheduler;
+        out.target = targets.front();
+        out.diagnostics.push_back(*bad);
+        results.push_back(std::move(out));
+      } else {
+        std::vector<FlowRequest> requests;
+        requests.reserve(targets.size() * (hi - lo + 1));
+        for (const std::string& target : targets) {
+          for (unsigned lat = lo; lat <= hi; ++lat) {
+            requests.push_back(
+                {spec, flow, lat, 0, opts, scheduler, target, cache_});
+          }
+        }
+        results = session_.run_batch(requests);
+      }
+      ok = std::all_of(results.begin(), results.end(),
+                       [](const FlowResult& r) { return r.ok; });
+      body_key = "result";
+      body = to_json(results);
+    } else if (kind == "explore") {
+      counters_.explore.fetch_add(1, std::memory_order_relaxed);
+      timed = true;
+      check_members(req, {"kind", "id", "deadline_ms", "suite", "spec",
+                          "flows", "schedulers", "targets", "lo", "hi",
+                          "budget", "prune", "narrow"});
+      ExploreRequest er;
+      er.spec = resolve_spec(req);
+      er.flows = opt_string_list(req, "flows", {"optimized"});
+      er.schedulers = opt_string_list(req, "schedulers", {"list"});
+      er.targets = opt_string_list(req, "targets", {kDefaultTargetName});
+      er.latency_lo = require_unsigned(req, "lo");
+      er.latency_hi = require_unsigned(req, "hi");
+      er.budget = opt_unsigned(req, "budget", 0);
+      er.prune = opt_bool(req, "prune", true);
+      er.options.narrow = opt_bool(req, "narrow", false);
+      er.workers = options_.workers;
+      er.cache = cache_;  // cross-request sharing
+      const ExploreResult res =
+          Explorer(SessionOptions{.workers = options_.workers}).run(er);
+      ok = res.ok;
+      body_key = "result";
+      body = to_json(res);
+    } else if (kind == "stats") {
+      counters_.stats.fetch_add(1, std::memory_order_relaxed);
+      check_members(req, {"kind", "id", "deadline_ms"});
+      ok = true;
+      body_key = "result";
+      body = stats_json();
+    } else if (kind == "shutdown") {
+      counters_.shutdown.fetch_add(1, std::memory_order_relaxed);
+      check_members(req, {"kind", "id", "deadline_ms"});
+      ok = true;
+      body_key = "result";
+      // The final summary rides on the shutdown response itself.
+      body = stats_json();
+      shutdown_.store(true, std::memory_order_release);
+    } else {
+      reject("protocol",
+             "unknown kind '" + json_escape(kind) +
+                 "' (run | sweep | explore | stats | shutdown)");
+    }
+
+    // Post-hoc deadline: stages are not interruptible, so an overrun is
+    // detected after the fact and reported instead of the result.
+    if (timed && deadline_ms > 0 && elapsed_ms() > deadline_ms) {
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+      body_key = "diagnostics";
+      body = diagnostics_body(
+          {DiagSeverity::Error, "deadline",
+           strformat("request exceeded its deadline: %.3f ms > %.3f ms",
+                     elapsed_ms(), deadline_ms),
+           {}});
+    }
+  } catch (const JsonParseError& e) {
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    ok = false;
+    body_key = "diagnostics";
+    body = diagnostics_body(
+        {DiagSeverity::Error, "protocol", e.what(), {}});
+  } catch (const FlowStageError& e) {
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    ok = false;
+    body_key = "diagnostics";
+    body = diagnostics_body(
+        {DiagSeverity::Error, e.stage(), e.what(), e.context()});
+  } catch (const Error& e) {
+    // Anything else the stack raised: structured, never a crash.
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    ok = false;
+    body_key = "diagnostics";
+    body = diagnostics_body(
+        {DiagSeverity::Error, "internal", e.what(), {}});
+  }
+
+  const double ms = elapsed_ms();
+  if (timed) latencies_.record(ms);
+
+  std::ostringstream os;
+  os << "{\"schema\":\"fraghls-serve-v1\",\"kind\":\"" << json_escape(kind)
+     << "\"";
+  if (!id_json.empty()) os << ",\"id\":" << id_json;
+  os << ",\"ok\":" << (ok ? "true" : "false");
+  os << ",\"" << body_key << "\":" << body;
+  os << ",\"ms\":" << json_number(ms, 3) << "}";
+  return os.str();
+}
+
+int Server::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_requested() && std::getline(in, line)) {
+    // Blank lines are keep-alive noise, not requests.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    out << handle_line(line) << '\n' << std::flush;
+  }
+  return 0;
+}
+
+int Server::serve_tcp(unsigned port, std::ostream& log) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    log << "serve: socket() failed\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    log << "serve: cannot listen on 127.0.0.1:" << port << '\n';
+    ::close(fd);
+    return 1;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const unsigned bound = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  log << "serving on 127.0.0.1:" << bound << '\n' << std::flush;
+  bound_port_.store(bound, std::memory_order_release);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) break;  // listener closed (shutdown) or fatal error
+    if (shutdown_requested()) {
+      ::close(conn);
+      break;
+    }
+    connections.emplace_back([this, conn] {
+      // Byte stream -> lines -> handle_line -> response lines.
+      std::string pending;
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::recv(conn, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        pending.append(buf, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+          std::string request = pending.substr(0, nl);
+          pending.erase(0, nl + 1);
+          if (!request.empty() && request.back() == '\r') request.pop_back();
+          if (request.find_first_not_of(" \t") == std::string::npos) continue;
+          const std::string response = handle_line(request) + "\n";
+          std::size_t sent = 0;
+          while (sent < response.size()) {
+            const ssize_t w =
+                ::send(conn, response.data() + sent, response.size() - sent, 0);
+            if (w <= 0) break;
+            sent += static_cast<std::size_t>(w);
+          }
+          if (shutdown_requested()) {
+            // Graceful drain: stop accepting; open connections finish
+            // their in-flight lines and close.
+            const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+            if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
+          }
+        }
+        if (shutdown_requested()) break;
+      }
+      ::close(conn);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  ::close(lfd >= 0 ? lfd : fd);
+  return 0;
+}
+
+} // namespace hls

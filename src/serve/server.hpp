@@ -1,0 +1,150 @@
+#pragma once
+// fraghls --serve — the long-lived session service.
+//
+// Every CLI invocation is a cold process: the flow is a pure function of
+// (spec, flow, scheduler, target, latency) and PR 5 made it
+// content-addressed, but nothing amortizes across invocations. The Server
+// turns the request/response engine (FlowRequest/ExploreRequest over
+// Session::run_batch) into a daemon: one process, one process-wide sharded
+// ArtifactCache (dse/cache.hpp), so concurrent sweeps over the same spec
+// share kernels, transforms and schedules *across requests*.
+//
+// Protocol: JSON lines. One strict-JSON request object per line (on stdin
+// or a TCP socket), one response line back:
+//
+//   {"kind":"run","id":1,"suite":"elliptic","latency":8}
+//   {"kind":"sweep","suite":"diffeq","flow":"optimized","lo":4,"hi":12}
+//   {"kind":"explore","suite":"iir4","lo":3,"hi":15,
+//    "targets":["paper-ripple","cla"]}
+//   {"kind":"stats"}
+//   {"kind":"shutdown"}
+//
+// Responses are an envelope around the existing emitters:
+//
+//   {"schema":"fraghls-serve-v1","kind":"run","id":1,"ok":true,
+//    "result":<to_json(FlowResult)>,"ms":12.345}
+//
+// so a served "result" is byte-identical to what an uncached Session::run /
+// Explorer of the same request emits (the StageCache contract; the explore
+// envelope's cache counters are the one deliberate exception — they report
+// the shared cache). Failures of any shape — malformed JSON (with the byte
+// offset), unknown keys, registry misses, infeasible constraints, blown
+// deadlines — come back as one structured response line reusing
+// FlowDiagnostic ({"ok":false,"diagnostics":[...]}); the server never
+// crashes on a request and never drops one silently.
+//
+// Deadlines are enforced post-hoc: flow stages are not interruptible (they
+// hold no locks and allocate no external resources mid-stage), so a request
+// whose wall-clock exceeds its "deadline_ms" (or the server default)
+// returns a "deadline"-stage error instead of its result, and the overrun
+// is counted in the stats.
+//
+// `stats` surfaces request counters per kind, p50/p99 request latency over
+// a sliding window, and the per-stage cache counters
+// (hits/misses/lookups/evictions/resident_bytes; hits + misses == lookups
+// by construction). `shutdown` responds with the same summary, then the
+// serve loop drains: the stdin loop returns after the response line, the
+// TCP loop stops accepting and joins the open connections.
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/cache.hpp"
+#include "flow/session.hpp"
+
+namespace hls {
+
+/// Sizing of a serving process (CLI: --workers / --cache-shards /
+/// --cache-mb / --deadline-ms).
+struct ServeOptions {
+  /// Worker threads for batch requests (sweep/explore); 0 = all cores.
+  unsigned workers = 0;
+  /// Lock stripes of the process-wide ArtifactCache.
+  std::size_t cache_shards = 8;
+  /// Byte bound of the cache, 0 = unbounded.
+  std::size_t cache_max_bytes = 0;
+  /// Default per-request deadline in ms, 0 = none. A request's own
+  /// "deadline_ms" member overrides this per request.
+  double default_deadline_ms = 0;
+};
+
+/// The session service. handle_line is thread-safe — the TCP listener
+/// calls it from one thread per connection; all connections share the one
+/// Session and the one ArtifactCache.
+class Server {
+public:
+  explicit Server(ServeOptions options = {});
+
+  /// One protocol round: a request line in, the response line out (no
+  /// trailing newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  /// JSON-lines loop over streams (the `fraghls --serve` stdin mode).
+  /// Returns the process exit code (0; the loop ends on EOF or after a
+  /// shutdown request's response).
+  int serve(std::istream& in, std::ostream& out);
+
+  /// TCP mode (`--serve-port`): listens on 127.0.0.1:`port` (0 = ephemeral),
+  /// one thread per connection, all sharing this Server. Writes one
+  /// "serving on 127.0.0.1:<port>" line to `log` once listening; publishes
+  /// the bound port through bound_port() for test harnesses. Returns 0
+  /// after a shutdown request drains the loop, nonzero on socket errors.
+  int serve_tcp(unsigned port, std::ostream& log);
+
+  /// The port serve_tcp actually bound (0 until listening).
+  unsigned bound_port() const {
+    return bound_port_.load(std::memory_order_acquire);
+  }
+
+  /// True once a shutdown request was served.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// The process-wide artefact cache (shared with every request).
+  const std::shared_ptr<ArtifactCache>& cache() const { return cache_; }
+
+private:
+  /// Sliding window of request wall-clocks for the p50/p99 stats.
+  class LatencyWindow {
+  public:
+    void record(double ms);
+    /// (count, p50, p99) over the retained window.
+    struct Snapshot {
+      std::uint64_t count = 0;
+      double p50 = 0, p99 = 0;
+    };
+    Snapshot snapshot() const;
+
+  private:
+    static constexpr std::size_t kCapacity = 1 << 14;
+    mutable std::mutex mu_;
+    std::vector<double> ring_;
+    std::size_t next_ = 0;
+    std::uint64_t total_ = 0;
+  };
+
+  /// Per-kind request counters, surfaced by `stats`.
+  struct Counters {
+    std::atomic<std::uint64_t> run{0}, sweep{0}, explore{0}, stats{0},
+        shutdown{0}, errors{0}, deadline_exceeded{0};
+  };
+
+  std::string stats_json() const;
+
+  ServeOptions options_;
+  Session session_;
+  std::shared_ptr<ArtifactCache> cache_;
+  Counters counters_;
+  LatencyWindow latencies_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<unsigned> bound_port_{0};
+  std::atomic<int> listen_fd_{-1};
+};
+
+} // namespace hls

@@ -1,0 +1,497 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace hls {
+
+// --- string escaping ---------------------------------------------------------
+
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i] (per the RFC 3629
+/// table: no overlongs, no surrogates, nothing above U+10FFFF), or 0 when
+/// the bytes there are not one.
+std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t len = 0;
+  unsigned char lo = 0x80, hi = 0xBF;  // bounds for the first continuation
+  if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if (lead >= 0xE0 && lead <= 0xEF) {
+    len = 3;
+    if (lead == 0xE0) lo = 0xA0;        // overlong
+    if (lead == 0xED) hi = 0x9F;        // surrogates
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+    if (lead == 0xF0) lo = 0x90;        // overlong
+    if (lead == 0xF4) hi = 0x8F;        // above U+10FFFF
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
+  for (std::size_t k = 2; k < len; ++k) {
+    if (byte(i + k) < 0x80 || byte(i + k) > 0xBF) return 0;
+  }
+  return len;
+}
+
+} // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    switch (c) {
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+    }
+    if (c < 0x20 || c == 0x7f) {
+      // Remaining C0 controls and DEL: \u escapes, so no control byte ever
+      // reaches the output stream raw.
+      out += strformat("\\u%04x", static_cast<unsigned>(c));
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {
+      out += static_cast<char>(c);
+      ++i;
+      continue;
+    }
+    // Non-ASCII: valid UTF-8 sequences pass through verbatim (JSON strings
+    // are UTF-8); every byte that is not part of one becomes U+FFFD, so the
+    // emitted document is always valid UTF-8 regardless of the input.
+    if (const std::size_t len = utf8_sequence_length(s, i)) {
+      out.append(s, i, len);
+      i += len;
+    } else {
+      out += "\\ufffd";
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v, int digits) {
+  if (!std::isfinite(v)) return "null";
+  return strformat("%.*f", digits, v);
+}
+
+// --- JsonValue ---------------------------------------------------------------
+
+JsonParseError::JsonParseError(const std::string& message, std::size_t offset)
+    : Error(message + strformat(" at byte %zu", offset)), offset_(offset) {}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  HLS_REQUIRE(std::isfinite(d), "JSON numbers must be finite");
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.number_ = d;
+  // Shortest spelling that round-trips the double exactly.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    if (std::strtod(probe, nullptr) == d) {
+      v.text_ = probe;
+      return v;
+    }
+  }
+  v.text_ = buf;
+  return v;
+}
+
+JsonValue JsonValue::number_with_lexeme(double v, std::string lexeme) {
+  HLS_REQUIRE(std::isfinite(v), "JSON numbers must be finite");
+  JsonValue out;
+  out.kind_ = Kind::Number;
+  out.number_ = v;
+  out.text_ = std::move(lexeme);
+  return out;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.text_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  HLS_REQUIRE(kind_ == Kind::Bool, "JSON value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  HLS_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return number_;
+}
+
+unsigned JsonValue::as_unsigned() const {
+  HLS_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  HLS_REQUIRE(number_ >= 0 && number_ <= 4294967295.0 &&
+                  number_ == std::floor(number_),
+              "JSON number is not a non-negative integer in unsigned range");
+  return static_cast<unsigned>(number_);
+}
+
+const std::string& JsonValue::as_string() const {
+  HLS_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  HLS_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  HLS_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return members_;
+}
+
+const std::string& JsonValue::number_lexeme() const {
+  HLS_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return text_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a byte string. Every rejection
+/// names the construct it was inside and the exact byte offset.
+class Parser {
+public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(/*depth=*/0);
+    skip_ws();
+    if (i_ != s_.size()) {
+      fail("trailing content after the JSON value");
+    }
+    return v;
+  }
+
+private:
+  // Nesting bound: a protocol line is shallow; 128 is far beyond any real
+  // request and keeps a hostile "[[[[..." line from exhausting the stack.
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, i_);
+  }
+
+  bool eof() const { return i_ >= s_.size(); }
+  char peek() const { return s_[i_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = s_[i_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++i_;
+    }
+  }
+
+  void expect(char c, const char* where) {
+    if (eof() || s_[i_] != c) {
+      fail(strformat("expected '%c' %s", c, where));
+    }
+    ++i_;
+  }
+
+  bool consume_keyword(const char* kw) {
+    const std::size_t n = std::string(kw).size();
+    if (s_.compare(i_, n, kw) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input, expected a value");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string("string"));
+      case 't':
+        if (consume_keyword("true")) return JsonValue::boolean(true);
+        fail("invalid literal, expected 'true'");
+      case 'f':
+        if (consume_keyword("false")) return JsonValue::boolean(false);
+        fail("invalid literal, expected 'false'");
+      case 'n':
+        if (consume_keyword("null")) return JsonValue::null();
+        fail("invalid literal, expected 'null'");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{', "to open an object");
+    std::vector<JsonValue::Member> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++i_;
+      return JsonValue::object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected a quoted object key");
+      std::string key = parse_string("object key");
+      for (const JsonValue::Member& m : members) {
+        if (m.first == key) {
+          fail("duplicate object key \"" + json_escape(key) + "\"");
+        }
+      }
+      skip_ws();
+      expect(':', "after object key");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object, expected ',' or '}'");
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}', "to close the object");
+      return JsonValue::object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[', "to open an array");
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++i_;
+      return JsonValue::array(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array, expected ',' or ']'");
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']', "to close the array");
+      return JsonValue::array(std::move(items));
+    }
+  }
+
+  /// One \uXXXX escape's four hex digits (the \u is already consumed).
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (eof()) fail("unterminated \\u escape");
+      const char c = s_[i_];
+      unsigned d;
+      if (c >= '0' && c <= '9') d = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') d = static_cast<unsigned>(c - 'A') + 10;
+      else fail("invalid hex digit in \\u escape");
+      v = v * 16 + d;
+      ++i_;
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string(const char* what) {
+    expect('"', "to open a string");
+    std::string out;
+    for (;;) {
+      if (eof()) fail(strformat("unterminated %s", what));
+      const unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return out;
+      }
+      if (c < 0x20) {
+        fail(strformat("raw control character 0x%02x in %s (escape it)",
+                       static_cast<unsigned>(c), what));
+      }
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++i_;
+        continue;
+      }
+      ++i_;  // consume the backslash
+      if (eof()) fail("unterminated escape sequence");
+      const char e = s_[i_];
+      ++i_;
+      switch (e) {
+        case '"': out += '"'; continue;
+        case '\\': out += '\\'; continue;
+        case '/': out += '/'; continue;
+        case 'b': out += '\b'; continue;
+        case 'f': out += '\f'; continue;
+        case 'n': out += '\n'; continue;
+        case 'r': out += '\r'; continue;
+        case 't': out += '\t'; continue;
+        case 'u': break;
+        default:
+          --i_;
+          fail(strformat("invalid escape '\\%c'", e));
+      }
+      unsigned cp = parse_hex4();
+      if (cp >= 0xD800 && cp <= 0xDBFF) {
+        // High surrogate: a low surrogate escape must follow.
+        if (s_.compare(i_, 2, "\\u") != 0) {
+          fail("high surrogate not followed by a \\u low surrogate");
+        }
+        i_ += 2;
+        const unsigned lo = parse_hex4();
+        if (lo < 0xDC00 || lo > 0xDFFF) {
+          fail("invalid low surrogate in surrogate pair");
+        }
+        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+        fail("lone low surrogate escape");
+      }
+      append_utf8(out, cp);
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = i_;
+    if (!eof() && peek() == '-') ++i_;
+    // Integer part: one 0, or a nonzero digit followed by digits.
+    if (eof() || peek() < '0' || peek() > '9') {
+      i_ = start;
+      fail("invalid value");
+    }
+    if (peek() == '0') {
+      ++i_;
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++i_;
+    }
+    if (!eof() && peek() == '.') {
+      ++i_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("expected digits after the decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++i_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++i_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++i_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("expected digits in the exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++i_;
+    }
+    std::string lexeme = s_.substr(start, i_ - start);
+    const double value = std::strtod(lexeme.c_str(), nullptr);
+    return JsonValue::number_with_lexeme(value, std::move(lexeme));
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+} // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+// --- writer ------------------------------------------------------------------
+
+std::string write_json(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: return "null";
+    case JsonValue::Kind::Bool: return v.as_bool() ? "true" : "false";
+    case JsonValue::Kind::Number: return v.number_lexeme();
+    case JsonValue::Kind::String:
+      return "\"" + json_escape(v.as_string()) + "\"";
+    case JsonValue::Kind::Array: {
+      std::string out = "[";
+      const std::vector<JsonValue>& items = v.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ",";
+        out += write_json(items[i]);
+      }
+      return out + "]";
+    }
+    case JsonValue::Kind::Object: {
+      std::string out = "{";
+      const std::vector<JsonValue::Member>& members = v.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "\"" + json_escape(members[i].first) + "\":" +
+               write_json(members[i].second);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+} // namespace hls

@@ -1,0 +1,134 @@
+#pragma once
+// Strict JSON parsing — the input half of the serving protocol.
+//
+// flow/json.hpp only *emits* JSON; the `fraghls --serve` session service
+// (serve/server.hpp) also has to read it, one request object per line. This
+// parser is deliberately strict (RFC 8259, nothing more): no comments, no
+// trailing commas, no unquoted keys, exactly one value per document with
+// only whitespace after it. Every rejection carries the byte offset of the
+// offending character, so a client debugging a malformed request line gets
+// "expected ':' after object key at byte 17", not a shrug.
+//
+// Two properties the test suite leans on:
+//
+//   * Number lexemes are preserved. A JsonValue remembers the exact source
+//     spelling of every number ("0.9000" stays "0.9000", not "0.9"), so
+//     parse -> write round-trips the documents our own emitters produce
+//     byte-identically — which is how tests/json_test.cpp pins every
+//     to_json emitter (and the committed golden files) against the parser.
+//   * Object member order is preserved (members are a vector, not a map),
+//     for the same reason. Duplicate keys are rejected outright — our
+//     emitters never produce them and a serving protocol must not guess
+//     which one the client meant.
+//
+// write_json renders a JsonValue back to compact JSON, escaping strings
+// through the same json_escape as every emitter (flow/json.hpp), so one
+// parse -> write pass is a fixed point on emitter output.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hls {
+
+/// Parse failure, locating the offending byte. `offset` is 0-based into the
+/// parsed text; the message already includes it ("... at byte N").
+class JsonParseError : public Error {
+public:
+  JsonParseError(const std::string& message, std::size_t offset);
+  std::size_t offset() const { return offset_; }
+
+private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value. Plain data: copyable, comparable, no hidden
+/// state. Accessors assert the kind (HLS_REQUIRE -> hls::Error), so decoder
+/// code reads `v["lo"].as_unsigned()`-style without pre-checking every
+/// node; protocol decoders that want a soft failure check kind() first.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  /// A number from a double (lexeme = shortest round-trip spelling); used
+  /// by code that builds documents programmatically. Non-finite values are
+  /// rejected (JSON has no representation for them).
+  static JsonValue number(double v);
+  /// A number carrying an explicit source lexeme — the parser's factory,
+  /// which is what keeps "0.9000" spelled "0.9000" through a round-trip.
+  /// `lexeme` must be a valid JSON number spelling of `v`.
+  static JsonValue number_with_lexeme(double v, std::string lexeme);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<Member> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// The number as a non-negative integer; throws when the value is not a
+  /// number, is negative, has a fractional part, or exceeds unsigned range.
+  /// The one numeric decoder the protocol's count/latency fields need.
+  unsigned as_unsigned() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<Member>& members() const;
+
+  /// The exact source spelling of a number (or the shortest round-trip
+  /// spelling for programmatically built numbers).
+  const std::string& number_lexeme() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  /// String value for Kind::String; number lexeme for Kind::Number.
+  std::string text_;
+  std::vector<JsonValue> items_;     ///< Kind::Array
+  std::vector<Member> members_;      ///< Kind::Object
+};
+
+/// Parses exactly one JSON document (value + trailing whitespace only).
+/// Throws JsonParseError with the byte offset on any violation.
+JsonValue parse_json(const std::string& text);
+
+/// Compact rendering (no whitespace), strings escaped via json_escape,
+/// numbers emitted by their preserved lexeme. parse_json(write_json(v))
+/// reproduces `v`; on our emitters' output write_json(parse_json(s)) == s.
+std::string write_json(const JsonValue& v);
+
+/// Escaping for JSON string values: quote/backslash, all C0 control
+/// characters and DEL (short escapes where JSON has them, \u00XX
+/// otherwise); valid UTF-8 passes through verbatim and every byte that is
+/// not part of a valid sequence becomes U+FFFD, so the output is always a
+/// valid JSON string in valid UTF-8. (Shared by every emitter; historically
+/// declared in flow/json.hpp, which re-exports it.)
+std::string json_escape(const std::string& s);
+
+/// Fixed-point rendering of a double as a JSON number ("%.4f" style with
+/// `digits` decimals). JSON has no NaN/Infinity, so non-finite values
+/// render as `null` — every emitter routes doubles through here so a
+/// degenerate report can never produce an unparseable document.
+std::string json_number(double v, int digits = 4);
+
+} // namespace hls

@@ -16,6 +16,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "ir/print.hpp"
 #include "parser/parser.hpp"
 #include "rtl/rtl_emit.hpp"
+#include "serve/server.hpp"
 #include "suites/suites.hpp"
 #include "rtl/testbench.hpp"
 #include "rtl/vhdl.hpp"
@@ -75,6 +77,12 @@ struct Args {
   std::optional<double> delta_override;
   std::optional<double> overhead_override;
   bool list_registries = false;  ///< any --list-* flag was given
+  // Serving mode (--serve): JSON-lines session service (serve/server.hpp).
+  bool serve = false;
+  std::optional<unsigned> serve_port;  ///< TCP instead of stdin
+  unsigned cache_mb = 0;               ///< serving-cache bound (0 = unbounded)
+  unsigned cache_shards = 8;
+  double deadline_ms = 0;              ///< default per-request deadline
 };
 
 /// The three name registries the CLI fronts, as one table: drives the
@@ -296,6 +304,28 @@ const OptionSpec kOptions[] = {
      [](Args& a, const std::string&) { a.no_prune = true; }},
     {"--csv", nullptr, "explore: CSV point listing instead of tables",
      [](Args& a, const std::string&) { a.csv = true; }},
+    {"--serve", nullptr,
+     "session service: one JSON request per stdin line, one response line "
+     "(run|sweep|explore|stats|shutdown; see README 'Serving')",
+     [](Args& a, const std::string&) { a.serve = true; }},
+    {"--serve-port", "P",
+     "serve: listen on TCP 127.0.0.1:P instead of stdin (0 = ephemeral, "
+     "port printed to stderr)",
+     [](Args& a, const std::string& v) {
+       a.serve_port = parse_unsigned(v);
+     }},
+    {"--cache-mb", "N",
+     "serve: bound the artifact cache to ~N MiB, LRU-evicted (default: "
+     "unbounded)",
+     [](Args& a, const std::string& v) { a.cache_mb = parse_unsigned(v); }},
+    {"--cache-shards", "N",
+     "serve: cache lock stripes, rounded up to a power of two (default: 8)",
+     [](Args& a, const std::string& v) {
+       a.cache_shards = parse_unsigned(v);
+     }},
+    {"--deadline-ms", "MS",
+     "serve: default per-request deadline (requests may override; 0 = none)",
+     [](Args& a, const std::string& v) { a.deadline_ms = parse_double(v); }},
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -356,6 +386,21 @@ Args parse_args(int argc, char** argv) {
       if (r.selected) print_registry(std::cout, r);
     }
     std::exit(0);
+  }
+  if (a.serve) {
+    // Serving mode: requests arrive on the protocol, so the spec/latency
+    // requirements (and every point-mode flag) do not apply.
+    if (!a.spec_path.empty() || !a.suite.empty() || a.latency != 0 ||
+        a.sweep_lo != 0 || a.explore) {
+      usage("--serve takes requests on stdin (or --serve-port); spec files, "
+            "--latency/--sweep and --explore do not apply");
+    }
+    return a;
+  }
+  if (a.serve_port || a.cache_mb != 0 || a.cache_shards != 8 ||
+      a.deadline_ms != 0) {
+    usage("--serve-port/--cache-mb/--cache-shards/--deadline-ms require "
+          "--serve");
   }
   if (!a.suite.empty() && !a.spec_path.empty()) {
     usage("give a spec file or --suite, not both");
@@ -463,6 +508,27 @@ bool check(const std::vector<FlowResult>& results) {
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
+
+  // More workers than cores adds scheduling contention, not throughput —
+  // worth a note (run_batch still clamps its pool to the job count).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (args.workers > hw) {
+    std::cerr << "note: --workers " << args.workers
+              << " exceeds hardware concurrency (" << hw
+              << "); extra threads add contention, not throughput\n";
+  }
+
+  if (args.serve) {
+    Server server(ServeOptions{
+        .workers = args.workers,
+        .cache_shards = args.cache_shards,
+        .cache_max_bytes = static_cast<std::size_t>(args.cache_mb) << 20,
+        .default_deadline_ms = args.deadline_ms});
+    if (args.serve_port) {
+      return server.serve_tcp(*args.serve_port, std::cerr);
+    }
+    return server.serve(std::cin, std::cout);
+  }
 
   // --delta / --overhead derive a modified target and register it next to
   // the builtins — the same registration path user code uses.

@@ -116,7 +116,8 @@ TEST(Cli, UsageListsEveryOption) {
         "--dump-schedule", "--emit-vhdl", "--emit-rtl", "--emit-dot",
         "--emit-tb", "--narrow", "--scheduler", "--target", "--list-flows",
         "--list-schedulers", "--list-targets", "--pipeline", "--json",
-        "--workers", "--delta", "--overhead"}) {
+        "--workers", "--delta", "--overhead", "--serve", "--serve-port",
+        "--cache-mb", "--cache-shards", "--deadline-ms"}) {
     EXPECT_NE(r.output.find(opt), std::string::npos) << opt;
   }
   // The registry summary is generated from the live registries.
@@ -257,6 +258,59 @@ TEST(Cli, SuiteModeSynthesizesRegistrySuites) {
   EXPECT_NE(bad.status, 0);
   EXPECT_NE(bad.output.find("unknown suite 'bogus'"), std::string::npos);
   EXPECT_NE(bad.output.find("synth-mesh8x8"), std::string::npos);
+}
+
+TEST(Cli, ServeModeSpeaksJsonLinesOnStdin) {
+  const std::string reqs = "/tmp/fraghls_cli_serve_reqs.jsonl";
+  std::ofstream(reqs)
+      << R"({"kind":"run","id":1,"suite":"motivational","latency":3})" << "\n"
+      << "this is not json\n"
+      << R"({"kind":"run","id":2,"suite":"motivational","latency":3,)"
+      << R"("deadline_ms":0.0001})" << "\n"
+      << R"({"kind":"shutdown","id":3})" << "\n";
+  const CliResult r = run_cli("--serve < " + reqs);
+  EXPECT_EQ(r.status, 0) << r.output;
+  // One response line per non-blank request, each on the envelope schema.
+  std::size_t envelopes = 0;
+  for (std::size_t at = r.output.find("fraghls-serve-v1");
+       at != std::string::npos;
+       at = r.output.find("fraghls-serve-v1", at + 1)) {
+    envelopes++;
+  }
+  EXPECT_EQ(envelopes, 4u);
+  EXPECT_NE(r.output.find("\"id\":1,\"ok\":true"), std::string::npos);
+  // The malformed line comes back structured, with the byte offset.
+  EXPECT_NE(r.output.find("\"stage\":\"protocol\""), std::string::npos);
+  EXPECT_NE(r.output.find("at byte"), std::string::npos);
+  // The over-deadline request is rejected as such and counted.
+  EXPECT_NE(r.output.find("\"stage\":\"deadline\""), std::string::npos);
+  // The shutdown response carries the final summary.
+  EXPECT_NE(r.output.find("\"deadline_exceeded\":1"), std::string::npos);
+  EXPECT_NE(r.output.find("\"cache\":{"), std::string::npos);
+}
+
+TEST(Cli, ServeFlagsAreGatedBothWays) {
+  const std::string spec = write_spec("chain", kChain);
+  // --serve excludes one-shot inputs and modes.
+  EXPECT_NE(run_cli("--serve " + spec).status, 0);
+  EXPECT_NE(run_cli("--serve --suite motivational").status, 0);
+  EXPECT_NE(run_cli("--serve --latency 3").status, 0);
+  EXPECT_NE(run_cli("--serve --explore").status, 0);
+  // Serve-only knobs require --serve.
+  EXPECT_NE(run_cli(spec + " --latency 3 --serve-port 0").status, 0);
+  EXPECT_NE(run_cli(spec + " --latency 3 --cache-mb 64").status, 0);
+  EXPECT_NE(run_cli(spec + " --latency 3 --deadline-ms 5").status, 0);
+}
+
+TEST(Cli, NotesWhenWorkersExceedHardwareConcurrency) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult r = run_cli(spec + " --sweep 2..3 --workers 4096");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("exceeds hardware concurrency"), std::string::npos);
+  // No note when the pool fits the machine.
+  const CliResult fits = run_cli(spec + " --sweep 2..3 --workers 1");
+  EXPECT_EQ(fits.output.find("exceeds hardware concurrency"),
+            std::string::npos);
 }
 
 TEST(Cli, ExploreModePrintsFrontierTable) {

@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "dse/cache.hpp"
 #include "dse/explorer.hpp"
@@ -125,6 +128,104 @@ TEST(ArtifactCache, FailuresAreNotCached) {
   EXPECT_EQ(to_json(again), to_json(first));
   FlowRequest plain{motivational(), "optimized", 3, 5};
   EXPECT_EQ(to_json(session.run(plain)), to_json(first));
+}
+
+TEST(ArtifactCache, HitRateEdgeCases) {
+  ArtifactCache cache;
+  // Empty cache: zero lookups must read as 0.0, not 0/0.
+  EXPECT_EQ(cache.stats().total().hit_rate(), 0.0);
+  const DelayModel ripple;
+  (void)cache.kernel(motivational());
+  EXPECT_EQ(cache.stats().kernel.hit_rate(), 0.0);  // one miss, no hits
+  (void)cache.kernel(motivational());
+  EXPECT_DOUBLE_EQ(cache.stats().kernel.hit_rate(), 0.5);
+  (void)cache.kernel(motivational());
+  (void)cache.kernel(motivational());
+  EXPECT_DOUBLE_EQ(cache.stats().kernel.hit_rate(), 0.75);
+  (void)ripple;
+}
+
+TEST(ArtifactCache, ConcurrentLookupsShareOneArtifactAndCountEveryLookup) {
+  // The deliberate compute race: many threads miss the same cold key at
+  // once. Compute runs outside the shard lock (first insert wins), so more
+  // than one thread may compute — but every caller must get the *same*
+  // shared artefact and every lookup must be counted exactly once:
+  // hits + misses == lookups, with no lost updates under contention.
+  ArtifactCache cache;
+  const Dfg spec = iir4();
+  const DelayModel ripple = resolve_target("paper-ripple").delay;
+  constexpr unsigned kThreads = 8, kRounds = 16;
+  std::vector<std::shared_ptr<const TransformResult>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned r = 0; r < kRounds; ++r) {
+        seen[t] = cache.transform(spec, false, 8, 0, ripple);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (unsigned t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].get(), seen[0].get()) << "thread " << t;
+  }
+  const CacheStats::Counter c = cache.stats().transform;
+  EXPECT_EQ(c.hits + c.misses, kThreads * kRounds);
+  EXPECT_GE(c.misses, 1u);
+  EXPECT_EQ(cache.stats().total().evictions, 0u);  // unbounded: no eviction
+}
+
+TEST(ArtifactCache, ByteBoundEvictsLeastRecentlyUsedAndCounts) {
+  // One shard and a bound far below one suite's working set: filling the
+  // cache across latencies must evict, the counters must say so, resident
+  // bytes must respect the bound, and an evicted key must recompute as a
+  // fresh miss (correct, just cold again).
+  ArtifactCache cache({.shards = 1, .max_resident_bytes = 16 * 1024});
+  const Dfg spec = elliptic();
+  const DelayModel ripple = resolve_target("paper-ripple").delay;
+  (void)cache.fragment_schedule("list", spec, false, 8, 0, ripple);
+  const std::uint64_t cold_misses = cache.stats().schedule.misses;
+  for (unsigned lat = 9; lat < 24; ++lat) {
+    (void)cache.fragment_schedule("list", spec, false, lat, 0, ripple);
+  }
+  const CacheStats after = cache.stats();
+  EXPECT_GT(after.total().evictions, 0u);
+  EXPECT_LE(after.total().resident_bytes, 16u * 1024u);
+  // Latency 8 was the least recently used entry — long evicted by now.
+  (void)cache.fragment_schedule("list", spec, false, 8, 0, ripple);
+  EXPECT_GT(cache.stats().schedule.misses, cold_misses);
+  // Counters survive eviction: lookups still balance.
+  const CacheStats::Counter s = cache.stats().schedule;
+  EXPECT_EQ(s.hits + s.misses, 16u + 1u);
+}
+
+TEST(ArtifactCache, BoundedCacheStaysCorrectUnderContention) {
+  // Eviction under contention: threads hammer overlapping latency ranges
+  // against a bound small enough to thrash. Values stay correct (the
+  // shared_ptr keeps a just-evicted artefact alive for its holder) and the
+  // per-stage ledgers stay exact.
+  ArtifactCache cache({.shards = 2, .max_resident_bytes = 8 * 1024});
+  const Dfg spec = diffeq();
+  const DelayModel ripple = resolve_target("paper-ripple").delay;
+  constexpr unsigned kThreads = 4, kRounds = 8, kLats = 6;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned r = 0; r < kRounds; ++r) {
+        for (unsigned l = 0; l < kLats; ++l) {
+          const unsigned lat = 4 + (l + t) % kLats;
+          const auto fs =
+              cache.fragment_schedule("list", spec, false, lat, 0, ripple);
+          if (!fs || fs->schedule.latency != lat) failed.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  const CacheStats::Counter s = cache.stats().schedule;
+  EXPECT_EQ(s.hits + s.misses, kThreads * kRounds * kLats);
+  EXPECT_LE(cache.stats().total().resident_bytes, 8u * 1024u);
 }
 
 // --- Explorer: validation ----------------------------------------------------

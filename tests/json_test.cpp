@@ -1,0 +1,232 @@
+// Tests for the strict JSON parser (support/json.hpp): value coverage,
+// number-lexeme preservation, the RFC 8259 strictness corners (duplicate
+// keys, trailing garbage, raw control bytes, surrogate escapes), byte
+// offsets in every rejection, and the round-trip contract the serving
+// protocol rests on — write_json(parse_json(s)) is a fixed point on the
+// output of every to_json emitter, committed goldens included.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "testutil.hpp"
+#include "dse/explorer.hpp"
+#include "flow/json.hpp"
+#include "flow/pipeline.hpp"
+#include "suites/suites.hpp"
+#include "support/json.hpp"
+
+namespace hls {
+namespace {
+
+// --- value coverage ----------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json(" true ").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_double(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E-1").as_double(), 0.25);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("\"\"").as_string(), "");
+}
+
+TEST(JsonParse, ArraysAndObjectsPreserveOrder) {
+  const JsonValue v = parse_json(R"({"b":1,"a":[true,null,"x"],"c":{}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  // Member order is source order, not sorted — the round-trip contract.
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "c");
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[1].is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_TRUE(v.find("c")->members().empty());
+}
+
+TEST(JsonParse, NumberLexemesSurviveRoundTrip) {
+  // "0.9000" must not collapse to "0.9": the emitters write %.4f and the
+  // golden tests compare bytes.
+  for (const char* lexeme :
+       {"0.9000", "12.3450", "-0.0001", "0", "-0", "1e-9", "123456789012345",
+        "3.0000"}) {
+    const JsonValue v = parse_json(lexeme);
+    EXPECT_EQ(v.number_lexeme(), lexeme);
+    EXPECT_EQ(write_json(v), lexeme);
+  }
+  // Programmatic numbers get a shortest round-trip spelling.
+  EXPECT_EQ(write_json(JsonValue::number(0.5)), "0.5");
+  EXPECT_EQ(write_json(JsonValue::number(3)), "3");
+  EXPECT_THROW(JsonValue::number(std::nan("")), Error);
+}
+
+TEST(JsonParse, AsUnsignedIsStrict) {
+  EXPECT_EQ(parse_json("7").as_unsigned(), 7u);
+  EXPECT_EQ(parse_json("0").as_unsigned(), 0u);
+  EXPECT_THROW(parse_json("-1").as_unsigned(), Error);
+  EXPECT_THROW(parse_json("1.5").as_unsigned(), Error);
+  EXPECT_THROW(parse_json("1e18").as_unsigned(), Error);  // exceeds unsigned
+  EXPECT_THROW(parse_json("\"3\"").as_unsigned(), Error);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair -> one UTF-8 sequence (U+1F642).
+  EXPECT_EQ(parse_json(R"("🙂")").as_string(), "\xf0\x9f\x99\x82");
+  // UTF-8 passes through verbatim.
+  EXPECT_EQ(parse_json("\"caf\xc3\xa9\"").as_string(), "caf\xc3\xa9");
+}
+
+// --- strictness and byte offsets ---------------------------------------------
+
+std::size_t offset_of_failure(const std::string& text) {
+  try {
+    (void)parse_json(text);
+  } catch (const JsonParseError& e) {
+    // The message self-locates too.
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+    return e.offset();
+  }
+  ADD_FAILURE() << "expected JsonParseError for: " << text;
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(JsonParse, RejectionsCarryByteOffsets) {
+  EXPECT_EQ(offset_of_failure(""), 0u);
+  EXPECT_EQ(offset_of_failure("{\"a\":1,}"), 7u);      // trailing comma
+  EXPECT_EQ(offset_of_failure("[1,2"), 4u);            // unterminated array
+  EXPECT_EQ(offset_of_failure("{\"a\" 1}"), 5u);       // missing ':'
+  EXPECT_EQ(offset_of_failure("{\"a\":1} x"), 8u);     // trailing garbage
+  EXPECT_EQ(offset_of_failure("nul"), 0u);             // bad literal
+  EXPECT_EQ(offset_of_failure("\"abc"), 4u);           // unterminated string
+  EXPECT_EQ(offset_of_failure("[1, 02]"), 5u);  // "0" ends at the extra digit
+  EXPECT_EQ(offset_of_failure("+1"), 0u);
+  EXPECT_EQ(offset_of_failure("[1.]"), 3u);            // digitless fraction
+  EXPECT_EQ(offset_of_failure("{1:2}"), 1u);           // unquoted key
+  EXPECT_EQ(offset_of_failure("// c\n1"), 0u);         // no comments
+}
+
+TEST(JsonParse, DuplicateKeysAreRejected) {
+  try {
+    (void)parse_json(R"({"a":1,"b":2,"a":3})");
+    FAIL() << "duplicate key accepted";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key \"a\""),
+              std::string::npos);
+  }
+}
+
+TEST(JsonParse, RawControlBytesInStringsAreRejected) {
+  EXPECT_THROW(parse_json("\"a\nb\""), JsonParseError);
+  EXPECT_THROW(parse_json(std::string("\"a") + '\x01' + "b\""),
+               JsonParseError);
+  // Lone or malformed surrogates are rejected, never emitted as garbage.
+  EXPECT_THROW(parse_json(R"("\ud83d")"), JsonParseError);
+  EXPECT_THROW(parse_json(R"("\ud83dxx")"), JsonParseError);
+  EXPECT_THROW(parse_json(R"("\ude42")"), JsonParseError);
+}
+
+TEST(JsonParse, DepthIsBounded) {
+  // A recursion bomb is a protocol error, not a stack overflow.
+  const std::string deep(1000, '[');
+  EXPECT_THROW(parse_json(deep), JsonParseError);
+  std::string ok = "1";
+  for (int i = 0; i < 100; ++i) ok = "[" + ok + "]";
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+TEST(JsonParse, ProgrammaticValuesRoundTripThroughText) {
+  const JsonValue v = JsonValue::object(
+      {{"s", JsonValue::string("q\"\\\n")},
+       {"n", JsonValue::number(2.25)},
+       {"a", JsonValue::array({JsonValue::boolean(true), JsonValue::null()})},
+       {"o", JsonValue::object({})}});
+  EXPECT_EQ(parse_json(write_json(v)), v);
+}
+
+// --- fixed point on the emitters ---------------------------------------------
+
+/// The serving contract: every document our emitters produce parses
+/// strictly and re-emits byte-identically.
+void expect_fixed_point(const std::string& doc) {
+  ASSERT_FALSE(doc.empty());
+  JsonValue v;
+  ASSERT_NO_THROW(v = parse_json(doc)) << doc.substr(0, 200);
+  EXPECT_EQ(write_json(v), doc);
+}
+
+TEST(JsonRoundTrip, FlowEmittersAreFixedPoints) {
+  const FlowResult ok = testutil::run_optimized(motivational(), 3);
+  expect_fixed_point(to_json(ok));
+  expect_fixed_point(to_json(ok.report));
+  expect_fixed_point(to_json(std::vector<ImplementationReport>{ok.report}));
+  const Session session;
+  const FlowResult failed = session.run({motivational(), "no-such-flow", 3});
+  ASSERT_FALSE(failed.ok);
+  expect_fixed_point(to_json(failed));
+  expect_fixed_point(to_json(std::vector<FlowResult>{ok, failed}));
+  FlowDiagnostic d;
+  d.severity = DiagSeverity::Error;
+  d.stage = "request";
+  d.message = "control\x01 and \"quote\" and \ttab";
+  expect_fixed_point(to_json(d));
+  PipelineReport p;
+  p.latency = 4;
+  p.min_ii = 2;
+  p.cycle_ns = 3.5;
+  expect_fixed_point(to_json(p));
+}
+
+TEST(JsonRoundTrip, ExploreEmitterIsFixedPoint) {
+  ExploreRequest req;
+  req.spec = fir2();
+  req.targets = {"paper-ripple", "cla"};
+  req.latency_lo = 3;
+  req.latency_hi = 6;
+  req.workers = 1;
+  expect_fixed_point(to_json(Explorer().run(req)));
+  // A failed explore serializes too.
+  req.latency_lo = 9;
+  req.latency_hi = 3;
+  const ExploreResult bad = Explorer().run(req);
+  ASSERT_FALSE(bad.ok);
+  expect_fixed_point(to_json(bad));
+}
+
+TEST(JsonRoundTrip, CommittedGoldenReparsesByteStable) {
+  // The committed --explore --json golden, reparsed and re-emitted: one
+  // pass through JsonValue must not move a byte (lexemes and member order
+  // both preserved).
+  std::ifstream golden(std::string(FRAGHLS_GOLDEN_DIR) +
+                       "/motivational_explore.json");
+  ASSERT_TRUE(golden) << "missing golden motivational_explore.json";
+  std::stringstream buf;
+  buf << golden.rdbuf();
+  std::string doc = buf.str();
+  if (!doc.empty() && doc.back() == '\n') doc.pop_back();
+  expect_fixed_point(doc);
+}
+
+// --- json_number (the emitters' double formatter) ----------------------------
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(1.0), "1.0000");
+  EXPECT_EQ(json_number(0.123456), "0.1235");
+  EXPECT_EQ(json_number(12.3456789, 3), "12.346");
+}
+
+} // namespace
+} // namespace hls

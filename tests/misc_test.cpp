@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "testutil.hpp"
 #include "flow/json.hpp"
 #include "ir/builder.hpp"
@@ -98,6 +100,33 @@ TEST(JsonEscape, DiagnosticMessagesStayParseable) {
   EXPECT_NE(j.find("\\u001b"), std::string::npos);
   EXPECT_NE(j.find("\\t"), std::string::npos);
   EXPECT_NE(j.find("\\n"), std::string::npos);
+}
+
+TEST(JsonNumber, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Infinity. A degenerate report (zero-delay target, a
+  // saving computed against a zero baseline) must emit `null`, never an
+  // unparseable bare NaN token — across every emitter that prints doubles.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ImplementationReport r = testutil::run_optimized(motivational(), 3).report;
+  r.cycle_ns = nan;
+  r.execution_ns = std::numeric_limits<double>::infinity();
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"cycle_ns\":null"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"execution_ns\":null"), std::string::npos) << j;
+  EXPECT_EQ(j.find("nan"), std::string::npos);
+  EXPECT_EQ(j.find("inf"), std::string::npos);
+  // The FlowResult wrapper inherits the same formatter.
+  FlowResult fr = testutil::run_optimized(motivational(), 3);
+  fr.report.cycle_ns = nan;
+  EXPECT_NE(to_json(fr).find("\"cycle_ns\":null"), std::string::npos);
+  // PipelineReport divides by min_ii * cycle_ns; force the poles.
+  PipelineReport p;
+  p.latency = 3;
+  p.min_ii = 1;
+  p.cycle_ns = nan;
+  const std::string pj = to_json(p);
+  EXPECT_NE(pj.find("\"cycle_ns\":null"), std::string::npos);
+  EXPECT_NE(pj.find("\"throughput_per_us\":null"), std::string::npos);
 }
 
 TEST(OpTraits, Classification) {

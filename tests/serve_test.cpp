@@ -1,0 +1,446 @@
+// Tests for the serve/ session service: protocol strictness (every failure
+// one structured response line, never a crash or a silent drop), the
+// bit-identity contract against uncached Session::run / Explorer across all
+// registry suites, deadline and stats semantics, the multi-client soak
+// (clean under the ASan/UBSan CI job), eviction under contention against a
+// bounded cache, and a loopback TCP smoke.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dse/explorer.hpp"
+#include "flow/json.hpp"
+#include "serve/server.hpp"
+#include "suites/suites.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "timing/target.hpp"
+
+namespace hls {
+namespace {
+
+/// Every response must parse strictly and carry the envelope.
+JsonValue parse_response(const std::string& line) {
+  JsonValue v;
+  EXPECT_NO_THROW(v = parse_json(line)) << line.substr(0, 200);
+  EXPECT_TRUE(v.is_object());
+  const JsonValue* schema = v.find("schema");
+  EXPECT_NE(schema, nullptr);
+  if (schema != nullptr) EXPECT_EQ(schema->as_string(), "fraghls-serve-v1");
+  EXPECT_NE(v.find("ok"), nullptr);
+  EXPECT_NE(v.find("ms"), nullptr);
+  return v;
+}
+
+bool response_ok(const JsonValue& v) {
+  const JsonValue* ok = v.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// The first diagnostic's stage of a failed response.
+std::string failure_stage(const JsonValue& v) {
+  const JsonValue* diags = v.find("diagnostics");
+  if (diags == nullptr || diags->as_array().empty()) return "";
+  const JsonValue* stage = diags->as_array().front().find("stage");
+  return stage != nullptr ? stage->as_string() : "";
+}
+
+/// `v` minus one member — used to compare explore results modulo the cache
+/// counters (the one deliberate non-identity of served explores: they report
+/// the shared process-wide cache).
+JsonValue without_member(const JsonValue& v, const std::string& key) {
+  std::vector<JsonValue::Member> members;
+  for (const JsonValue::Member& m : v.members()) {
+    if (m.first != key) members.push_back(m);
+  }
+  return JsonValue::object(std::move(members));
+}
+
+// --- bit-identity against the uncached engines -------------------------------
+
+TEST(Serve, RunResponsesAreBitIdenticalToUncachedSessionAcrossSuites) {
+  Server server;
+  const Session session;
+  for (const SuiteEntry& s : registry_suites()) {
+    SCOPED_TRACE(s.name);
+    const unsigned lat = s.latencies.front();
+    const std::string line = strformat(
+        "{\"kind\":\"run\",\"suite\":\"%s\",\"latency\":%u}", s.name.c_str(),
+        lat);
+    // Twice: cold (miss path) and warm (hit path) must both match.
+    for (int round = 0; round < 2; ++round) {
+      const JsonValue resp = parse_response(server.handle_line(line));
+      ASSERT_TRUE(response_ok(resp)) << server.handle_line(line);
+      const JsonValue* result = resp.find("result");
+      ASSERT_NE(result, nullptr);
+      const FlowResult fresh = session.run(
+          {s.build(), "optimized", lat, 0, {}, "list", kDefaultTargetName});
+      EXPECT_EQ(write_json(*result), to_json(fresh)) << "round " << round;
+    }
+  }
+}
+
+TEST(Serve, SweepMatchesRunSweepIncludingFailureShape) {
+  Server server;
+  const Session session;
+  const JsonValue resp = parse_response(server.handle_line(
+      R"({"kind":"sweep","suite":"fir2","lo":3,"hi":6,)"
+      R"("targets":["paper-ripple","cla"]})"));
+  ASSERT_TRUE(response_ok(resp));
+  const std::vector<FlowResult> fresh = session.run_sweep(
+      fir2(), "optimized", 3, 6, {}, "list", {"paper-ripple", "cla"});
+  EXPECT_EQ(write_json(*resp.find("result")), to_json(fresh));
+  // An inverted range comes back as run_sweep's structured single result,
+  // with the envelope's ok reflecting the failure.
+  const JsonValue bad = parse_response(server.handle_line(
+      R"({"kind":"sweep","suite":"fir2","lo":6,"hi":3})"));
+  EXPECT_FALSE(response_ok(bad));
+  const std::vector<FlowResult> bad_fresh =
+      session.run_sweep(fir2(), "optimized", 6, 3);
+  EXPECT_EQ(write_json(*bad.find("result")), to_json(bad_fresh));
+}
+
+TEST(Serve, ExploreMatchesFreshExplorerModuloSharedCacheCounters) {
+  // Served explores share the process cache, so their cache counters are a
+  // property of the server's history, not the request; everything else —
+  // points, frontier, objectives, best — must be byte-identical.
+  Server server(ServeOptions{.workers = 1});
+  for (const SuiteEntry& s : registry_suites()) {
+    SCOPED_TRACE(s.name);
+    const unsigned lo = s.latencies.front();
+    const std::string line = strformat(
+        "{\"kind\":\"explore\",\"suite\":\"%s\",\"lo\":%u,\"hi\":%u,"
+        "\"targets\":[\"paper-ripple\",\"cla\"]}",
+        s.name.c_str(), lo, lo + 3);
+    const JsonValue resp = parse_response(server.handle_line(line));
+    ASSERT_TRUE(response_ok(resp));
+    ExploreRequest req;
+    req.spec = s.build();
+    req.targets = {"paper-ripple", "cla"};
+    req.latency_lo = lo;
+    req.latency_hi = lo + 3;
+    req.workers = 1;
+    const JsonValue fresh = parse_json(to_json(Explorer().run(req)));
+    EXPECT_EQ(write_json(without_member(*resp.find("result"), "cache")),
+              write_json(without_member(fresh, "cache")));
+  }
+}
+
+TEST(Serve, SpecMemberCarriesDslText) {
+  Server server;
+  const JsonValue resp = parse_response(server.handle_line(
+      R"({"kind":"run","latency":3,"spec":)"
+      R"("module m { input a: u8; input b: u8; output o: u8; o = a + b; }"})"));
+  EXPECT_TRUE(response_ok(resp));
+  // Parse errors in the DSL come back under stage "parse" with a location.
+  const JsonValue bad = parse_response(server.handle_line(
+      R"({"kind":"run","latency":3,"spec":"module m { input a u8; }"})"));
+  EXPECT_FALSE(response_ok(bad));
+  EXPECT_EQ(failure_stage(bad), "parse");
+}
+
+// --- protocol strictness -----------------------------------------------------
+
+TEST(Serve, EveryMalformedShapeGetsAStructuredResponse) {
+  Server server;
+  const struct {
+    const char* line;
+    const char* stage;
+  } cases[] = {
+      {"{oops", "protocol"},                                  // bad JSON
+      {"[1,2]", "protocol"},                                  // not an object
+      {R"({"id":1})", "protocol"},                            // no kind
+      {R"({"kind":"frobnicate"})", "protocol"},               // unknown kind
+      {R"({"kind":"run","latency":3})", "request"},           // no suite/spec
+      {R"({"kind":"run","suite":"fir2","latency":3,"spec":"x"})",
+       "request"},                                            // both
+      {R"({"kind":"run","suite":"nope","latency":3})", "request"},
+      {R"({"kind":"run","suite":"fir2"})", "protocol"},       // no latency
+      {R"({"kind":"run","suite":"fir2","latency":3,"latencies":[4]})",
+       "protocol"},                                           // unknown member
+      {R"({"kind":"run","suite":"fir2","latency":-2})", "protocol"},
+      {R"({"kind":"stats","suite":"fir2"})", "protocol"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.line);
+    const JsonValue resp = parse_response(server.handle_line(c.line));
+    EXPECT_FALSE(response_ok(resp));
+    EXPECT_EQ(failure_stage(resp), c.stage);
+  }
+  // An unknown flow name flows through validate_request: the failure lives
+  // inside the FlowResult body (like an uncached run), envelope ok=false.
+  const JsonValue typo = parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3,"flow":"typo"})"));
+  EXPECT_FALSE(response_ok(typo));
+  const JsonValue* diags = typo.find("result")->find("diagnostics");
+  ASSERT_NE(diags, nullptr);
+  ASSERT_FALSE(diags->as_array().empty());
+  EXPECT_EQ(diags->as_array().front().find("stage")->as_string(), "registry");
+  // The server is still healthy afterwards.
+  EXPECT_TRUE(response_ok(parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3})"))));
+  // A malformed-JSON response names the byte of the violation.
+  const std::string parse_fail = server.handle_line("{oops");
+  EXPECT_NE(parse_fail.find("at byte"), std::string::npos);
+}
+
+TEST(Serve, IdIsEchoedVerbatim) {
+  Server server;
+  const JsonValue num = parse_response(
+      server.handle_line(R"({"kind":"stats","id":42})"));
+  ASSERT_NE(num.find("id"), nullptr);
+  EXPECT_EQ(write_json(*num.find("id")), "42");
+  const JsonValue str = parse_response(
+      server.handle_line(R"({"kind":"stats","id":"client-7/a"})"));
+  EXPECT_EQ(str.find("id")->as_string(), "client-7/a");
+  // Errors echo the id too — a client must be able to correlate failures.
+  const JsonValue bad = parse_response(
+      server.handle_line(R"({"kind":"nope","id":"x"})"));
+  ASSERT_NE(bad.find("id"), nullptr);
+  EXPECT_EQ(bad.find("id")->as_string(), "x");
+}
+
+TEST(Serve, DeadlineOverrunsAreReportedAndCounted) {
+  Server server;
+  const JsonValue resp = parse_response(server.handle_line(
+      R"({"kind":"explore","suite":"elliptic","lo":8,"hi":12,)"
+      R"("deadline_ms":0.001})"));
+  EXPECT_FALSE(response_ok(resp));
+  EXPECT_EQ(failure_stage(resp), "deadline");
+  const JsonValue stats = parse_response(
+      server.handle_line(R"({"kind":"stats"})"));
+  const JsonValue* reqs = stats.find("result")->find("requests");
+  EXPECT_EQ(reqs->find("deadline_exceeded")->as_unsigned(), 1u);
+  // Deadline overruns are not protocol errors.
+  EXPECT_EQ(reqs->find("errors")->as_unsigned(), 0u);
+  // A generous deadline passes untouched.
+  EXPECT_TRUE(response_ok(parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3,"deadline_ms":60000})"))));
+}
+
+TEST(Serve, DefaultDeadlineAppliesFromOptions) {
+  Server server(ServeOptions{.default_deadline_ms = 0.001});
+  const JsonValue resp = parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3})"));
+  EXPECT_FALSE(response_ok(resp));
+  EXPECT_EQ(failure_stage(resp), "deadline");
+  // A request-level deadline overrides the default.
+  EXPECT_TRUE(response_ok(parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3,"deadline_ms":60000})"))));
+}
+
+// --- stats and shutdown ------------------------------------------------------
+
+TEST(Serve, StatsAreConsistentAndShutdownCarriesTheSummary) {
+  Server server;
+  (void)server.handle_line(R"({"kind":"run","suite":"fir2","latency":3})");
+  (void)server.handle_line(R"({"kind":"run","suite":"fir2","latency":3})");
+  (void)server.handle_line(
+      R"({"kind":"sweep","suite":"diffeq","lo":4,"hi":6})");
+  (void)server.handle_line("not json");
+  EXPECT_FALSE(server.shutdown_requested());
+  const JsonValue resp = parse_response(
+      server.handle_line(R"({"kind":"shutdown"})"));
+  EXPECT_TRUE(server.shutdown_requested());
+  EXPECT_TRUE(response_ok(resp));
+  const JsonValue* result = resp.find("result");
+  const JsonValue* reqs = result->find("requests");
+  EXPECT_EQ(reqs->find("run")->as_unsigned(), 2u);
+  EXPECT_EQ(reqs->find("sweep")->as_unsigned(), 1u);
+  EXPECT_EQ(reqs->find("errors")->as_unsigned(), 1u);
+  EXPECT_EQ(reqs->find("shutdown")->as_unsigned(), 1u);
+  // Only run/sweep/explore are timed.
+  const JsonValue* lat = result->find("latency_ms");
+  EXPECT_EQ(lat->find("count")->as_unsigned(), 3u);
+  EXPECT_GE(lat->find("p99")->as_double(), lat->find("p50")->as_double());
+  // Cache ledger: hits + misses == lookups, per stage and in total.
+  const JsonValue* cache = result->find("cache");
+  for (const JsonValue::Member& m : cache->members()) {
+    const unsigned hits = m.second.find("hits")->as_unsigned();
+    const unsigned misses = m.second.find("misses")->as_unsigned();
+    EXPECT_EQ(hits + misses, m.second.find("lookups")->as_unsigned())
+        << m.first;
+  }
+  EXPECT_GT(cache->find("total")->find("hits")->as_unsigned(), 0u);
+  // The configured sizing is reported back.
+  EXPECT_EQ(result->find("cache_config")->find("shards")->as_unsigned(), 8u);
+}
+
+TEST(Serve, StdinLoopDrainsAfterShutdownLine) {
+  Server server;
+  std::istringstream in(
+      "{\"kind\":\"run\",\"suite\":\"fir2\",\"latency\":3}\n"
+      "\n"
+      "{\"kind\":\"shutdown\"}\n"
+      "{\"kind\":\"run\",\"suite\":\"fir2\",\"latency\":4}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve(in, out), 0);
+  // Two responses: the run and the shutdown; the post-shutdown line and the
+  // blank keep-alive are not served.
+  std::size_t lines = 0;
+  std::istringstream check(out.str());
+  for (std::string line; std::getline(check, line);) {
+    ++lines;
+    (void)parse_response(line);
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// --- concurrency -------------------------------------------------------------
+
+TEST(Serve, MultiClientSoakKeepsEveryLedgerExact) {
+  // The soak: concurrent clients firing a fixed mix of good and bad
+  // requests straight into handle_line (what every TCP connection thread
+  // does). Every response parses, and afterwards the counters balance
+  // exactly: no lost update, no double count, under ASan/UBSan in CI.
+  Server server;
+  constexpr unsigned kThreads = 6, kRounds = 5;
+  const std::vector<std::string> mix = {
+      R"({"kind":"run","suite":"fir2","latency":3})",
+      R"({"kind":"run","suite":"diffeq","latency":5})",
+      R"({"kind":"sweep","suite":"motivational","lo":2,"hi":5})",
+      R"({"kind":"stats"})",
+      "malformed {",
+      R"({"kind":"run","suite":"nope","latency":1})",
+  };
+  std::atomic<unsigned> bad_responses{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned r = 0; r < kRounds; ++r) {
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+          const std::string& line = mix[(i + t) % mix.size()];
+          const std::string resp = server.handle_line(line);
+          try {
+            const JsonValue v = parse_json(resp);
+            if (v.find("schema") == nullptr) bad_responses.fetch_add(1);
+          } catch (const Error&) {
+            bad_responses.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad_responses.load(), 0u);
+  const JsonValue stats = parse_response(
+      server.handle_line(R"({"kind":"stats"})"));
+  const JsonValue* result = stats.find("result");
+  const JsonValue* reqs = result->find("requests");
+  const unsigned per_thread = kRounds;
+  EXPECT_EQ(reqs->find("run")->as_unsigned(), kThreads * per_thread * 3u);
+  EXPECT_EQ(reqs->find("sweep")->as_unsigned(), kThreads * per_thread);
+  EXPECT_EQ(reqs->find("stats")->as_unsigned(), kThreads * per_thread + 1u);
+  EXPECT_EQ(reqs->find("errors")->as_unsigned(), kThreads * per_thread * 2u);
+  for (const JsonValue::Member& m : result->find("cache")->members()) {
+    EXPECT_EQ(m.second.find("hits")->as_unsigned() +
+                  m.second.find("misses")->as_unsigned(),
+              m.second.find("lookups")->as_unsigned())
+        << m.first;
+  }
+}
+
+TEST(Serve, EvictionUnderContentionStaysBitIdentical) {
+  // A bound small enough to thrash while concurrent clients sweep
+  // overlapping latency ranges: responses must stay byte-identical to the
+  // uncached engine even when the artefacts they were built from are being
+  // evicted underneath.
+  Server server(ServeOptions{.cache_shards = 2, .cache_max_bytes = 24 * 1024});
+  const Session session;
+  constexpr unsigned kThreads = 4, kLats = 5;
+  std::atomic<unsigned> mismatches{0};
+  std::vector<std::string> fresh(kLats);
+  for (unsigned l = 0; l < kLats; ++l) {
+    fresh[l] = to_json(session.run(
+        {elliptic(), "optimized", 8 + l, 0, {}, "list", kDefaultTargetName}));
+  }
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned r = 0; r < 6; ++r) {
+        const unsigned l = (r + t) % kLats;
+        const std::string resp = server.handle_line(strformat(
+            "{\"kind\":\"run\",\"suite\":\"elliptic\",\"latency\":%u}",
+            8 + l));
+        try {
+          const JsonValue v = parse_json(resp);
+          const JsonValue* result = v.find("result");
+          if (result == nullptr || write_json(*result) != fresh[l]) {
+            mismatches.fetch_add(1);
+          }
+        } catch (const Error&) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const JsonValue stats = parse_response(
+      server.handle_line(R"({"kind":"stats"})"));
+  const JsonValue* total = stats.find("result")->find("cache")->find("total");
+  EXPECT_GT(total->find("evictions")->as_unsigned(), 0u);
+  EXPECT_LE(total->find("resident_bytes")->as_unsigned(), 24u * 1024u);
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+TEST(Serve, TcpLoopServesAndDrainsOnShutdown) {
+  Server server(ServeOptions{.workers = 1});
+  std::ostringstream log;
+  std::thread daemon([&] { EXPECT_EQ(server.serve_tcp(0, log), 0); });
+  // Wait for the ephemeral port to be published.
+  unsigned port = 0;
+  for (int i = 0; i < 2000 && (port = server.bound_port()) == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(port, 0u) << log.str();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const std::string requests =
+      "{\"kind\":\"run\",\"id\":\"tcp-1\",\"suite\":\"fir2\",\"latency\":3}\n"
+      "{\"kind\":\"shutdown\"}\n";
+  ASSERT_EQ(::send(fd, requests.data(), requests.size(), 0),
+            static_cast<ssize_t>(requests.size()));
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<std::size_t>(n));
+    if (std::count(received.begin(), received.end(), '\n') >= 2) break;
+  }
+  ::close(fd);
+  daemon.join();  // shutdown drained the accept loop
+
+  std::istringstream lines(received);
+  std::string run_line, shutdown_line;
+  ASSERT_TRUE(std::getline(lines, run_line));
+  ASSERT_TRUE(std::getline(lines, shutdown_line));
+  const JsonValue run = parse_response(run_line);
+  EXPECT_TRUE(response_ok(run));
+  EXPECT_EQ(run.find("id")->as_string(), "tcp-1");
+  EXPECT_TRUE(response_ok(parse_response(shutdown_line)));
+  EXPECT_NE(log.str().find("serving on 127.0.0.1:"), std::string::npos);
+}
+
+} // namespace
+} // namespace hls

@@ -179,6 +179,23 @@ TEST(SessionBatch, ResultsIndependentOfWorkerCount) {
   }
 }
 
+TEST(SessionBatch, WorkerCountClampsToJobsAndHardware) {
+  // A pool of 64 configured workers over 3 jobs must spawn 3 threads, not
+  // 61 idle ones; 0 means hardware concurrency, also clamped by the job
+  // count; and even zero jobs keeps the count at >= 1.
+  const Session wide({.workers = 64});
+  EXPECT_EQ(wide.worker_count(3), 3u);
+  EXPECT_EQ(wide.worker_count(0), 1u);
+  EXPECT_EQ(wide.worker_count(64), 64u);
+  EXPECT_EQ(wide.worker_count(1000), 64u);  // configured cap still holds
+  const Session automatic({.workers = 0});
+  const unsigned hw = std::max(std::thread::hardware_concurrency(), 1u);
+  EXPECT_EQ(automatic.worker_count(1), 1u);
+  EXPECT_EQ(automatic.worker_count(100000), hw);
+  const Session one({.workers = 1});
+  EXPECT_EQ(one.worker_count(100), 1u);
+}
+
 TEST(SessionBatch, UsesMoreThanOneWorkerThread) {
   // A probe flow records which threads execute it. The jobs block until at
   // least two distinct threads have arrived (with a bounded wait), so the
