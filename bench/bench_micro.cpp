@@ -178,6 +178,9 @@ int run_explore_bench() {
 int run_json_baseline(const char* path) {
   SchedulerOptions incremental;
   incremental.cross_check = false;
+  // Serial candidate evaluation: the tracked numbers must not depend on the
+  // runner's core count (schedules don't — only the wall clock would).
+  incremental.candidate_workers = 1;
   SchedulerOptions full = incremental;
   full.feasibility = SchedulerOptions::Feasibility::FullResim;
 

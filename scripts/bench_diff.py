@@ -71,7 +71,15 @@ def main():
     for key, b in sorted(base.items()):
         f = fresh.get(key)
         if f is None:
-            failures.append(f"{key}: missing from fresh run")
+            # A baseline entry the fresh run never produced is a broken or
+            # incomplete bench run, not a regression — fail loudly per entry
+            # rather than silently shrinking the tracked set.
+            failures.append(
+                f"{key[0]}/{key[1]}: tracked baseline entry missing from the "
+                "fresh run — the bench did not produce it (incomplete run, "
+                "renamed suite, or a fresh file was not passed)")
+            print(f"{key[0]:<24} {key[1]:<14} {'-':>9} {'-':>9} "
+                  f"{'-':>8}  no fresh entry  << MISSING")
             continue
         tolerance = b.get("tolerance", args.tolerance)
         if "speedup_vs_full_resim" in b:

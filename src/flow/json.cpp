@@ -104,6 +104,16 @@ std::string to_json(const FlowResult& r) {
     }
     os << "]";
   }
+  if (r.counters) {
+    os << ",\"oracle\":{";
+    os << "\"candidates_evaluated\":" << r.counters->candidates_evaluated
+       << ",";
+    os << "\"candidates_probed\":" << r.counters->candidates_probed << ",";
+    os << "\"candidates_rejected\":" << r.counters->candidates_rejected << ",";
+    os << "\"candidates_committed\":" << r.counters->candidates_committed
+       << ",";
+    os << "\"words_repropagated\":" << r.counters->words_repropagated << "}";
+  }
   os << ",\"diagnostics\":[";
   for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
     if (i != 0) os << ",";

@@ -220,11 +220,21 @@ FlowResult optimized(const FlowRequest& req) {
        strformat("cycle budget %u chained bits%s", out.transform->n_bits,
                  req.n_bits_override == 0 ? " (estimated)" : " (override)"));
   out.scheduler = req.scheduler;
+  OracleCounters counters;
   out.schedule = timed_stage(out, req, "schedule", [&]() -> FragSchedule {
     if (cache) {
       return *cache->fragment_schedule(req.scheduler, req.spec,
                                        req.options.narrow, req.latency,
                                        req.n_bits_override, target.delay);
+    }
+    if (req.options.timing) {
+      // Counters ride the same opt-in as timings; default options otherwise,
+      // so the schedule stays bit-identical with and without --timing.
+      SchedulerOptions opts;
+      opts.counters = &counters;
+      FragSchedule fs = run_scheduler(req.scheduler, *out.transform, opts);
+      out.counters = counters;
+      return fs;
     }
     return run_scheduler(req.scheduler, *out.transform);
   });

@@ -36,6 +36,7 @@
 #include "flow/stage_cache.hpp"
 #include "frag/transform.hpp"
 #include "kernel/extract.hpp"
+#include "sched/core.hpp"
 #include "sched/fragsched.hpp"
 #include "support/error.hpp"
 #include "timing/target.hpp"
@@ -121,6 +122,11 @@ struct FlowResult {
   /// Per-stage wall-clock, populated when FlowOptions::timing is set (also
   /// mirrored as Note diagnostics and serialized by to_json).
   std::vector<StageTiming> timings;
+  /// Feasibility-oracle work counters of the scheduling stage, populated —
+  /// like timings — only when FlowOptions::timing is set and the flow ran
+  /// a fragment scheduler uncached (a StageCache hit reuses a schedule
+  /// without re-running the oracle, so there is no work to count).
+  std::optional<OracleCounters> counters;
 
   /// All Error-severity diagnostic messages, joined with "; ".
   std::string error_text() const;

@@ -46,6 +46,11 @@ public:
   std::uint32_t flat_bit(NodeId id, unsigned bit) const {
     return bit_offset_[id.index] + bit;
   }
+  /// Width of node `node`'s result in bits (the length of its flat span) —
+  /// lets bit-space consumers size per-node work without touching the Dfg.
+  std::uint32_t bit_width(std::uint32_t node) const {
+    return bit_offset_[node + 1] - bit_offset_[node];
+  }
   /// The per-node offsets, size node_count() + 1 (CSR-style bounds).
   const std::vector<std::uint32_t>& bit_offsets() const { return bit_offset_; }
 

@@ -30,33 +30,29 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
               "assignment shape does not match the kernel");
   BitSim sim;
   sim.bit_offset = assign.bit_offsets();
-  sim.cycle.assign(sim.bit_offset.back(), kUnassignedCycle);
-  sim.slot.assign(sim.bit_offset.back(), 0);
+  sim.avail.assign(sim.bit_offset.back(), kPackedUnavailable);
 
   // Relative bit of an operand slice; bits beyond the slice are constant 0,
   // available from the start of time.
-  auto operand_avail = [&sim](const Operand& o, unsigned rel) -> BitAvail {
-    if (rel >= o.bits.width) return kStartOfTime;
-    const std::uint32_t f = sim.bit_offset[o.node.index] + o.bits.lo + rel;
-    return {sim.cycle[f], sim.slot[f]};
+  auto operand_avail = [&sim](const Operand& o, unsigned rel) -> PackedAvail {
+    if (rel >= o.bits.width) return kPackedStartOfTime;
+    return sim.avail[sim.bit_offset[o.node.index] + o.bits.lo + rel];
   };
 
   for (std::uint32_t idx = 0; idx < kernel.size(); ++idx) {
     const Node& n = kernel.node(NodeId{idx});
     const std::uint32_t self = sim.bit_offset[idx];
-    auto write = [&](unsigned b, const BitAvail& v) {
-      sim.cycle[self + b] = v.cycle;
-      sim.slot[self + b] = v.slot;
-    };
 
     switch (n.kind) {
       case OpKind::Input:
       case OpKind::Const:
-        for (unsigned b = 0; b < n.width; ++b) write(b, kStartOfTime);
+        for (unsigned b = 0; b < n.width; ++b) {
+          sim.avail[self + b] = kPackedStartOfTime;
+        }
         break;
       case OpKind::Output:
         for (unsigned b = 0; b < n.width; ++b) {
-          write(b, operand_avail(n.operands[0], b));
+          sim.avail[self + b] = operand_avail(n.operands[0], b);
         }
         break;
       case OpKind::Add: {
@@ -64,23 +60,28 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
         for (unsigned b = 0; b < n.width; ++b) {
           const unsigned c = cycles[b];
           if (c == kUnassignedCycle) continue;  // partial schedules are fine
+          // Any input packed >= this was either computed after cycle c or is
+          // unassigned (the sentinel is the maximum word) — one compare
+          // covers both reject cases; which one decides the error message.
+          const PackedAvail reject = pack_avail(c + 1, 0);
+          const PackedAvail same_cycle = pack_avail(c, 0);
 
           // Carry into this bit: the previous result bit, or the carry-in
           // operand for bit 0.
-          BitAvail carry = kStartOfTime;
+          PackedAvail carry = kPackedStartOfTime;
           if (b > 0) {
-            carry = {sim.cycle[self + b - 1], sim.slot[self + b - 1]};
-            if (carry.cycle == kUnassignedCycle) {
+            carry = sim.avail[self + b - 1];
+            if (carry == kPackedUnavailable) {
               throw Error(strformat(
                             "bit %u of add %%%u is scheduled but bit %u is not",
                             b, idx, b - 1),
                           ErrorContext{idx, b, c});
             }
-            if (carry.cycle > c) {
+            if (carry >= reject) {
               throw Error(strformat(
                             "carry chain of add %%%u runs backwards: bit %u in "
                             "cycle %u, bit %u in cycle %u",
-                            idx, b - 1, carry.cycle, b, c),
+                            idx, b - 1, packed_cycle(carry), b, c),
                           ErrorContext{idx, b, c});
             }
           } else if (n.has_carry_in()) {
@@ -88,28 +89,28 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
           }
 
           unsigned slot = 0;
-          for (const BitAvail& in :
+          for (const PackedAvail in :
                {operand_avail(n.operands[0], b), operand_avail(n.operands[1], b),
                 carry}) {
-            if (in.cycle == kUnassignedCycle) {
+            if (in == kPackedUnavailable) {
               throw Error(
                   strformat("add %%%u bit %u consumes an unscheduled value",
                             idx, b),
                   ErrorContext{idx, b, c});
             }
-            if (in.cycle > c) {
+            if (in >= reject) {
               throw Error(strformat(
                             "add %%%u bit %u (cycle %u) consumes a bit "
                             "computed in cycle %u",
-                            idx, b, c, in.cycle),
-                          ErrorContext{idx, b, in.cycle});
+                            idx, b, c, packed_cycle(in)),
+                          ErrorContext{idx, b, packed_cycle(in)});
             }
-            if (in.cycle == c) slot = std::max(slot, in.slot);
+            if (in >= same_cycle) slot = std::max(slot, packed_slot(in));
           }
           // Bits beyond both operand slices forward the carry for free; real
           // sum bits cost one full-adder slot.
           const unsigned cost = n.add_bit_is_free(b) ? 0u : 1u;
-          write(b, BitAvail{c, slot + cost});
+          sim.avail[self + b] = pack_avail(c, slot + cost);
           sim.max_slot = std::max(sim.max_slot, slot + cost);
         }
         break;
@@ -118,15 +119,15 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
       case OpKind::Or:
       case OpKind::Xor:
       case OpKind::Not: {
+        // Latest operand wins; an unassigned operand is the maximum word, so
+        // the lane-wise max alone yields kPackedUnavailable when any input
+        // is unavailable.
         for (unsigned b = 0; b < n.width; ++b) {
-          BitAvail v = kStartOfTime;
-          bool unavailable = false;
+          PackedAvail v = kPackedStartOfTime;
           for (const Operand& o : n.operands) {
-            const BitAvail in = operand_avail(o, b);
-            if (in.cycle == kUnassignedCycle) unavailable = true;
-            if (later(in, v)) v = in;
+            v = std::max(v, operand_avail(o, b));
           }
-          write(b, unavailable ? kBitUnavailable : v);
+          sim.avail[self + b] = v;
         }
         break;
       }
@@ -134,7 +135,7 @@ BitSim simulate_bit_schedule(const Dfg& kernel, const BitCycles& assign) {
         unsigned base = 0;
         for (const Operand& o : n.operands) {
           for (unsigned b = 0; b < o.bits.width; ++b) {
-            write(base + b, operand_avail(o, b));
+            sim.avail[self + base + b] = operand_avail(o, b);
           }
           base += o.bits.width;
         }

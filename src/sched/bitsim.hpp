@@ -8,11 +8,25 @@
 // Glue and concats are transparent. This is the engine behind schedule
 // validation and the in-cycle feasibility checks of the schedulers.
 //
-// All per-bit state lives in flat SoA arrays over the DfgIndex bit space
+// Packed word layout (the hot-path representation): each bit's availability
+// lives in ONE uint64_t word, (cycle << 32) | slot. Because the slot of an
+// unassigned bit is always 0 (kPackedUnavailable is the largest value that
+// ever occurs), the lexicographic (cycle, slot) order the timing model is
+// built on IS the unsigned integer order on words:
+//   * "later than" is one 64-bit compare;
+//   * the glue/Or/Xor/Not rule "latest operand wins, any unassigned operand
+//     poisons the result" is a plain lane-wise max — the unassigned sentinel
+//     dominates automatically;
+//   * the Add recurrence's reject test "operand unassigned OR computed after
+//     cycle c" is a single compare against pack_avail(c + 1, 0);
+//   * a journal rolls back a touched word, not a (cycle, slot) pair of
+//     arrays (see sched/incremental.hpp).
+// All per-bit words live in flat arrays over the DfgIndex bit space
 // (ir/dfg_index.hpp): bit b of node i is entry bit_offset(i) + b of one
-// dense array, so a full simulation pass is sequential arithmetic over a
-// few contiguous buffers instead of a walk over nested vectors.
+// dense array, so a full simulation pass is sequential arithmetic over one
+// contiguous buffer.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -40,9 +54,34 @@ inline constexpr BitAvail kStartOfTime{0, 0};
 /// and everything glue-transitively downstream of them).
 inline constexpr BitAvail kBitUnavailable{kUnassignedCycle, 0};
 
+/// One bit's availability packed into a word: (cycle << 32) | slot.
+/// Invariant: an unassigned bit always packs with slot 0, so
+/// kPackedUnavailable is the maximum PackedAvail that ever occurs and
+/// unsigned word order == lexicographic (cycle, slot) order.
+using PackedAvail = std::uint64_t;
+
+inline constexpr PackedAvail pack_avail(unsigned cycle, unsigned slot) {
+  return (static_cast<std::uint64_t>(cycle) << 32) | slot;
+}
+inline constexpr PackedAvail pack_avail(BitAvail a) {
+  return pack_avail(a.cycle, a.slot);
+}
+inline constexpr unsigned packed_cycle(PackedAvail p) {
+  return static_cast<unsigned>(p >> 32);
+}
+inline constexpr unsigned packed_slot(PackedAvail p) {
+  return static_cast<unsigned>(p);
+}
+inline constexpr BitAvail unpack_avail(PackedAvail p) {
+  return {packed_cycle(p), packed_slot(p)};
+}
+
+inline constexpr PackedAvail kPackedStartOfTime = pack_avail(kStartOfTime);
+inline constexpr PackedAvail kPackedUnavailable = pack_avail(kBitUnavailable);
+
 /// Strict "later than" over (cycle, slot) pairs.
 inline bool later(const BitAvail& a, const BitAvail& b) {
-  return a.cycle != b.cycle ? a.cycle > b.cycle : a.slot > b.slot;
+  return pack_avail(a) > pack_avail(b);
 }
 
 /// Per-bit cycle assignment of Add results: one flat array over the DfgIndex
@@ -84,17 +123,28 @@ private:
   std::vector<unsigned> cycle_;
 };
 
-/// Result of a full simulation pass: per-bit availability as flat SoA
-/// (cycle[] / slot[] over the same bit space as the assignment).
+/// Result of a full simulation pass: per-bit availability as one packed
+/// word per bit over the same flat bit space as the assignment.
 struct BitSim {
   std::vector<std::uint32_t> bit_offset;  ///< size n+1, DfgIndex bit space
-  std::vector<unsigned> cycle;            ///< per flat bit
-  std::vector<unsigned> slot;             ///< per flat bit
+  std::vector<PackedAvail> avail;         ///< packed (cycle, slot) per flat bit
   unsigned max_slot = 0;  ///< deepest in-cycle chain anywhere in the schedule
 
   BitAvail at(NodeId id, unsigned bit) const {
-    const std::uint32_t f = bit_offset[id.index] + bit;
-    return {cycle[f], slot[f]};
+    return unpack_avail(avail[bit_offset[id.index] + bit]);
+  }
+
+  /// Materialized per-bit cycle / slot arrays, for callers and tests that
+  /// want the unpacked SoA view.
+  std::vector<unsigned> cycles() const {
+    std::vector<unsigned> out(avail.size());
+    for (std::size_t i = 0; i < avail.size(); ++i) out[i] = packed_cycle(avail[i]);
+    return out;
+  }
+  std::vector<unsigned> slots() const {
+    std::vector<unsigned> out(avail.size());
+    for (std::size_t i = 0; i < avail.size(); ++i) out[i] = packed_slot(avail[i]);
+    return out;
   }
 };
 

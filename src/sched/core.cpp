@@ -106,12 +106,16 @@ unsigned SchedulerCore::marginal(std::size_t k, unsigned c) const {
 bool SchedulerCore::try_place(std::size_t k, unsigned c) {
   HLS_ASSERT(k < size() && !placed_[k], "fragment index invalid or placed");
   const TransformedAdd& a = t_->adds[k];
+  if (options_.counters) ++options_.counters->candidates_probed;
 
   if (engine_) {
-    if (!engine_->try_place(a.node, c)) return false;
+    if (!engine_->try_place(a.node, c)) {
+      if (options_.counters) ++options_.counters->candidates_rejected;
+      return false;
+    }
   } else {
-    const Node& n = t_->spec.node(a.node);
-    for (unsigned b = 0; b < n.width; ++b) assign_[a.node.index][b] = c;
+    const std::uint32_t w = index_->bit_width(a.node.index);
+    for (unsigned b = 0; b < w; ++b) assign_[a.node.index][b] = c;
     bool ok = false;
     try {
       ok = simulate_bit_schedule(t_->spec, assign_).max_slot <= t_->n_bits;
@@ -119,12 +123,14 @@ bool SchedulerCore::try_place(std::size_t k, unsigned c) {
       // Operand in a later cycle (or not yet placed) under this choice.
     }
     if (!ok) {
-      for (unsigned b = 0; b < n.width; ++b) {
+      for (unsigned b = 0; b < w; ++b) {
         assign_[a.node.index][b] = kUnassignedCycle;
       }
+      if (options_.counters) ++options_.counters->candidates_rejected;
       return false;
     }
   }
+  if (options_.counters) ++options_.counters->candidates_committed;
 
   const unsigned m = marginal(k, c);
   load_[c] += m;
@@ -143,8 +149,8 @@ void SchedulerCore::undo_last() {
   if (engine_) {
     engine_->undo();
   } else {
-    const Node& n = t_->spec.node(a.node);
-    for (unsigned b = 0; b < n.width; ++b) {
+    const std::uint32_t w = index_->bit_width(a.node.index);
+    for (unsigned b = 0; b < w; ++b) {
       assign_[a.node.index][b] = kUnassignedCycle;
     }
   }
@@ -156,6 +162,11 @@ void SchedulerCore::undo_last() {
 FragSchedule SchedulerCore::finish() const {
   HLS_REQUIRE(placed_count() == size(),
               "finish() requires every fragment placed");
+  if (options_.counters && engine_) {
+    // Words are counted by the engine across its lifetime; flushing at
+    // finish() keeps the hot path free of a second counter.
+    options_.counters->words_repropagated += engine_->words_repropagated();
+  }
   const TransformResult& t = *t_;
   FragSchedule out;
   out.schedule.latency = t.latency;

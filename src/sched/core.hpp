@@ -18,6 +18,7 @@
 // run_scheduler(), mirroring the FlowRegistry pattern of flow/session.hpp.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,6 +34,19 @@
 
 namespace hls {
 
+/// Observable work of one scheduler run, accumulated into the sink a caller
+/// passes through SchedulerOptions::counters (additive — a strategy that
+/// falls back to another strategy keeps accumulating into the same sink).
+/// Surfaced per flow run through FlowResult::counters and `fraghls
+/// --timing`, so the oracle's behaviour is visible outside the benches.
+struct OracleCounters {
+  std::uint64_t candidates_evaluated = 0;  ///< force/feasibility evaluations
+  std::uint64_t candidates_probed = 0;     ///< oracle try_place attempts
+  std::uint64_t candidates_rejected = 0;   ///< probes the oracle rejected
+  std::uint64_t candidates_committed = 0;  ///< probes kept in the schedule
+  std::uint64_t words_repropagated = 0;    ///< availability words rewritten
+};
+
 struct SchedulerOptions {
   enum class Feasibility {
     Incremental,  ///< IncrementalBitSim cone repropagation (the default)
@@ -47,6 +61,19 @@ struct SchedulerOptions {
 #else
   bool cross_check = true;
 #endif
+  /// Optional counter sink (non-owning; may be nullptr). Must outlive the
+  /// scheduler run.
+  OracleCounters* counters = nullptr;
+  /// Worker threads for force-directed candidate evaluation: 0 resolves to
+  /// the hardware concurrency, 1 forces the serial path, N uses N threads.
+  /// Schedules are bit-identical for every value — candidate forces are
+  /// pure per-candidate arithmetic and the reduction reproduces the serial
+  /// (force, fragment, cycle) argmin exactly.
+  unsigned candidate_workers = 0;
+  /// Fragment-count floor below which the parallel path is skipped even
+  /// when candidate_workers > 1 (thread hand-off costs more than tiny
+  /// rounds; tests lower it to pin the parallel path on small suites).
+  std::size_t parallel_min_fragments = 192;
 };
 
 class SchedulerCore {

@@ -1,7 +1,10 @@
 #include "sched/forcedir.hpp"
 
 #include <algorithm>
-#include <set>
+#include <atomic>
+#include <climits>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "sched/core.hpp"
@@ -18,63 +21,274 @@ namespace {
 // bounds are rebuilt once per commit in tighten_bounds). The arithmetic and
 // its order are exactly those of the historical vector-copying
 // implementation, keeping every schedule bit-identical.
+//
+// Selection works in three per-commit stages (the historical code walked
+// the carry chain per candidate and re-scanned every candidate after each
+// oracle rejection; both re-deriving work whose inputs had not changed):
+//
+//   1. ChainAggregates: one O(n) pass folds each fragment's carry chain
+//      into integer prefix/suffix extrema. Chain feasibility becomes a
+//      two-compare window intersection, and "no force contribution fires
+//      anywhere" (force exactly +0.0, no FP op executed) becomes a
+//      four-compare test — both pure integer logic, so outcomes are
+//      bit-identical to walking the chain.
+//   2. The candidate scan evaluates every feasible (fragment, cycle) ONCE
+//      — serially or chunked across worker threads; each force is a pure
+//      function of (windows, dg), so the partition cannot change a bit.
+//   3. A min-heap keyed (force, fragment, cycle) replays the historical
+//      ban-and-rescan sequence: a rejected try_place changed none of the
+//      force inputs, so the next-best heap pop IS what the re-scan would
+//      have selected.
 
-/// False if some carry-chain neighbour's window would empty.
-bool tighten_feasible(const SchedulerCore& core, std::size_t k, unsigned c) {
-  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
-       p = core.prev_fragment(p)) {
-    if (core.window_lo(p) > std::min(core.window_hi(p), c)) return false;
+/// Integer chain extrema per fragment, rebuilt once per commit. "prev"
+/// aggregates fold the strict predecessor chain, "next" the strict
+/// successor chain; a fragment with no such neighbours gets the fold
+/// identity (0 / UINT_MAX).
+struct ChainAggregates {
+  std::vector<unsigned> max_prev_lo;
+  std::vector<unsigned> max_prev_hi;
+  std::vector<unsigned> min_next_hi;
+  std::vector<unsigned> min_next_lo;
+  std::vector<unsigned char> prev_bad;  ///< a prev-chain window is empty
+  std::vector<unsigned char> next_bad;  ///< a next-chain window is empty
+  /// width_of(k) / |window(k)| — the exact value force_of's mass_old
+  /// division produces, computed once per commit instead of per candidate.
+  std::vector<double> mass_old;
+
+  void compute(const SchedulerCore& core) {
+    const std::size_t n = core.size();
+    // resize, not assign: every fragment sits on exactly one chain, so the
+    // walks below overwrite every entry — pre-filling would add 7n stores
+    // per commit for nothing (it shows on the small suites, where commits
+    // are cheap and frequent relative to n).
+    max_prev_lo.resize(n);
+    max_prev_hi.resize(n);
+    min_next_hi.resize(n);
+    min_next_lo.resize(n);
+    prev_bad.resize(n);
+    next_bad.resize(n);
+    mass_old.resize(n);
+    for (std::size_t h = 0; h < n; ++h) {
+      if (core.prev_fragment(h) != SchedulerCore::npos) continue;  // heads
+      unsigned run_lo = 0, run_hi = 0;
+      unsigned char run_bad = 0;
+      std::size_t tail = h;
+      for (std::size_t k = h; k != SchedulerCore::npos;
+           k = core.next_fragment(k)) {
+        max_prev_lo[k] = run_lo;
+        max_prev_hi[k] = run_hi;
+        prev_bad[k] = run_bad;
+        mass_old[k] = static_cast<double>(core.width_of(k)) /
+                      (core.window_hi(k) - core.window_lo(k) + 1);
+        run_lo = std::max(run_lo, core.window_lo(k));
+        run_hi = std::max(run_hi, core.window_hi(k));
+        run_bad |= static_cast<unsigned char>(core.window_lo(k) >
+                                              core.window_hi(k));
+        tail = k;
+      }
+      unsigned run_nhi = UINT_MAX, run_nlo = UINT_MAX;
+      unsigned char run_nbad = 0;
+      for (std::size_t k = tail; k != SchedulerCore::npos;
+           k = core.prev_fragment(k)) {
+        min_next_hi[k] = run_nhi;
+        min_next_lo[k] = run_nlo;
+        next_bad[k] = run_nbad;
+        run_nhi = std::min(run_nhi, core.window_hi(k));
+        run_nlo = std::min(run_nlo, core.window_lo(k));
+        run_nbad |= static_cast<unsigned char>(core.window_lo(k) >
+                                               core.window_hi(k));
+      }
+    }
   }
-  for (std::size_t s = core.next_fragment(k); s != SchedulerCore::npos;
-       s = core.next_fragment(s)) {
-    if (std::max(core.window_lo(s), c) > core.window_hi(s)) return false;
-  }
-  return true;
-}
+};
 
 /// Paulin-style self force of the implied windows against the current
 /// distribution graph. Only the fragment and its carry chain change
-/// windows, so only those indices contribute.
-double force_of(const SchedulerCore& core, const std::vector<double>& dg,
-                std::size_t k, unsigned c) {
+/// windows, so only those indices contribute. The aggregate guards skip a
+/// whole chain walk only when every contribution in it would have returned
+/// without touching `force` — the FP accumulation that does happen is
+/// operation-for-operation the historical sequence.
+double force_of(const SchedulerCore& core, const double* dg, std::size_t k,
+                unsigned c, const ChainAggregates& agg) {
   double force = 0;
   auto contribution = [&](std::size_t i, unsigned nlo, unsigned nhi) {
     const unsigned lo = core.window_lo(i), hi = core.window_hi(i);
     if (nlo == lo && nhi == hi) return;
     const double mass_new =
         static_cast<double>(core.width_of(i)) / (nhi - nlo + 1);
-    const double mass_old =
-        static_cast<double>(core.width_of(i)) / (hi - lo + 1);
+    const double mo = agg.mass_old[i];
     for (unsigned cc = nlo; cc <= nhi; ++cc) force += dg[cc] * mass_new;
-    for (unsigned cc = lo; cc <= hi; ++cc) force -= dg[cc] * mass_old;
+    for (unsigned cc = lo; cc <= hi; ++cc) force -= dg[cc] * mo;
   };
-  contribution(k, c, c);
-  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
-       p = core.prev_fragment(p)) {
-    contribution(p, core.window_lo(p), std::min(core.window_hi(p), c));
+  {
+    // contribution(k, c, c), with the division by the one-cycle implied
+    // window folded out: width / 1.0 is exactly width.
+    const unsigned lo = core.window_lo(k), hi = core.window_hi(k);
+    if (!(lo == c && hi == c)) {
+      const double mo = agg.mass_old[k];
+      force += dg[c] * static_cast<double>(core.width_of(k));
+      for (unsigned cc = lo; cc <= hi; ++cc) force -= dg[cc] * mo;
+    }
   }
-  for (std::size_t q = core.next_fragment(k); q != SchedulerCore::npos;
-       q = core.next_fragment(q)) {
-    contribution(q, std::max(core.window_lo(q), c), core.window_hi(q));
+  if (agg.max_prev_hi[k] > c) {
+    for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
+         p = core.prev_fragment(p)) {
+      contribution(p, core.window_lo(p), std::min(core.window_hi(p), c));
+    }
+  }
+  if (agg.min_next_lo[k] < c) {
+    for (std::size_t q = core.next_fragment(k); q != SchedulerCore::npos;
+         q = core.next_fragment(q)) {
+      contribution(q, std::max(core.window_lo(q), c), core.window_hi(q));
+    }
   }
   return force;
 }
 
-/// Materializes the committed placement's implied windows — once per
-/// commit, not per candidate.
-void tighten_bounds(const SchedulerCore& core, std::size_t k, unsigned c,
-                    std::vector<unsigned>& lo2, std::vector<unsigned>& hi2) {
-  lo2 = core.lo_bounds();
-  hi2 = core.hi_bounds();
-  lo2[k] = hi2[k] = c;
-  for (std::size_t p = core.prev_fragment(k); p != SchedulerCore::npos;
-       p = core.prev_fragment(p)) {
-    hi2[p] = std::min(hi2[p], c);
+/// One evaluated candidate. `kc` packs (fragment << 32) | cycle, so the
+/// numeric order on kc is exactly the historical scan order (fragments
+/// ascending, cycles ascending within a fragment) — the tie-break an equal
+/// force resolves to.
+struct Candidate {
+  double force;
+  std::uint64_t kc;
+};
+
+inline std::uint64_t pack_kc(std::size_t k, unsigned c) {
+  return (static_cast<std::uint64_t>(k) << 32) | c;
+}
+
+/// Heap order: pop the smallest (force, kc). NaN forces (which the serial
+/// scan would never let replace an earlier candidate) never win a pop
+/// against a non-NaN earlier entry, matching the historical update rule
+/// `f < best_force`.
+inline bool heap_later(const Candidate& a, const Candidate& b) {
+  return a.force > b.force || (a.force == b.force && a.kc > b.kc);
+}
+
+/// Evaluates every feasible candidate of `eligible[begin, end)` into `out`
+/// (read-only against core/dg/agg — safe to run concurrently on disjoint
+/// ranges).
+void scan_range(const SchedulerCore& core, const double* dg,
+                const ChainAggregates& agg,
+                const std::vector<std::size_t>& eligible, std::size_t begin,
+                std::size_t end, std::vector<Candidate>& out) {
+  out.clear();
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t k = eligible[i];
+    if (agg.prev_bad[k] || agg.next_bad[k]) continue;
+    const unsigned klo = core.window_lo(k), khi = core.window_hi(k);
+    // The chain-feasibility test "every prev window reaches <= c, every
+    // next window reaches >= c" is this window intersection.
+    const unsigned cmin = std::max(klo, agg.max_prev_lo[k]);
+    const unsigned cmax = std::min(khi, agg.min_next_hi[k]);
+    for (unsigned c = cmin; c <= cmax && c >= cmin; ++c) {
+      double f;
+      if (klo == c && khi == c && agg.max_prev_hi[k] <= c &&
+          agg.min_next_lo[k] >= c) {
+        // No contribution fires anywhere: force_of would execute zero FP
+        // operations and return exactly +0.0.
+        f = 0.0;
+      } else {
+        f = force_of(core, dg, k, c, agg);
+      }
+      out.push_back({f, pack_kc(k, c)});
+    }
   }
-  for (std::size_t s = core.next_fragment(k); s != SchedulerCore::npos;
-       s = core.next_fragment(s)) {
-    lo2[s] = std::max(lo2[s], c);
+}
+
+/// Spin-barrier worker pool for speculative candidate evaluation: workers
+/// wait on a generation counter, evaluate their chunk of the eligible list
+/// into a per-worker buffer, and signal completion; the calling thread
+/// evaluates chunk 0 in the meantime and then merges. Probes stay
+/// read-only; the winning candidate is committed serially by the caller, so
+/// schedules are bit-identical for every worker count and chunking (the
+/// heap's (force, kc) order is a total order independent of insertion
+/// order). Spin+yield instead of a condvar: a mesh-sized schedule crosses
+/// this barrier ~1200 times, and wake-up latency would dominate.
+class CandidateWorkers {
+public:
+  CandidateWorkers(const SchedulerCore& core, unsigned workers)
+      : core_(core), results_(workers) {
+    threads_.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
   }
+
+  CandidateWorkers(const CandidateWorkers&) = delete;
+  CandidateWorkers& operator=(const CandidateWorkers&) = delete;
+
+  ~CandidateWorkers() {
+    stop_.store(true, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+  }
+
+  unsigned workers() const {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// Scans `eligible` across all workers and returns the per-worker result
+  /// buffers (chunk w of the round-robin-balanced split in results()[w]).
+  const std::vector<std::vector<Candidate>>& scan(
+      const double* dg, const ChainAggregates& agg,
+      const std::vector<std::size_t>& eligible) {
+    dg_ = dg;
+    agg_ = &agg;
+    eligible_ = &eligible;
+    const unsigned n_workers = workers();
+    done_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    run_chunk(0);
+    // The calling thread's chunk is done; wait for the others.
+    while (done_.load(std::memory_order_acquire) + 1 < n_workers) {
+      std::this_thread::yield();
+    }
+    return results_;
+  }
+
+private:
+  void run_chunk(unsigned w) {
+    const std::vector<std::size_t>& eligible = *eligible_;
+    const unsigned n_workers = workers();
+    const std::size_t per =
+        (eligible.size() + n_workers - 1) / n_workers;
+    const std::size_t begin = std::min(eligible.size(), w * per);
+    const std::size_t end = std::min(eligible.size(), begin + per);
+    scan_range(core_, dg_, *agg_, eligible, begin, end, results_[w]);
+  }
+
+  void worker_loop(unsigned w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      while (generation_.load(std::memory_order_acquire) == seen) {
+        std::this_thread::yield();
+      }
+      seen = generation_.load(std::memory_order_acquire);
+      if (stop_.load(std::memory_order_relaxed)) return;
+      run_chunk(w);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  const SchedulerCore& core_;
+  std::vector<std::thread> threads_;
+  std::vector<std::vector<Candidate>> results_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<unsigned> done_{0};
+  std::atomic<bool> stop_{false};
+  // Round inputs, published before the generation bump.
+  const double* dg_ = nullptr;
+  const ChainAggregates* agg_ = nullptr;
+  const std::vector<std::size_t>* eligible_ = nullptr;
+};
+
+unsigned resolve_workers(const SchedulerOptions& options, std::size_t n) {
+  if (n < options.parallel_min_fragments) return 1;
+  unsigned w = options.candidate_workers;
+  if (w == 0) w = std::max(1u, std::thread::hardware_concurrency());
+  return std::min<unsigned>(w, 64);
 }
 
 } // namespace
@@ -84,49 +298,74 @@ FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
   SchedulerCore core(t, options);
   const std::size_t n = core.size();
 
+  ChainAggregates agg;
+  std::vector<std::size_t> eligible;
+  eligible.reserve(n);
+  std::vector<Candidate> cands;
+  const unsigned n_workers = resolve_workers(options, n);
+  std::optional<CandidateWorkers> pool;
+  if (n_workers > 1) pool.emplace(core, n_workers);
+
   for (std::size_t committed = 0; committed < n; ++committed) {
     const std::vector<double> dg = core.distribution();
-
-    // Select the minimum-force candidate by force alone, then verify exact
-    // chaining feasibility; infeasible picks are banned and selection
-    // retried, so the feasibility oracle runs only a handful of times.
-    // Bans reset after every commit: a placement infeasible now (operand
-    // fragments not yet placed) may become feasible later.
-    std::set<std::pair<std::size_t, unsigned>> banned;
-    for (;;) {
-      double best_force = 0;
-      std::size_t best_k = SchedulerCore::npos;
-      unsigned best_c = 0;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (core.placed(k)) continue;
-        // The feasibility oracle needs carry producers placed first.
-        if (core.prev_fragment(k) != SchedulerCore::npos &&
-            !core.placed(core.prev_fragment(k))) {
-          continue;
-        }
-        for (unsigned c = core.window_lo(k); c <= core.window_hi(k); ++c) {
-          if (banned.count({k, c})) continue;
-          if (!tighten_feasible(core, k, c)) continue;
-          const double f = force_of(core, dg, k, c);
-          if (best_k == SchedulerCore::npos || f < best_force) {
-            best_force = f;
-            best_k = k;
-            best_c = c;
-          }
-        }
-      }
-      if (best_k == SchedulerCore::npos) {
-        // Stuck: fall back to the list scheduler, which always succeeds.
-        return schedule_transformed(t, options);
-      }
-      if (!core.try_place(best_k, best_c)) {
-        banned.insert({best_k, best_c});
+    agg.compute(core);
+    eligible.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (core.placed(k)) continue;
+      // The feasibility oracle needs carry producers placed first.
+      if (core.prev_fragment(k) != SchedulerCore::npos &&
+          !core.placed(core.prev_fragment(k))) {
         continue;
       }
-      std::vector<unsigned> lo2, hi2;
-      tighten_bounds(core, best_k, best_c, lo2, hi2);
+      eligible.push_back(k);
+    }
+
+    cands.clear();
+    if (pool) {
+      for (const std::vector<Candidate>& part :
+           pool->scan(dg.data(), agg, eligible)) {
+        cands.insert(cands.end(), part.begin(), part.end());
+      }
+    } else {
+      scan_range(core, dg.data(), agg, eligible, 0, eligible.size(), cands);
+    }
+    if (options.counters) {
+      options.counters->candidates_evaluated += cands.size();
+    }
+
+    // Try candidates in ascending (force, fragment, cycle) until the exact
+    // oracle accepts one — the same sequence the historical ban-and-rescan
+    // produced, without re-deriving unchanged forces after each rejection.
+    std::make_heap(cands.begin(), cands.end(), heap_later);
+    bool placed_one = false;
+    while (!cands.empty()) {
+      std::pop_heap(cands.begin(), cands.end(), heap_later);
+      const Candidate best = cands.back();
+      cands.pop_back();
+      const std::size_t best_k = static_cast<std::size_t>(best.kc >> 32);
+      const unsigned best_c = static_cast<unsigned>(best.kc & 0xFFFFFFFFu);
+      if (!core.try_place(best_k, best_c)) continue;
+
+      // Materialize the committed placement's implied windows — once per
+      // commit, not per candidate.
+      std::vector<unsigned> lo2 = core.lo_bounds();
+      std::vector<unsigned> hi2 = core.hi_bounds();
+      lo2[best_k] = hi2[best_k] = best_c;
+      for (std::size_t p = core.prev_fragment(best_k);
+           p != SchedulerCore::npos; p = core.prev_fragment(p)) {
+        hi2[p] = std::min(hi2[p], best_c);
+      }
+      for (std::size_t s = core.next_fragment(best_k);
+           s != SchedulerCore::npos; s = core.next_fragment(s)) {
+        lo2[s] = std::max(lo2[s], best_c);
+      }
       core.set_window_bounds(std::move(lo2), std::move(hi2));
+      placed_one = true;
       break;
+    }
+    if (!placed_one) {
+      // Stuck: fall back to the list scheduler, which always succeeds.
+      return schedule_transformed(t, options);
     }
   }
   return core.finish();

@@ -18,9 +18,8 @@ IncrementalBitSim::IncrementalBitSim(const Dfg& kernel,
       assign_(*index_) {
   // The all-unassigned baseline never violates precedence, so the full
   // simulator both seeds the availability state and vets the DFG shape.
-  const BitSim sim = simulate_bit_schedule(kernel, assign_);
-  cycle_ = sim.cycle;
-  slot_ = sim.slot;
+  BitSim sim = simulate_bit_schedule(kernel, assign_);
+  avail_ = std::move(sim.avail);
   max_slot_ = sim.max_slot;
   dirty_.assign((kernel.size() + 63) / 64, 0);
   // One cone rarely touches more than the bit space; pre-sizing the arena
@@ -35,17 +34,16 @@ bool IncrementalBitSim::recompute(std::uint32_t idx, unsigned& new_max,
   const Node& n = dfg_->node(NodeId{idx});
   const std::uint32_t self = index_->bit_offset(idx);
 
-  auto operand_avail = [this](const Operand& o, unsigned rel) -> BitAvail {
-    if (rel >= o.bits.width) return kStartOfTime;
-    const std::uint32_t f = index_->bit_offset(o.node.index) + o.bits.lo + rel;
-    return {cycle_[f], slot_[f]};
+  auto operand_avail = [this](const Operand& o, unsigned rel) -> PackedAvail {
+    if (rel >= o.bits.width) return kPackedStartOfTime;
+    return avail_[index_->bit_offset(o.node.index) + o.bits.lo + rel];
   };
-  auto write = [&](unsigned b, const BitAvail& v) {
+  auto write = [&](unsigned b, PackedAvail v) {
     const std::uint32_t f = self + b;
-    if (cycle_[f] == v.cycle && slot_[f] == v.slot) return;
-    journal_.push_back({f, cycle_[f], slot_[f]});
-    cycle_[f] = v.cycle;
-    slot_[f] = v.slot;
+    if (avail_[f] == v) return;  // no-op writes stay out of the journal
+    journal_.push_back({f, 0, avail_[f]});
+    avail_[f] = v;
+    ++words_repropagated_;
     changed = true;
   };
 
@@ -64,23 +62,27 @@ bool IncrementalBitSim::recompute(std::uint32_t idx, unsigned& new_max,
         const unsigned c = cycles[b];
         if (c == kUnassignedCycle) continue;  // stays unavailable
 
-        BitAvail carry = kStartOfTime;
+        // One compare rejects both "computed after cycle c" and
+        // "unassigned": the sentinel is the maximum packed word.
+        const PackedAvail reject = pack_avail(c + 1, 0);
+        const PackedAvail same_cycle = pack_avail(c, 0);
+
+        PackedAvail carry = kPackedStartOfTime;
         if (b > 0) {
           // Already recomputed this pass.
-          carry = {cycle_[self + b - 1], slot_[self + b - 1]};
-          if (carry.cycle == kUnassignedCycle || carry.cycle > c) return false;
+          carry = avail_[self + b - 1];
         } else if (n.has_carry_in()) {
           carry = operand_avail(n.operands[2], 0);
         }
         unsigned slot = 0;
-        for (const BitAvail& in :
+        for (const PackedAvail in :
              {operand_avail(n.operands[0], b), operand_avail(n.operands[1], b),
               carry}) {
-          if (in.cycle == kUnassignedCycle || in.cycle > c) return false;
-          if (in.cycle == c) slot = std::max(slot, in.slot);
+          if (in >= reject) return false;
+          if (in >= same_cycle) slot = std::max(slot, packed_slot(in));
         }
         const unsigned cost = n.add_bit_is_free(b) ? 0u : 1u;
-        write(b, BitAvail{c, slot + cost});
+        write(b, pack_avail(c, slot + cost));
         new_max = std::max(new_max, slot + cost);
         if (new_max > budget_) return false;  // over budget: reject early
       }
@@ -90,15 +92,14 @@ bool IncrementalBitSim::recompute(std::uint32_t idx, unsigned& new_max,
     case OpKind::Or:
     case OpKind::Xor:
     case OpKind::Not: {
+      // Lane-wise max: an unassigned operand is the maximum word, so it
+      // propagates unavailability without a separate flag.
       for (unsigned b = 0; b < n.width; ++b) {
-        BitAvail v = kStartOfTime;
-        bool unavailable = false;
+        PackedAvail v = kPackedStartOfTime;
         for (const Operand& o : n.operands) {
-          const BitAvail in = operand_avail(o, b);
-          if (in.cycle == kUnassignedCycle) unavailable = true;
-          if (later(in, v)) v = in;
+          v = std::max(v, operand_avail(o, b));
         }
-        write(b, unavailable ? kBitUnavailable : v);
+        write(b, v);
       }
       break;
     }
@@ -126,12 +127,11 @@ bool IncrementalBitSim::try_place(NodeId add, unsigned cycle) {
   for (unsigned b = 0; b < n.width; ++b) {
     HLS_REQUIRE(a[b] == kUnassignedCycle, "fragment is already placed");
   }
-  const std::size_t jbegin = journal_.size();
-  const std::uint32_t abase = index_->bit_offset(add.index);
-  for (unsigned b = 0; b < n.width; ++b) {
-    journal_.push_back({kAssignBit | (abase + b), kUnassignedCycle, 0});
-    a[b] = cycle;
-  }
+  const JournalIndex jbegin = journal_.size();
+  // try_place writes one uniform cycle across the whole fragment, so ONE
+  // journal entry (keyed by node, not bit) rolls the span back.
+  journal_.push_back({kAssignBit | add.index, kUnassignedCycle, 0});
+  std::fill(a.begin(), a.end(), cycle);
 
   unsigned new_max = max_slot_;
   bool ok = true;
@@ -173,7 +173,7 @@ bool IncrementalBitSim::try_place(NodeId add, unsigned cycle) {
     rollback(jbegin);
     return false;
   }
-  frames_.push_back({max_slot_, static_cast<std::uint32_t>(jbegin)});
+  frames_.push_back({max_slot_, jbegin});
   max_slot_ = new_max;
   if (cross_check_) verify_against_full();
   return true;
@@ -188,16 +188,17 @@ void IncrementalBitSim::undo() {
   if (cross_check_) verify_against_full();
 }
 
-void IncrementalBitSim::rollback(std::size_t begin) {
-  // Reverse order restores bits journalled twice (impossible today, cheap
+void IncrementalBitSim::rollback(JournalIndex begin) {
+  // Reverse order restores words journalled twice (impossible today, cheap
   // insurance anyway) to their oldest value.
-  for (std::size_t i = journal_.size(); i-- > begin;) {
+  for (JournalIndex i = journal_.size(); i-- > begin;) {
     const Touch& t = journal_[i];
     if (t.key & kAssignBit) {
-      assign_.flat()[t.key & ~kAssignBit] = t.old_cycle;
+      const std::uint32_t node = t.key & ~kAssignBit;
+      const std::span<unsigned> span = assign_[node];
+      std::fill(span.begin(), span.end(), t.old_assign);
     } else {
-      cycle_[t.key] = t.old_cycle;
-      slot_[t.key] = t.old_slot;
+      avail_[t.key] = t.old_avail;
     }
   }
   journal_.resize(begin);
@@ -207,7 +208,7 @@ void IncrementalBitSim::verify_against_full() const {
   const BitSim sim = simulate_bit_schedule(*dfg_, assign_);
   HLS_ASSERT(sim.max_slot == max_slot_,
              "incremental max_slot diverged from the full simulator");
-  HLS_ASSERT(sim.cycle == cycle_ && sim.slot == slot_,
+  HLS_ASSERT(sim.avail == avail_,
              "incremental availability diverged from the full simulator");
 }
 

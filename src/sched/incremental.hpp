@@ -5,28 +5,32 @@
 // simulate_bit_schedule() recomputes every bit of every node from scratch;
 // the fragment schedulers used to call it once per *candidate* placement,
 // which made force-directed scheduling quadratic-times-simulation. This
-// engine keeps the per-bit BitAvail state of the current partial schedule
+// engine keeps the per-bit availability of the current partial schedule
 // and applies a tentative (fragment, cycle) placement by repropagating
 // availability only through the affected cone: the placed Add itself, then
 // — worklist-driven, in topological order — every consumer whose bits
 // actually changed (carry-chain successors, glue, concats, downstream
 // adds). Placements that violate precedence (a bit consumed before it is
 // computed, a carry chain running backwards) or exceed the per-cycle slot
-// budget are rolled back from a journal in O(touched bits); accepted
+// budget are rolled back from a journal in O(touched words); accepted
 // placements stack and can be undone LIFO, which is what lets search
 // strategies explore.
 //
 // Data layout (this is the hot path of every scheduler):
-//   * availability is flat SoA — cycle_[]/slot_[] over the DfgIndex bit
-//     space, indexed by bit_offset(node) + b;
+//   * availability is one packed uint64_t word per bit — (cycle << 32) |
+//     slot over the DfgIndex bit space (see sched/bitsim.hpp for why word
+//     order == timing order). The glue max, the Add reject test and the
+//     no-op-write test are each ONE word operation instead of a pair of
+//     array compares;
 //   * fanout is the DfgIndex CSR, walked as contiguous spans;
 //   * the topological worklist is a bitmap over node indices: pop-min is a
 //     monotone find-first-set scan (users always have larger indices than
 //     their producers), push is one OR — no node allocations;
-//   * the journal is one arena shared by all frames. A frame records only
-//     its [begin, end) span; try_place appends, reject/undo replays the
-//     span in reverse and truncates. Assignment writes are journalled
-//     alongside availability touches, so rejection is a single rollback.
+//   * the journal is one arena shared by all frames; the unit of rollback
+//     is a touched WORD: an availability entry restores one packed word,
+//     an assignment entry restores one fragment's whole uniformly-written
+//     cycle span. A frame records only its [begin, end) span; try_place
+//     appends, reject/undo replays the span in reverse and truncates.
 // try_place/undo is amortized allocation-free: the only heap traffic is
 // the arena's geometric growth while committed frames accumulate past the
 // initial reserve, and capacity is never given back.
@@ -77,12 +81,31 @@ public:
   const DfgIndex& index() const { return *index_; }
   const BitCycles& assignment() const { return assign_; }
   BitAvail at(NodeId id, unsigned bit) const {
-    const std::uint32_t f = index_->flat_bit(id, bit);
-    return {cycle_[f], slot_[f]};
+    return unpack_avail(avail_[index_->flat_bit(id, bit)]);
   }
-  /// Flat SoA availability state, indexed by DfgIndex flat bits.
-  const std::vector<unsigned>& avail_cycles() const { return cycle_; }
-  const std::vector<unsigned>& avail_slots() const { return slot_; }
+  /// Packed per-bit availability, indexed by DfgIndex flat bits.
+  const std::vector<PackedAvail>& avail() const { return avail_; }
+  /// Materialized unpacked views (one allocation each — debug/test helpers,
+  /// not hot-path accessors).
+  std::vector<unsigned> avail_cycles() const {
+    std::vector<unsigned> out(avail_.size());
+    for (std::size_t i = 0; i < avail_.size(); ++i) {
+      out[i] = packed_cycle(avail_[i]);
+    }
+    return out;
+  }
+  std::vector<unsigned> avail_slots() const {
+    std::vector<unsigned> out(avail_.size());
+    for (std::size_t i = 0; i < avail_.size(); ++i) {
+      out[i] = packed_slot(avail_[i]);
+    }
+    return out;
+  }
+
+  /// Availability words rewritten by cone repropagation since construction
+  /// (monotone; rollbacks do not subtract — it counts work done, and feeds
+  /// OracleCounters::words_repropagated via SchedulerCore).
+  std::uint64_t words_repropagated() const { return words_repropagated_; }
 
   /// When on, every successful try_place/undo re-runs the full simulator
   /// and asserts bit-for-bit agreement. Off by default on a bare engine;
@@ -91,30 +114,38 @@ public:
   void set_cross_check(bool on) { cross_check_ = on; }
   bool cross_check() const { return cross_check_; }
 
+  /// Index type of a journal entry / frame boundary. The arena is bounded
+  /// by total availability words touched across all committed frames, which
+  /// a 32-bit index could overflow on very large kernels under deep search;
+  /// frames therefore record size_t spans (tests/incremental_test.cpp
+  /// documents the bound).
+  using JournalIndex = std::size_t;
+
 private:
-  /// One overwritten value. `key` is the flat-bit index, with the top bit
-  /// distinguishing the availability arrays (0) from the assignment (1).
+  /// One overwritten word. `key` is the flat-bit index for availability
+  /// entries; for assignment entries (kAssignBit set) it is the NODE index,
+  /// and rollback restores the node's whole uniformly-assigned cycle span.
   struct Touch {
     std::uint32_t key;
-    unsigned old_cycle;
-    unsigned old_slot;
+    std::uint32_t old_assign;  ///< assignment entries: the span's old cycle
+    PackedAvail old_avail;     ///< availability entries: the old packed word
   };
   static constexpr std::uint32_t kAssignBit = 0x80000000u;
 
   struct Frame {
     unsigned old_max_slot;
-    std::uint32_t journal_begin; ///< start of this frame's journal span
+    JournalIndex journal_begin; ///< start of this frame's journal span
   };
 
   /// Recomputes node `idx` from its operands' current availability,
-  /// journalling overwritten bits and raising `changed` when any bit moved
+  /// journalling overwritten words and raising `changed` when any bit moved
   /// (the caller then enqueues the node's users). Returns false on a
   /// precedence or budget violation (caller must roll back).
   bool recompute(std::uint32_t idx, unsigned& new_max, bool& changed);
 
   /// Replays journal entries [begin, end) in reverse and truncates the
   /// arena back to `begin`.
-  void rollback(std::size_t begin);
+  void rollback(JournalIndex begin);
   void verify_against_full() const;
 
   const Dfg* dfg_;
@@ -122,10 +153,11 @@ private:
   unsigned budget_;
   unsigned max_slot_ = 0;
   BitCycles assign_;
-  std::vector<unsigned> cycle_, slot_;  ///< flat SoA availability
-  std::vector<std::uint64_t> dirty_;    ///< worklist bitmap, one bit per node
-  std::vector<Touch> journal_;          ///< shared arena, frames hold spans
+  std::vector<PackedAvail> avail_;   ///< packed word per flat bit
+  std::vector<std::uint64_t> dirty_; ///< worklist bitmap, one bit per node
+  std::vector<Touch> journal_;       ///< shared arena, frames hold spans
   std::vector<Frame> frames_;
+  std::uint64_t words_repropagated_ = 0;
   bool cross_check_ = false;
 };
 

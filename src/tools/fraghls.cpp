@@ -488,6 +488,18 @@ void add_parse_timing(std::vector<FlowResult>& results, double parse_ms) {
   }
 }
 
+/// Prints the scheduling stage's feasibility-oracle work counters (one line
+/// under the --timing stage table) for results that carry them.
+void print_oracle_counters(const FlowResult& r) {
+  if (!r.counters) return;
+  const OracleCounters& c = *r.counters;
+  std::cout << "oracle (" << r.flow << "): " << c.candidates_evaluated
+            << " candidates evaluated, " << c.candidates_probed << " probed, "
+            << c.candidates_rejected << " rejected, " << c.candidates_committed
+            << " committed, " << c.words_repropagated
+            << " words repropagated\n";
+}
+
 /// Prints Error diagnostics to stderr; returns false when any are present.
 bool check(const std::vector<FlowResult>& results) {
   bool ok = true;
@@ -685,6 +697,7 @@ int main(int argc, char** argv) {
           }
         }
         std::cout << '\n' << tt;
+        for (const FlowResult& r : results) print_oracle_counters(r);
       }
       return 0;
     }
@@ -712,7 +725,9 @@ int main(int argc, char** argv) {
         for (const StageTiming& st : r.timings) {
           t.add_row({r.flow, st.stage, fixed(st.ms, 3)});
         }
-        std::cout << t << '\n';
+        std::cout << t;
+        print_oracle_counters(r);
+        std::cout << '\n';
       }
       if (r.flow != "optimized") continue;
 

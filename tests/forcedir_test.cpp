@@ -9,6 +9,7 @@
 #include "kernel/extract.hpp"
 #include "ir/builder.hpp"
 #include "rtl/cycle_sim.hpp"
+#include "sched/core.hpp"
 #include "sched/forcedir.hpp"
 #include "suites/suites.hpp"
 
@@ -73,6 +74,32 @@ TEST(ForceDirected, RespectsWindows) {
   for (const TransformedAdd& a : t.adds) {
     EXPECT_GE(cycle_of.at(a.node.index), a.asap);
     EXPECT_LE(cycle_of.at(a.node.index), a.alap);
+  }
+}
+
+TEST(ForceDirected, ParallelCandidateEvaluationIsBitIdentical) {
+  // Speculative parallel candidate evaluation must not change a single bit
+  // of any schedule: force its parallel path on (several workers, no
+  // fragment-count floor) and diff the full schedule text against the
+  // serial path for every registry suite × every latency.
+  SchedulerOptions serial;
+  serial.cross_check = false;
+  serial.candidate_workers = 1;
+  for (const unsigned workers : {2u, 3u, 5u}) {
+    SchedulerOptions par = serial;
+    par.candidate_workers = workers;
+    par.parallel_min_fragments = 1;
+    for (const SuiteEntry& s : registry_suites()) {
+      const Dfg built = s.build();
+      const Dfg kernel = is_kernel_form(built) ? built : extract_kernel(built);
+      for (unsigned lat : s.latencies) {
+        const TransformResult t = transform_spec(kernel, lat);
+        const FragSchedule a = schedule_transformed_forcedirected(t, serial);
+        const FragSchedule b = schedule_transformed_forcedirected(t, par);
+        EXPECT_EQ(to_string(t.spec, a.schedule), to_string(t.spec, b.schedule))
+            << s.name << " lat " << lat << " workers " << workers;
+      }
+    }
   }
 }
 

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
+#include <type_traits>
 
 #include "ir/builder.hpp"
 #include "kernel/extract.hpp"
@@ -22,8 +24,7 @@ void expect_matches_full(const Dfg& spec, const IncrementalBitSim& sim,
                          const std::string& what) {
   const BitSim full = simulate_bit_schedule(spec, sim.assignment());
   EXPECT_EQ(full.max_slot, sim.max_slot()) << what;
-  EXPECT_EQ(full.cycle, sim.avail_cycles()) << what;
-  EXPECT_EQ(full.slot, sim.avail_slots()) << what;
+  EXPECT_EQ(full.avail, sim.avail()) << what;
 }
 
 TEST(IncrementalBitSim, MatchesFullSimulatorOnEveryRegistrySuite) {
@@ -60,8 +61,7 @@ TEST(IncrementalBitSim, MatchesFullSimulatorOnEveryRegistrySuite) {
       const std::size_t k = unplaced[pick];
       const TransformedAdd& a = t.adds[k];
       const unsigned c = a.asap + rng() % (a.alap - a.asap + 1);
-      const auto cycles_before = sim.avail_cycles();
-      const auto slots_before = sim.avail_slots();
+      const std::vector<PackedAvail> avail_before = sim.avail();
       const unsigned max_before = sim.max_slot();
       if (sim.try_place(a.node, c)) {
         placed_stack.push_back(k);
@@ -69,10 +69,7 @@ TEST(IncrementalBitSim, MatchesFullSimulatorOnEveryRegistrySuite) {
         unplaced.pop_back();
         expect_matches_full(t.spec, sim, s.name + " after commit");
       } else {
-        EXPECT_EQ(cycles_before, sim.avail_cycles())
-            << s.name << " rejected leak";
-        EXPECT_EQ(slots_before, sim.avail_slots())
-            << s.name << " rejected leak";
+        EXPECT_EQ(avail_before, sim.avail()) << s.name << " rejected leak";
         EXPECT_EQ(max_before, sim.max_slot()) << s.name << " rejected leak";
       }
       ++mutations;
@@ -153,6 +150,38 @@ TEST(IncrementalBitSim, RejectsPrecedenceViolation) {
   EXPECT_EQ(sim.max_slot(), 8u);
   sim.undo();
   EXPECT_EQ(sim.max_slot(), 0u);
+}
+
+TEST(IncrementalBitSim, JournalIndexCoversTheWholeJournal) {
+  // Frame::journal_begin used to be uint32_t while the journal itself was
+  // indexed by size_t: a search placing enough fragments to push the
+  // journal past 2^32 touches would silently truncate the frame's rollback
+  // point and corrupt every later undo. The index type is now the
+  // journal's own size type, so no journal the process can address can
+  // overflow a frame.
+  using Journal = std::vector<int>;  // stand-in: any vector's size_type
+  static_assert(
+      std::is_same_v<IncrementalBitSim::JournalIndex, std::size_t>,
+      "journal frames must use the journal's own index width");
+  static_assert(std::numeric_limits<IncrementalBitSim::JournalIndex>::max() >=
+                    std::numeric_limits<Journal::size_type>::max(),
+                "a frame must be able to record any journal position");
+
+  // Deep LIFO churn as a runtime smoke test: many frames, each rolled back
+  // to exactly its recorded begin.
+  const TransformResult t = transform_spec(fig3_dfg(), 3);
+  IncrementalBitSim sim(t.spec, t.n_bits);
+  sim.set_cross_check(false);
+  for (unsigned round = 0; round < 64; ++round) {
+    unsigned placed = 0;
+    for (const TransformedAdd& a : t.adds) {
+      if (sim.try_place(a.node, a.asap)) ++placed;
+    }
+    ASSERT_EQ(placed, t.adds.size());
+    for (unsigned u = 0; u < placed; ++u) sim.undo();
+    ASSERT_EQ(sim.depth(), 0u);
+    ASSERT_EQ(sim.max_slot(), 0u);
+  }
 }
 
 TEST(IncrementalBitSim, CrossCheckedPlacementSequence) {

@@ -357,6 +357,43 @@ TEST(SessionJson, TimingsBlockRoundTripsWhenRequested) {
   EXPECT_EQ(plain.find("\"timings\""), std::string::npos);
 }
 
+TEST(SessionJson, OracleCountersRideTheTimingOptIn) {
+  // FlowOptions::timing also surfaces the scheduling stage's oracle work:
+  // every fragment commits exactly once, probes cover at least the commits,
+  // and probes split exactly into rejects + commits. The counters serialize
+  // as the "oracle" JSON block and stay absent without the opt-in.
+  const Session session;
+  FlowOptions opt;
+  opt.timing = true;
+  for (const char* scheduler : {"list", "forcedirected"}) {
+    const FlowResult r =
+        session.run({motivational(), "optimized", 3, 0, opt, scheduler})
+            .require();
+    ASSERT_TRUE(r.counters.has_value()) << scheduler;
+    const OracleCounters& c = *r.counters;
+    EXPECT_EQ(c.candidates_committed, r.transform->adds.size()) << scheduler;
+    EXPECT_GE(c.candidates_probed, c.candidates_committed) << scheduler;
+    EXPECT_EQ(c.candidates_probed, c.candidates_rejected + c.candidates_committed)
+        << scheduler;
+    EXPECT_GT(c.words_repropagated, 0u) << scheduler;
+    const std::string j = to_json(r);
+    EXPECT_NE(j.find("\"oracle\":{\"candidates_evaluated\":"),
+              std::string::npos)
+        << scheduler;
+  }
+  // The force-directed strategy also reports its force evaluations.
+  const FlowResult fd =
+      session.run({motivational(), "optimized", 3, 0, opt, "forcedirected"})
+          .require();
+  EXPECT_GT(fd.counters->candidates_evaluated, 0u);
+
+  // Without the option: no counters, no "oracle" block (byte-stable output).
+  const FlowResult plain =
+      session.run({motivational(), "optimized", 3}).require();
+  EXPECT_FALSE(plain.counters.has_value());
+  EXPECT_EQ(to_json(plain).find("\"oracle\""), std::string::npos);
+}
+
 TEST(SessionBatch, TargetAxisSweepsNextToLatencies) {
   // run_sweep's target axis: 2 targets x 3 latencies, target-major, every
   // result carrying its resolved target name.
