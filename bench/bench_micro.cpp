@@ -51,6 +51,7 @@
 #include "sched/forcedir.hpp"
 #include "sched/fragsched.hpp"
 #include "suites/suites.hpp"
+#include "support/cancel.hpp"
 #include "timing/critical_path.hpp"
 #include "timing/target.hpp"
 
@@ -189,7 +190,11 @@ int run_json_baseline(const char* path) {
                     "regression gate tracks speedup_vs_full_resim. The "
                     "*-explore entry compares one cached+pruned Explorer "
                     "sweep (ns_per_op) against the naive per-point "
-                    "Session::run_sweep (full_resim_ns_per_op)\",\n"
+                    "Session::run_sweep (full_resim_ns_per_op); the "
+                    "*-cancel entry compares an armed-but-never-tripped "
+                    "cancellation run (ns_per_op) against the unarmed run "
+                    "(full_resim_ns_per_op), so its ~1.0 ratio with a 5% "
+                    "tolerance bounds the checkpoint overhead\",\n"
                     "  \"entries\": [\n";
   bool first = true;
   for (const SuiteEntry& s : synthetic_suites()) {
@@ -227,6 +232,32 @@ int run_json_baseline(const char* path) {
                   "\"speedup_vs_full_resim\": %.2f}",
                   s.name.c_str(), b.explorer_ms * 1e6, b.naive_ms * 1e6,
                   b.speedup());
+    out += ",\n";
+    out += row;
+  }
+  // The cancellation-checkpoint overhead entry: the heaviest scheduler run
+  // with an armed-but-never-tripped CancelToken vs the unarmed run. The
+  // tracked ratio unarmed/armed sits at ~1.0 by construction; the tight
+  // per-entry tolerance is the "checkpoints cost <= a few percent"
+  // robustness claim, held by CI the same way the oracle speedups are.
+  for (const SuiteEntry& s : synthetic_suites()) {
+    if (s.name != "synth-mesh8x8") continue;
+    std::fprintf(stderr, "bench %s/cancel-overhead...\n", s.name.c_str());
+    const TransformResult t = transform_spec(s.build(), s.latencies.front());
+    CancelSource source;  // armed, never cancelled
+    SchedulerOptions armed = incremental;
+    armed.cancel = source.token();
+    const double armed_ns = median_of_3_ns("forcedirected", t, armed);
+    const double unarmed_ns =
+        median_of_3_ns("forcedirected", t, incremental);
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "    {\"suite\": \"%s-cancel\", "
+                  "\"scheduler\": \"forcedirected\", "
+                  "\"ns_per_op\": %.0f, \"full_resim_ns_per_op\": %.0f, "
+                  "\"speedup_vs_full_resim\": %.2f, \"tolerance\": 0.05}",
+                  s.name.c_str(), armed_ns, unarmed_ns,
+                  unarmed_ns / armed_ns);
     out += ",\n";
     out += row;
   }

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Chaos smoke of the failpoint registry against the real fraghls daemon.
+
+Usage: chaos_check.py [path/to/fraghls]   (default ./build/src/tools/fraghls)
+
+Enumerates every registered failpoint (`fraghls --list-failpoints`) and, for
+each one, starts a daemon with that point armed one-shot and drives a
+request through it, asserting the robustness contract end to end:
+
+  * the process survives the injected fault — no crash, no hang;
+  * the faulted request yields exactly one structured envelope (flow, cache
+    and serve.parse/admit faults) or one counted disconnect (socket faults,
+    where the fault *is* the transport: the contract is that the daemon
+    stays up and the next connection works);
+  * a clean retry of the same request against the same daemon — the point
+    auto-disarmed after its one hit — is bit-identical to the same request
+    served by a never-faulted daemon, shared cache included;
+  * the daemon drains to exit code 0 on shutdown.
+
+Spot checks on top of the per-point sweep: a delay action slows the request
+without failing it, and an alloc action (std::bad_alloc, the non-Error
+unwind) still comes back as one envelope.
+
+Exit 0 on success, 1 with a message on the first violation.
+"""
+
+import json
+import socket
+import subprocess
+import sys
+
+RUN = ('{"kind":"run","id":7,"suite":"fir2","latency":4,"narrow":true}')
+
+
+def fail(msg):
+    print(f"chaos_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def canonical_result(doc):
+    if not doc.get("ok"):
+        fail(f"expected a clean result, got: {doc}")
+    return json.dumps(doc["result"], sort_keys=True)
+
+
+class StdioDaemon:
+    def __init__(self, cli, extra):
+        self.proc = subprocess.Popen([cli, "--serve"] + extra,
+                                     stdin=subprocess.PIPE,
+                                     stdout=subprocess.PIPE, text=True)
+
+    def ask(self, line):
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        response = self.proc.stdout.readline()
+        if not response:
+            fail(f"daemon died on request: {line}")
+        doc = json.loads(response)
+        if doc.get("schema") != "fraghls-serve-v1":
+            fail(f"missing envelope schema: {response[:200]}")
+        return doc
+
+    def shutdown(self):
+        summary = self.ask('{"kind":"shutdown"}')
+        self.proc.stdin.close()
+        if self.proc.wait(timeout=30) != 0:
+            fail(f"daemon exit code {self.proc.returncode}")
+        return summary
+
+
+def check_stdio_point(cli, name, extra_args, baseline):
+    """error-action fault through the stdin daemon + bit-identical retry."""
+    daemon = StdioDaemon(cli, ["--failpoints", f"{name}=error"] + extra_args)
+    faulted = daemon.ask(RUN)
+    if faulted.get("ok"):
+        fail(f"{name}=error did not fail the request: {faulted}")
+    # One structured envelope: a diagnostics array with at least one Error.
+    if not faulted.get("diagnostics") and "result" not in faulted:
+        fail(f"{name}=error response carries no body: {faulted}")
+    retry = daemon.ask(RUN)
+    if canonical_result(retry) != baseline:
+        fail(f"{name}: clean retry is not bit-identical to the never-"
+             f"faulted run")
+    daemon.shutdown()
+    print(f"chaos_check: {name}=error ok (envelope + clean retry)")
+
+
+def check_socket_point(cli, name):
+    """serve.recv / serve.send: the fault is a lost peer, not an envelope."""
+    proc = subprocess.Popen(
+        [cli, "--serve", "--serve-port", "0",
+         "--failpoints", f"{name}=error"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    banner = proc.stderr.readline()
+    if "serving on 127.0.0.1:" not in banner:
+        fail(f"no serving banner: {banner!r}")
+    port = int(banner.rsplit(":", 1)[1])
+
+    def ask(sock, line):
+        sock.sendall(line.encode() + b"\n")
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return None  # daemon closed this connection
+            buf += chunk
+        return json.loads(buf.split(b"\n", 1)[0])
+
+    first = socket.create_connection(("127.0.0.1", port), timeout=60)
+    doc = ask(first, RUN)
+    first.close()
+    # serve.recv faults before the request is read (no response possible);
+    # serve.send faults the response write. Either way this connection is
+    # sacrificed — the daemon must treat it as a peer disconnect.
+    if name == "serve.recv" and doc is not None:
+        fail(f"{name}=error still produced a response: {doc}")
+
+    second = socket.create_connection(("127.0.0.1", port), timeout=60)
+    doc = ask(second, RUN)
+    if doc is None or not doc.get("ok"):
+        fail(f"daemon unusable after {name} fault: {doc}")
+    stats = ask(second, '{"kind":"stats"}')
+    if stats["result"]["serve"]["disconnects"] < 1:
+        fail(f"{name}: fault not counted as a disconnect: "
+             f"{stats['result']['serve']}")
+    summary = ask(second, '{"kind":"shutdown"}')
+    if summary is None or not summary.get("ok"):
+        fail(f"shutdown after {name} fault failed: {summary}")
+    second.close()
+    if proc.wait(timeout=30) != 0:
+        fail(f"daemon exit code {proc.returncode}")
+    print(f"chaos_check: {name}=error ok (survived, counted, drained)")
+
+
+def main():
+    cli = sys.argv[1] if len(sys.argv) > 1 else "./build/src/tools/fraghls"
+    names = subprocess.run([cli, "--list-failpoints"], capture_output=True,
+                           text=True, check=True).stdout.split()
+    if len(names) < 10:
+        fail(f"suspiciously small failpoint registry: {names}")
+
+    # The never-faulted reference result for RUN, from a pristine daemon.
+    clean = StdioDaemon(cli, [])
+    baseline = canonical_result(clean.ask(RUN))
+    clean.shutdown()
+
+    for name in names:
+        if name in ("serve.recv", "serve.send"):
+            check_socket_point(cli, name)
+        else:
+            # cache.evict only fires on a bounded cache; the bound changes
+            # nothing else (the StageCache contract keeps results
+            # bit-identical under eviction).
+            extra = ["--cache-mb", "1"] if name == "cache.evict" else []
+            check_stdio_point(cli, name, extra, baseline)
+
+    # delay: slows the request, does not fail it.
+    daemon = StdioDaemon(cli, ["--failpoints", "flow.schedule=delay:120"])
+    doc = daemon.ask(RUN)
+    if not doc.get("ok") or doc.get("ms", 0) < 120:
+        fail(f"delay action misbehaved (ok/ms): {doc.get('ok')}, "
+             f"{doc.get('ms')}")
+    if canonical_result(doc) != baseline:
+        fail("delayed result differs from the never-faulted run")
+    daemon.shutdown()
+    print("chaos_check: flow.schedule=delay:120 ok (slow but identical)")
+
+    # alloc: std::bad_alloc walks the non-Error unwind and still lands as
+    # one structured envelope, with a bit-identical clean retry.
+    daemon = StdioDaemon(cli, ["--failpoints", "cache.insert=alloc"])
+    doc = daemon.ask(RUN)
+    if doc.get("ok"):
+        fail(f"alloc action did not fail the request: {doc}")
+    if canonical_result(daemon.ask(RUN)) != baseline:
+        fail("clean retry after alloc fault is not bit-identical")
+    daemon.shutdown()
+    print("chaos_check: cache.insert=alloc ok (envelope + clean retry)")
+
+    print(f"chaos_check: OK — all {len(names)} failpoints survived with "
+          "structured envelopes and bit-identical retries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

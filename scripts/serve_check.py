@@ -17,12 +17,22 @@ the real binary and pipes:
     hits + misses == lookups for every cache stage;
   * the daemon exits 0 after the shutdown response.
 
+A second phase starts a TCP daemon with a deliberately tiny admission gate
+(--admit-max 1 --admit-queue 0) and a delay failpoint on the schedule
+stage, then validates load shedding end to end: a request that arrives
+while the slot is busy comes back as an "overloaded" envelope carrying a
+"retry_after_ms" hint, and a client honouring that hint with bounded
+exponential backoff eventually gets its result; the shutdown summary's
+serve counters (admitted/shed) account for every attempt.
+
 Exit 0 on success, 1 with a message on the first violation.
 """
 
 import json
+import socket
 import subprocess
 import sys
+import time
 
 
 def fail(msg):
@@ -73,6 +83,8 @@ def main():
                 fail(f"failure without diagnostics: {doc}")
             if diags[0].get("stage") != stage:
                 fail(f"expected stage {stage!r} for {line}: {diags[0]}")
+            if stage == "deadline" and "retry_after_ms" not in doc:
+                fail(f"deadline envelope without retry_after_ms: {doc}")
     # The malformed line self-locates.
     bad = ask("{nope")
     if "at byte" not in bad["diagnostics"][0]["message"]:
@@ -106,13 +118,111 @@ def main():
                  f"{c['misses']} != lookups {c['lookups']}")
     if summary["result"]["cache"]["total"]["hits"] == 0:
         fail("no cache hits across the whole mix — sharing is broken")
+    # The stats config block echoes the resolved robustness knobs (defaults
+    # here: no deadline, default queue).
+    config = summary["result"]["config"]
+    if config.get("deadline_ms") != 0 or config.get("max_queue") != 16:
+        fail(f"config echo wrong for default daemon: {config}")
 
     proc.stdin.close()
     if proc.wait(timeout=30) != 0:
         fail(f"daemon exit code {proc.returncode}")
-    print("serve_check: OK — protocol, structured errors, deadline, and "
-          "stats consistency all hold through the real binary")
+
+    overload_phase(cli)
+    print("serve_check: OK — protocol, structured errors, deadline, "
+          "overload shedding + backoff, and stats consistency all hold "
+          "through the real binary")
     return 0
+
+
+class LineClient:
+    """One TCP connection speaking the JSON-lines protocol."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.buf = b""
+
+    def send(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("daemon closed the connection mid-protocol")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def ask(self, line):
+        self.send(line)
+        return self.recv()
+
+    def close(self):
+        self.sock.close()
+
+
+def overload_phase(cli):
+    """Shedding + retry_after_ms backoff against a one-slot TCP daemon."""
+    # One execution slot, no queue; the delay failpoint pins the slot busy
+    # for 300 ms per scheduled run so a concurrent request must be shed.
+    proc = subprocess.Popen(
+        [cli, "--serve", "--serve-port", "0", "--admit-max", "1",
+         "--admit-queue", "0", "--failpoints", "flow.schedule=delay:300*4"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    banner = proc.stderr.readline()
+    if "serving on 127.0.0.1:" not in banner:
+        fail(f"no serving banner: {banner!r}")
+    port = int(banner.rsplit(":", 1)[1])
+
+    slow = LineClient(port)
+    fast = LineClient(port)
+    run = '{"kind":"run","id":%d,"suite":"motivational","latency":3}'
+    # Occupy the slot (the armed delay holds it >=300 ms), then race a
+    # second client in while it is busy.
+    slow.send(run % 1)
+    time.sleep(0.1)
+    shed = fast.ask(run % 2)
+    if shed["ok"] or shed["diagnostics"][0].get("stage") != "overloaded":
+        fail(f"expected an overloaded shed response: {shed}")
+    retry_after = shed.get("retry_after_ms")
+    if not isinstance(retry_after, int) or retry_after < 1:
+        fail(f"overloaded response without a usable retry_after_ms: {shed}")
+
+    # Bounded exponential backoff keyed on the server's hint: every retry
+    # that still lands in the busy window is shed again with a fresh hint;
+    # the one after the slot frees succeeds.
+    attempts = 0
+    delay_s = retry_after / 1000.0
+    while True:
+        attempts += 1
+        if attempts > 10:
+            fail("backoff never got admitted within 10 attempts")
+        time.sleep(min(delay_s, 2.0))
+        doc = fast.ask(run % (10 + attempts))
+        if doc["ok"]:
+            break
+        if doc["diagnostics"][0].get("stage") != "overloaded":
+            fail(f"retry failed for a non-overload reason: {doc}")
+        delay_s = max(doc.get("retry_after_ms", retry_after) / 1000.0,
+                      2 * delay_s)
+    first = slow.recv()
+    if not first["ok"]:
+        fail(f"the slot-holding request itself failed: {first}")
+
+    summary = slow.ask('{"kind":"shutdown","id":99}')
+    serve = summary["result"]["serve"]
+    if serve["shed"] < 1:
+        fail(f"no shed recorded: {serve}")
+    if serve["admitted"] < 2:
+        fail(f"expected >=2 admitted (slot holder + retry): {serve}")
+    config = summary["result"]["config"]
+    if config.get("max_active") != 1 or config.get("max_queue") != 0:
+        fail(f"config echo wrong for overload daemon: {config}")
+    slow.close()
+    fast.close()
+    if proc.wait(timeout=30) != 0:
+        fail(f"overload daemon exit code {proc.returncode}")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,12 @@
 #include "dse/cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "alloc/bitlevel.hpp"
 #include "kernel/narrow.hpp"
 #include "sched/core.hpp"
+#include "support/failpoint.hpp"
 #include "timing/critical_path.hpp"
 
 namespace hls {
@@ -117,6 +119,12 @@ ArtifactCache::ArtifactCache(ArtifactCacheOptions options)
 
 void ArtifactCache::evict_locked(Shard& shard) {
   if (per_shard_bound_ == 0) return;
+  // Fault-injection site for the eviction sweep of a bounded cache (fires
+  // on every bounded insert, whether or not a victim is dropped, so chaos
+  // runs do not depend on filling the shard first). An injected throw
+  // unwinds with the shard consistent — at worst transiently over its
+  // share, repaired by the next insert's sweep.
+  failpoint("cache.evict");
   // Oldest-first until the shard fits. The just-inserted entry sits at the
   // hot end, so it is evicted only when it alone exceeds the shard's share:
   // its caller already holds the shared_ptr, the cache just declines to
@@ -142,6 +150,7 @@ std::shared_ptr<const V> ArtifactCache::get_or_compute(Stage stage,
                                                        const Key& key,
                                                        Compute&& compute) {
   Shard& shard = shard_for(key);
+  failpoint("cache.lookup");
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.table.find(key);
@@ -158,6 +167,7 @@ std::shared_ptr<const V> ArtifactCache::get_or_compute(Stage stage,
       std::make_shared<const V>(std::forward<Compute>(compute)());
   const std::size_t bytes =
       approx_bytes(*value) + sizeof(Entry) + 2 * sizeof(Key);
+  failpoint("cache.insert");
   const std::lock_guard<std::mutex> lock(shard.mu);
   counters_[stage].misses.fetch_add(1, std::memory_order_relaxed);
   const auto [it, inserted] = shard.table.try_emplace(key);
@@ -213,22 +223,29 @@ unsigned ArtifactCache::n_bits_at(const Digest& d, const Dfg& spec,
 
 std::shared_ptr<const TransformResult> ArtifactCache::transform_at(
     const Digest& d, const Dfg& spec, bool narrow, unsigned latency,
-    unsigned n_bits) {
+    unsigned n_bits, const CancelToken& cancel) {
   const Key key = key_of(with_point(d, narrow, latency, n_bits), kTransform);
   return get_or_compute<TransformResult>(kTransform, key, [&] {
+    cancel.poll();
     return transform_prepared(*prep_at(d, spec, narrow), latency, n_bits);
   });
 }
 
 std::shared_ptr<const FragSchedule> ArtifactCache::schedule_at(
     const Digest& d, const std::string& scheduler, const Dfg& spec,
-    bool narrow, unsigned latency, unsigned n_bits) {
+    bool narrow, unsigned latency, unsigned n_bits,
+    const CancelToken& cancel) {
   const Key key = key_of(
       with_scheduler(with_point(d, narrow, latency, n_bits), scheduler),
       kSchedule);
   return get_or_compute<FragSchedule>(kSchedule, key, [&] {
-    return run_scheduler(scheduler,
-                         *transform_at(d, spec, narrow, latency, n_bits));
+    // The strategy ticks checkpoints per committed fragment; a trip unwinds
+    // out of get_or_compute before any insert, leaving no entry behind.
+    SchedulerOptions opts;
+    opts.cancel = cancel;
+    return run_scheduler(
+        scheduler, *transform_at(d, spec, narrow, latency, n_bits, cancel),
+        opts);
   });
 }
 
@@ -255,25 +272,27 @@ unsigned ArtifactCache::resolved_n_bits(const Dfg& spec, bool narrow,
 
 std::shared_ptr<const TransformResult> ArtifactCache::transform(
     const Dfg& spec, bool narrow, unsigned latency, unsigned n_bits_override,
-    const DelayModel& delay) {
+    const DelayModel& delay, const CancelToken& cancel) {
   const Digest d = digest_of(spec);
   const unsigned n_bits =
       n_bits_at(d, spec, narrow, latency, n_bits_override, delay);
-  return transform_at(d, spec, narrow, latency, n_bits);
+  return transform_at(d, spec, narrow, latency, n_bits, cancel);
 }
 
 std::shared_ptr<const FragSchedule> ArtifactCache::fragment_schedule(
     const std::string& scheduler, const Dfg& spec, bool narrow,
-    unsigned latency, unsigned n_bits_override, const DelayModel& delay) {
+    unsigned latency, unsigned n_bits_override, const DelayModel& delay,
+    const CancelToken& cancel) {
   const Digest d = digest_of(spec);
   const unsigned n_bits =
       n_bits_at(d, spec, narrow, latency, n_bits_override, delay);
-  return schedule_at(d, scheduler, spec, narrow, latency, n_bits);
+  return schedule_at(d, scheduler, spec, narrow, latency, n_bits, cancel);
 }
 
 std::shared_ptr<const Datapath> ArtifactCache::bitlevel_datapath(
     const std::string& scheduler, const Dfg& spec, bool narrow,
-    unsigned latency, unsigned n_bits_override, const DelayModel& delay) {
+    unsigned latency, unsigned n_bits_override, const DelayModel& delay,
+    const CancelToken& cancel) {
   const Digest d = digest_of(spec);
   const unsigned n_bits =
       n_bits_at(d, spec, narrow, latency, n_bits_override, delay);
@@ -281,9 +300,10 @@ std::shared_ptr<const Datapath> ArtifactCache::bitlevel_datapath(
       with_scheduler(with_point(d, narrow, latency, n_bits), scheduler),
       kDatapath);
   return get_or_compute<Datapath>(kDatapath, key, [&] {
+    cancel.poll();
     return allocate_bitlevel(
-        *transform_at(d, spec, narrow, latency, n_bits),
-        *schedule_at(d, scheduler, spec, narrow, latency, n_bits));
+        *transform_at(d, spec, narrow, latency, n_bits, cancel),
+        *schedule_at(d, scheduler, spec, narrow, latency, n_bits, cancel));
   });
 }
 
@@ -301,6 +321,17 @@ CacheStats ArtifactCache::stats() const {
         counters_[i].resident_bytes.load(std::memory_order_relaxed);
   }
   return s;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+ArtifactCache::resident_keys() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.table) out.emplace_back(key.a, key.b);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void ArtifactCache::clear() {

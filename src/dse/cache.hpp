@@ -110,19 +110,22 @@ public:
   ArtifactCache(const ArtifactCache&) = delete;
   ArtifactCache& operator=(const ArtifactCache&) = delete;
 
+  // The CancelToken rides into the compute functions: a compute that trips
+  // unwinds before any insert (get_or_compute inserts only on success), so
+  // a cancelled request leaves the store exactly as if it never arrived.
   std::shared_ptr<const KernelArtifact> kernel(const Dfg& spec) override;
   std::shared_ptr<const Dfg> narrowed(const Dfg& spec) override;
   std::shared_ptr<const TransformResult> transform(
       const Dfg& spec, bool narrow, unsigned latency, unsigned n_bits_override,
-      const DelayModel& delay) override;
+      const DelayModel& delay, const CancelToken& cancel = {}) override;
   std::shared_ptr<const FragSchedule> fragment_schedule(
       const std::string& scheduler, const Dfg& spec, bool narrow,
-      unsigned latency, unsigned n_bits_override,
-      const DelayModel& delay) override;
+      unsigned latency, unsigned n_bits_override, const DelayModel& delay,
+      const CancelToken& cancel = {}) override;
   std::shared_ptr<const Datapath> bitlevel_datapath(
       const std::string& scheduler, const Dfg& spec, bool narrow,
-      unsigned latency, unsigned n_bits_override,
-      const DelayModel& delay) override;
+      unsigned latency, unsigned n_bits_override, const DelayModel& delay,
+      const CancelToken& cancel = {}) override;
 
   /// The memoized latency-invariant transform prep of `spec`'s (optionally
   /// narrowed) kernel. Exposed beyond the StageCache interface because the
@@ -141,6 +144,13 @@ public:
 
   /// Snapshot of the per-stage counters.
   CacheStats stats() const;
+
+  /// Sorted keys of every resident entry — debug/test observability. The
+  /// cancellation property test asserts that a cancelled-then-retried
+  /// request leaves exactly the key set of a never-cancelled run; because
+  /// keys are content digests of the inputs and every stage function is
+  /// pure, equal key sets imply bit-identical resident values.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> resident_keys() const;
 
   /// Drops every entry (counters included).
   void clear();
@@ -178,7 +188,7 @@ private:
   /// One lock stripe: an independently locked slice of the key space with
   /// its own recency list (front = coldest) and byte accounting.
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;  ///< mutable: resident_keys() is const
     std::map<Key, Entry> table;
     std::list<Key> lru;
     std::size_t resident = 0;
@@ -227,16 +237,13 @@ private:
   unsigned n_bits_at(const Digest& d, const Dfg& spec, bool narrow,
                      unsigned latency, unsigned n_bits_override,
                      const DelayModel& delay);
-  std::shared_ptr<const TransformResult> transform_at(const Digest& d,
-                                                      const Dfg& spec,
-                                                      bool narrow,
-                                                      unsigned latency,
-                                                      unsigned n_bits);
-  std::shared_ptr<const FragSchedule> schedule_at(const Digest& d,
-                                                  const std::string& scheduler,
-                                                  const Dfg& spec, bool narrow,
-                                                  unsigned latency,
-                                                  unsigned n_bits);
+  std::shared_ptr<const TransformResult> transform_at(
+      const Digest& d, const Dfg& spec, bool narrow, unsigned latency,
+      unsigned n_bits, const CancelToken& cancel);
+  std::shared_ptr<const FragSchedule> schedule_at(
+      const Digest& d, const std::string& scheduler, const Dfg& spec,
+      bool narrow, unsigned latency, unsigned n_bits,
+      const CancelToken& cancel);
 
   ArtifactCacheOptions options_;
   std::size_t per_shard_bound_ = 0;  ///< max_resident_bytes / shards

@@ -178,6 +178,11 @@ ExploreResult Explorer::run(const ExploreRequest& request) const {
       // adder_depth(estimate_cycle_budget(critical, latency)) — both
       // available here from the memoized prep, before any stage runs.
       if (out.flows[c.flow] == "optimized") {
+        // Pricing walks the whole grid before any evaluation; poll per
+        // candidate (outside the try: the catch below is for unpriceable
+        // specs and must not swallow a cancellation) so a deadline can
+        // abort the planning phase too.
+        request.cancel.poll();
         try {
           const Target& target = resolved_targets[c.target];
           const unsigned n_bits = cache->resolved_n_bits(
@@ -255,14 +260,24 @@ ExploreResult Explorer::run(const ExploreRequest& request) const {
   const Session session(session_options);
   std::vector<std::pair<const Candidate*, FlowResult>> done;
   while (!to_run.empty()) {
+    // Between batch rounds is the coarse checkpoint; the fine-grained ones
+    // ride each FlowRequest's token into the per-point scheduler loops (a
+    // cancelled point comes back as a "cancelled" diagnostic, and the poll
+    // here turns the round boundary into a hard stop).
+    request.cancel.poll();
     std::vector<FlowRequest> requests;
     requests.reserve(to_run.size());
     for (const Candidate* c : to_run) {
       requests.push_back({request.spec, out.flows[c->flow], c->latency, 0,
                           request.options, out.schedulers[c->scheduler],
-                          out.targets[c->target], cache});
+                          out.targets[c->target], cache, request.cancel});
     }
     std::vector<FlowResult> results = session.run_batch(requests);
+    // A trip *during* a round is folded into its point results by
+    // Session::run; re-polling here (the cancelled state is sticky)
+    // promotes it to the hard abort the Explorer contract promises, even
+    // when the trip landed in the final round.
+    request.cancel.poll();
     for (std::size_t i = 0; i < to_run.size(); ++i) {
       done.emplace_back(to_run[i], std::move(results[i]));
     }

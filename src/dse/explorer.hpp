@@ -87,6 +87,13 @@ struct ExploreRequest {
   /// shared *across* requests; ExploreResult::cache_stats then snapshots
   /// the shared counters after the run.
   std::shared_ptr<ArtifactCache> cache;
+  /// Cooperative cancellation (support/cancel.hpp): polled per candidate
+  /// during pricing and between evaluation rounds, and threaded into every
+  /// per-point FlowRequest. When it trips, Explorer::run throws
+  /// CancelledError — unlike malformed requests, cancellation is an abort,
+  /// not a result (the serve layer maps it to its "deadline" envelope). A
+  /// shared cache is left exactly as if the exploration never started.
+  CancelToken cancel;
 };
 
 /// The objective tuple of one implementation, all axes minimized.
@@ -170,7 +177,9 @@ public:
 
   /// Explores the grid. Never throws for request-level failures: malformed
   /// axes come back as ok == false with Error diagnostics, per-point flow
-  /// failures as points with result.ok == false.
+  /// failures as points with result.ok == false. The one exception is
+  /// cooperative cancellation: a tripped ExploreRequest::cancel token
+  /// throws CancelledError (an abort is not a result).
   ExploreResult run(const ExploreRequest& request) const;
 
 private:

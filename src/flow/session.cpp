@@ -14,11 +14,20 @@
 #include "sched/conventional.hpp"
 #include "sched/core.hpp"
 #include "sched/schedule.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace hls {
 
 namespace {
+
+/// The per-stage fault-injection site, "flow.<stage>". The armed check
+/// happens before the name is built, so the unarmed fast path never
+/// allocates.
+void stage_failpoint(const char* name) {
+  if (!failpoints_armed()) return;
+  failpoint(("flow." + std::string(name)).c_str());
+}
 
 /// Runs one flow stage, tagging any hls::Error it raises with the stage
 /// name so Session can report where the flow failed.
@@ -26,6 +35,11 @@ template <typename F>
 auto stage(const char* name, F&& f) {
   try {
     return std::forward<F>(f)();
+  } catch (const CancelledError&) {
+    // Cancellation is not a stage failure: let it unwind untagged so
+    // Session::run (and the serve layer) can map it to the dedicated
+    // "cancelled" diagnostic / "deadline" envelope.
+    throw;
   } catch (const FlowStageError&) {
     throw;
   } catch (const Error& e) {
@@ -39,6 +53,10 @@ auto stage(const char* name, F&& f) {
 template <typename F>
 auto timed_stage(FlowResult& out, const FlowRequest& req, const char* name,
                  F&& f) {
+  // Every stage boundary is a cancellation checkpoint and a failpoint site;
+  // both are branch-on-null / branch-on-atomic no-ops when nothing is armed.
+  req.cancel.poll();
+  stage_failpoint(name);
   if (!req.options.timing) return stage(name, std::forward<F>(f));
   const auto t0 = std::chrono::steady_clock::now();
   auto result = stage(name, std::forward<F>(f));
@@ -211,7 +229,7 @@ FlowResult optimized(const FlowRequest& req) {
   out.transform = timed_stage(out, req, "transform", [&]() -> TransformResult {
     if (cache) {
       return *cache->transform(req.spec, req.options.narrow, req.latency,
-                               req.n_bits_override, target.delay);
+                               req.n_bits_override, target.delay, req.cancel);
     }
     return transform_spec(kernel, req.latency, req.n_bits_override,
                           target.delay);
@@ -225,18 +243,20 @@ FlowResult optimized(const FlowRequest& req) {
     if (cache) {
       return *cache->fragment_schedule(req.scheduler, req.spec,
                                        req.options.narrow, req.latency,
-                                       req.n_bits_override, target.delay);
+                                       req.n_bits_override, target.delay,
+                                       req.cancel);
     }
+    SchedulerOptions opts;
+    opts.cancel = req.cancel;
     if (req.options.timing) {
-      // Counters ride the same opt-in as timings; default options otherwise,
-      // so the schedule stays bit-identical with and without --timing.
-      SchedulerOptions opts;
+      // Counters ride the same opt-in as timings; defaults otherwise, so
+      // the schedule stays bit-identical with and without --timing.
       opts.counters = &counters;
       FragSchedule fs = run_scheduler(req.scheduler, *out.transform, opts);
       out.counters = counters;
       return fs;
     }
-    return run_scheduler(req.scheduler, *out.transform);
+    return run_scheduler(req.scheduler, *out.transform, opts);
   });
   note(out, "schedule",
        strformat("scheduler '%s' placed %zu fragments in %zu adder ops",
@@ -246,7 +266,8 @@ FlowResult optimized(const FlowRequest& req) {
     if (cache) {
       return *cache->bitlevel_datapath(req.scheduler, req.spec,
                                        req.options.narrow, req.latency,
-                                       req.n_bits_override, target.delay);
+                                       req.n_bits_override, target.delay,
+                                       req.cancel);
     }
     return allocate_bitlevel(*out.transform, *out.schedule);
   });
@@ -383,6 +404,12 @@ FlowResult Session::run(const FlowRequest& request) const {
     // User flows that never consult the technology still echo the request.
     if (r.target.empty()) r.target = request.target;
     return r;
+  } catch (const CancelledError& e) {
+    // The request's token tripped at a checkpoint. Partial scheduler state
+    // unwound through the oracle journal and no cache insert happened, so
+    // the engine is exactly as if the request never ran; report the one
+    // structured diagnostic the serve layer keys its "deadline" envelope on.
+    out.diagnostics.push_back({DiagSeverity::Error, "cancelled", e.what()});
   } catch (const FlowStageError& e) {
     out.diagnostics.push_back(
         {DiagSeverity::Error, e.stage(), e.what(), e.context()});

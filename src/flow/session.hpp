@@ -38,6 +38,7 @@
 #include "kernel/extract.hpp"
 #include "sched/core.hpp"
 #include "sched/fragsched.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "timing/target.hpp"
 
@@ -67,6 +68,13 @@ struct FlowRequest {
   /// uncached runs. Shared, so one store serves a whole batch across
   /// run_batch workers — hls::Explorer attaches an ArtifactCache here.
   std::shared_ptr<StageCache> cache;
+  /// Cooperative cancellation (support/cancel.hpp). Unarmed by default —
+  /// poll sites reduce to a null test and results are byte-stable. When a
+  /// serve deadline (or any caller) arms and cancels it, the run aborts at
+  /// the next checkpoint; Session::run reports a single Error diagnostic
+  /// under stage "cancelled", and a shared StageCache is left exactly as if
+  /// the request never arrived.
+  CancelToken cancel;
 };
 
 enum class DiagSeverity { Note, Warning, Error };
@@ -78,7 +86,7 @@ struct FlowDiagnostic {
   DiagSeverity severity = DiagSeverity::Note;
   std::string stage;    ///< "registry" | "request" | "kernel" | "narrow" |
                         ///< "transform" | "schedule" | "allocate" |
-                        ///< "verify" | "flow" | "internal"
+                        ///< "verify" | "flow" | "cancelled" | "internal"
   std::string message;
   ErrorContext context;
 };

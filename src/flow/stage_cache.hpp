@@ -30,6 +30,7 @@
 #include "frag/transform.hpp"
 #include "kernel/extract.hpp"
 #include "sched/fragsched.hpp"
+#include "support/cancel.hpp"
 
 namespace hls {
 
@@ -60,19 +61,27 @@ public:
   /// (optionally narrowed) kernel of `spec`. Implementations key on the
   /// *resolved* cycle budget, so targets that estimate the same budget
   /// share one transform.
+  ///
+  /// The heavy getters take the request's CancelToken: a compute that trips
+  /// mid-way unwinds by exception and MUST NOT insert a partial artefact —
+  /// a cancelled run leaves the cache exactly as if the request never
+  /// arrived (completed sub-stage artefacts are fine to keep: they are pure
+  /// functions of the inputs, identical to what a clean run would insert).
   virtual std::shared_ptr<const TransformResult> transform(
       const Dfg& spec, bool narrow, unsigned latency, unsigned n_bits_override,
-      const DelayModel& delay) = 0;
+      const DelayModel& delay, const CancelToken& cancel = {}) = 0;
 
   /// run_scheduler(scheduler, transform(...)) — the fragment schedule.
   virtual std::shared_ptr<const FragSchedule> fragment_schedule(
       const std::string& scheduler, const Dfg& spec, bool narrow,
-      unsigned latency, unsigned n_bits_override, const DelayModel& delay) = 0;
+      unsigned latency, unsigned n_bits_override, const DelayModel& delay,
+      const CancelToken& cancel = {}) = 0;
 
   /// allocate_bitlevel(transform(...), fragment_schedule(...)).
   virtual std::shared_ptr<const Datapath> bitlevel_datapath(
       const std::string& scheduler, const Dfg& spec, bool narrow,
-      unsigned latency, unsigned n_bits_override, const DelayModel& delay) = 0;
+      unsigned latency, unsigned n_bits_override, const DelayModel& delay,
+      const CancelToken& cancel = {}) = 0;
 };
 
 } // namespace hls

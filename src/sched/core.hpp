@@ -31,6 +31,7 @@
 #include "ir/dfg_index.hpp"
 #include "sched/fragsched.hpp"
 #include "sched/incremental.hpp"
+#include "support/cancel.hpp"
 
 namespace hls {
 
@@ -74,6 +75,12 @@ struct SchedulerOptions {
   /// when candidate_workers > 1 (thread hand-off costs more than tiny
   /// rounds; tests lower it to pin the parallel path on small suites).
   std::size_t parallel_min_fragments = 192;
+  /// Cooperative cancellation (support/cancel.hpp): the builtin strategies
+  /// tick a counter-gated checkpoint once per committed fragment and throw
+  /// CancelledError when the token trips; the oracle journal has already
+  /// rolled back any rejected probe, so unwinding is always clean. Unarmed
+  /// by default (a null test per checkpoint).
+  CancelToken cancel;
 };
 
 class SchedulerCore {

@@ -306,7 +306,9 @@ FragSchedule schedule_transformed_forcedirected(const TransformResult& t,
   std::optional<CandidateWorkers> pool;
   if (n_workers > 1) pool.emplace(core, n_workers);
 
+  CancelCheckpoint cancel(options.cancel, /*stride=*/8);
   for (std::size_t committed = 0; committed < n; ++committed) {
+    cancel.tick();
     const std::vector<double> dg = core.distribution();
     agg.compute(core);
     eligible.clear();

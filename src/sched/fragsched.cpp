@@ -44,7 +44,9 @@ bool place(SchedulerCore& core, bool balance) {
   }
 
   std::vector<unsigned> candidates;
+  CancelCheckpoint cancel(core.options().cancel);
   for (std::size_t done = 0; done < n; ++done) {
+    cancel.tick();
     HLS_ASSERT(!ready.empty(), "no ready fragment: dependency cycle?");
     const std::size_t best = std::get<2>(ready.top());
     ready.pop();

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <istream>
+#include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -17,11 +20,83 @@
 #include "flow/json.hpp"
 #include "parser/parser.hpp"
 #include "suites/suites.hpp"
+#include "support/cancel.hpp"
+#include "support/failpoint.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "timing/target.hpp"
 
 namespace hls {
+
+/// One timer thread multiplexing every armed per-request deadline: arm()
+/// registers (deadline, CancelSource), the loop sleeps until the earliest
+/// one and fires its source.cancel() — the request then aborts at its next
+/// cooperative checkpoint. disarm() (always called, via RAII in
+/// handle_line) removes a deadline that completed in time. The thread is
+/// started lazily on the first armed deadline, so a server that never sees
+/// one never pays for it.
+class DeadlineMonitor {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  ~DeadlineMonitor() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint64_t arm(Clock::time_point when, CancelSource source) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    queue_.emplace(when, Entry{id, std::move(source)});
+    if (!thread_.joinable()) thread_ = std::thread([this] { loop(); });
+    cv_.notify_all();
+    return id;
+  }
+
+  void disarm(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->second.id == id) {
+        queue_.erase(it);
+        return;
+      }
+    }
+  }
+
+private:
+  struct Entry {
+    std::uint64_t id;
+    CancelSource source;
+  };
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (queue_.empty()) {
+        cv_.wait(lock);
+        continue;
+      }
+      const Clock::time_point when = queue_.begin()->first;
+      if (Clock::now() >= when) {
+        auto node = queue_.extract(queue_.begin());
+        node.mapped().source.cancel();
+        continue;
+      }
+      cv_.wait_until(lock, when);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<Clock::time_point, Entry> queue_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 namespace {
 
@@ -203,7 +278,66 @@ Server::Server(ServeOptions options)
       session_(SessionOptions{.workers = options.workers}),
       cache_(std::make_shared<ArtifactCache>(ArtifactCacheOptions{
           .shards = options.cache_shards,
-          .max_resident_bytes = options.cache_max_bytes})) {}
+          .max_resident_bytes = options.cache_max_bytes})),
+      deadlines_(std::make_unique<DeadlineMonitor>()) {}
+
+Server::~Server() = default;
+
+unsigned Server::resolved_max_active() const {
+  if (options_.max_active > 0) return options_.max_active;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool Server::admit_heavy() {
+  std::unique_lock<std::mutex> lock(admission_.mu);
+  const unsigned max_active = resolved_max_active();
+  if (admission_.active < max_active) {
+    ++admission_.active;
+    return true;
+  }
+  if (admission_.waiting >= options_.max_queue) return false;  // shed
+  ++admission_.waiting;
+  admission_.cv.wait(lock, [&] { return admission_.active < max_active; });
+  --admission_.waiting;
+  ++admission_.active;
+  return true;
+}
+
+void Server::release_heavy() {
+  {
+    const std::lock_guard<std::mutex> lock(admission_.mu);
+    --admission_.active;
+  }
+  admission_.cv.notify_one();
+}
+
+unsigned Server::retry_after_hint() const {
+  const LatencyWindow::Snapshot lat = latencies_.snapshot();
+  // No history yet: a small fixed hint beats a zero that invites an
+  // immediate hammer-retry.
+  double ms = lat.count > 0 ? lat.p50 : 10.0;
+  unsigned backlog = 1;
+  {
+    const std::lock_guard<std::mutex> lock(admission_.mu);
+    backlog = std::max(1u, admission_.active + admission_.waiting);
+  }
+  ms *= static_cast<double>(backlog);
+  ms = std::min(std::max(ms, 1.0), 60000.0);
+  return static_cast<unsigned>(ms);
+}
+
+std::shared_ptr<ArtifactCache> Server::request_cache() {
+  if (options_.storm_evictions == 0) return cache_;
+  const std::uint64_t now = cache_->stats().total().evictions;
+  const std::uint64_t before =
+      last_evictions_.exchange(now, std::memory_order_acq_rel);
+  if (now - before >= options_.storm_evictions) {
+    counters_.cache_bypass.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;  // degrade: recompute rather than thrash the LRU
+  }
+  return cache_;
+}
 
 std::string Server::stats_json() const {
   std::ostringstream os;
@@ -217,6 +351,21 @@ std::string Server::stats_json() const {
      << ",\"shutdown\":" << c(counters_.shutdown)
      << ",\"errors\":" << c(counters_.errors)
      << ",\"deadline_exceeded\":" << c(counters_.deadline_exceeded) << "},";
+  os << "\"serve\":{\"admitted\":" << c(counters_.admitted)
+     << ",\"shed\":" << c(counters_.shed)
+     << ",\"cancelled\":" << c(counters_.cancelled)
+     << ",\"disconnects\":" << c(counters_.disconnects)
+     << ",\"cache_bypass\":" << c(counters_.cache_bypass)
+     << ",\"active_connections\":"
+     << active_connections_.load(std::memory_order_relaxed) << "},";
+  // The resolved robustness knobs, so a client (or serve_check.py) can
+  // assert what deadline/admission policy its requests actually ran under.
+  os << "\"config\":{\"deadline_ms\":"
+     << json_number(options_.default_deadline_ms, 3)
+     << ",\"max_active\":" << resolved_max_active()
+     << ",\"max_queue\":" << options_.max_queue
+     << ",\"storm_evictions\":" << options_.storm_evictions
+     << ",\"workers\":" << options_.workers << "},";
   const LatencyWindow::Snapshot lat = latencies_.snapshot();
   os << "\"latency_ms\":{\"count\":" << lat.count
      << ",\"p50\":" << json_number(lat.p50, 3)
@@ -264,16 +413,69 @@ std::string Server::handle_line(const std::string& line) {
   std::string body_key = "diagnostics";
   std::string body;
   bool timed = false;  // run/sweep/explore contribute to the latency window
+  double deadline_ms = 0;
+  unsigned retry_after = 0;    // ms; > 0 adds "retry_after_ms" to the envelope
+  bool work_cancelled = false; // a checkpoint aborted the work mid-stage
+  // Armed only for a heavy request with a deadline; every other request
+  // carries a null token, so the no-deadline path is byte-for-byte the
+  // pre-cancellation one.
+  std::optional<CancelSource> cancel;
+
+  // Local RAII so every exit path — result, reject(), injected fault —
+  // releases its admission slot and retires its deadline entry.
+  struct AdmitGuard {
+    Server* server = nullptr;
+    ~AdmitGuard() {
+      if (server != nullptr) server->release_heavy();
+    }
+  } admit_guard;
+  struct DeadlineGuard {
+    DeadlineMonitor* monitor = nullptr;
+    std::uint64_t id = 0;
+    ~DeadlineGuard() {
+      if (monitor != nullptr) monitor->disarm(id);
+    }
+  } deadline_guard;
 
   try {
+    failpoint("serve.parse");
     const JsonValue req = parse_json(line);
     if (!req.is_object()) {
       reject("protocol", "a request must be a JSON object");
     }
     if (const JsonValue* id = req.find("id")) id_json = write_json(*id);
     kind = require_string(req, "kind");
-    const double deadline_ms =
-        opt_double(req, "deadline_ms", options_.default_deadline_ms);
+    deadline_ms = opt_double(req, "deadline_ms", options_.default_deadline_ms);
+
+    // Heavy requests pass the bounded admission gate before any per-kind
+    // work; beyond the queue bound the request is shed, never queued
+    // unboundedly (the per-kind counters below count *processed* requests).
+    CancelToken token;
+    std::shared_ptr<ArtifactCache> req_cache = cache_;
+    if (kind == "run" || kind == "sweep" || kind == "explore") {
+      failpoint("serve.admit");
+      if (!admit_heavy()) {
+        counters_.shed.fetch_add(1, std::memory_order_relaxed);
+        retry_after = retry_after_hint();
+        reject("overloaded",
+               strformat("server is at capacity (%u active, %u queued); "
+                         "retry after the hinted backoff",
+                         resolved_max_active(), options_.max_queue));
+      }
+      counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+      admit_guard.server = this;
+      req_cache = request_cache();
+      if (deadline_ms > 0) {
+        cancel.emplace();
+        token = cancel->token();
+        deadline_guard.monitor = deadlines_.get();
+        deadline_guard.id = deadlines_->arm(
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(deadline_ms)),
+            *cancel);
+      }
+    }
 
     if (kind == "run") {
       counters_.run.fetch_add(1, std::memory_order_relaxed);
@@ -289,7 +491,8 @@ std::string Server::handle_line(const std::string& line) {
       fr.scheduler = opt_string(req, "scheduler", "list");
       fr.target = opt_string(req, "target", kDefaultTargetName);
       fr.options.narrow = opt_bool(req, "narrow", false);
-      fr.cache = cache_;
+      fr.cache = req_cache;
+      fr.cancel = token;
       const FlowResult r = session_.run(fr);
       ok = r.ok;
       body_key = "result";
@@ -327,8 +530,8 @@ std::string Server::handle_line(const std::string& line) {
         requests.reserve(targets.size() * (hi - lo + 1));
         for (const std::string& target : targets) {
           for (unsigned lat = lo; lat <= hi; ++lat) {
-            requests.push_back(
-                {spec, flow, lat, 0, opts, scheduler, target, cache_});
+            requests.push_back({spec, flow, lat, 0, opts, scheduler, target,
+                                req_cache, token});
           }
         }
         results = session_.run_batch(requests);
@@ -354,7 +557,8 @@ std::string Server::handle_line(const std::string& line) {
       er.prune = opt_bool(req, "prune", true);
       er.options.narrow = opt_bool(req, "narrow", false);
       er.workers = options_.workers;
-      er.cache = cache_;  // cross-request sharing
+      er.cache = req_cache;  // cross-request sharing (empty during a storm)
+      er.cancel = token;
       const ExploreResult res =
           Explorer(SessionOptions{.workers = options_.workers}).run(er);
       ok = res.ok;
@@ -380,18 +584,13 @@ std::string Server::handle_line(const std::string& line) {
                  "' (run | sweep | explore | stats | shutdown)");
     }
 
-    // Post-hoc deadline: stages are not interruptible, so an overrun is
-    // detected after the fact and reported instead of the result.
-    if (timed && deadline_ms > 0 && elapsed_ms() > deadline_ms) {
-      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-      ok = false;
-      body_key = "diagnostics";
-      body = diagnostics_body(
-          {DiagSeverity::Error, "deadline",
-           strformat("request exceeded its deadline: %.3f ms > %.3f ms",
-                     elapsed_ms(), deadline_ms),
-           {}});
-    }
+  } catch (const CancelledError&) {
+    // The deadline monitor tripped the token and a cooperative checkpoint
+    // aborted the work mid-stage (Explorer::run propagates the abort;
+    // Session::run folds it into the result instead, handled below). The
+    // shared cache holds no partial artefact — get_or_compute inserts only
+    // completed values. The uniform "deadline" envelope is built below.
+    work_cancelled = true;
   } catch (const JsonParseError& e) {
     counters_.errors.fetch_add(1, std::memory_order_relaxed);
     ok = false;
@@ -399,7 +598,11 @@ std::string Server::handle_line(const std::string& line) {
     body = diagnostics_body(
         {DiagSeverity::Error, "protocol", e.what(), {}});
   } catch (const FlowStageError& e) {
-    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    // A shed request is back-pressure, not a server error — it already
+    // counted in `shed` and the client's cue is the retry_after_ms hint.
+    if (e.stage() != "overloaded") {
+      counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
     ok = false;
     body_key = "diagnostics";
     body = diagnostics_body(
@@ -411,6 +614,35 @@ std::string Server::handle_line(const std::string& line) {
     body_key = "diagnostics";
     body = diagnostics_body(
         {DiagSeverity::Error, "internal", e.what(), {}});
+  } catch (const std::exception& e) {
+    // Non-Error exceptions (e.g. an injected std::bad_alloc): still one
+    // structured envelope, never a dead connection thread.
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    ok = false;
+    body_key = "diagnostics";
+    body = diagnostics_body(
+        {DiagSeverity::Error, "internal", e.what(), {}});
+  }
+
+  // Deadline verdict, mid-stage or post-hoc: the work was aborted at a
+  // checkpoint (work_cancelled), the monitor tripped the token while the
+  // result raced to completion, or a checkpoint-free stretch overran the
+  // budget. All three collapse to the same "deadline" envelope; a partial
+  // result is never returned.
+  const bool tripped =
+      work_cancelled || (cancel.has_value() && cancel->cancelled());
+  if (timed && deadline_ms > 0 && (tripped || elapsed_ms() > deadline_ms)) {
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    if (tripped) counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    ok = false;
+    body_key = "diagnostics";
+    retry_after = retry_after_hint();
+    body = diagnostics_body(
+        {DiagSeverity::Error, "deadline",
+         strformat("request exceeded its deadline: %.3f ms > %.3f ms%s",
+                   elapsed_ms(), deadline_ms,
+                   tripped ? " (aborted at a cooperative checkpoint)" : ""),
+         {}});
   }
 
   const double ms = elapsed_ms();
@@ -422,7 +654,9 @@ std::string Server::handle_line(const std::string& line) {
   if (!id_json.empty()) os << ",\"id\":" << id_json;
   os << ",\"ok\":" << (ok ? "true" : "false");
   os << ",\"" << body_key << "\":" << body;
-  os << ",\"ms\":" << json_number(ms, 3) << "}";
+  os << ",\"ms\":" << json_number(ms, 3);
+  if (retry_after > 0) os << ",\"retry_after_ms\":" << retry_after;
+  os << "}";
   return os.str();
 }
 
@@ -436,7 +670,97 @@ int Server::serve(std::istream& in, std::ostream& out) {
   return 0;
 }
 
+bool Server::send_all(int conn, const std::string& response) {
+  // MSG_NOSIGNAL (belt) on top of the loop-level SIG_IGN (braces): a peer
+  // that died mid-response must surface as EPIPE here, never as a
+  // process-killing SIGPIPE.
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    failpoint("serve.send");
+    const ssize_t w = ::send(conn, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void Server::begin_drain() {
+  // Stop accepting, then unblock every reader parked in recv() so the
+  // accept loop's joins cannot hang on an idle connection. SHUT_RD makes
+  // the blocked recv return 0 (EOF); in-flight handle_line calls finish
+  // and their responses still go out (the write side stays open).
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const int conn : conns_) ::shutdown(conn, SHUT_RD);
+}
+
+void Server::connection_loop(int conn) {
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  // Byte stream -> lines -> handle_line -> response lines.
+  std::string pending;
+  char buf[4096];
+  bool clean_eof = false;
+  for (;;) {
+    ssize_t n;
+    try {
+      failpoint("serve.recv");
+      n = ::recv(conn, buf, sizeof buf, 0);
+    } catch (...) {
+      n = -1;  // injected read fault == peer loss, not an envelope
+    }
+    if (n == 0) clean_eof = true;
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      std::string request = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (!request.empty() && request.back() == '\r') request.pop_back();
+      if (request.find_first_not_of(" \t") == std::string::npos) continue;
+      std::string response = handle_line(request);
+      response += '\n';
+      bool wrote;
+      try {
+        wrote = send_all(conn, response);
+      } catch (...) {
+        wrote = false;  // injected write fault, same as a dead peer
+      }
+      if (!wrote) {
+        counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+        clean_eof = true;  // counted once; don't double-count below
+        goto done;
+      }
+      if (shutdown_requested()) {
+        begin_drain();
+        goto done;
+      }
+    }
+  }
+done:
+  // A peer that vanished mid-line (reset, or died between request and
+  // response) counts once; a clean EOF — or the drain's SHUT_RD — doesn't.
+  if (!clean_eof && !shutdown_requested()) {
+    counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    // Deregister before close: once the fd is closed the kernel may reuse
+    // its number for a new accept, and a stale registry entry would alias
+    // it (begin_drain would SHUT_RD the wrong connection).
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+  }
+  ::close(conn);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 int Server::serve_tcp(unsigned port, std::ostream& log) {
+  // A client that disconnects mid-response must never kill the daemon:
+  // ignore SIGPIPE process-wide (send_all also passes MSG_NOSIGNAL, which
+  // covers sends even if another component later restores the default).
+  std::signal(SIGPIPE, SIG_IGN);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     log << "serve: socket() failed\n";
@@ -469,43 +793,19 @@ int Server::serve_tcp(unsigned port, std::ostream& log) {
       ::close(conn);
       break;
     }
-    connections.emplace_back([this, conn] {
-      // Byte stream -> lines -> handle_line -> response lines.
-      std::string pending;
-      char buf[4096];
-      for (;;) {
-        const ssize_t n = ::recv(conn, buf, sizeof buf, 0);
-        if (n <= 0) break;
-        pending.append(buf, static_cast<std::size_t>(n));
-        std::size_t nl;
-        while ((nl = pending.find('\n')) != std::string::npos) {
-          std::string request = pending.substr(0, nl);
-          pending.erase(0, nl + 1);
-          if (!request.empty() && request.back() == '\r') request.pop_back();
-          if (request.find_first_not_of(" \t") == std::string::npos) continue;
-          const std::string response = handle_line(request) + "\n";
-          std::size_t sent = 0;
-          while (sent < response.size()) {
-            const ssize_t w =
-                ::send(conn, response.data() + sent, response.size() - sent, 0);
-            if (w <= 0) break;
-            sent += static_cast<std::size_t>(w);
-          }
-          if (shutdown_requested()) {
-            // Graceful drain: stop accepting; open connections finish
-            // their in-flight lines and close.
-            const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-            if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
-          }
-        }
-        if (shutdown_requested()) break;
-      }
-      ::close(conn);
-    });
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    connections.emplace_back([this, conn] { connection_loop(conn); });
   }
+  // Shutdown observed (or the listener died): drain. begin_drain unblocks
+  // readers idling in recv() on still-open connections, so every join
+  // below completes; connections mid-handle_line finish their response
+  // first — no accepted request is dropped without a reply.
+  begin_drain();
   for (std::thread& t : connections) t.join();
-  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-  ::close(lfd >= 0 ? lfd : fd);
+  ::close(fd);
   return 0;
 }
 

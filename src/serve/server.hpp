@@ -33,21 +33,44 @@
 // FlowDiagnostic ({"ok":false,"diagnostics":[...]}); the server never
 // crashes on a request and never drops one silently.
 //
-// Deadlines are enforced post-hoc: flow stages are not interruptible (they
-// hold no locks and allocate no external resources mid-stage), so a request
-// whose wall-clock exceeds its "deadline_ms" (or the server default)
-// returns a "deadline"-stage error instead of its result, and the overrun
-// is counted in the stats.
+// Deadlines are enforced mid-stage: arming a request's "deadline_ms" (or
+// the server default) starts a monitor that cancels the request's
+// CancelToken (support/cancel.hpp) at the deadline, and the flow aborts at
+// its next cooperative checkpoint — inside the scheduler inner loops, not
+// after the stage completes. The response is a "deadline"-stage error
+// carrying a "retry_after_ms" hint; partial scheduler state unwinds through
+// the oracle journal and the shared cache is left exactly as if the request
+// never arrived.
 //
-// `stats` surfaces request counters per kind, p50/p99 request latency over
-// a sliding window, and the per-stage cache counters
-// (hits/misses/lookups/evictions/resident_bytes; hits + misses == lookups
-// by construction). `shutdown` responds with the same summary, then the
-// serve loop drains: the stdin loop returns after the response line, the
-// TCP loop stops accepting and joins the open connections.
+// Overload: run/sweep/explore requests pass a bounded admission gate
+// (ServeOptions::max_active concurrent, max_queue waiting). Beyond the
+// queue bound the server sheds: an "overloaded"-stage error envelope with
+// "retry_after_ms" (scaled from the p50 latency and current backlog), never
+// an unbounded queue or a dropped line. Under eviction storms
+// (ServeOptions::storm_evictions) heavy requests degrade to cache-bypass
+// mode — recomputing instead of thrashing the LRU — which is invisible in
+// the results (the StageCache contract) and counted in `stats`.
+//
+// `stats` surfaces request counters per kind, the serve robustness counters
+// (admitted/shed/cancelled/active_connections/disconnects/cache_bypass),
+// p50/p99 request latency over a sliding window, the per-stage cache
+// counters (hits/misses/lookups/evictions/resident_bytes; hits + misses ==
+// lookups by construction) and a "config" block echoing the resolved
+// deadline and admission bounds. `shutdown` responds with the same summary,
+// then the serve loop drains: the stdin loop returns after the response
+// line, the TCP loop stops accepting, unblocks idle connections and joins
+// them all.
+//
+// Fault injection: failpoints (support/failpoint.hpp) are planted at the
+// request parse ("serve.parse"), the admission gate ("serve.admit") and the
+// socket read/write sites ("serve.recv"/"serve.send"), beyond the flow and
+// cache sites the engine itself carries — scripts/chaos_check.py iterates
+// the whole registry against a live daemon.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -71,7 +94,21 @@ struct ServeOptions {
   /// Default per-request deadline in ms, 0 = none. A request's own
   /// "deadline_ms" member overrides this per request.
   double default_deadline_ms = 0;
+  /// Admission bound for heavy requests (run/sweep/explore): at most this
+  /// many execute concurrently; 0 = hardware concurrency.
+  unsigned max_active = 0;
+  /// Heavy requests allowed to wait for an execution slot beyond
+  /// max_active; excess load is shed with an "overloaded" envelope.
+  unsigned max_queue = 16;
+  /// Eviction-storm threshold: when the shared cache evicted at least this
+  /// many entries since the previous heavy request was admitted, the next
+  /// heavy request runs in degraded cache-bypass mode (recompute instead of
+  /// thrashing the LRU; results are bit-identical by the StageCache
+  /// contract). 0 = never bypass.
+  std::uint64_t storm_evictions = 0;
 };
+
+class DeadlineMonitor;  // serve/server.cpp: one timer thread, many deadlines
 
 /// The session service. handle_line is thread-safe — the TCP listener
 /// calls it from one thread per connection; all connections share the one
@@ -79,6 +116,7 @@ struct ServeOptions {
 class Server {
 public:
   explicit Server(ServeOptions options = {});
+  ~Server();  // defined out of line: DeadlineMonitor is incomplete here
 
   /// One protocol round: a request line in, the response line out (no
   /// trailing newline). Never throws.
@@ -90,10 +128,14 @@ public:
   int serve(std::istream& in, std::ostream& out);
 
   /// TCP mode (`--serve-port`): listens on 127.0.0.1:`port` (0 = ephemeral),
-  /// one thread per connection, all sharing this Server. Writes one
-  /// "serving on 127.0.0.1:<port>" line to `log` once listening; publishes
-  /// the bound port through bound_port() for test harnesses. Returns 0
-  /// after a shutdown request drains the loop, nonzero on socket errors.
+  /// one reader thread per connection, all sharing this Server (concurrency
+  /// of the heavy work is bounded by the admission gate, not the connection
+  /// count). SIGPIPE is ignored and sends use MSG_NOSIGNAL, so a client
+  /// that dies mid-response costs one `disconnects` counter bump, never the
+  /// daemon. Writes one "serving on 127.0.0.1:<port>" line to `log` once
+  /// listening; publishes the bound port through bound_port() for test
+  /// harnesses. Returns 0 after a shutdown request drains the loop (idle
+  /// connections are unblocked and joined), nonzero on socket errors.
   int serve_tcp(unsigned port, std::ostream& log);
 
   /// The port serve_tcp actually bound (0 until listening).
@@ -129,22 +171,58 @@ private:
     std::uint64_t total_ = 0;
   };
 
-  /// Per-kind request counters, surfaced by `stats`.
+  /// Per-kind request counters plus the serve robustness counters,
+  /// surfaced by `stats` and the shutdown summary.
   struct Counters {
     std::atomic<std::uint64_t> run{0}, sweep{0}, explore{0}, stats{0},
         shutdown{0}, errors{0}, deadline_exceeded{0};
+    std::atomic<std::uint64_t> admitted{0};      ///< heavy requests admitted
+    std::atomic<std::uint64_t> shed{0};          ///< heavy requests shed
+    std::atomic<std::uint64_t> cancelled{0};     ///< aborted mid-stage
+    std::atomic<std::uint64_t> disconnects{0};   ///< peers lost mid-stream
+    std::atomic<std::uint64_t> cache_bypass{0};  ///< storm-degraded requests
+  };
+
+  /// Bounded admission gate for heavy requests. Waiters queue up to
+  /// ServeOptions::max_queue deep; beyond that, admit_heavy() refuses and
+  /// the caller sheds with an "overloaded" envelope.
+  struct Admission {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    unsigned active = 0;
+    unsigned waiting = 0;
   };
 
   std::string stats_json() const;
+  unsigned resolved_max_active() const;
+  bool admit_heavy();
+  void release_heavy();
+  /// Backoff hint for "overloaded"/"deadline" envelopes: the p50 request
+  /// latency scaled by the current backlog, clamped to [1, 60000] ms.
+  unsigned retry_after_hint() const;
+  /// The cache a heavy request should use: the shared store, or nullptr
+  /// (bypass) while an eviction storm is in progress.
+  std::shared_ptr<ArtifactCache> request_cache();
+  /// Stops the listener and unblocks every open connection's reader so the
+  /// TCP loop can join them (idempotent; called after a shutdown response).
+  void begin_drain();
+  void connection_loop(int conn);
+  bool send_all(int conn, const std::string& response);
 
   ServeOptions options_;
   Session session_;
   std::shared_ptr<ArtifactCache> cache_;
   Counters counters_;
   LatencyWindow latencies_;
+  Admission admission_;
+  std::unique_ptr<DeadlineMonitor> deadlines_;
+  std::atomic<std::uint64_t> last_evictions_{0};  ///< storm-detection sample
+  std::atomic<unsigned> active_connections_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<unsigned> bound_port_{0};
   std::atomic<int> listen_fd_{-1};
+  std::mutex conns_mu_;
+  std::vector<int> conns_;  ///< open connection fds (drain unblocks them)
 };
 
 } // namespace hls

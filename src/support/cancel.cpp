@@ -1,0 +1,20 @@
+#include "support/cancel.hpp"
+
+namespace hls {
+
+void CancelToken::poll_armed() const {
+  detail::CancelState& s = *state_;
+  s.polls.fetch_add(1, std::memory_order_relaxed);
+  if (!s.cancelled.load(std::memory_order_relaxed)) {
+    const std::int64_t budget = s.budget.load(std::memory_order_relaxed);
+    if (budget < 0) return;  // no trip_after budget: only cancel() trips
+    // Budget counts remaining successful polls; the poll that drains it to
+    // (or finds it at) zero cancels. fetch_sub keeps this exact even when
+    // several worker threads poll the same source concurrently.
+    if (s.budget.fetch_sub(1, std::memory_order_relaxed) > 0) return;
+    s.cancelled.store(true, std::memory_order_relaxed);
+  }
+  throw CancelledError();
+}
+
+} // namespace hls

@@ -1,0 +1,130 @@
+#pragma once
+// Cooperative cancellation for long-running flow work.
+//
+// A CancelSource owns the cancellation flag; CancelTokens are cheap handles
+// (one shared_ptr) threaded through FlowRequest -> Session -> flows ->
+// SchedulerCore inner loops and the Explorer grid. Work polls the token at
+// checkpoints; a tripped poll throws CancelledError, which unwinds through
+// the same exception path as any other stage failure — partial scheduler
+// state rolls back through the oracle journal, and an in-flight
+// ArtifactCache compute simply never inserts (get_or_compute inserts only on
+// success), so a cancelled run leaves the shared cache exactly as if the
+// request never arrived.
+//
+// Cost contract: a default-constructed (unarmed) token's poll() is a null
+// pointer test that inlines away; inner loops additionally gate polls behind
+// a CancelCheckpoint counter so even an armed token costs one increment plus
+// a compare per iteration and one relaxed atomic load every `stride`
+// iterations (measured <=2% on synth-mesh8x8, gated by BENCH_micro.json's
+// synth-mesh8x8-cancel entry). With no token armed, results are byte-stable
+// with respect to a build without cancellation.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace hls {
+
+/// Thrown by CancelToken::poll() once the source is cancelled (or a
+/// trip_after budget is exhausted). Derives from Error so generic handlers
+/// still work, but Session::run and the serve layer catch it first and map
+/// it to the dedicated "cancelled" diagnostic stage / "deadline" envelope.
+class CancelledError : public Error {
+public:
+  CancelledError() : Error("cancelled at a cooperative checkpoint") {}
+};
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  /// Test hook (CancelSource::trip_after): when >= 0, the budget counts
+  /// remaining successful polls; the poll that sees it at zero cancels.
+  /// -1 = no budget, only an explicit cancel() trips.
+  std::atomic<std::int64_t> budget{-1};
+  /// Total polls observed on an armed token (observability: lets the
+  /// cancellation property test enumerate every checkpoint index).
+  std::atomic<std::uint64_t> polls{0};
+};
+} // namespace detail
+
+/// Cheap cancellation handle. Default-constructed tokens are *unarmed*:
+/// poll() is a branch on a null shared_ptr and can never throw. Copying is
+/// one shared_ptr copy; tokens stay valid after the CancelSource is gone
+/// (they just never trip again unless already cancelled).
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  bool armed() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoint: throws CancelledError iff the source was cancelled (or the
+  /// trip_after budget ran out). No-op on an unarmed token.
+  void poll() const {
+    if (state_) poll_armed();
+  }
+
+private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  void poll_armed() const;
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owner side: hand token() to the work, call cancel() from any thread.
+class CancelSource {
+public:
+  CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  void cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: the next `polls` polls succeed, the one after trips. Lets
+  /// the cancellation property test cancel at an exact checkpoint index.
+  void trip_after(std::uint64_t polls) {
+    state_->budget.store(static_cast<std::int64_t>(polls),
+                         std::memory_order_relaxed);
+  }
+
+  /// Polls observed so far across every token of this source.
+  std::uint64_t polls() const {
+    return state_->polls.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Counter-gated polling for per-iteration loops: tick() polls the token
+/// only every `stride` calls, keeping the common-iteration cost to an
+/// increment and a compare even when a token is armed.
+class CancelCheckpoint {
+public:
+  explicit CancelCheckpoint(CancelToken token, std::uint32_t stride = 16)
+      : token_(std::move(token)), stride_(stride == 0 ? 1 : stride) {}
+
+  void tick() {
+    if (++count_ >= stride_) {
+      count_ = 0;
+      token_.poll();
+    }
+  }
+
+private:
+  CancelToken token_;
+  std::uint32_t stride_;
+  std::uint32_t count_ = 0;
+};
+
+} // namespace hls

@@ -1,0 +1,176 @@
+#include "support/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace hls {
+
+namespace {
+
+// The full registry. Adding a site means adding its name here and planting
+// failpoint("name") there; arm_failpoints rejects names not in this table,
+// which keeps the table and the planted sites from drifting silently
+// (tests/chaos_test.cpp exercises every entry).
+constexpr const char* kRegistry[] = {
+    "flow.kernel",  "flow.narrow", "flow.transform", "flow.schedule",
+    "flow.allocate", "cache.lookup", "cache.insert",  "cache.evict",
+    "serve.parse",  "serve.admit", "serve.recv",     "serve.send",
+};
+
+enum class Action { kError, kDelay, kAlloc };
+
+struct Armed {
+  Action action = Action::kError;
+  unsigned delay_ms = 0;
+  std::uint64_t remaining = 1;  // hits left before auto-disarm
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed> armed;
+  std::map<std::string, std::uint64_t> trips;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+bool known_name(const std::string& name) {
+  for (const char* n : kRegistry)
+    if (name == n) return true;
+  return false;
+}
+
+std::string registry_text() {
+  std::string out;
+  for (const char* n : kRegistry) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+Armed parse_action(const std::string& name, const std::string& text) {
+  Armed a;
+  std::string body = text;
+  if (const std::size_t star = body.rfind('*'); star != std::string::npos) {
+    const std::string hits = body.substr(star + 1);
+    body = body.substr(0, star);
+    char* end = nullptr;
+    a.remaining = std::strtoull(hits.c_str(), &end, 10);
+    if (hits.empty() || *end != '\0' || a.remaining == 0)
+      throw Error("failpoint '" + name + "': bad hit count '" + hits + "'");
+  }
+  if (body == "error") {
+    a.action = Action::kError;
+  } else if (body == "alloc") {
+    a.action = Action::kAlloc;
+  } else if (body.rfind("delay:", 0) == 0) {
+    a.action = Action::kDelay;
+    const std::string ms = body.substr(6);
+    char* end = nullptr;
+    a.delay_ms = static_cast<unsigned>(std::strtoul(ms.c_str(), &end, 10));
+    if (ms.empty() || *end != '\0')
+      throw Error("failpoint '" + name + "': bad delay '" + ms + "'");
+  } else {
+    throw Error("failpoint '" + name + "': unknown action '" + body +
+                "' (want error | delay:MS | alloc)");
+  }
+  return a;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<unsigned> g_failpoints_armed{0};
+
+void failpoint_hit(const char* name) {
+  Action action;
+  unsigned delay_ms;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.armed.find(name);
+    if (it == r.armed.end()) return;  // a different point is armed
+    action = it->second.action;
+    delay_ms = it->second.delay_ms;
+    r.trips[name]++;
+    if (--it->second.remaining == 0) {
+      r.armed.erase(it);
+      g_failpoints_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  switch (action) {
+    case Action::kError:
+      throw Error(std::string("failpoint '") + name + "': injected fault");
+    case Action::kAlloc:
+      throw std::bad_alloc();
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+  }
+}
+
+} // namespace detail
+
+std::vector<std::string> failpoint_names() {
+  return std::vector<std::string>(std::begin(kRegistry), std::end(kRegistry));
+}
+
+void arm_failpoints(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string point = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (point.empty()) {
+      if (spec.empty()) break;
+      throw Error("failpoint spec: empty entry in '" + spec + "'");
+    }
+    const std::size_t eq = point.find('=');
+    if (eq == std::string::npos)
+      throw Error("failpoint spec '" + point +
+                  "': want name=error|delay:MS|alloc[*N]");
+    const std::string name = point.substr(0, eq);
+    if (!known_name(name))
+      throw Error("unknown failpoint '" + name + "' (registered: " +
+                  registry_text() + ")");
+    const Armed armed = parse_action(name, point.substr(eq + 1));
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const bool fresh = r.armed.find(name) == r.armed.end();
+    r.armed[name] = armed;
+    if (fresh) detail::g_failpoints_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void arm_failpoints_from_env() {
+  if (const char* spec = std::getenv("FRAGHLS_FAILPOINTS"))
+    if (*spec != '\0') arm_failpoints(spec);
+}
+
+void disarm_failpoints() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  detail::g_failpoints_armed.fetch_sub(
+      static_cast<unsigned>(r.armed.size()), std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+std::uint64_t failpoint_trips(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.trips.find(name);
+  return it == r.trips.end() ? 0 : it->second;
+}
+
+} // namespace hls

@@ -1,0 +1,78 @@
+#pragma once
+// Failpoint fault injection.
+//
+// A failpoint is a named site in the code where a fault can be injected at
+// runtime: `failpoint("cache.insert")` is a relaxed atomic load and a
+// never-taken branch when nothing is armed (the compiler keeps the fast
+// path fall-through), and dispatches into the armed table otherwise. The
+// full registry is a fixed compile-time name table (failpoint_names()), so
+// tooling can enumerate every site (`fraghls --list-failpoints`,
+// scripts/chaos_check.py).
+//
+// Arming is per-process, via `fraghls --failpoints <spec>` or the
+// FRAGHLS_FAILPOINTS environment variable. Spec grammar:
+//
+//   spec    := point ("," point)*
+//   point   := name "=" action ("*" hits)?
+//   action  := "error" | "delay:" ms | "alloc"
+//
+// * error     — throw hls::Error("failpoint 'name': injected fault")
+// * delay:MS  — sleep MS milliseconds, then continue normally
+// * alloc     — throw std::bad_alloc (exercises the non-Error unwind path)
+//
+// `hits` (default 1) is how many times the point fires before auto-
+// disarming; one-shot points are what lets chaos_check.py assert that a
+// clean retry of the same request against the same daemon is bit-identical
+// to a never-faulted run.
+//
+// Registered sites:
+//   flow.kernel / flow.narrow / flow.transform / flow.schedule /
+//   flow.allocate         — every Session stage boundary
+//   cache.lookup / cache.insert / cache.evict
+//                         — ArtifactCache get_or_compute + eviction sweep
+//   serve.parse           — request JSON parse in Server::handle_line
+//   serve.admit           — admission decision for heavy requests
+//   serve.recv / serve.send
+//                         — TCP socket read/write in serve_tcp()
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hls {
+
+namespace detail {
+extern std::atomic<unsigned> g_failpoints_armed;  ///< count of armed points
+void failpoint_hit(const char* name);
+} // namespace detail
+
+/// True when at least one failpoint is armed (relaxed load).
+inline bool failpoints_armed() {
+  return detail::g_failpoints_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// The injection site. `name` must be one of the registered names above;
+/// unknown names are rejected at arm time, so a hit never misses silently.
+inline void failpoint(const char* name) {
+  if (failpoints_armed()) detail::failpoint_hit(name);
+}
+
+/// Every registered failpoint name, in table order.
+std::vector<std::string> failpoint_names();
+
+/// Arms points per the spec grammar above. Throws hls::Error on a malformed
+/// spec or an unknown name (listing the registry). Cumulative: later calls
+/// add to / replace individual points.
+void arm_failpoints(const std::string& spec);
+
+/// Arms from the FRAGHLS_FAILPOINTS environment variable when set.
+void arm_failpoints_from_env();
+
+/// Disarms everything (test teardown).
+void disarm_failpoints();
+
+/// How many times `name` has fired since process start.
+std::uint64_t failpoint_trips(const std::string& name);
+
+} // namespace hls

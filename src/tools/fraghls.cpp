@@ -31,6 +31,7 @@
 #include "rtl/rtl_emit.hpp"
 #include "serve/server.hpp"
 #include "suites/suites.hpp"
+#include "support/failpoint.hpp"
 #include "rtl/testbench.hpp"
 #include "rtl/vhdl.hpp"
 #include "sched/core.hpp"
@@ -83,6 +84,13 @@ struct Args {
   unsigned cache_mb = 0;               ///< serving-cache bound (0 = unbounded)
   unsigned cache_shards = 8;
   double deadline_ms = 0;              ///< default per-request deadline
+  // Overload policy (serve): admission bound + queue + storm threshold.
+  std::optional<unsigned> admit_max;
+  std::optional<unsigned> admit_queue;
+  std::optional<unsigned> storm_evictions;
+  // Fault injection (support/failpoint.hpp): any mode, for chaos testing.
+  std::string failpoints;              ///< --failpoints spec, "" = none
+  bool list_failpoints = false;
 };
 
 /// The three name registries the CLI fronts, as one table: drives the
@@ -326,6 +334,26 @@ const OptionSpec kOptions[] = {
     {"--deadline-ms", "MS",
      "serve: default per-request deadline (requests may override; 0 = none)",
      [](Args& a, const std::string& v) { a.deadline_ms = parse_double(v); }},
+    {"--admit-max", "N",
+     "serve: max concurrent run/sweep/explore requests (default: all cores)",
+     [](Args& a, const std::string& v) { a.admit_max = parse_unsigned(v); }},
+    {"--admit-queue", "N",
+     "serve: heavy requests allowed to wait for a slot; beyond this the "
+     "server sheds with an 'overloaded' envelope (default: 16)",
+     [](Args& a, const std::string& v) { a.admit_queue = parse_unsigned(v); }},
+    {"--storm-evictions", "N",
+     "serve: cache evictions between heavy requests that trigger degraded "
+     "cache-bypass mode (default: 0 = never)",
+     [](Args& a, const std::string& v) {
+       a.storm_evictions = parse_unsigned(v);
+     }},
+    {"--failpoints", "SPEC",
+     "arm fault injection: NAME=error|delay:MS|alloc[*N],... (also the "
+     "FRAGHLS_FAILPOINTS env var; see --list-failpoints)",
+     [](Args& a, const std::string& v) { a.failpoints = v; }},
+    {"--list-failpoints", nullptr,
+     "print the failpoint registry (one name per line) and exit",
+     [](Args& a, const std::string&) { a.list_failpoints = true; }},
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -379,6 +407,12 @@ Args parse_args(int argc, char** argv) {
       usage("more than one spec file given");
     }
   }
+  if (a.list_failpoints) {
+    for (const std::string& name : failpoint_names()) {
+      std::cout << name << '\n';
+    }
+    std::exit(0);
+  }
   if (a.list_registries) {
     // Self-description mode: print the selected registries and exit
     // successfully; no spec or constraint is required.
@@ -398,9 +432,10 @@ Args parse_args(int argc, char** argv) {
     return a;
   }
   if (a.serve_port || a.cache_mb != 0 || a.cache_shards != 8 ||
-      a.deadline_ms != 0) {
-    usage("--serve-port/--cache-mb/--cache-shards/--deadline-ms require "
-          "--serve");
+      a.deadline_ms != 0 || a.admit_max || a.admit_queue ||
+      a.storm_evictions) {
+    usage("--serve-port/--cache-mb/--cache-shards/--deadline-ms/--admit-max/"
+          "--admit-queue/--storm-evictions require --serve");
   }
   if (!a.suite.empty() && !a.spec_path.empty()) {
     usage("give a spec file or --suite, not both");
@@ -521,6 +556,15 @@ bool check(const std::vector<FlowResult>& results) {
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
 
+  // Fault injection arms before any work: env first (the chaos harness's
+  // channel into subprocesses), then the explicit flag on top.
+  try {
+    arm_failpoints_from_env();
+    if (!args.failpoints.empty()) arm_failpoints(args.failpoints);
+  } catch (const Error& e) {
+    usage(e.what());
+  }
+
   // More workers than cores adds scheduling contention, not throughput —
   // worth a note (run_batch still clamps its pool to the job count).
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -535,7 +579,10 @@ int main(int argc, char** argv) {
         .workers = args.workers,
         .cache_shards = args.cache_shards,
         .cache_max_bytes = static_cast<std::size_t>(args.cache_mb) << 20,
-        .default_deadline_ms = args.deadline_ms});
+        .default_deadline_ms = args.deadline_ms,
+        .max_active = args.admit_max.value_or(0),
+        .max_queue = args.admit_queue.value_or(16),
+        .storm_evictions = args.storm_evictions.value_or(0)});
     if (args.serve_port) {
       return server.serve_tcp(*args.serve_port, std::cerr);
     }

@@ -1,0 +1,193 @@
+// Tests for failpoint fault injection (support/failpoint.hpp) and the
+// robustness contract it exists to prove: with a fault injected at any
+// registered site, the serve layer yields exactly one structured envelope
+// per request, survives, and a clean retry on the same server — same shared
+// cache — is bit-identical to a never-faulted run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iterator>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "flow/json.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/json.hpp"
+
+namespace hls {
+namespace {
+
+/// Every test leaves the process disarmed, whatever happened.
+class ChaosTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarm_failpoints(); }
+};
+
+const char* const kRun =
+    R"({"kind":"run","suite":"fir2","latency":4,"narrow":true})";
+
+JsonValue response(Server& server, const std::string& line) {
+  JsonValue v;
+  EXPECT_NO_THROW(v = parse_json(server.handle_line(line))) << line;
+  EXPECT_EQ(v.find("schema")->as_string(), "fraghls-serve-v1");
+  return v;
+}
+
+bool response_ok(const JsonValue& v) {
+  const JsonValue* ok = v.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// The served result body, canonicalized for bit-identity comparison.
+std::string result_of(const JsonValue& v) {
+  const JsonValue* result = v.find("result");
+  EXPECT_NE(result, nullptr);
+  return result != nullptr ? write_json(*result) : "";
+}
+
+// --- registry and arming -----------------------------------------------------
+
+TEST_F(ChaosTest, RegistryEnumeratesEveryPlantedSite) {
+  const std::vector<std::string> names = failpoint_names();
+  const char* const expected[] = {
+      "flow.kernel",  "flow.narrow",  "flow.transform", "flow.schedule",
+      "flow.allocate", "cache.lookup", "cache.insert",   "cache.evict",
+      "serve.parse",  "serve.admit",  "serve.recv",     "serve.send",
+  };
+  for (const char* name : expected) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
+  }
+  EXPECT_EQ(names.size(), std::size(expected));
+}
+
+TEST_F(ChaosTest, ArmRejectsUnknownNamesAndMalformedSpecs) {
+  EXPECT_THROW(arm_failpoints("flow.frobnicate=error"), Error);
+  EXPECT_THROW(arm_failpoints("flow.kernel"), Error);
+  EXPECT_THROW(arm_failpoints("flow.kernel=explode"), Error);
+  EXPECT_THROW(arm_failpoints("flow.kernel=delay"), Error);
+  EXPECT_THROW(arm_failpoints("flow.kernel=error*0"), Error);
+  EXPECT_FALSE(failpoints_armed());
+  EXPECT_NO_THROW(arm_failpoints("flow.kernel=error,cache.insert=delay:1*3"));
+  EXPECT_TRUE(failpoints_armed());
+}
+
+TEST_F(ChaosTest, OneShotPointsAutoDisarm) {
+  arm_failpoints("flow.kernel=error");
+  EXPECT_TRUE(failpoints_armed());
+  const std::uint64_t before = failpoint_trips("flow.kernel");
+  EXPECT_THROW(failpoint("flow.kernel"), Error);
+  EXPECT_EQ(failpoint_trips("flow.kernel"), before + 1);
+  EXPECT_FALSE(failpoints_armed());
+  EXPECT_NO_THROW(failpoint("flow.kernel"));  // disarmed: back to a no-op
+  EXPECT_EQ(failpoint_trips("flow.kernel"), before + 1);
+}
+
+TEST_F(ChaosTest, MultiHitPointsFireTheSpecifiedCount) {
+  arm_failpoints("flow.kernel=error*2");
+  EXPECT_THROW(failpoint("flow.kernel"), Error);
+  EXPECT_THROW(failpoint("flow.kernel"), Error);
+  EXPECT_NO_THROW(failpoint("flow.kernel"));
+}
+
+TEST_F(ChaosTest, DelayActionSleepsAndContinues) {
+  arm_failpoints("flow.kernel=delay:30");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(failpoint("flow.kernel"));
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(ms, 30.0);
+}
+
+TEST_F(ChaosTest, AllocActionThrowsBadAlloc) {
+  arm_failpoints("flow.kernel=alloc");
+  EXPECT_THROW(failpoint("flow.kernel"), std::bad_alloc);
+}
+
+// --- every fault is one envelope, and retries are bit-identical --------------
+
+TEST_F(ChaosTest, EveryFlowAndCacheFaultYieldsOneEnvelopeAndACleanRetry) {
+  // The reference result from a never-faulted server.
+  std::string baseline;
+  {
+    Server pristine;
+    baseline = result_of(response(pristine, kRun));
+  }
+  for (const std::string& name : failpoint_names()) {
+    if (name.rfind("serve.recv", 0) == 0 || name.rfind("serve.send", 0) == 0) {
+      continue;  // socket-transport points: exercised in serve_test / TCP
+    }
+    SCOPED_TRACE(name);
+    // cache.evict fires only against a bounded cache; the bound changes
+    // nothing observable (the StageCache contract holds under eviction).
+    Server server(name == "cache.evict"
+                      ? ServeOptions{.cache_max_bytes = 1 << 20}
+                      : ServeOptions{});
+    arm_failpoints(name + "=error");
+    const JsonValue faulted = response(server, kRun);
+    EXPECT_FALSE(response_ok(faulted));
+    // One structured body: diagnostics on the envelope, or a failed
+    // FlowResult carrying them.
+    const bool has_body = faulted.find("diagnostics") != nullptr ||
+                          faulted.find("result") != nullptr;
+    EXPECT_TRUE(has_body);
+    EXPECT_FALSE(failpoints_armed());  // one-shot consumed
+    // Same server, same cache: the retry must not see any half-written
+    // artefact the fault could have left behind.
+    const JsonValue retry = response(server, kRun);
+    EXPECT_TRUE(response_ok(retry));
+    EXPECT_EQ(result_of(retry), baseline);
+  }
+}
+
+TEST_F(ChaosTest, AllocFaultWalksTheNonErrorUnwindIntoOneEnvelope) {
+  std::string baseline;
+  {
+    Server pristine;
+    baseline = result_of(response(pristine, kRun));
+  }
+  Server server;
+  arm_failpoints("cache.insert=alloc");
+  const JsonValue faulted = response(server, kRun);
+  EXPECT_FALSE(response_ok(faulted));
+  const JsonValue retry = response(server, kRun);
+  EXPECT_TRUE(response_ok(retry));
+  EXPECT_EQ(result_of(retry), baseline);
+}
+
+TEST_F(ChaosTest, DelayFaultSlowsTheRequestWithoutChangingItsBytes) {
+  std::string baseline;
+  {
+    Server pristine;
+    baseline = result_of(response(pristine, kRun));
+  }
+  Server server;
+  arm_failpoints("flow.schedule=delay:40");
+  const JsonValue slow = response(server, kRun);
+  EXPECT_TRUE(response_ok(slow));
+  EXPECT_GE(slow.find("ms")->as_double(), 40.0);
+  EXPECT_EQ(result_of(slow), baseline);
+}
+
+TEST_F(ChaosTest, EnvArmingMatchesExplicitArming) {
+  // arm_failpoints_from_env is a no-op without the variable...
+  ::unsetenv("FRAGHLS_FAILPOINTS");
+  arm_failpoints_from_env();
+  EXPECT_FALSE(failpoints_armed());
+  // ...and arms exactly like the flag with it.
+  ::setenv("FRAGHLS_FAILPOINTS", "flow.kernel=error", 1);
+  arm_failpoints_from_env();
+  EXPECT_TRUE(failpoints_armed());
+  EXPECT_THROW(failpoint("flow.kernel"), Error);
+  ::unsetenv("FRAGHLS_FAILPOINTS");
+}
+
+} // namespace
+} // namespace hls

@@ -22,6 +22,7 @@
 #include "flow/json.hpp"
 #include "serve/server.hpp"
 #include "suites/suites.hpp"
+#include "support/failpoint.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "timing/target.hpp"
@@ -440,6 +441,244 @@ TEST(Serve, TcpLoopServesAndDrainsOnShutdown) {
   EXPECT_EQ(run.find("id")->as_string(), "tcp-1");
   EXPECT_TRUE(response_ok(parse_response(shutdown_line)));
   EXPECT_NE(log.str().find("serving on 127.0.0.1:"), std::string::npos);
+}
+
+/// Loopback connection to a serve_tcp daemon; fails the test on error.
+int connect_to(unsigned port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// Reads until `lines` newline-terminated responses have arrived (or EOF).
+std::string recv_lines(int fd, int lines) {
+  std::string received;
+  char buf[4096];
+  while (std::count(received.begin(), received.end(), '\n') < lines) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  return received;
+}
+
+/// Starts serve_tcp on an ephemeral port in `daemon` and returns the port.
+unsigned start_daemon(Server& server, std::thread& daemon,
+                      std::ostringstream& log) {
+  daemon = std::thread([&] { EXPECT_EQ(server.serve_tcp(0, log), 0); });
+  unsigned port = 0;
+  for (int i = 0; i < 2000 && (port = server.bound_port()) == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(port, 0u) << log.str();
+  return port;
+}
+
+TEST(Serve, TcpServesConcurrentClientsBitIdentically) {
+  // >= 4 clients with their own connections, racing the same mix of runs:
+  // every response must be byte-identical to the uncached engine — the
+  // shared cache and the admission gate are invisible in the results.
+  Server server;
+  std::ostringstream log;
+  std::thread daemon;
+  const unsigned port = start_daemon(server, daemon, log);
+
+  const Session session;
+  constexpr unsigned kClients = 5, kLats = 3;
+  std::vector<std::string> fresh(kLats);
+  for (unsigned l = 0; l < kLats; ++l) {
+    fresh[l] = to_json(session.run(
+        {diffeq(), "optimized", 4 + l, 0, {}, "list", kDefaultTargetName}));
+  }
+  std::atomic<unsigned> mismatches{0};
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_to(port);
+      for (unsigned r = 0; r < 4; ++r) {
+        const unsigned l = (c + r) % kLats;
+        const std::string req = strformat(
+            "{\"kind\":\"run\",\"suite\":\"diffeq\",\"latency\":%u}\n", 4 + l);
+        if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) < 0) {
+          mismatches.fetch_add(1);
+          break;
+        }
+        const std::string line = recv_lines(fd, 1);
+        try {
+          const JsonValue v = parse_json(line);
+          const JsonValue* result = v.find("result");
+          if (result == nullptr || write_json(*result) != fresh[l]) {
+            mismatches.fetch_add(1);
+          }
+        } catch (const Error&) {
+          mismatches.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const int fd = connect_to(port);
+  const std::string stats_req = "{\"kind\":\"stats\"}\n{\"kind\":\"shutdown\"}\n";
+  ASSERT_GE(::send(fd, stats_req.data(), stats_req.size(), MSG_NOSIGNAL), 0);
+  std::istringstream lines(recv_lines(fd, 2));
+  std::string stats_line;
+  ASSERT_TRUE(std::getline(lines, stats_line));
+  const JsonValue stats = parse_response(stats_line);
+  const JsonValue* serve = stats.find("result")->find("serve");
+  EXPECT_EQ(serve->find("admitted")->as_unsigned(), kClients * 4u);
+  EXPECT_EQ(serve->find("shed")->as_unsigned(), 0u);
+  ::close(fd);
+  daemon.join();
+}
+
+TEST(Serve, OverloadShedsWithRetryAfterHintAndWithoutErrorCount) {
+  // One slot, no queue; a delay failpoint pins the slot busy long enough
+  // for a racing request to be shed deterministically.
+  Server server(ServeOptions{.max_active = 1, .max_queue = 0});
+  arm_failpoints("flow.schedule=delay:400");
+  std::thread holder([&] {
+    const JsonValue resp = parse_response(server.handle_line(
+        R"({"kind":"run","suite":"fir2","latency":3})"));
+    EXPECT_TRUE(response_ok(resp));  // delayed, not failed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const JsonValue shed = parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3})"));
+  holder.join();
+  disarm_failpoints();
+  EXPECT_FALSE(response_ok(shed));
+  EXPECT_EQ(failure_stage(shed), "overloaded");
+  const JsonValue* hint = shed.find("retry_after_ms");
+  ASSERT_NE(hint, nullptr);
+  EXPECT_GE(hint->as_unsigned(), 1u);
+  const JsonValue stats = parse_response(
+      server.handle_line(R"({"kind":"stats"})"));
+  const JsonValue* result = stats.find("result");
+  EXPECT_EQ(result->find("serve")->find("shed")->as_unsigned(), 1u);
+  EXPECT_EQ(result->find("serve")->find("admitted")->as_unsigned(), 1u);
+  // Back-pressure is not an error; and once the slot frees, the same
+  // request is admitted and served.
+  EXPECT_EQ(result->find("requests")->find("errors")->as_unsigned(), 0u);
+  EXPECT_TRUE(response_ok(parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3})"))));
+}
+
+TEST(Serve, DeadlineCancelsMidStageWellUnderUncancelledTime) {
+  // Reference: the uncancelled wall-clock of the heaviest scheduler run,
+  // taken on its own server so the deadline run below starts cold — a warm
+  // shared cache would let it finish before any checkpoint fires.
+  const std::string line =
+      R"({"kind":"run","suite":"synth-mesh8x8","latency":40,)"
+      R"("scheduler":"forcedirected"})";
+  double clean_ms = 0;
+  {
+    Server reference;
+    const JsonValue clean = parse_response(reference.handle_line(line));
+    ASSERT_TRUE(response_ok(clean));
+    clean_ms = clean.find("ms")->as_double();
+  }
+
+  Server server;
+  const JsonValue cut = parse_response(server.handle_line(
+      R"({"kind":"run","suite":"synth-mesh8x8","latency":40,)"
+      R"("scheduler":"forcedirected","deadline_ms":1})"));
+  EXPECT_FALSE(response_ok(cut));
+  EXPECT_EQ(failure_stage(cut), "deadline");
+  ASSERT_NE(cut.find("retry_after_ms"), nullptr);
+  // Mid-stage, not post-hoc: the abort happened at a cooperative
+  // checkpoint (named in the message) and well under the uncancelled
+  // time.
+  const std::string message = cut.find("diagnostics")
+                                  ->as_array()
+                                  .front()
+                                  .find("message")
+                                  ->as_string();
+  EXPECT_NE(message.find("cooperative checkpoint"), std::string::npos);
+  EXPECT_LT(cut.find("ms")->as_double(), std::max(clean_ms / 2.0, 10.0));
+
+  const JsonValue stats = parse_response(
+      server.handle_line(R"({"kind":"stats"})"));
+  const JsonValue* result = stats.find("result");
+  EXPECT_EQ(result->find("serve")->find("cancelled")->as_unsigned(), 1u);
+  EXPECT_EQ(
+      result->find("requests")->find("deadline_exceeded")->as_unsigned(), 1u);
+}
+
+TEST(Serve, KillingAClientMidResponseCountsADisconnectNotACrash) {
+  Server server;
+  std::ostringstream log;
+  std::thread daemon;
+  const unsigned port = start_daemon(server, daemon, log);
+
+  // The victim fires a request and dies without reading the response: the
+  // daemon's send hits a dead peer (EPIPE — fatal before SIGPIPE was
+  // ignored and MSG_NOSIGNAL set).
+  const int victim = connect_to(port);
+  const std::string req =
+      "{\"kind\":\"sweep\",\"suite\":\"elliptic\",\"lo\":8,\"hi\":14}\n";
+  ASSERT_GE(::send(victim, req.data(), req.size(), MSG_NOSIGNAL), 0);
+  struct linger hard_close {.l_onoff = 1, .l_linger = 0};
+  ::setsockopt(victim, SOL_SOCKET, SO_LINGER, &hard_close, sizeof hard_close);
+  ::close(victim);  // RST — the response write must fail, not kill us
+
+  // The daemon keeps serving other clients.
+  const int fd = connect_to(port);
+  const std::string good =
+      "{\"kind\":\"run\",\"suite\":\"fir2\",\"latency\":3}\n";
+  ASSERT_GE(::send(fd, good.data(), good.size(), MSG_NOSIGNAL), 0);
+  EXPECT_TRUE(response_ok(parse_response(recv_lines(fd, 1))));
+
+  // The lost peer shows up in the ledger (possibly after a short race
+  // while its connection thread finishes the failed send).
+  unsigned disconnects = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const JsonValue stats = parse_response(
+        server.handle_line(R"({"kind":"stats"})"));
+    disconnects = static_cast<unsigned>(stats.find("result")
+                                            ->find("serve")
+                                            ->find("disconnects")
+                                            ->as_unsigned());
+    if (disconnects >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(disconnects, 1u);
+
+  const std::string bye = "{\"kind\":\"shutdown\"}\n";
+  ASSERT_GE(::send(fd, bye.data(), bye.size(), MSG_NOSIGNAL), 0);
+  (void)recv_lines(fd, 1);
+  ::close(fd);
+  daemon.join();
+}
+
+TEST(Serve, DrainUnblocksIdleConnections) {
+  // An idle connection is parked in recv() with no bytes in flight; a
+  // shutdown from another client must still drain the daemon — the joins
+  // cannot wait for the idle peer to say anything.
+  Server server;
+  std::ostringstream log;
+  std::thread daemon;
+  const unsigned port = start_daemon(server, daemon, log);
+
+  const int idle = connect_to(port);
+  const int active = connect_to(port);
+  const std::string bye = "{\"kind\":\"shutdown\"}\n";
+  ASSERT_GE(::send(active, bye.data(), bye.size(), MSG_NOSIGNAL), 0);
+  EXPECT_TRUE(response_ok(parse_response(recv_lines(active, 1))));
+  daemon.join();  // would hang here if drain did not unblock `idle`
+  // The drained daemon closed the idle connection's stream.
+  char buf[16];
+  EXPECT_LE(::recv(idle, buf, sizeof buf, 0), 0);
+  ::close(idle);
+  ::close(active);
 }
 
 } // namespace
