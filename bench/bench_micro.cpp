@@ -31,6 +31,14 @@
 //     the --json baseline as the "synth-mesh8x8-explore" entry, so the CI
 //     gate watches it continuously.
 //
+//   bench_micro --partition
+//     Composed multi-kernel scheduling vs the monolithic optimized flow on
+//     the seeded multi-kernel generators (PERFORMANCE.md's partitioning
+//     table): the same spec through "optimized" (one monolithic schedule)
+//     and through "partitioned" (per-kernel budgets + composition), plus a
+//     warm re-run of the partitioned flow against a shared ArtifactCache
+//     after editing one kernel, demonstrating per-kernel cache reuse.
+//
 //   bench_micro [google-benchmark flags]
 //     The full exploratory google-benchmark suite (only when the build
 //     found google-benchmark; the --json mode always works).
@@ -45,6 +53,7 @@
 
 #include "dse/explorer.hpp"
 #include "flow/session.hpp"
+#include "ir/builder.hpp"
 #include "frag/bit_windows.hpp"
 #include "kernel/extract.hpp"
 #include "sched/core.hpp"
@@ -329,6 +338,108 @@ int run_target_sweep() {
   return ok ? 0 : 1;
 }
 
+// --- multi-kernel partition mode ------------------------------------------
+
+/// Adder-chain stages joined by XOR glue, with only the LAST stage's chain
+/// length depending on `tail_extra` — the "edit one kernel" shape: every
+/// earlier stage is byte-identical across edits, so its per-kernel cache
+/// entries stay hot while only the edited kernel re-runs.
+Dfg partition_bench_spec(unsigned kernels, unsigned adds, unsigned width,
+                         unsigned tail_extra) {
+  SpecBuilder b("bench_partition");
+  Val carry;
+  for (unsigned k = 0; k < kernels; ++k) {
+    const unsigned n = adds + (k + 1 == kernels ? tail_extra : 0);
+    Val acc = b.in("x" + std::to_string(k) + "_0", width);
+    if (k > 0) acc = b.add(acc, carry, width);
+    for (unsigned i = 1; i <= n; ++i) {
+      acc = b.add(acc, b.in("x" + std::to_string(k) + "_" + std::to_string(i),
+                            width),
+                  width);
+    }
+    if (k + 1 == kernels) {
+      b.out("y", acc);
+    } else {
+      carry = acc ^ b.cst(0x33 + k, width);
+    }
+  }
+  return std::move(b).take();
+}
+
+/// Composed multi-kernel scheduling vs the monolithic optimized flow, plus
+/// the per-kernel cache-reuse measurement: warm a shared ArtifactCache with
+/// one partitioned run, then time partitioned runs of edited variants whose
+/// last kernel changed — only that kernel's stages miss.
+int run_partition_bench() {
+  using clock = std::chrono::steady_clock;
+  const auto median3_ms = [](auto&& f) {
+    double m[3];
+    for (double& v : m) {
+      const auto t0 = clock::now();
+      f();
+      v = std::chrono::duration<double, std::milli>(clock::now() - t0)
+              .count();
+    }
+    return median3(m[0], m[1], m[2]);
+  };
+
+  const Session session({.workers = 1});
+  struct Case {
+    unsigned kernels;
+    unsigned adds;
+    unsigned latency;
+  };
+  const Case cases[] = {{2, 10, 4}, {3, 10, 6}, {4, 10, 8}};
+  std::printf(
+      "| kernels | adds/kernel | latency | mono ms | composed ms | "
+      "mono cycle (ns) | composed cycle (ns) | edit-1-kernel warm ms | "
+      "warm hit rate |\n|---|---|---|---|---|---|---|---|---|\n");
+  bool ok = true;
+  for (const Case& c : cases) {
+    const Dfg spec = partition_bench_spec(c.kernels, c.adds, 10, 0);
+    FlowResult mono, composed;
+    const double mono_ms = median3_ms(
+        [&] { mono = session.run({spec, "optimized", c.latency}); });
+    const double composed_ms = median3_ms(
+        [&] { composed = session.run({spec, "partitioned", c.latency}); });
+    if (!mono.ok || !composed.ok) {
+      std::fprintf(stderr, "flow failed: %s\n",
+                   (mono.ok ? composed : mono).error_text().c_str());
+      ok = false;
+      continue;
+    }
+    // Prime the shared cache, then time three single-shot edited runs (each
+    // edit re-runs only the last kernel; the others hit).
+    const auto cache = std::make_shared<ArtifactCache>();
+    FlowRequest prime{spec, "partitioned", c.latency};
+    prime.cache = cache;
+    if (!session.run(prime).ok) ok = false;
+    const CacheStats::Counter before = cache->stats().total();
+    double warm[3];
+    for (unsigned edit = 0; edit < 3; ++edit) {
+      FlowRequest req{partition_bench_spec(c.kernels, c.adds, 10, edit + 1),
+                      "partitioned", c.latency};
+      req.cache = cache;
+      const auto t0 = clock::now();
+      if (!session.run(req).ok) ok = false;
+      warm[edit] = std::chrono::duration<double, std::milli>(clock::now() - t0)
+                       .count();
+    }
+    const CacheStats::Counter after = cache->stats().total();
+    const double lookups = static_cast<double>(
+        (after.hits - before.hits) + (after.misses - before.misses));
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(after.hits - before.hits) / lookups;
+    std::printf("| %u | %u | %u | %.2f | %.2f | %.2f | %.2f | %.2f | "
+                "%.0f%% |\n",
+                c.kernels, c.adds, c.latency, mono_ms, composed_ms,
+                mono.report.cycle_ns, composed.report.cycle_ns,
+                median3(warm[0], warm[1], warm[2]), 100.0 * hit_rate);
+  }
+  return ok ? 0 : 1;
+}
+
 } // namespace
 
 // --- exploratory google-benchmark suite ----------------------------------
@@ -480,6 +591,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--explore") == 0) {
       return run_explore_bench();
+    }
+    if (std::strcmp(argv[i], "--partition") == 0) {
+      return run_partition_bench();
     }
   }
 #ifdef FRAGHLS_HAVE_GBENCH

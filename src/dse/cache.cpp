@@ -83,6 +83,22 @@ std::size_t approx_bytes(const Datapath& d) {
   return n;
 }
 
+std::size_t approx_bytes(const KernelPartition& p) {
+  std::size_t n = sizeof(KernelPartition) +
+                  p.cut_edges.capacity() * sizeof(KernelPartition::CutEdge);
+  for (const PartitionKernel& k : p.kernels) {
+    n += sizeof(PartitionKernel) + approx_bytes(k.spec) +
+         k.nodes.capacity() * sizeof(NodeId);
+    for (const PartitionKernel::Port& port : k.imports) {
+      n += sizeof(PartitionKernel::Port) + port.name.capacity();
+    }
+    for (const PartitionKernel::Port& port : k.exports) {
+      n += sizeof(PartitionKernel::Port) + port.name.capacity();
+    }
+  }
+  return n;
+}
+
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
   while (p < n) p <<= 1;
@@ -94,7 +110,7 @@ std::size_t round_up_pow2(std::size_t n) {
 CacheStats::Counter CacheStats::total() const {
   Counter t;
   for (const Counter* c : {&kernel, &narrow, &prep, &transform, &schedule,
-                           &datapath}) {
+                           &datapath, &partition}) {
     t.hits += c->hits;
     t.misses += c->misses;
     t.evictions += c->evictions;
@@ -307,11 +323,26 @@ std::shared_ptr<const Datapath> ArtifactCache::bitlevel_datapath(
   });
 }
 
+std::shared_ptr<const KernelPartition> ArtifactCache::partition(
+    const Dfg& spec, bool narrow) {
+  const Digest d = digest_of(spec);
+  const Key key = key_of(with_narrow(d, narrow), kPartition);
+  return get_or_compute<KernelPartition>(kPartition, key, [&] {
+    return partition_kernel(narrow ? *narrowed_at(d, spec)
+                                   : kernel_at(d, spec)->kernel);
+  });
+}
+
+unsigned ArtifactCache::critical_time(const Dfg& spec, bool narrow) {
+  const Digest d = digest_of(spec);
+  return prep_at(d, spec, narrow)->critical;
+}
+
 CacheStats ArtifactCache::stats() const {
   CacheStats s;
   CacheStats::Counter* out[kStageCount] = {&s.kernel, &s.narrow, &s.prep,
                                            &s.transform, &s.schedule,
-                                           &s.datapath};
+                                           &s.datapath, &s.partition};
   for (unsigned i = 0; i < kStageCount; ++i) {
     out[i]->hits = counters_[i].hits.load(std::memory_order_relaxed);
     out[i]->misses = counters_[i].misses.load(std::memory_order_relaxed);

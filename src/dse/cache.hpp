@@ -18,6 +18,10 @@
 //
 //   spec digest ──► kernel (extract_kernel + stats)     [kernel]
 //              └──► narrowed kernel                     [narrow]
+//   (digest, narrow) ──► KernelPartition                [partition]
+//       (the "partitioned" flow's kernel split; its per-kernel stages are
+//        keyed on each sub-kernel's own digest through the getters above,
+//        so editing one kernel re-runs only that kernel's column)
 //   (digest, narrow) ──► TransformPrep                  [prep]
 //       (relabelled kernel + §3.2 critical, incl. the DfgIndex-equivalent
 //        arrival floor — the latency-invariant pieces of transform_spec)
@@ -82,7 +86,7 @@ struct CacheStats {
       return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
     }
   };
-  Counter kernel, narrow, prep, transform, schedule, datapath;
+  Counter kernel, narrow, prep, transform, schedule, datapath, partition;
 
   /// Sum over all stages.
   Counter total() const;
@@ -126,6 +130,9 @@ public:
       const std::string& scheduler, const Dfg& spec, bool narrow,
       unsigned latency, unsigned n_bits_override, const DelayModel& delay,
       const CancelToken& cancel = {}) override;
+  std::shared_ptr<const KernelPartition> partition(const Dfg& spec,
+                                                   bool narrow) override;
+  unsigned critical_time(const Dfg& spec, bool narrow) override;
 
   /// The memoized latency-invariant transform prep of `spec`'s (optionally
   /// narrowed) kernel. Exposed beyond the StageCache interface because the
@@ -166,6 +173,7 @@ private:
     kTransform,
     kSchedule,
     kDatapath,
+    kPartition,
     kStageCount
   };
 

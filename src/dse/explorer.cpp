@@ -198,6 +198,47 @@ ExploreResult Explorer::run(const ExploreRequest& request) const {
           // diagnostics an uncached Session::run produces, keeping the
           // never-throws contract.
         }
+      } else if (out.flows[c.flow] == "partitioned") {
+        // The partitioned flow prices through the same one source of truth
+        // its report uses (price_partition over the budget split), so the
+        // bound is exact there too. Single-kernel partitions price as the
+        // optimized flow — identical report by construction. An infeasible
+        // split stays unpriced: evaluation fails the point with the
+        // aggregated per-kernel diagnostic.
+        request.cancel.poll();
+        try {
+          const Target& target = resolved_targets[c.target];
+          const std::shared_ptr<const KernelPartition> part =
+              cache->partition(request.spec, request.options.narrow);
+          if (part->single()) {
+            const unsigned n_bits = cache->resolved_n_bits(
+                request.spec, request.options.narrow, lat, 0, target.delay);
+            const unsigned deltas = target.delay.adder_depth(n_bits);
+            c.priced = true;
+            c.bound = {lat, target.delay.cycle_ns(deltas),
+                       target.delay.execution_ns(lat, deltas), 0};
+          } else {
+            std::vector<unsigned> criticals;
+            criticals.reserve(part->kernels.size());
+            for (const PartitionKernel& k : part->kernels) {
+              criticals.push_back(cache->critical_time(k.spec, false));
+            }
+            const BudgetSplit split =
+                split_latency_budget(*part, criticals, lat);
+            if (!validate_budget_split(*part, criticals, split, lat)) {
+              const PartitionBound b =
+                  price_partition(criticals, split, 0, target.delay);
+              c.priced = true;
+              c.bound = {b.composed_latency,
+                         target.delay.cycle_ns(b.max_deltas),
+                         target.delay.execution_ns(b.composed_latency,
+                                                   b.max_deltas),
+                         0};
+            }
+          }
+        } catch (const Error&) {
+          // Same rescue contract as above: unpriced, unprunable.
+        }
       }
       candidates.push_back(c);
     }

@@ -95,6 +95,26 @@ std::string to_json(const FlowResult& r) {
     os << "\"latency\":" << r.schedule->schedule.latency << ",";
     os << "\"fu_ops\":" << r.schedule->fu_ops.size() << "}";
   }
+  if (r.partition) {
+    // Only the "partitioned" flow sets this, so every other flow's JSON is
+    // byte-identical to before partitioning existed.
+    os << ",\"partition\":{";
+    os << "\"cut_edges\":" << r.partition->cut_edges << ",";
+    os << "\"composed_latency\":" << r.partition->composed_latency << ",";
+    os << "\"kernels\":[";
+    for (std::size_t i = 0; i < r.partition->kernels.size(); ++i) {
+      const PartitionKernelSummary& k = r.partition->kernels[i];
+      if (i != 0) os << ",";
+      os << "{\"name\":\"" << json_escape(k.name) << "\",";
+      os << "\"nodes\":" << k.node_count << ",";
+      os << "\"adds\":" << k.add_count << ",";
+      os << "\"critical\":" << k.critical << ",";
+      os << "\"latency\":" << k.latency << ",";
+      os << "\"n_bits\":" << k.n_bits << ",";
+      os << "\"start_cycle\":" << k.start_cycle << "}";
+    }
+    os << "]}";
+  }
   if (!r.timings.empty()) {
     os << ",\"timings\":[";
     for (std::size_t i = 0; i < r.timings.size(); ++i) {

@@ -307,6 +307,7 @@ FlowRegistry& FlowRegistry::global() {
     reg->register_flow("original", flows::conventional);  // legacy alias
     reg->register_flow("blc", flows::blc);
     reg->register_flow("optimized", flows::optimized);
+    reg->register_flow("partitioned", flows::partitioned);
     return reg;
   }();
   return *r;

@@ -108,6 +108,27 @@ struct StageTiming {
 /// the flow stages and the CLI's parse stage so the wording cannot drift.
 FlowDiagnostic timing_note(std::string stage, double ms);
 
+/// One kernel of a partitioned run, as the result surfaces it (the heavy
+/// artefacts stay in the cache / the flow's internals).
+struct PartitionKernelSummary {
+  std::string name;            ///< sub-spec name ("<spec>.k<i>")
+  std::size_t node_count = 0;  ///< nodes assigned to this kernel
+  std::size_t add_count = 0;
+  unsigned critical = 0;       ///< §3.2 critical time, chained bits
+  unsigned latency = 0;        ///< this kernel's slice of the budget
+  unsigned n_bits = 0;         ///< resolved per-cycle chained-bit budget
+  unsigned start_cycle = 0;    ///< composed schedule offset
+};
+
+/// What the "partitioned" flow composed: per-kernel budgets and the
+/// composed critical path. Present on FlowResult only for that flow, so
+/// every other flow's JSON stays byte-identical.
+struct PartitionSummary {
+  std::vector<PartitionKernelSummary> kernels;
+  std::size_t cut_edges = 0;
+  unsigned composed_latency = 0;  ///< critical inter-kernel path, cycles
+};
+
 /// Uniform result of any flow. `report` is valid when `ok`; the artefact
 /// members are populated by flows that produce them (the optimized flow
 /// fills all four, the conventional/BLC flows none).
@@ -135,6 +156,9 @@ struct FlowResult {
   /// a fragment scheduler uncached (a StageCache hit reuses a schedule
   /// without re-running the oracle, so there is no work to count).
   std::optional<OracleCounters> counters;
+  /// Composition summary of the "partitioned" flow; absent on every other
+  /// flow (and in their serialized results).
+  std::optional<PartitionSummary> partition;
 
   /// All Error-severity diagnostic messages, joined with "; ".
   std::string error_text() const;
@@ -254,6 +278,13 @@ namespace flows {
 FlowResult conventional(const FlowRequest& request);
 FlowResult blc(const FlowRequest& request);
 FlowResult optimized(const FlowRequest& request);
+/// The multi-kernel composition (registry name "partitioned", defined in
+/// partition/flow.cpp): kernel extraction, partitioning into maximal
+/// operative kernels, a latency-budget split, the optimized per-kernel
+/// pipeline for every kernel, and a composed report. Bit-identical to
+/// flows::optimized — shared StageCache entries included — when the
+/// partition has a single kernel.
+FlowResult partitioned(const FlowRequest& request);
 } // namespace flows
 
 } // namespace hls

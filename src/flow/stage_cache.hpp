@@ -29,6 +29,7 @@
 #include "alloc/datapath.hpp"
 #include "frag/transform.hpp"
 #include "kernel/extract.hpp"
+#include "partition/partition.hpp"
 #include "sched/fragsched.hpp"
 #include "support/cancel.hpp"
 
@@ -82,6 +83,31 @@ public:
       const std::string& scheduler, const Dfg& spec, bool narrow,
       unsigned latency, unsigned n_bits_override, const DelayModel& delay,
       const CancelToken& cancel = {}) = 0;
+
+  /// partition_kernel over the (optionally narrowed) kernel of `spec` — the
+  /// "partitioned" flow's kernel split. Defaults to nullptr so StageCache
+  /// implementations that predate partitioning keep compiling; the flow
+  /// computes inline when the cache declines. The per-kernel stages are then
+  /// keyed on each sub-kernel's OWN content digest (the flow calls the
+  /// stage getters with the sub-kernel spec), which is what makes editing
+  /// one kernel re-run only that kernel.
+  virtual std::shared_ptr<const KernelPartition> partition(const Dfg& spec,
+                                                           bool narrow) {
+    (void)spec;
+    (void)narrow;
+    return nullptr;
+  }
+
+  /// The §3.2 critical time (chained bits) of the (optionally narrowed)
+  /// kernel of `spec` — prepare_transform(...).critical. The partitioned
+  /// flow consults this once per kernel to split the latency budget before
+  /// any per-kernel transform exists. The default recomputes from the
+  /// kernel getters; the ArtifactCache serves it from the memoized
+  /// latency-invariant TransformPrep.
+  virtual unsigned critical_time(const Dfg& spec, bool narrow) {
+    return prepare_transform(narrow ? *narrowed(spec) : kernel(spec)->kernel)
+        .critical;
+  }
 };
 
 } // namespace hls

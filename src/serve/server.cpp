@@ -379,6 +379,7 @@ std::string Server::stats_json() const {
       {"kernel", &stats.kernel},       {"narrow", &stats.narrow},
       {"prep", &stats.prep},           {"transform", &stats.transform},
       {"schedule", &stats.schedule},   {"datapath", &stats.datapath},
+      {"partition", &stats.partition},
   };
   const CacheStats::Counter total = stats.total();
   for (const auto& [name, counter] : rows) {

@@ -44,6 +44,12 @@ Dfg synthetic_chain(unsigned n_adds, unsigned width, std::uint64_t seed);
 Dfg synthetic_tree(unsigned leaves, unsigned width, std::uint64_t seed);
 Dfg synthetic_mesh(unsigned rows, unsigned cols, unsigned width,
                    std::uint64_t seed);
+/// `kernels` adder-chain stages joined only by bitwise glue — the seeded
+/// multi-kernel generator behind partition testing/benching. Stage 0's glue
+/// value is additionally a primary output, and stages >= 2 also consume it,
+/// so the kernel graph is a multi-output DAG.
+Dfg synthetic_multi_kernel(unsigned kernels, unsigned adds_per_kernel,
+                           unsigned width, std::uint64_t seed);
 
 /// Registry for benches and property sweeps.
 struct SuiteEntry {

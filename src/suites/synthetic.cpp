@@ -103,12 +103,56 @@ Dfg synthetic_mesh(unsigned rows, unsigned cols, unsigned width,
   return std::move(b).take();
 }
 
+Dfg synthetic_multi_kernel(unsigned kernels, unsigned adds_per_kernel,
+                           unsigned width, std::uint64_t seed) {
+  HLS_REQUIRE(kernels >= 2, "multi-kernel spec needs at least two stages");
+  HLS_REQUIRE(adds_per_kernel >= 1, "each stage needs at least one addition");
+  HLS_REQUIRE(width >= 1, "base width must be positive");
+  std::mt19937_64 rng(seed);
+  SpecBuilder b("synth_multikernel");
+  // Stage k is an adder chain (one operative kernel); the value crossing
+  // into stage k+1 passes through bitwise glue (XOR against a seeded mask),
+  // so consecutive stages never share a direct Add -> Add operand edge and
+  // partition_kernel() cuts exactly at the glue. Stage 0's glue value is
+  // also a primary output ("t"), covering multi-output specs, and stages
+  // past the second additionally take stage 0's glue — a DAG, not a chain.
+  Val stage0_glue;
+  Val carry;  // glue-laundered value entering the current stage
+  for (unsigned k = 0; k < kernels; ++k) {
+    Val acc = b.in("x" + std::to_string(k) + "_0", jitter(rng, width));
+    if (k > 0) acc = b.add(acc, carry, std::max(acc.width(), carry.width()));
+    if (k >= 2) {
+      acc = b.add(acc, stage0_glue,
+                  std::max(acc.width(), stage0_glue.width()));
+    }
+    for (unsigned i = 1; i <= adds_per_kernel; ++i) {
+      const Val next = b.in("x" + std::to_string(k) + "_" + std::to_string(i),
+                            jitter(rng, width));
+      acc = b.add(acc, next, std::max(acc.width(), next.width()));
+    }
+    if (k + 1 == kernels) {
+      b.out("y", acc);
+    } else {
+      carry = acc ^ b.cst(rng() & ((1ull << std::min(63u, acc.width())) - 1),
+                          acc.width());
+      if (k == 0) {
+        stage0_glue = carry;
+        b.out("t", carry);
+      }
+    }
+  }
+  return std::move(b).take();
+}
+
 const std::vector<SuiteEntry>& synthetic_suites() {
   static const std::vector<SuiteEntry> suites = {
       {"synth-chain32", [] { return synthetic_chain(32, 14, 0xC0FFEE); }, {4, 8}},
       {"synth-tree64", [] { return synthetic_tree(64, 10, 0x7E57); }, {3, 5}},
       {"synth-mesh6x6", [] { return synthetic_mesh(6, 6, 10, 0x3A11); }, {6}},
       {"synth-mesh8x8", [] { return synthetic_mesh(8, 8, 12, 0x8888); }, {8}},
+      {"synth-2kernel",
+       [] { return synthetic_multi_kernel(2, 10, 10, 0x2BAD); },
+       {4, 7}},
   };
   return suites;
 }

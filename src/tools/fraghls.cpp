@@ -69,6 +69,7 @@ struct Args {
   std::string scheduler = "list";
   std::string target = kDefaultTargetName;
   bool pipeline = false;
+  bool partition = false;
   bool timing = false;
   bool json = false;
   unsigned workers = 0;
@@ -235,6 +236,10 @@ const OptionSpec kOptions[] = {
     {"--pipeline", nullptr,
      "report the minimal initiation interval (optimized)",
      [](Args& a, const std::string&) { a.pipeline = true; }},
+    {"--partition", nullptr,
+     "run the multi-kernel 'partitioned' flow and print the per-kernel "
+     "composition summary (latency split, budgets, cut edges)",
+     [](Args& a, const std::string&) { a.partition = true; }},
     {"--timing", nullptr,
      "report per-stage wall-clock (parse/kernel/transform/schedule/"
      "allocate/verify)",
@@ -457,11 +462,19 @@ Args parse_args(int argc, char** argv) {
   // ignored) in explore mode — the axes are --flows, the budget override
   // has no explore equivalent, and the emitters feed on one point.
   if (a.explore &&
-      (a.flow != "all" || a.n_bits != 0 || a.pipeline || a.dump_dfg ||
-       a.dump_schedule || a.emit_behavioural || a.emit_rtl ||
+      (a.flow != "all" || a.n_bits != 0 || a.pipeline || a.partition ||
+       a.dump_dfg || a.dump_schedule || a.emit_behavioural || a.emit_rtl ||
        a.emit_dot_graph || a.emit_tb_vectors != 0)) {
     usage("--explore takes its flow axis from --flows and evaluates whole "
-          "grids: --flow/--n-bits/--pipeline/--dump-*/--emit-* do not apply");
+          "grids: --flow/--n-bits/--pipeline/--partition/--dump-*/--emit-* "
+          "do not apply (name 'partitioned' in --flows instead)");
+  }
+  if (a.partition && a.flow != "all") {
+    usage("--partition already selects the 'partitioned' flow; drop --flow");
+  }
+  if (a.partition && a.sweep_lo != 0) {
+    usage("--partition is a point mode; use --latency N (or --explore with "
+          "--flows ...,partitioned for sweeps)");
   }
   // --delta/--overhead derive a single '<target>+cli' target from --target;
   // with an explicit --targets axis that derivation would be silently
@@ -751,13 +764,16 @@ int main(int argc, char** argv) {
 
     std::vector<FlowRequest> requests;
     const std::vector<std::string> flow_names =
-        args.flow == "all"
+        args.partition
+            ? std::vector<std::string>{"partitioned"}
+        : args.flow == "all"
             ? std::vector<std::string>{"original", "blc", "optimized"}
             : std::vector<std::string>{args.flow};
     for (const std::string& name : flow_names) {
+      const bool budgeted = name == "optimized" || name == "partitioned";
       requests.push_back({spec, name, args.latency,
-                          name == "optimized" ? args.n_bits : 0, opt,
-                          args.scheduler, args.target});
+                          budgeted ? args.n_bits : 0, opt, args.scheduler,
+                          args.target});
     }
     std::vector<FlowResult> results = session.run_batch(requests);
     if (args.timing) add_parse_timing(results, parse_ms);
@@ -767,6 +783,26 @@ int main(int argc, char** argv) {
     for (const FlowResult& r : results) {
       if (!r.ok) continue;
       if (!args.json) print_report(r.report);
+      if (r.partition && !args.json) {
+        // The composition summary of the partitioned flow: how the shared
+        // latency budget was split over the kernel DAG.
+        std::cout << "partition: " << r.partition->kernels.size()
+                  << " operative kernel"
+                  << (r.partition->kernels.size() == 1 ? "" : "s") << ", "
+                  << r.partition->cut_edges << " cut edge"
+                  << (r.partition->cut_edges == 1 ? "" : "s")
+                  << ", composed latency " << r.partition->composed_latency
+                  << " cycles\n";
+        TextTable pt({"kernel", "nodes", "adds", "critical (bits)", "latency",
+                      "n_bits", "start cycle"});
+        for (const PartitionKernelSummary& k : r.partition->kernels) {
+          pt.add_row({k.name, std::to_string(k.node_count),
+                      std::to_string(k.add_count), std::to_string(k.critical),
+                      std::to_string(k.latency), std::to_string(k.n_bits),
+                      std::to_string(k.start_cycle)});
+        }
+        std::cout << pt << '\n';
+      }
       if (args.timing && !args.json && !r.timings.empty()) {
         TextTable t({"flow", "stage", "wall-clock (ms)"});
         for (const StageTiming& st : r.timings) {

@@ -213,6 +213,32 @@ TEST(Kernel, StatsCountEveryRewrite) {
   EXPECT_EQ(st.ops_before, 4u);  // Sub, Mul, Max, Lt
 }
 
+TEST(Kernel, MultiOutputDisconnectedComponentsStayEquivalent) {
+  // Two computations sharing no nodes at all, each driving its own primary
+  // output — extraction must keep both components and both outputs intact
+  // (the shape the multi-kernel partitioner consumes).
+  SpecBuilder b("island");
+  const Val A = b.in("A", 12), B = b.in("B", 12);
+  b.out("s", A - B);
+  const Val C = b.in("C", 10), D = b.in("D", 10);
+  b.out("m", b.max(C, D, false));
+  const Dfg d = std::move(b).take();
+  const Dfg k = extract_kernel(d);
+  EXPECT_EQ(k.outputs().size(), 2u);
+  expect_equivalent(d, 300);
+}
+
+TEST(Kernel, OneValueFeedingTwoOutputsStaysEquivalent) {
+  // Multi-output with sharing: the same subtraction result leaves through
+  // two ports, once raw and once through further arithmetic.
+  SpecBuilder b("fanout");
+  const Val A = b.in("A", 10), B = b.in("B", 10), C = b.in("C", 10);
+  const Val diff = A - B;
+  b.out("d", diff);
+  b.out("e", b.mul(diff, C, 16));
+  expect_equivalent(b.dfg(), 300);
+}
+
 TEST(KernelProperty, RandomMixedSpecsStayEquivalent) {
   std::mt19937_64 rng(99);
   for (unsigned spec = 0; spec < 25; ++spec) {

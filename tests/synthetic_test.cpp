@@ -53,7 +53,7 @@ TEST(Synthetic, StressKernelsDwarfThePaperCircuits) {
 }
 
 TEST(Synthetic, RegistryIncludesEveryFamily) {
-  EXPECT_EQ(synthetic_suites().size(), 4u);
+  EXPECT_EQ(synthetic_suites().size(), 5u);
   const std::size_t expected = all_suites().size() +
                                extended_suites().size() +
                                synthetic_suites().size();
