@@ -56,6 +56,7 @@
 #include "ir/builder.hpp"
 #include "frag/bit_windows.hpp"
 #include "kernel/extract.hpp"
+#include "obs/trace.hpp"
 #include "sched/core.hpp"
 #include "sched/forcedir.hpp"
 #include "sched/fragsched.hpp"
@@ -203,7 +204,11 @@ int run_json_baseline(const char* path) {
                     "*-cancel entry compares an armed-but-never-tripped "
                     "cancellation run (ns_per_op) against the unarmed run "
                     "(full_resim_ns_per_op), so its ~1.0 ratio with a 5% "
-                    "tolerance bounds the checkpoint overhead\",\n"
+                    "tolerance bounds the checkpoint overhead; the *-trace "
+                    "entry bounds the tracing overhead the same way: a run "
+                    "inside an armed trace scope (ns_per_op, sampled commit "
+                    "spans landing in the ring) against the disarmed run "
+                    "(full_resim_ns_per_op)\",\n"
                     "  \"entries\": [\n";
   bool first = true;
   for (const SuiteEntry& s : synthetic_suites()) {
@@ -267,6 +272,35 @@ int run_json_baseline(const char* path) {
                   "\"speedup_vs_full_resim\": %.2f, \"tolerance\": 0.05}",
                   s.name.c_str(), armed_ns, unarmed_ns,
                   unarmed_ns / armed_ns);
+    out += ",\n";
+    out += row;
+  }
+  // The tracing-overhead entry: the heaviest scheduler run inside an armed
+  // trace scope — every sampled commit batch lands as a real span in the
+  // thread's ring — against the disarmed run, where every instrumented site
+  // is a relaxed-load no-op. The ~1.0 ratio with a 5% tolerance is the
+  // "tracing is affordable when on, free when off" claim of obs/trace.hpp,
+  // held by CI like the cancel-checkpoint entry above.
+  for (const SuiteEntry& s : synthetic_suites()) {
+    if (s.name != "synth-mesh8x8") continue;
+    std::fprintf(stderr, "bench %s/trace-overhead...\n", s.name.c_str());
+    const TransformResult t = transform_spec(s.build(), s.latencies.front());
+    double armed_ns = 0;
+    {
+      TraceScope scope(true);
+      ScopedSpan root("bench", "bench");
+      armed_ns = median_of_3_ns("forcedirected", t, incremental);
+    }
+    const double disarmed_ns =
+        median_of_3_ns("forcedirected", t, incremental);
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "    {\"suite\": \"%s-trace\", "
+                  "\"scheduler\": \"forcedirected\", "
+                  "\"ns_per_op\": %.0f, \"full_resim_ns_per_op\": %.0f, "
+                  "\"speedup_vs_full_resim\": %.2f, \"tolerance\": 0.05}",
+                  s.name.c_str(), armed_ns, disarmed_ns,
+                  disarmed_ns / armed_ns);
     out += ",\n";
     out += row;
   }

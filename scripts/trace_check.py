@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the obs/ tracing pipeline through the real binary.
+
+Usage: trace_check.py [path/to/fraghls]   (default ./build/src/tools/fraghls)
+
+Phase 1 (CLI): runs a multi-kernel partitioned point with --trace FILE
+--json and asserts the whole contract:
+
+  * the Chrome trace-event document parses, every event is a complete "X"
+    event on one pid with numeric ts/dur;
+  * the span tree (rebuilt from args.span_id/args.parent) has exactly one
+    root — the "cli" span — and every child's [ts, ts+dur] window nests
+    inside its parent's;
+  * every flow stage (parse, kernel, partition, transform, schedule.k0,
+    schedule.k1, allocate) appears exactly once, and at least one sampled
+    "sched.commit" span hangs under a schedule stage;
+  * the --json stdout is {"results":...,"trace":{"id":..,"spans":..}} with
+    the span count matching the file — and WITHOUT --trace the stdout is
+    the plain results document, byte-identical across runs (the
+    byte-stability half of the contract).
+
+Phase 2 (daemon): starts `fraghls --serve`, sends a run request with
+"trace": true and asserts the envelope's "trace" member carries the same
+tree (root "serve.request", per-kernel schedule stages, cache lookup spans,
+sampled commit spans); an untraced request has no "trace" member; the
+`metrics` kind returns a Prometheus exposition plus the JSON snapshot; the
+daemon exits 0 after shutdown.
+
+Exit 0 on success, 1 with a message on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+# ts/dur are microseconds printed with 3 decimals; two independent
+# roundings can disagree by up to 1e-3 each.
+EPS_US = 0.01
+
+STAGES_ONCE = {"parse", "kernel", "partition", "transform",
+               "schedule.k0", "schedule.k1", "allocate"}
+
+
+def fail(msg):
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_tree(events, expect_root, stages_once):
+    """Validates one Chrome trace-event list: complete events, a single
+    expected root, windows nested within parents, stage multiplicities."""
+    if not events:
+        fail("empty traceEvents")
+    by_id = {}
+    pids = set()
+    for e in events:
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in e:
+                fail(f"event missing {key!r}: {e}")
+        if e["ph"] != "X":
+            fail(f"expected complete 'X' events only: {e}")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            fail(f"bad ts: {e}")
+        if not isinstance(e["dur"], (int, float)) or e["dur"] < 0:
+            fail(f"bad dur: {e}")
+        pids.add(e["pid"])
+        sid = e["args"].get("span_id")
+        if not isinstance(sid, int) or sid in by_id:
+            fail(f"missing or duplicate span_id: {e}")
+        by_id[sid] = e
+    if len(pids) != 1:
+        fail(f"spans spread over several pids: {sorted(pids)}")
+
+    roots = []
+    for e in events:
+        parent = e["args"].get("parent")
+        if parent == 0:
+            roots.append(e)
+            continue
+        if parent not in by_id:
+            fail(f"span {e['name']} has unknown parent {parent}")
+        p = by_id[parent]
+        if e["ts"] + EPS_US < p["ts"]:
+            fail(f"span {e['name']} starts before its parent {p['name']}")
+        if e["ts"] + e["dur"] > p["ts"] + p["dur"] + EPS_US:
+            fail(f"span {e['name']} ends after its parent {p['name']}")
+    if len(roots) != 1 or roots[0]["name"] != expect_root:
+        fail(f"expected one root {expect_root!r}, got "
+             f"{[r['name'] for r in roots]}")
+
+    counts = {}
+    for e in events:
+        counts[e["name"]] = counts.get(e["name"], 0) + 1
+    for stage in stages_once:
+        if counts.get(stage, 0) != 1:
+            fail(f"stage {stage!r} appears {counts.get(stage, 0)} times, "
+                 f"expected exactly once (have: {sorted(counts)})")
+    commits = [e for e in events if e["name"] == "sched.commit"]
+    if not commits:
+        fail("no sampled sched.commit span in a traced schedule")
+    for e in commits:
+        parent = by_id[e["args"]["parent"]]
+        if not parent["name"].startswith("schedule"):
+            fail(f"sched.commit parented to {parent['name']!r}, expected a "
+                 f"schedule stage")
+    return counts
+
+
+def cli_phase(cli, tmpdir):
+    trace_path = os.path.join(tmpdir, "trace.json")
+    argv = [cli, "--suite", "synth-2kernel", "--latency", "4", "--partition",
+            "--trace", trace_path, "--json"]
+    r = subprocess.run(argv, capture_output=True, text=True)
+    if r.returncode != 0:
+        fail(f"traced CLI run failed ({r.returncode}): {r.stderr[:300]}")
+    try:
+        doc = json.loads(r.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"--trace --json stdout unparseable ({e}): {r.stdout[:200]}")
+    if set(doc) != {"results", "trace"}:
+        fail(f"--trace --json keys {sorted(doc)}, expected results+trace")
+    if not isinstance(doc["results"], list) or not doc["results"][0]["ok"]:
+        fail(f"traced run's results are wrong: {str(doc['results'])[:200]}")
+    with open(trace_path) as f:
+        chrome = json.load(f)
+    if "traceEvents" not in chrome or "displayTimeUnit" not in chrome:
+        fail(f"not a Chrome trace document: {sorted(chrome)}")
+    events = chrome["traceEvents"]
+    if doc["trace"].get("spans") != len(events):
+        fail(f"--json span count {doc['trace'].get('spans')} != file's "
+             f"{len(events)}")
+    if not isinstance(doc["trace"].get("id"), int) or doc["trace"]["id"] < 1:
+        fail(f"bad trace id: {doc['trace']}")
+    check_tree(events, "cli", STAGES_ONCE)
+
+    # Byte-stability: without --trace the stdout document is the plain
+    # results array — no "trace" key — and identical across runs.
+    plain = [cli, "--suite", "synth-2kernel", "--latency", "4", "--partition",
+             "--json"]
+    a = subprocess.run(plain, capture_output=True, text=True)
+    b = subprocess.run(plain, capture_output=True, text=True)
+    if a.returncode != 0 or a.stdout != b.stdout:
+        fail("untraced --json output is not byte-stable across runs")
+    if not isinstance(json.loads(a.stdout), list):
+        fail("untraced --json output is not the plain results array")
+
+
+def daemon_phase(cli):
+    proc = subprocess.Popen([cli, "--serve"], stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True)
+
+    def ask(line):
+        proc.stdin.write(line + "\n")
+        proc.stdin.flush()
+        response = proc.stdout.readline()
+        if not response:
+            fail(f"daemon died on request: {line}")
+        return json.loads(response)
+
+    run = ('{"kind":"run","id":%d,"suite":"synth-2kernel",'
+           '"flow":"partitioned","latency":4%s}')
+    traced = ask(run % (1, ',"trace":true'))
+    if not traced["ok"]:
+        fail(f"traced serve run failed: {traced}")
+    trace = traced.get("trace")
+    if not trace or set(trace) != {"id", "spans", "chrome"}:
+        fail(f"traced envelope without a full trace member: {traced.keys()}")
+    events = trace["chrome"]["traceEvents"]
+    if trace["spans"] != len(events):
+        fail(f"envelope span count {trace['spans']} != {len(events)}")
+    # Suite requests resolve by registry lookup, not a DSL parse, so no
+    # "parse" stage here; the rest of the stage set matches the CLI's.
+    counts = check_tree(events, "serve.request",
+                        STAGES_ONCE - {"parse"} | {"session.run"})
+    if not any(name.startswith("cache.") for name in counts):
+        fail(f"no cache spans in a served request: {sorted(counts)}")
+
+    untraced = ask(run % (2, ""))
+    if not untraced["ok"] or "trace" in untraced:
+        fail(f"untraced envelope wrong: {sorted(untraced)}")
+
+    metrics = ask('{"kind":"metrics","id":3}')
+    if not metrics["ok"]:
+        fail(f"metrics request failed: {metrics}")
+    body = metrics["result"]
+    if "# TYPE" not in body.get("exposition", ""):
+        fail(f"metrics exposition is not Prometheus text: {body}")
+    snapshot = body.get("metrics", {})
+    if "serve.requests.run" not in snapshot.get("counters", {}):
+        fail(f"metrics snapshot missing serve counters: {snapshot}")
+    hist = snapshot.get("histograms", {}).get("serve.request.ms")
+    if not hist or hist["count"] < 2:
+        fail(f"latency histogram missing the runs: {hist}")
+
+    summary = ask('{"kind":"shutdown","id":99}')
+    if not summary["ok"]:
+        fail(f"shutdown not ok: {summary}")
+    proc.stdin.close()
+    if proc.wait(timeout=30) != 0:
+        fail(f"daemon exit code {proc.returncode}")
+
+
+def main():
+    cli = sys.argv[1] if len(sys.argv) > 1 else "./build/src/tools/fraghls"
+    with tempfile.TemporaryDirectory() as tmpdir:
+        cli_phase(cli, tmpdir)
+    daemon_phase(cli)
+    print("trace_check: OK — Chrome trace documents, span nesting, stage "
+          "coverage, byte-stable untraced output, and the serve trace + "
+          "metrics kinds all hold through the real binary")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

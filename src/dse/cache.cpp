@@ -5,6 +5,7 @@
 
 #include "alloc/bitlevel.hpp"
 #include "kernel/narrow.hpp"
+#include "obs/trace.hpp"
 #include "sched/core.hpp"
 #include "support/failpoint.hpp"
 #include "timing/critical_path.hpp"
@@ -133,6 +134,19 @@ ArtifactCache::ArtifactCache(ArtifactCacheOptions options)
   shards_ = std::vector<Shard>(options_.shards);
 }
 
+namespace {
+
+/// Span names per cache stage; static strings so TraceSpan::category-style
+/// lifetime rules hold for the copied name too.
+const char* cache_span_name(unsigned stage) {
+  static const char* const names[] = {
+      "cache.kernel",   "cache.narrow",   "cache.prep",     "cache.transform",
+      "cache.schedule", "cache.datapath", "cache.partition"};
+  return stage < 7 ? names[stage] : "cache.unknown";
+}
+
+}  // namespace
+
 void ArtifactCache::evict_locked(Shard& shard) {
   if (per_shard_bound_ == 0) return;
   // Fault-injection site for the eviction sweep of a bounded cache (fires
@@ -141,6 +155,8 @@ void ArtifactCache::evict_locked(Shard& shard) {
   // unwinds with the shard consistent — at worst transiently over its
   // share, repaired by the next insert's sweep.
   failpoint("cache.evict");
+  ScopedSpan span("cache.evict", "cache");
+  std::uint64_t victims = 0;
   // Oldest-first until the shard fits. The just-inserted entry sits at the
   // hot end, so it is evicted only when it alone exceeds the shard's share:
   // its caller already holds the shared_ptr, the cache just declines to
@@ -158,6 +174,10 @@ void ArtifactCache::evict_locked(Shard& shard) {
         it->second.bytes, std::memory_order_relaxed);
     shard.lru.pop_front();
     shard.table.erase(it);
+    ++victims;
+  }
+  if (span.live()) {
+    span.note("victims=%llu", static_cast<unsigned long long>(victims));
   }
 }
 
@@ -168,14 +188,19 @@ std::shared_ptr<const V> ArtifactCache::get_or_compute(Stage stage,
   Shard& shard = shard_for(key);
   failpoint("cache.lookup");
   {
+    // The lookup span covers only the table probe; compute time belongs to
+    // the enclosing flow-stage span, not the cache.
+    ScopedSpan span(cache_span_name(stage), "cache");
     const std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.table.find(key);
     if (it != shard.table.end()) {
       counters_[stage].hits.fetch_add(1, std::memory_order_relaxed);
       // Touch: move to the hot end of the recency list.
       shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru);
+      if (span.live()) span.note("hit");
       return std::static_pointer_cast<const V>(it->second.value);
     }
+    if (span.live()) span.note("miss");
   }
   // Compute outside the lock: stage functions are pure, so a racing worker
   // computing the same key produces an identical value; first insert wins.
@@ -184,6 +209,11 @@ std::shared_ptr<const V> ArtifactCache::get_or_compute(Stage stage,
   const std::size_t bytes =
       approx_bytes(*value) + sizeof(Entry) + 2 * sizeof(Key);
   failpoint("cache.insert");
+  ScopedSpan span("cache.insert", "cache");
+  if (span.live()) {
+    span.note("stage=%s bytes=%llu", cache_span_name(stage),
+              static_cast<unsigned long long>(bytes));
+  }
   const std::lock_guard<std::mutex> lock(shard.mu);
   counters_[stage].misses.fetch_add(1, std::memory_order_relaxed);
   const auto [it, inserted] = shard.table.try_emplace(key);

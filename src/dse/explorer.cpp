@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "flow/json.hpp"
+#include "obs/trace.hpp"
 #include "sched/core.hpp"
 #include "support/strings.hpp"
 
@@ -86,6 +87,9 @@ std::string ExploreResult::error_text() const {
 Explorer::Explorer(SessionOptions options) : options_(options) {}
 
 ExploreResult Explorer::run(const ExploreRequest& request) const {
+  // Root span for the whole sweep; each evaluated grid point shows up as a
+  // nested "session.run" span (run_batch workers inherit this context).
+  ScopedSpan explore_span("explore", "dse");
   const auto t0 = std::chrono::steady_clock::now();
   ExploreResult out;
   out.spec_name = request.spec.name();
@@ -306,6 +310,8 @@ ExploreResult Explorer::run(const ExploreRequest& request) const {
     // cancelled point comes back as a "cancelled" diagnostic, and the poll
     // here turns the round boundary into a hard stop).
     request.cancel.poll();
+    ScopedSpan round_span("explore.round", "dse");
+    if (round_span.live()) round_span.note("points=%zu", to_run.size());
     std::vector<FlowRequest> requests;
     requests.reserve(to_run.size());
     for (const Candidate* c : to_run) {

@@ -14,6 +14,8 @@
 #include "sched/conventional.hpp"
 #include "sched/core.hpp"
 #include "sched/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
@@ -53,19 +55,29 @@ auto stage(const char* name, F&& f) {
 template <typename F>
 auto timed_stage(FlowResult& out, const FlowRequest& req, const char* name,
                  F&& f) {
-  // Every stage boundary is a cancellation checkpoint and a failpoint site;
-  // both are branch-on-null / branch-on-atomic no-ops when nothing is armed.
+  // Every stage boundary is a cancellation checkpoint, a failpoint site and
+  // a trace-span site; each is a branch-on-null / branch-on-atomic no-op
+  // when nothing is armed.
   req.cancel.poll();
   stage_failpoint(name);
-  if (!req.options.timing) return stage(name, std::forward<F>(f));
+  ScopedSpan span(name, "flow");
+  const bool metrics = metrics_armed();
+  if (!req.options.timing && !metrics) return stage(name, std::forward<F>(f));
   const auto t0 = std::chrono::steady_clock::now();
   auto result = stage(name, std::forward<F>(f));
   const double ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
-  out.timings.push_back({name, ms});
-  out.diagnostics.push_back(timing_note(name, ms));
+  if (metrics) {
+    MetricsRegistry::global()
+        .histogram(std::string("flow.stage.") + name + ".ms")
+        .record(ms);
+  }
+  if (req.options.timing) {
+    out.timings.push_back({name, ms});
+    out.diagnostics.push_back(timing_note(name, ms));
+  }
   return result;
 }
 
@@ -248,12 +260,18 @@ FlowResult optimized(const FlowRequest& req) {
     }
     SchedulerOptions opts;
     opts.cancel = req.cancel;
-    if (req.options.timing) {
-      // Counters ride the same opt-in as timings; defaults otherwise, so
-      // the schedule stays bit-identical with and without --timing.
+    if (req.options.timing || metrics_armed()) {
+      // Counters ride the same opt-in as timings (or the process-wide
+      // metrics registry); defaults otherwise, so the schedule stays
+      // bit-identical with and without --timing. Counter collection never
+      // changes placement, and out.counters is only populated on the
+      // --timing opt-in, keeping the JSON byte-stable under --metrics.
       opts.counters = &counters;
       FragSchedule fs = run_scheduler(req.scheduler, *out.transform, opts);
-      out.counters = counters;
+      if (req.options.timing) out.counters = counters;
+      if (metrics_armed()) {
+        publish_oracle_counters(MetricsRegistry::global(), counters);
+      }
       return fs;
     }
     return run_scheduler(req.scheduler, *out.transform, opts);
@@ -383,6 +401,11 @@ Session::Session(FlowRegistry& registry, SessionOptions options)
     : registry_(&registry), options_(options) {}
 
 FlowResult Session::run(const FlowRequest& request) const {
+  ScopedSpan span("session.run", "session");
+  if (span.live()) {
+    span.note("flow=%s latency=%u target=%s", request.flow.c_str(),
+              request.latency, request.target.c_str());
+  }
   FlowResult out;
   out.flow = request.flow;
   // Failure results echo the requested strategy and target so scripted
@@ -440,12 +463,17 @@ std::vector<FlowResult> Session::run_batch(
     return results;
   }
   // Self-scheduling pool: each worker claims the next unclaimed request.
-  // run() never throws, so no exception can escape a worker.
+  // run() never throws, so no exception can escape a worker. Workers
+  // inherit the caller's trace context so per-request spans emitted off
+  // the pool still land in the originating trace (two word copies when
+  // nothing is being traced).
+  const TraceContext trace_ctx = TraceSession::current_context();
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, trace_ctx] {
+      TraceContextScope trace_scope(trace_ctx);
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= requests.size()) return;

@@ -1,0 +1,153 @@
+#pragma once
+// Metrics half of the observability layer (src/obs/).
+//
+// A MetricsRegistry is a named set of counters, gauges and log-bucketed
+// histograms. Instruments are get-or-created by name (registration takes a
+// mutex once per name; the returned reference is stable for the registry's
+// lifetime) and updated with plain relaxed atomic operations — recording is
+// lock-free and allocation-free.
+//
+// Two deployment shapes:
+//   * per-component instance — the serve Server owns its own registry, so
+//     multiple Server objects in one process (tests) keep independent,
+//     ledger-exact stats;
+//   * MetricsRegistry::global() — the process-wide registry behind
+//     `fraghls --metrics`. It is additionally gated by arm(): flow-stage
+//     instrumentation only records into it when armed, so a default run's
+//     behaviour and output stay byte-identical.
+//
+// Histograms use a fixed logarithmic bucket layout: 8 sub-buckets per
+// octave (power of two) from 2^-10 to 2^20, plus underflow/overflow. That
+// bounds quantile quantisation error to one sub-bucket (< 9% of the
+// value), comfortably inside the bench_diff serve-mixed tail-ratio
+// tolerance, and makes quantiles monotone in q by construction (they are
+// read off a cumulative scan of the fixed buckets).
+//
+// Exposition: Prometheus text format (names sanitised to [a-zA-Z0-9_:]) and
+// a JSON object form, both point-in-time snapshots.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace hls {
+
+struct CacheStats;     // dse/cache.hpp
+struct OracleCounters; // sched/core.hpp
+
+namespace obs_detail {
+extern std::atomic<bool> g_metrics_armed;  ///< global-registry opt-in
+}  // namespace obs_detail
+
+/// True when the process-wide registry accepts flow instrumentation
+/// (`fraghls --metrics`). One relaxed load, same cost model as
+/// trace_armed()/failpoints_armed().
+inline bool metrics_armed() {
+  return obs_detail::g_metrics_armed.load(std::memory_order_relaxed);
+}
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins point-in-time value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-layout log-bucketed histogram. record() is two relaxed
+/// fetch_adds plus a CAS loop for the sum; no locks, no allocation.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;    ///< buckets per octave
+  static constexpr int kMinExp = -10;      ///< lowest octave: 2^-10
+  static constexpr int kMaxExp = 20;       ///< highest octave: 2^20
+  static constexpr int kBuckets =
+      (kMaxExp - kMinExp) * kSubBuckets + 2;  ///< + underflow + overflow
+
+  void record(double v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+
+  /// Quantile estimate: the upper bound of the bucket holding the q-th
+  /// ranked sample. Monotone in q; 0 when empty. q clamped to [0, 1].
+  double quantile(double q) const;
+
+  /// Bucket index for a value (exposed for the boundary tests).
+  static int bucket_index(double v);
+  /// Inclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  static double bucket_upper_bound(int i);
+
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< bit-cast double accumulator
+};
+
+/// Named instrument registry. Instances are independent; global() is the
+/// process-wide one behind --metrics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+  /// Opens the global registry to flow instrumentation (--metrics).
+  static void arm_global() {
+    obs_detail::g_metrics_armed.store(true, std::memory_order_relaxed);
+  }
+  static void disarm_global() {
+    obs_detail::g_metrics_armed.store(false, std::memory_order_relaxed);
+  }
+
+  /// Get-or-create by name. References stay valid for the registry's
+  /// lifetime (node-stable storage). A name owns its first-seen kind;
+  /// re-requesting it as a different kind throws hls::Error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition: one "# TYPE" line per metric, names
+  /// sanitised ('.', '-' -> '_'), histograms as cumulative _bucket/_sum/
+  /// _count series over the fixed layout (empty buckets elided).
+  std::string exposition() const;
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":
+  /// {"name":{"count":N,"sum":S,"p50":...,"p99":...}}} with keys sorted.
+  std::string json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Publish legacy ad-hoc structs into a registry under their canonical
+/// names — the bridge the metrics-vs-legacy equality tests pin.
+void publish_cache_stats(MetricsRegistry& reg, const CacheStats& stats);
+void publish_oracle_counters(MetricsRegistry& reg,
+                             const OracleCounters& counters);
+
+}  // namespace hls

@@ -1,0 +1,273 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace hls {
+
+namespace obs_detail {
+std::atomic<int> g_traces_active{0};
+}  // namespace obs_detail
+
+namespace {
+
+/// One thread's span sink. Exactly one writer (the owning thread) in
+/// steady state; the mutex exists so export-time readers and the rare
+/// wraparound bookkeeping are TSan-clean without any cross-thread
+/// contention on the emit path.
+struct SpanRing {
+  std::mutex mu;
+  std::vector<TraceSpan> slots;
+  std::size_t next = 0;       ///< next slot to (over)write
+  std::uint64_t total = 0;    ///< spans ever pushed (wraparound detection)
+  std::uint32_t thread = 0;   ///< small ordinal for chrome tid
+  bool retired = false;       ///< owning thread has exited
+
+  void push(const TraceSpan& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (slots.size() < TraceSession::ring_capacity()) {
+      slots.push_back(s);
+    } else {
+      slots[next] = s;
+    }
+    next = (next + 1) % TraceSession::ring_capacity();
+    ++total;
+  }
+};
+
+thread_local TraceContext tl_context;
+
+struct RingHandle;  // forward: thread-exit retirement
+
+}  // namespace
+
+struct TraceSession::Impl {
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> next_trace_id{1};
+  std::atomic<std::uint32_t> next_span_id{1};
+  std::atomic<std::uint32_t> next_thread{1};
+
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<SpanRing>> rings;
+
+  SpanRing& ring_for_this_thread();
+  void prune_retired() {
+    std::lock_guard<std::mutex> lock(registry_mu);
+    rings.erase(std::remove_if(rings.begin(), rings.end(),
+                               [](const std::shared_ptr<SpanRing>& r) {
+                                 std::lock_guard<std::mutex> rl(r->mu);
+                                 return r->retired;
+                               }),
+                rings.end());
+  }
+};
+
+namespace {
+
+/// Thread-local owner of this thread's ring. Destruction (thread exit)
+/// marks the ring retired; its spans stay collectable until the last live
+/// trace ends, at which point TraceScope::~TraceScope prunes.
+struct RingHandle {
+  std::shared_ptr<SpanRing> ring;
+  TraceSession::Impl* impl = nullptr;
+  ~RingHandle() {
+    if (!ring) return;
+    {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      ring->retired = true;
+    }
+    // With no trace in flight nobody can collect these spans; free now
+    // rather than waiting for the next trace to end.
+    if (!trace_armed() && impl) impl->prune_retired();
+  }
+};
+
+thread_local RingHandle tl_ring;
+
+}  // namespace
+
+SpanRing& TraceSession::Impl::ring_for_this_thread() {
+  if (!tl_ring.ring) {
+    auto ring = std::make_shared<SpanRing>();
+    ring->thread = next_thread.fetch_add(1, std::memory_order_relaxed);
+    ring->slots.reserve(64);
+    {
+      std::lock_guard<std::mutex> lock(registry_mu);
+      rings.push_back(ring);
+    }
+    tl_ring.ring = std::move(ring);
+    tl_ring.impl = this;
+  }
+  return *tl_ring.ring;
+}
+
+TraceSession::TraceSession() : impl_(new Impl) {}
+
+TraceSession& TraceSession::global() {
+  static TraceSession* session = new TraceSession;  // leaked: process-wide
+  return *session;
+}
+
+TraceContext TraceSession::current_context() { return tl_context; }
+
+std::uint64_t TraceSession::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+std::vector<TraceSpan> TraceSession::collect(std::uint64_t trace_id) const {
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    rings = impl_->rings;
+  }
+  std::vector<TraceSpan> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    for (const TraceSpan& s : ring->slots) {
+      if (s.trace_id == trace_id) out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::string TraceSession::chrome_json(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds in the trace-event
+    // format, emitted with nanosecond precision.
+    out += strformat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"span_id\":%u,"
+        "\"parent\":%u",
+        json_escape(s.name).c_str(), json_escape(s.category).c_str(),
+        static_cast<double>(s.start_ns) / 1000.0,
+        static_cast<double>(s.dur_ns) / 1000.0, s.thread, s.id, s.parent);
+    if (s.detail[0] != '\0') {
+      out += ",\"detail\":\"";
+      out += json_escape(s.detail);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceScope
+
+TraceScope::TraceScope(bool enabled) {
+  if (!enabled) return;
+  TraceSession::Impl* impl = TraceSession::global().impl_;
+  trace_id_ = impl->next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  saved_ = tl_context;
+  tl_context.trace_id = trace_id_;
+  tl_context.parent = 0;
+  obs_detail::g_traces_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceScope::~TraceScope() {
+  if (trace_id_ == 0) return;
+  tl_context = saved_;
+  const int remaining =
+      obs_detail::g_traces_active.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (remaining == 0) TraceSession::global().impl_->prune_retired();
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx) {
+  saved_ = tl_context;
+  tl_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tl_context = saved_; }
+
+// ---------------------------------------------------------------------------
+// Span emission
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) {
+  if (!trace_armed() || tl_context.trace_id == 0) return;
+  TraceSession& session = TraceSession::global();
+  std::memset(&span_, 0, sizeof span_);
+  std::snprintf(span_.name, sizeof span_.name, "%s", name);
+  span_.category = category;
+  span_.trace_id = tl_context.trace_id;
+  span_.id = session.impl_->next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span_.parent = tl_context.parent;
+  saved_parent_ = tl_context.parent;
+  tl_context.parent = span_.id;
+  span_.start_ns = session.now_ns();
+  live_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!live_) return;
+  TraceSession& session = TraceSession::global();
+  span_.dur_ns = session.now_ns() - span_.start_ns;
+  tl_context.parent = saved_parent_;
+  SpanRing& ring = session.impl_->ring_for_this_thread();
+  span_.thread = ring.thread;
+  ring.push(span_);
+}
+
+void ScopedSpan::note(const char* fmt, ...) {
+  if (!live_) return;
+  const std::size_t used = std::strlen(span_.detail);
+  if (used + 1 >= sizeof span_.detail) return;
+  char* at = span_.detail + used;
+  std::size_t room = sizeof span_.detail - used;
+  if (used > 0) {
+    *at++ = ' ';
+    --room;
+    *at = '\0';
+  }
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(at, room, fmt, ap);
+  va_end(ap);
+}
+
+void emit_span(const char* name, const char* category, std::uint64_t start_ns,
+               std::uint64_t dur_ns, const char* detail_fmt, ...) {
+  if (!trace_armed() || tl_context.trace_id == 0) return;
+  TraceSession& session = TraceSession::global();
+  TraceSpan span;
+  std::memset(&span, 0, sizeof span);
+  std::snprintf(span.name, sizeof span.name, "%s", name);
+  span.category = category;
+  span.trace_id = tl_context.trace_id;
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns;
+  span.id = session.impl_->next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span.parent = tl_context.parent;
+  if (detail_fmt != nullptr) {
+    va_list ap;
+    va_start(ap, detail_fmt);
+    std::vsnprintf(span.detail, sizeof span.detail, detail_fmt, ap);
+    va_end(ap);
+  }
+  SpanRing& ring = session.impl_->ring_for_this_thread();
+  span.thread = ring.thread;
+  ring.push(span);
+}
+
+}  // namespace hls

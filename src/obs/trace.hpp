@@ -1,0 +1,177 @@
+#pragma once
+// Tracing half of the observability layer (src/obs/).
+//
+// A TraceSession collects Spans — named, categorised intervals with a
+// parent link and a small preformatted attribute string — into per-thread
+// ring buffers and exports them as Chrome trace-event JSON that opens
+// directly in chrome://tracing or Perfetto.
+//
+// Cost model (the hard constraint): when no trace is active, every
+// instrumentation site reduces to one relaxed atomic load and a never-taken
+// branch (`trace_armed()`), exactly like the failpoint registry. When a
+// trace IS active but the current thread is not part of it (no thread-local
+// trace context installed), a site additionally reads one thread-local and
+// stays inert. Only threads inside an active trace pay for span capture,
+// and they write to their OWN ring: the per-ring mutex is never contended
+// in steady state (one writer per ring; readers appear only at export
+// time), which keeps the hot path allocation-free, wait-free in practice,
+// and clean under TSan.
+//
+// Lifecycle:
+//   TraceScope scope(true);            // arms; allocates a trace id;
+//                                      // installs this thread's context
+//   { ScopedSpan s("schedule", "flow"); ... }   // captured
+//   auto spans = TraceSession::global().collect(scope.trace_id());
+//   std::string doc = TraceSession::chrome_json(spans);
+//   // scope destructor disarms and, when the last trace ends, prunes
+//   // rings retired by exited worker threads.
+//
+// Cross-thread propagation: a thread-pool parent snapshots
+// current_trace_context() before dispatch and each worker installs it with
+// TraceContextScope, so spans emitted from Session::run_batch workers (and
+// therefore Explorer grid points) carry the originating request's trace id
+// and parent span.
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hls {
+
+namespace obs_detail {
+extern std::atomic<int> g_traces_active;  ///< count of live TraceScopes
+}  // namespace obs_detail
+
+/// True when at least one trace is in flight (relaxed load). Every
+/// instrumentation site branches on this first; the disarmed path is a
+/// single atomic load, matching failpoints_armed().
+inline bool trace_armed() {
+  return obs_detail::g_traces_active.load(std::memory_order_relaxed) > 0;
+}
+
+/// One captured interval. POD, fixed size, preformatted: rings copy these
+/// by value and export never has to chase pointers into dead stack frames.
+struct TraceSpan {
+  char name[40];             ///< span name, truncated ("schedule.k0")
+  const char* category;      ///< static-lifetime category string ("flow")
+  std::uint64_t trace_id;    ///< owning trace
+  std::uint64_t start_ns;    ///< nanoseconds since TraceSession epoch
+  std::uint64_t dur_ns;      ///< duration
+  std::uint32_t thread;      ///< small per-ring thread ordinal
+  std::uint32_t id;          ///< span id, unique per process
+  std::uint32_t parent;      ///< parent span id, 0 for a trace root
+  char detail[72];           ///< preformatted "k=v k=v" attribute set
+};
+
+/// Thread-local trace membership: which trace this thread is emitting into
+/// and the innermost open span (the parent of the next span).
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = not tracing on this thread
+  std::uint32_t parent = 0;
+};
+
+class TraceSession {
+ public:
+  static TraceSession& global();
+
+  /// Snapshot of this thread's context, for handing to pool workers.
+  static TraceContext current_context();
+
+  /// All spans of `trace_id` across every ring (live and retired),
+  /// sorted by (start, id). Stable across repeated calls until the
+  /// emitting rings wrap.
+  std::vector<TraceSpan> collect(std::uint64_t trace_id) const;
+
+  /// Chrome trace-event document: {"traceEvents":[...],"displayTimeUnit"}.
+  /// Complete "X" (duration) events; ts/dur in microseconds; args carry
+  /// span_id / parent / detail so tooling can rebuild the tree exactly.
+  static std::string chrome_json(const std::vector<TraceSpan>& spans);
+
+  /// Nanoseconds since this session's epoch (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Capacity of one per-thread ring, in spans (oldest overwritten).
+  static constexpr std::size_t ring_capacity() { return 2048; }
+
+  struct Impl;  ///< defined in trace.cpp; name public for its thread hooks
+
+ private:
+  TraceSession();
+  friend class TraceScope;
+  friend class ScopedSpan;
+  friend void emit_span(const char* name, const char* category,
+                        std::uint64_t start_ns, std::uint64_t dur_ns,
+                        const char* detail_fmt, ...);
+  friend class TraceContextScope;
+  Impl* impl_;  // leaked singleton state; never destroyed
+};
+
+/// RAII: one trace. Construction with enabled=true allocates a trace id,
+/// bumps the armed count and installs this thread's TraceContext; the
+/// destructor restores the previous context, disarms, and — when this was
+/// the last live trace — frees rings retired by exited threads (nobody can
+/// collect them any more), bounding daemon memory across traced requests.
+/// With enabled=false the scope is inert, so callers can construct it
+/// unconditionally from an option flag.
+class TraceScope {
+ public:
+  explicit TraceScope(bool enabled);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool enabled() const { return trace_id_ != 0; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
+ private:
+  std::uint64_t trace_id_ = 0;
+  TraceContext saved_;
+};
+
+/// Installs a snapshotted TraceContext on this thread for the scope's
+/// lifetime (pool workers). Cheap either way: two thread-local word copies.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// RAII span. Inert (no allocation, no ring write, no clock read) unless a
+/// trace is armed AND this thread is inside one; otherwise captures
+/// [construction, destruction) and parents any span opened within.
+class ScopedSpan {
+ public:
+  /// `category` must have static lifetime; `name` is copied (truncated).
+  ScopedSpan(const char* name, const char* category);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Whether this span is being captured (callers gate attribute
+  /// formatting on this so the disarmed path does no string work).
+  bool live() const { return live_; }
+
+  /// printf-append into the span's fixed attribute buffer; truncates.
+  /// No-op when not live.
+  void note(const char* fmt, ...);
+
+ private:
+  TraceSpan span_;       // staged here, pushed to the ring at destruction
+  std::uint32_t saved_parent_ = 0;
+  bool live_ = false;
+};
+
+/// Emits an already-measured interval (the scheduler's sampled commit
+/// batches, which know their start retrospectively). Inert unless this
+/// thread is inside an armed trace. `detail_fmt` may be nullptr.
+void emit_span(const char* name, const char* category, std::uint64_t start_ns,
+               std::uint64_t dur_ns, const char* detail_fmt, ...);
+
+}  // namespace hls

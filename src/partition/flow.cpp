@@ -30,6 +30,8 @@
 #include "flow/session.hpp"
 #include "kernel/extract.hpp"
 #include "kernel/narrow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/composite.hpp"
 #include "sched/core.hpp"
 #include "sched/schedule.hpp"
@@ -67,15 +69,24 @@ auto timed_stage(FlowResult& out, const FlowRequest& req, const char* name,
                  F&& f) {
   req.cancel.poll();
   stage_failpoint(name);
-  if (!req.options.timing) return stage(name, std::forward<F>(f));
+  ScopedSpan span(name, "flow");
+  const bool metrics = metrics_armed();
+  if (!req.options.timing && !metrics) return stage(name, std::forward<F>(f));
   const auto t0 = std::chrono::steady_clock::now();
   auto result = stage(name, std::forward<F>(f));
   const double ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
-  out.timings.push_back({name, ms});
-  out.diagnostics.push_back(timing_note(name, ms));
+  if (metrics) {
+    MetricsRegistry::global()
+        .histogram(std::string("flow.stage.") + name + ".ms")
+        .record(ms);
+  }
+  if (req.options.timing) {
+    out.timings.push_back({name, ms});
+    out.diagnostics.push_back(timing_note(name, ms));
+  }
   return result;
 }
 
@@ -210,10 +221,13 @@ FlowResult partitioned(const FlowRequest& req) {
       }
       SchedulerOptions opts;
       opts.cancel = req.cancel;
-      if (req.options.timing) {
+      if (req.options.timing || metrics_armed()) {
         opts.counters = &counters;
         FragSchedule fs = run_scheduler(req.scheduler, *out.transform, opts);
-        out.counters = counters;
+        if (req.options.timing) out.counters = counters;
+        if (metrics_armed()) {
+          publish_oracle_counters(MetricsRegistry::global(), counters);
+        }
         return fs;
       }
       return run_scheduler(req.scheduler, *out.transform, opts);
@@ -317,7 +331,7 @@ FlowResult partitioned(const FlowRequest& req) {
           SchedulerOptions opts;
           opts.cancel = req.cancel;
           OracleCounters local;
-          if (req.options.timing) opts.counters = &local;
+          if (req.options.timing || metrics_armed()) opts.counters = &local;
           auto fs = std::make_shared<const FragSchedule>(
               run_scheduler(req.scheduler, *run.transform, opts));
           counters.candidates_evaluated += local.candidates_evaluated;
@@ -329,6 +343,9 @@ FlowResult partitioned(const FlowRequest& req) {
         });
   }
   if (req.options.timing && !cache) out.counters = counters;
+  if (metrics_armed() && !cache) {
+    publish_oracle_counters(MetricsRegistry::global(), counters);
+  }
   {
     std::size_t fragments = 0, fu_ops = 0;
     for (const KernelRun& run : cs.runs) {

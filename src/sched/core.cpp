@@ -138,7 +138,15 @@ bool SchedulerCore::try_place(std::size_t k, unsigned c) {
   placed_[k] = true;
   cycle_of_[k] = c;
   journal_.push_back({k, c, m});
+  span_sampler_.tick();
   return true;
+}
+
+void SchedulerCore::CommitSpanSampler::emit() {
+  const std::uint64_t now = TraceSession::global().now_ns();
+  emit_span("sched.commit", "sched", batch_start_, now - batch_start_,
+            "commits=%u", pending_);
+  pending_ = 0;
 }
 
 void SchedulerCore::undo_last() {
@@ -162,6 +170,9 @@ void SchedulerCore::undo_last() {
 FragSchedule SchedulerCore::finish() const {
   HLS_REQUIRE(placed_count() == size(),
               "finish() requires every fragment placed");
+  // Close the sampled commit-batch span covering the tail commits, so a
+  // traced schedule always carries at least one "sched.commit" span.
+  span_sampler_.flush();
   if (options_.counters && engine_) {
     // Words are counted by the engine across its lifetime; flushing at
     // finish() keeps the hot path free of a second counter.

@@ -29,6 +29,7 @@
 
 #include "frag/transform.hpp"
 #include "ir/dfg_index.hpp"
+#include "obs/trace.hpp"
 #include "sched/fragsched.hpp"
 #include "sched/incremental.hpp"
 #include "support/cancel.hpp"
@@ -156,6 +157,34 @@ private:
     unsigned marginal;  ///< load delta charged at commit time
   };
 
+  /// Stride-sampled "sched.commit" trace spans over successful commits,
+  /// gated exactly like CancelCheckpoint: the disarmed tick is a branch on
+  /// one relaxed atomic (trace_armed()) and a counter reset. Armed, every
+  /// kStride-th commit closes a batch span covering the interval since the
+  /// batch opened; finish() flushes the partial batch so every traced
+  /// schedule emits at least one commit span.
+  class CommitSpanSampler {
+  public:
+    void tick() {
+      if (!trace_armed()) {
+        pending_ = 0;
+        return;
+      }
+      if (pending_ == 0) batch_start_ = TraceSession::global().now_ns();
+      if (++pending_ >= kStride) emit();
+    }
+    void flush() {
+      if (pending_ > 0 && trace_armed()) emit();
+      pending_ = 0;
+    }
+
+  private:
+    static constexpr unsigned kStride = 64;
+    void emit();
+    unsigned pending_ = 0;
+    std::uint64_t batch_start_ = 0;
+  };
+
   const TransformResult* t_;
   SchedulerOptions options_;
   std::shared_ptr<const DfgIndex> index_;  ///< flat index over t_->spec
@@ -170,6 +199,7 @@ private:
   std::vector<Commit> journal_;
   std::optional<IncrementalBitSim> engine_;  ///< Feasibility::Incremental
   BitCycles assign_;                         ///< Feasibility::FullResim
+  mutable CommitSpanSampler span_sampler_;   ///< flushed by finish() const
 };
 
 /// A scheduling strategy: TransformResult in, complete FragSchedule out.

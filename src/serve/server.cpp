@@ -18,6 +18,7 @@
 
 #include "dse/explorer.hpp"
 #include "flow/json.hpp"
+#include "obs/trace.hpp"
 #include "parser/parser.hpp"
 #include "suites/suites.hpp"
 #include "support/cancel.hpp"
@@ -223,6 +224,9 @@ Dfg resolve_spec(const JsonValue& req) {
   }
   if (!spec->is_string()) reject("protocol", "\"spec\" must be a string");
   try {
+    // The DSL parse is the serve-side "parse" flow stage; span-traced like
+    // the CLI's (suite resolution above is a registry lookup, not a parse).
+    ScopedSpan span("parse", "flow");
     return parse_spec(spec->as_string());
   } catch (const ParseError& e) {
     reject("parse", e.what());
@@ -236,41 +240,6 @@ std::string diagnostics_body(const FlowDiagnostic& d) {
 
 } // namespace
 
-// --- latency window ----------------------------------------------------------
-
-void Server::LatencyWindow::record(double ms) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < kCapacity) {
-    ring_.push_back(ms);
-  } else {
-    ring_[next_] = ms;
-  }
-  next_ = (next_ + 1) % kCapacity;
-  ++total_;
-}
-
-Server::LatencyWindow::Snapshot Server::LatencyWindow::snapshot() const {
-  std::vector<double> sorted;
-  std::uint64_t total = 0;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    sorted = ring_;
-    total = total_;
-  }
-  Snapshot s;
-  s.count = total;
-  if (sorted.empty()) return s;
-  std::sort(sorted.begin(), sorted.end());
-  const auto at_quantile = [&](double q) {
-    const std::size_t idx = static_cast<std::size_t>(
-        q * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-  };
-  s.p50 = at_quantile(0.50);
-  s.p99 = at_quantile(0.99);
-  return s;
-}
-
 // --- server ------------------------------------------------------------------
 
 Server::Server(ServeOptions options)
@@ -279,7 +248,26 @@ Server::Server(ServeOptions options)
       cache_(std::make_shared<ArtifactCache>(ArtifactCacheOptions{
           .shards = options.cache_shards,
           .max_resident_bytes = options.cache_max_bytes})),
-      deadlines_(std::make_unique<DeadlineMonitor>()) {}
+      deadlines_(std::make_unique<DeadlineMonitor>()) {
+  // Every serve instrument lives in this Server's own registry; the
+  // Counters struct caches the stable references so the hot path is one
+  // relaxed fetch_add, exactly like the plain atomics it replaced.
+  counters_.run = &metrics_.counter("serve.requests.run");
+  counters_.sweep = &metrics_.counter("serve.requests.sweep");
+  counters_.explore = &metrics_.counter("serve.requests.explore");
+  counters_.metrics = &metrics_.counter("serve.requests.metrics");
+  counters_.stats = &metrics_.counter("serve.requests.stats");
+  counters_.shutdown = &metrics_.counter("serve.requests.shutdown");
+  counters_.errors = &metrics_.counter("serve.requests.errors");
+  counters_.deadline_exceeded =
+      &metrics_.counter("serve.requests.deadline_exceeded");
+  counters_.admitted = &metrics_.counter("serve.admitted");
+  counters_.shed = &metrics_.counter("serve.shed");
+  counters_.cancelled = &metrics_.counter("serve.cancelled");
+  counters_.disconnects = &metrics_.counter("serve.disconnects");
+  counters_.cache_bypass = &metrics_.counter("serve.cache_bypass");
+  latency_ms_ = &metrics_.histogram("serve.request.ms");
+}
 
 Server::~Server() = default;
 
@@ -313,10 +301,9 @@ void Server::release_heavy() {
 }
 
 unsigned Server::retry_after_hint() const {
-  const LatencyWindow::Snapshot lat = latencies_.snapshot();
   // No history yet: a small fixed hint beats a zero that invites an
   // immediate hammer-retry.
-  double ms = lat.count > 0 ? lat.p50 : 10.0;
+  double ms = latency_ms_->count() > 0 ? latency_ms_->quantile(0.5) : 10.0;
   unsigned backlog = 1;
   {
     const std::lock_guard<std::mutex> lock(admission_.mu);
@@ -333,7 +320,7 @@ std::shared_ptr<ArtifactCache> Server::request_cache() {
   const std::uint64_t before =
       last_evictions_.exchange(now, std::memory_order_acq_rel);
   if (now - before >= options_.storm_evictions) {
-    counters_.cache_bypass.fetch_add(1, std::memory_order_relaxed);
+    counters_.cache_bypass->add();
     return nullptr;  // degrade: recompute rather than thrash the LRU
   }
   return cache_;
@@ -341,12 +328,11 @@ std::shared_ptr<ArtifactCache> Server::request_cache() {
 
 std::string Server::stats_json() const {
   std::ostringstream os;
-  const auto c = [](const std::atomic<std::uint64_t>& a) {
-    return a.load(std::memory_order_relaxed);
-  };
+  const auto c = [](const Counter* counter) { return counter->value(); };
   os << "{\"requests\":{\"run\":" << c(counters_.run)
      << ",\"sweep\":" << c(counters_.sweep)
      << ",\"explore\":" << c(counters_.explore)
+     << ",\"metrics\":" << c(counters_.metrics)
      << ",\"stats\":" << c(counters_.stats)
      << ",\"shutdown\":" << c(counters_.shutdown)
      << ",\"errors\":" << c(counters_.errors)
@@ -366,10 +352,15 @@ std::string Server::stats_json() const {
      << ",\"max_queue\":" << options_.max_queue
      << ",\"storm_evictions\":" << options_.storm_evictions
      << ",\"workers\":" << options_.workers << "},";
-  const LatencyWindow::Snapshot lat = latencies_.snapshot();
-  os << "\"latency_ms\":{\"count\":" << lat.count
-     << ",\"p50\":" << json_number(lat.p50, 3)
-     << ",\"p99\":" << json_number(lat.p99, 3) << "},";
+  // p50/p99 read off the log-bucketed histogram (bucket upper bounds, so
+  // quantized within one sub-bucket and monotone by construction). The
+  // histogram never drops history — the sliding window it replaced
+  // silently forgot everything older than its retained capacity.
+  const std::uint64_t lat_count = latency_ms_->count();
+  os << "\"latency_ms\":{\"count\":" << lat_count
+     << ",\"p50\":" << json_number(lat_count ? latency_ms_->quantile(0.5) : 0.0, 3)
+     << ",\"p99\":" << json_number(lat_count ? latency_ms_->quantile(0.99) : 0.0, 3)
+     << "},";
   // Per-stage cache counters. "lookups" is emitted explicitly so clients
   // (and scripts/serve_check.py) can assert hits + misses == lookups
   // without re-deriving it.
@@ -400,6 +391,20 @@ std::string Server::stats_json() const {
   return os.str();
 }
 
+std::string Server::metrics_body() const {
+  // Refresh the cache gauges from the shared store at scrape time — the
+  // cache keeps its own atomic ledger; the registry mirrors it so one
+  // scrape covers every serve instrument.
+  publish_cache_stats(metrics_, cache_->stats());
+  metrics_.gauge("serve.active_connections")
+      .set(static_cast<double>(
+          active_connections_.load(std::memory_order_relaxed)));
+  std::ostringstream os;
+  os << "{\"exposition\":\"" << json_escape(metrics_.exposition())
+     << "\",\"metrics\":" << metrics_.json() << "}";
+  return os.str();
+}
+
 std::string Server::handle_line(const std::string& line) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&] {
@@ -413,7 +418,7 @@ std::string Server::handle_line(const std::string& line) {
   bool ok = false;
   std::string body_key = "diagnostics";
   std::string body;
-  bool timed = false;  // run/sweep/explore contribute to the latency window
+  bool timed = false;  // run/sweep/explore contribute to the latency histogram
   double deadline_ms = 0;
   unsigned retry_after = 0;    // ms; > 0 adds "retry_after_ms" to the envelope
   bool work_cancelled = false; // a checkpoint aborted the work mid-stage
@@ -421,6 +426,14 @@ std::string Server::handle_line(const std::string& line) {
   // carries a null token, so the no-deadline path is byte-for-byte the
   // pre-cancellation one.
   std::optional<CancelSource> cancel;
+  // Per-request tracing ("trace": true on a heavy request): the scope arms
+  // the process-wide TraceSession for this thread (run_batch workers
+  // inherit the context), the root span covers the request's work, and the
+  // envelope gains a "trace" member. Requests without the flag leave both
+  // disengaged — their envelopes are byte-identical to an untraced
+  // server's.
+  std::optional<TraceScope> trace_scope;
+  std::optional<ScopedSpan> request_span;
 
   // Local RAII so every exit path — result, reject(), injected fault —
   // releases its admission slot and retires its deadline entry.
@@ -454,16 +467,21 @@ std::string Server::handle_line(const std::string& line) {
     CancelToken token;
     std::shared_ptr<ArtifactCache> req_cache = cache_;
     if (kind == "run" || kind == "sweep" || kind == "explore") {
+      if (opt_bool(req, "trace", false)) {
+        trace_scope.emplace(true);
+        request_span.emplace("serve.request", "serve");
+        request_span->note("kind=%s", kind.c_str());
+      }
       failpoint("serve.admit");
       if (!admit_heavy()) {
-        counters_.shed.fetch_add(1, std::memory_order_relaxed);
+        counters_.shed->add();
         retry_after = retry_after_hint();
         reject("overloaded",
                strformat("server is at capacity (%u active, %u queued); "
                          "retry after the hinted backoff",
                          resolved_max_active(), options_.max_queue));
       }
-      counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+      counters_.admitted->add();
       admit_guard.server = this;
       req_cache = request_cache();
       if (deadline_ms > 0) {
@@ -479,11 +497,11 @@ std::string Server::handle_line(const std::string& line) {
     }
 
     if (kind == "run") {
-      counters_.run.fetch_add(1, std::memory_order_relaxed);
+      counters_.run->add();
       timed = true;
-      check_members(req, {"kind", "id", "deadline_ms", "suite", "spec",
-                          "flow", "latency", "n_bits", "scheduler", "target",
-                          "narrow"});
+      check_members(req, {"kind", "id", "deadline_ms", "trace", "suite",
+                          "spec", "flow", "latency", "n_bits", "scheduler",
+                          "target", "narrow"});
       FlowRequest fr;
       fr.spec = resolve_spec(req);
       fr.flow = opt_string(req, "flow", "optimized");
@@ -499,10 +517,10 @@ std::string Server::handle_line(const std::string& line) {
       body_key = "result";
       body = to_json(r);
     } else if (kind == "sweep") {
-      counters_.sweep.fetch_add(1, std::memory_order_relaxed);
+      counters_.sweep->add();
       timed = true;
-      check_members(req, {"kind", "id", "deadline_ms", "suite", "spec",
-                          "flow", "lo", "hi", "scheduler", "targets",
+      check_members(req, {"kind", "id", "deadline_ms", "trace", "suite",
+                          "spec", "flow", "lo", "hi", "scheduler", "targets",
                           "narrow"});
       const Dfg spec = resolve_spec(req);
       const std::string flow = opt_string(req, "flow", "optimized");
@@ -542,11 +560,11 @@ std::string Server::handle_line(const std::string& line) {
       body_key = "result";
       body = to_json(results);
     } else if (kind == "explore") {
-      counters_.explore.fetch_add(1, std::memory_order_relaxed);
+      counters_.explore->add();
       timed = true;
-      check_members(req, {"kind", "id", "deadline_ms", "suite", "spec",
-                          "flows", "schedulers", "targets", "lo", "hi",
-                          "budget", "prune", "narrow"});
+      check_members(req, {"kind", "id", "deadline_ms", "trace", "suite",
+                          "spec", "flows", "schedulers", "targets", "lo",
+                          "hi", "budget", "prune", "narrow"});
       ExploreRequest er;
       er.spec = resolve_spec(req);
       er.flows = opt_string_list(req, "flows", {"optimized"});
@@ -565,14 +583,20 @@ std::string Server::handle_line(const std::string& line) {
       ok = res.ok;
       body_key = "result";
       body = to_json(res);
+    } else if (kind == "metrics") {
+      counters_.metrics->add();
+      check_members(req, {"kind", "id", "deadline_ms"});
+      ok = true;
+      body_key = "result";
+      body = metrics_body();
     } else if (kind == "stats") {
-      counters_.stats.fetch_add(1, std::memory_order_relaxed);
+      counters_.stats->add();
       check_members(req, {"kind", "id", "deadline_ms"});
       ok = true;
       body_key = "result";
       body = stats_json();
     } else if (kind == "shutdown") {
-      counters_.shutdown.fetch_add(1, std::memory_order_relaxed);
+      counters_.shutdown->add();
       check_members(req, {"kind", "id", "deadline_ms"});
       ok = true;
       body_key = "result";
@@ -582,7 +606,7 @@ std::string Server::handle_line(const std::string& line) {
     } else {
       reject("protocol",
              "unknown kind '" + json_escape(kind) +
-                 "' (run | sweep | explore | stats | shutdown)");
+                 "' (run | sweep | explore | metrics | stats | shutdown)");
     }
 
   } catch (const CancelledError&) {
@@ -593,7 +617,7 @@ std::string Server::handle_line(const std::string& line) {
     // completed values. The uniform "deadline" envelope is built below.
     work_cancelled = true;
   } catch (const JsonParseError& e) {
-    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    counters_.errors->add();
     ok = false;
     body_key = "diagnostics";
     body = diagnostics_body(
@@ -602,7 +626,7 @@ std::string Server::handle_line(const std::string& line) {
     // A shed request is back-pressure, not a server error — it already
     // counted in `shed` and the client's cue is the retry_after_ms hint.
     if (e.stage() != "overloaded") {
-      counters_.errors.fetch_add(1, std::memory_order_relaxed);
+      counters_.errors->add();
     }
     ok = false;
     body_key = "diagnostics";
@@ -610,7 +634,7 @@ std::string Server::handle_line(const std::string& line) {
         {DiagSeverity::Error, e.stage(), e.what(), e.context()});
   } catch (const Error& e) {
     // Anything else the stack raised: structured, never a crash.
-    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    counters_.errors->add();
     ok = false;
     body_key = "diagnostics";
     body = diagnostics_body(
@@ -618,7 +642,7 @@ std::string Server::handle_line(const std::string& line) {
   } catch (const std::exception& e) {
     // Non-Error exceptions (e.g. an injected std::bad_alloc): still one
     // structured envelope, never a dead connection thread.
-    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    counters_.errors->add();
     ok = false;
     body_key = "diagnostics";
     body = diagnostics_body(
@@ -633,8 +657,8 @@ std::string Server::handle_line(const std::string& line) {
   const bool tripped =
       work_cancelled || (cancel.has_value() && cancel->cancelled());
   if (timed && deadline_ms > 0 && (tripped || elapsed_ms() > deadline_ms)) {
-    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-    if (tripped) counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    counters_.deadline_exceeded->add();
+    if (tripped) counters_.cancelled->add();
     ok = false;
     body_key = "diagnostics";
     retry_after = retry_after_hint();
@@ -647,7 +671,22 @@ std::string Server::handle_line(const std::string& line) {
   }
 
   const double ms = elapsed_ms();
-  if (timed) latencies_.record(ms);
+  if (timed) latency_ms_->record(ms);
+
+  // Close the trace before assembling the envelope: the request span's
+  // duration is final only once it is destroyed, and collect() must see it.
+  std::string trace_json;
+  if (trace_scope.has_value() && trace_scope->enabled()) {
+    const std::uint64_t trace_id = trace_scope->trace_id();
+    request_span.reset();
+    const std::vector<TraceSpan> spans =
+        TraceSession::global().collect(trace_id);
+    trace_json = strformat("{\"id\":%llu,\"spans\":%zu,\"chrome\":",
+                           static_cast<unsigned long long>(trace_id),
+                           spans.size()) +
+                 TraceSession::chrome_json(spans) + "}";
+    trace_scope.reset();  // disarm; prunes retired worker rings when last
+  }
 
   std::ostringstream os;
   os << "{\"schema\":\"fraghls-serve-v1\",\"kind\":\"" << json_escape(kind)
@@ -655,6 +694,7 @@ std::string Server::handle_line(const std::string& line) {
   if (!id_json.empty()) os << ",\"id\":" << id_json;
   os << ",\"ok\":" << (ok ? "true" : "false");
   os << ",\"" << body_key << "\":" << body;
+  if (!trace_json.empty()) os << ",\"trace\":" << trace_json;
   os << ",\"ms\":" << json_number(ms, 3);
   if (retry_after > 0) os << ",\"retry_after_ms\":" << retry_after;
   os << "}";
@@ -729,7 +769,7 @@ void Server::connection_loop(int conn) {
         wrote = false;  // injected write fault, same as a dead peer
       }
       if (!wrote) {
-        counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+        counters_.disconnects->add();
         clean_eof = true;  // counted once; don't double-count below
         goto done;
       }
@@ -743,7 +783,7 @@ done:
   // A peer that vanished mid-line (reset, or died between request and
   // response) counts once; a clean EOF — or the drain's SHUT_RD — doesn't.
   if (!clean_eof && !shutdown_requested()) {
-    counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    counters_.disconnects->add();
   }
   {
     // Deregister before close: once the fd is closed the kernel may reuse

@@ -53,13 +53,22 @@
 //
 // `stats` surfaces request counters per kind, the serve robustness counters
 // (admitted/shed/cancelled/active_connections/disconnects/cache_bypass),
-// p50/p99 request latency over a sliding window, the per-stage cache
-// counters (hits/misses/lookups/evictions/resident_bytes; hits + misses ==
-// lookups by construction) and a "config" block echoing the resolved
-// deadline and admission bounds. `shutdown` responds with the same summary,
-// then the serve loop drains: the stdin loop returns after the response
-// line, the TCP loop stops accepting, unblocks idle connections and joins
-// them all.
+// p50/p99 request latency derived from the server's log-bucketed latency
+// histogram (obs/metrics.hpp — never-dropping, unlike the sliding window it
+// replaced), the per-stage cache counters (hits/misses/lookups/evictions/
+// resident_bytes; hits + misses == lookups by construction) and a "config"
+// block echoing the resolved deadline and admission bounds. `metrics`
+// returns the same instruments as Prometheus text exposition plus a JSON
+// snapshot. `shutdown` responds with the stats summary, then the serve loop
+// drains: the stdin loop returns after the response line, the TCP loop
+// stops accepting, unblocks idle connections and joins them all.
+//
+// Tracing: any run/sweep/explore request may carry `"trace": true`; the
+// response envelope then gains a "trace" member — the trace id, span count
+// and the Chrome trace-event document covering the request span, every
+// flow stage (per kernel in the partitioned flow), sampled scheduler
+// commit batches and cache lookups. Without the member, envelopes are
+// byte-identical to an untraced server's.
 //
 // Fault injection: failpoints (support/failpoint.hpp) are planted at the
 // request parse ("serve.parse"), the admission gate ("serve.admit") and the
@@ -79,6 +88,7 @@
 
 #include "dse/cache.hpp"
 #include "flow/session.hpp"
+#include "obs/metrics.hpp"
 
 namespace hls {
 
@@ -152,35 +162,26 @@ public:
   const std::shared_ptr<ArtifactCache>& cache() const { return cache_; }
 
 private:
-  /// Sliding window of request wall-clocks for the p50/p99 stats.
-  class LatencyWindow {
-  public:
-    void record(double ms);
-    /// (count, p50, p99) over the retained window.
-    struct Snapshot {
-      std::uint64_t count = 0;
-      double p50 = 0, p99 = 0;
-    };
-    Snapshot snapshot() const;
-
-  private:
-    static constexpr std::size_t kCapacity = 1 << 14;
-    mutable std::mutex mu_;
-    std::vector<double> ring_;
-    std::size_t next_ = 0;
-    std::uint64_t total_ = 0;
-  };
-
   /// Per-kind request counters plus the serve robustness counters,
-  /// surfaced by `stats` and the shutdown summary.
+  /// surfaced by `stats` and the shutdown summary. The instruments live in
+  /// this Server's own MetricsRegistry (metrics_) — per instance, not
+  /// process-global, so multiple Servers in one process (tests) keep
+  /// independent, ledger-exact stats — and these pointers are stable
+  /// references into it.
   struct Counters {
-    std::atomic<std::uint64_t> run{0}, sweep{0}, explore{0}, stats{0},
-        shutdown{0}, errors{0}, deadline_exceeded{0};
-    std::atomic<std::uint64_t> admitted{0};      ///< heavy requests admitted
-    std::atomic<std::uint64_t> shed{0};          ///< heavy requests shed
-    std::atomic<std::uint64_t> cancelled{0};     ///< aborted mid-stage
-    std::atomic<std::uint64_t> disconnects{0};   ///< peers lost mid-stream
-    std::atomic<std::uint64_t> cache_bypass{0};  ///< storm-degraded requests
+    Counter* run = nullptr;
+    Counter* sweep = nullptr;
+    Counter* explore = nullptr;
+    Counter* metrics = nullptr;
+    Counter* stats = nullptr;
+    Counter* shutdown = nullptr;
+    Counter* errors = nullptr;
+    Counter* deadline_exceeded = nullptr;
+    Counter* admitted = nullptr;      ///< heavy requests admitted
+    Counter* shed = nullptr;          ///< heavy requests shed
+    Counter* cancelled = nullptr;     ///< aborted mid-stage
+    Counter* disconnects = nullptr;   ///< peers lost mid-stream
+    Counter* cache_bypass = nullptr;  ///< storm-degraded requests
   };
 
   /// Bounded admission gate for heavy requests. Waiters queue up to
@@ -194,6 +195,9 @@ private:
   };
 
   std::string stats_json() const;
+  /// Body of the `metrics` kind: Prometheus exposition + JSON snapshot of
+  /// metrics_ (cache gauges refreshed from the shared cache first).
+  std::string metrics_body() const;
   unsigned resolved_max_active() const;
   bool admit_heavy();
   void release_heavy();
@@ -212,8 +216,9 @@ private:
   ServeOptions options_;
   Session session_;
   std::shared_ptr<ArtifactCache> cache_;
+  mutable MetricsRegistry metrics_;  ///< this server's instrument registry
   Counters counters_;
-  LatencyWindow latencies_;
+  Histogram* latency_ms_ = nullptr;  ///< request wall-clock, in metrics_
   Admission admission_;
   std::unique_ptr<DeadlineMonitor> deadlines_;
   std::atomic<std::uint64_t> last_evictions_{0};  ///< storm-detection sample

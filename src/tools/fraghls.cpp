@@ -25,6 +25,8 @@
 #include "flow/json.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ir/dot.hpp"
 #include "ir/print.hpp"
 #include "parser/parser.hpp"
@@ -92,6 +94,9 @@ struct Args {
   // Fault injection (support/failpoint.hpp): any mode, for chaos testing.
   std::string failpoints;              ///< --failpoints spec, "" = none
   bool list_failpoints = false;
+  // Observability (obs/): whole-invocation span capture + metrics dump.
+  std::string trace_path;              ///< --trace FILE, "" = tracing off
+  bool metrics = false;                ///< --metrics: arm + print exposition
 };
 
 /// The three name registries the CLI fronts, as one table: drives the
@@ -352,6 +357,14 @@ const OptionSpec kOptions[] = {
      [](Args& a, const std::string& v) {
        a.storm_evictions = parse_unsigned(v);
      }},
+    {"--trace", "FILE",
+     "write a Chrome trace-event JSON of this invocation's spans to FILE "
+     "(open in chrome://tracing or Perfetto); --json gains a \"trace\" key",
+     [](Args& a, const std::string& v) { a.trace_path = v; }},
+    {"--metrics", nullptr,
+     "arm the metrics registry (obs/metrics.hpp) and print its Prometheus "
+     "text exposition to stderr after the run",
+     [](Args& a, const std::string&) { a.metrics = true; }},
     {"--failpoints", "SPEC",
      "arm fault injection: NAME=error|delay:MS|alloc[*N],... (also the "
      "FRAGHLS_FAILPOINTS env var; see --list-failpoints)",
@@ -433,6 +446,11 @@ Args parse_args(int argc, char** argv) {
         a.sweep_lo != 0 || a.explore) {
       usage("--serve takes requests on stdin (or --serve-port); spec files, "
             "--latency/--sweep and --explore do not apply");
+    }
+    if (!a.trace_path.empty() || a.metrics) {
+      usage("--serve observability is per-request: send \"trace\": true in a "
+            "request, or the 'metrics' request kind (--trace/--metrics apply "
+            "to point/sweep/explore invocations)");
     }
     return a;
   }
@@ -548,6 +566,74 @@ void print_oracle_counters(const FlowResult& r) {
             << " words repropagated\n";
 }
 
+/// --trace FILE: the whole invocation runs under one TraceScope with a root
+/// "cli" span, so every flow stage, scheduler commit batch and cache access
+/// nests below it. finish() closes the root, writes the Chrome trace-event
+/// document to FILE and yields the {"id":..,"spans":..} fragment the --json
+/// output embeds; the destructor finishes the non-JSON paths (one stderr
+/// note instead of the fragment). Without --trace every member is inert —
+/// stdout is byte-identical to an untraced build.
+class CliTrace {
+public:
+  explicit CliTrace(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    scope_.emplace(true);
+    root_.emplace("cli", "cli");
+  }
+  ~CliTrace() { finish(); }
+  CliTrace(const CliTrace&) = delete;
+  CliTrace& operator=(const CliTrace&) = delete;
+
+  bool armed() const { return !path_.empty(); }
+
+  std::string finish() {
+    if (!scope_) return fragment_;
+    root_.reset();
+    const std::uint64_t id = scope_->trace_id();
+    const std::vector<TraceSpan> spans = TraceSession::global().collect(id);
+    scope_.reset();
+    std::ofstream out(path_);
+    out << TraceSession::chrome_json(spans) << '\n';
+    if (!out) {
+      std::cerr << "warning: cannot write trace to '" << path_ << "'\n";
+    } else {
+      std::cerr << "trace: " << spans.size() << " spans -> " << path_ << '\n';
+    }
+    fragment_ = strformat("{\"id\":%llu,\"spans\":%zu}",
+                          static_cast<unsigned long long>(id), spans.size());
+    return fragment_;
+  }
+
+private:
+  std::string path_;
+  std::string fragment_;  ///< cached so finish() is idempotent
+  std::optional<TraceScope> scope_;
+  std::optional<ScopedSpan> root_;
+};
+
+/// --metrics: dumps the process-global registry as Prometheus text
+/// exposition to stderr when the invocation ends, whatever the exit path
+/// (stderr so --json stdout stays a single parseable document).
+struct MetricsDump {
+  bool armed = false;
+  ~MetricsDump() {
+    if (armed) std::cerr << MetricsRegistry::global().exposition();
+  }
+};
+
+/// Emits a --json document: the plain body, or — under --trace —
+/// {"results":<body>,"trace":{"id":..,"spans":..}} so scripted consumers get
+/// the trace handle in-band. Byte-stable (the body alone) when tracing is
+/// off.
+void print_json_doc(CliTrace& trace, const std::string& body) {
+  if (trace.armed()) {
+    std::cout << "{\"results\":" << body << ",\"trace\":" << trace.finish()
+              << "}\n";
+  } else {
+    std::cout << body << '\n';
+  }
+}
+
 /// Prints Error diagnostics to stderr; returns false when any are present.
 bool check(const std::vector<FlowResult>& results) {
   bool ok = true;
@@ -602,6 +688,14 @@ int main(int argc, char** argv) {
     return server.serve(std::cin, std::cout);
   }
 
+  // Observability arms before any flow work: --metrics flips the process-
+  // global registry live, --trace opens the invocation-wide scope (the root
+  // "cli" span every stage span nests under). Both default off, and off
+  // means every instrumented site is a relaxed-load no-op.
+  if (args.metrics) MetricsRegistry::arm_global();
+  const MetricsDump metrics_dump{args.metrics};
+  CliTrace trace(args.trace_path);
+
   // --delta / --overhead derive a modified target and register it next to
   // the builtins — the same registration path user code uses.
   if (args.delta_override || args.overhead_override) {
@@ -629,8 +723,13 @@ int main(int argc, char** argv) {
 
   try {
     const auto parse_t0 = std::chrono::steady_clock::now();
-    const Dfg spec = args.suite.empty() ? parse_spec(buffer.str())
-                                        : suite_spec(args.suite);
+    const Dfg spec = [&] {
+      // Spans the spec-obtaining step (DSL parse or suite build) so a traced
+      // invocation carries the same "parse" stage the --timing table does.
+      ScopedSpan span("parse", "flow");
+      return args.suite.empty() ? parse_spec(buffer.str())
+                                : suite_spec(args.suite);
+    }();
     const double parse_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - parse_t0)
@@ -671,7 +770,7 @@ int main(int argc, char** argv) {
       ereq.workers = args.workers;
       const ExploreResult er = Explorer().run(ereq);
       if (args.json) {
-        std::cout << to_json(er) << '\n';
+        print_json_doc(trace, to_json(er));
       } else if (args.csv) {
         std::cout << to_csv(er);
       } else {
@@ -734,7 +833,7 @@ int main(int argc, char** argv) {
       if (args.json) {
         // Failed jobs still serialize (ok:false + diagnostics) so scripted
         // consumers see the structured error, not just the exit status.
-        std::cout << to_json(results) << '\n';
+        print_json_doc(trace, to_json(results));
         return all_ok ? 0 : 1;
       }
       if (!all_ok) return 1;
@@ -851,7 +950,7 @@ int main(int argc, char** argv) {
       }
     }
     if (args.json) {
-      std::cout << to_json(results) << '\n';
+      print_json_doc(trace, to_json(results));
     }
     if (!check(results)) return 1;
   } catch (const ParseError& e) {

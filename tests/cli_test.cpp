@@ -117,7 +117,8 @@ TEST(Cli, UsageListsEveryOption) {
         "--emit-tb", "--narrow", "--scheduler", "--target", "--list-flows",
         "--list-schedulers", "--list-targets", "--pipeline", "--json",
         "--workers", "--delta", "--overhead", "--serve", "--serve-port",
-        "--cache-mb", "--cache-shards", "--deadline-ms"}) {
+        "--cache-mb", "--cache-shards", "--deadline-ms", "--trace",
+        "--metrics"}) {
     EXPECT_NE(r.output.find(opt), std::string::npos) << opt;
   }
   // The registry summary is generated from the live registries.
@@ -300,6 +301,66 @@ TEST(Cli, ServeFlagsAreGatedBothWays) {
   EXPECT_NE(run_cli(spec + " --latency 3 --serve-port 0").status, 0);
   EXPECT_NE(run_cli(spec + " --latency 3 --cache-mb 64").status, 0);
   EXPECT_NE(run_cli(spec + " --latency 3 --deadline-ms 5").status, 0);
+  // Observability flags are point-mode only: serving traces per request.
+  EXPECT_NE(run_cli("--serve --trace /tmp/fraghls_cli_t.json").status, 0);
+  EXPECT_NE(run_cli("--serve --metrics").status, 0);
+}
+
+TEST(Cli, TraceFlagWritesChromeJsonAndTagsJsonOutput) {
+  const std::string spec = write_spec("chain", kChain);
+  const std::string trace_path = "/tmp/fraghls_cli_trace.json";
+  std::remove(trace_path.c_str());
+  // The "2>/dev/null && :" keeps run_cli's trailing merge off the trace
+  // note, so r.output is the stdout document alone.
+  const CliResult r = run_cli(spec + " --latency 3 --flow optimized --json " +
+                              "--trace " + trace_path +
+                              " 2>/dev/null && :");
+  EXPECT_EQ(r.status, 0) << r.output;
+  // The --json document becomes {"results":...,"trace":{"id":..,"spans":..}}.
+  EXPECT_EQ(r.output.find("{\"results\":["), 0u) << r.output.substr(0, 80);
+  EXPECT_NE(r.output.find(",\"trace\":{\"id\":"), std::string::npos);
+  EXPECT_NE(r.output.find("\"spans\":"), std::string::npos);
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.good());
+  std::string doc((std::istreambuf_iterator<char>(file)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u);
+  for (const char* span : {"\"cli\"", "\"parse\"", "\"session.run\"",
+                           "\"schedule\"", "\"sched.commit\""}) {
+    EXPECT_NE(doc.find(span), std::string::npos) << span;
+  }
+  std::remove(trace_path.c_str());
+
+  // Without --trace the document is the plain results array: no wrapper,
+  // byte-for-byte what pre-tracing builds printed.
+  const CliResult plain =
+      run_cli(spec + " --latency 3 --flow optimized --json");
+  EXPECT_EQ(plain.status, 0);
+  EXPECT_EQ(plain.output.find("[{\"flow\":"), 0u) << plain.output.substr(0, 80);
+  EXPECT_EQ(plain.output.find("\"trace\""), std::string::npos);
+}
+
+TEST(Cli, MetricsFlagPrintsExpositionWithoutTouchingResults) {
+  const std::string spec = write_spec("chain", kChain);
+  const CliResult plain =
+      run_cli(spec + " --latency 3 --flow optimized --json");
+  EXPECT_EQ(plain.status, 0);
+  // --metrics dumps to stderr only; the stdout document stays identical.
+  const std::string err_path = "/tmp/fraghls_cli_metrics.err";
+  const CliResult armed = run_cli(spec + " --latency 3 --flow optimized " +
+                                  "--json --metrics 2>" + err_path +
+                                  " && :");
+  EXPECT_EQ(armed.status, 0);
+  EXPECT_EQ(armed.output, plain.output);
+  std::ifstream err(err_path);
+  ASSERT_TRUE(err.good());
+  std::string exposition((std::istreambuf_iterator<char>(err)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(exposition.find("# TYPE flow_stage_schedule_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE oracle_candidates_probed counter"),
+            std::string::npos);
+  std::remove(err_path.c_str());
 }
 
 TEST(Cli, NotesWhenWorkersExceedHardwareConcurrency) {

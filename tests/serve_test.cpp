@@ -277,6 +277,69 @@ TEST(Serve, StatsAreConsistentAndShutdownCarriesTheSummary) {
   EXPECT_EQ(result->find("cache_config")->find("shards")->as_unsigned(), 8u);
 }
 
+TEST(Serve, MetricsKindReturnsExpositionAndSnapshot) {
+  Server server;
+  EXPECT_TRUE(response_ok(parse_response(server.handle_line(
+      R"({"kind":"run","suite":"fir2","latency":3})"))));
+  const JsonValue resp = parse_response(
+      server.handle_line(R"({"kind":"metrics","id":5})"));
+  ASSERT_TRUE(response_ok(resp));
+  const JsonValue* result = resp.find("result");
+  ASSERT_NE(result, nullptr);
+  const std::string exposition = result->find("exposition")->as_string();
+  EXPECT_NE(exposition.find("# TYPE serve_requests_run counter"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("serve_requests_run 1"), std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE serve_request_ms histogram"),
+            std::string::npos);
+  const JsonValue* snapshot = result->find("metrics");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(
+      snapshot->find("counters")->find("serve.requests.run")->as_double(),
+      1.0);
+  // The snapshot and `stats` read the same instruments: the histogram count
+  // equals the stats latency count, and the metrics request itself counts.
+  const JsonValue stats =
+      parse_response(server.handle_line(R"({"kind":"stats"})"));
+  const JsonValue* requests = stats.find("result")->find("requests");
+  EXPECT_EQ(requests->find("metrics")->as_double(), 1.0);
+  EXPECT_EQ(snapshot->find("histograms")
+                ->find("serve.request.ms")
+                ->find("count")
+                ->as_double(),
+            stats.find("result")->find("latency_ms")->find("count")
+                ->as_double());
+}
+
+TEST(Serve, TracedRunCarriesSpanTreeUntracedDoesNot) {
+  Server server;
+  const JsonValue traced = parse_response(server.handle_line(
+      R"({"kind":"run","suite":"synth-2kernel","flow":"partitioned",)"
+      R"("latency":4,"trace":true})"));
+  ASSERT_TRUE(response_ok(traced));
+  const JsonValue* trace = traced.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GE(trace->find("id")->as_double(), 1.0);
+  const JsonValue* events = trace->find("chrome")->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(static_cast<double>(events->as_array().size()),
+            trace->find("spans")->as_double());
+  std::string names;
+  for (const JsonValue& e : events->as_array()) {
+    names += e.find("name")->as_string() + " ";
+  }
+  for (const char* expect : {"serve.request", "session.run", "schedule.k0",
+                             "schedule.k1", "sched.commit", "cache."}) {
+    EXPECT_NE(names.find(expect), std::string::npos) << expect;
+  }
+  // Without "trace": true the envelope has no trace member at all — the
+  // byte-stability half of the serve tracing contract.
+  const std::string untraced = server.handle_line(
+      R"({"kind":"run","suite":"synth-2kernel","flow":"partitioned",)"
+      R"("latency":4})");
+  EXPECT_EQ(untraced.find("\"trace\""), std::string::npos);
+}
+
 TEST(Serve, StdinLoopDrainsAfterShutdownLine) {
   Server server;
   std::istringstream in(
